@@ -1,0 +1,24 @@
+# Convenience targets for the MBPTA reproduction.
+
+GO ?= go
+
+.PHONY: test bench experiments race cover clean
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/platform/ ./internal/rng/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Full paper-scale evaluation (3,000 runs per campaign, ~3 min).
+experiments:
+	$(GO) run ./cmd/experiments -exp all -runs 3000
+
+cover:
+	$(GO) test -cover ./internal/... ./pkg/...
+
+clean:
+	$(GO) clean -testcache

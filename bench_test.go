@@ -1,0 +1,437 @@
+// Package repro's benchmark harness regenerates every table and figure
+// of the paper (one benchmark per experiment in DESIGN.md's index) and
+// the design-choice ablations. Benchmarks use reduced campaigns (600
+// runs, 8-frame major frames) so `go test -bench=.` completes in
+// minutes; `cmd/experiments -runs 3000` reproduces the paper-scale
+// evaluation. Custom metrics report the headline numbers of each
+// artifact alongside the wall-clock cost of regenerating it.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/evt"
+	"repro/internal/experiments"
+	"repro/internal/mem"
+	"repro/internal/platform"
+	"repro/internal/rng"
+	"repro/internal/tvca"
+)
+
+// benchParams returns the reduced evaluation setup shared by the
+// experiment benchmarks.
+func benchParams() experiments.Params {
+	p := experiments.DefaultParams()
+	p.Runs = 600
+	cfg := tvca.DefaultConfig()
+	cfg.Frames = 8
+	p.TVCA = cfg
+	return p
+}
+
+func newEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	env, err := experiments.NewEnv(benchParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return env
+}
+
+// BenchmarkE1IIDTests regenerates the §III i.i.d. table (paper values:
+// Ljung-Box 0.83, KS 0.45).
+func BenchmarkE1IIDTests(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := newEnv(b)
+		r, err := experiments.E1IID(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Pass {
+			b.Fatal("i.i.d. gate failed")
+		}
+		b.ReportMetric(r.Independence.PValue, "LjungBox-p")
+		b.ReportMetric(r.IdentDist.PValue, "KS-p")
+	}
+}
+
+// BenchmarkE2PWCETCurve regenerates Figure 2 (pWCET curve).
+func BenchmarkE2PWCETCurve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := newEnv(b)
+		r, err := experiments.E2PWCETCurve(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.PWCET[1e-15]/r.HWM, "pWCET1e-15/HWM")
+	}
+}
+
+// BenchmarkE3MBPTAvsDET regenerates Figure 3 (MBPTA vs DET).
+func BenchmarkE3MBPTAvsDET(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := newEnv(b)
+		r, err := experiments.E3Comparison(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.RatioAtCutoff[1e-6], "pWCET1e-6/DETHWM")
+		b.ReportMetric(r.RatioAtCutoff[1e-15], "pWCET1e-15/DETHWM")
+	}
+}
+
+// BenchmarkE4AvgPerformance regenerates the average-performance
+// comparison (paper: no noticeable difference).
+func BenchmarkE4AvgPerformance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := newEnv(b)
+		r, err := experiments.E4AvgPerformance(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.RelativeOverhead, "overhead-%")
+	}
+}
+
+// BenchmarkE5Convergence regenerates the campaign-size convergence
+// trace.
+func BenchmarkE5Convergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := newEnv(b)
+		r, err := experiments.E5Convergence(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.StopAt), "runs-to-converge")
+	}
+}
+
+// BenchmarkE6FPUJitter regenerates the FPU jitter-control check.
+func BenchmarkE6FPUJitter(b *testing.B) {
+	env := newEnv(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.E6FPUJitter(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.UpperBoundsHold {
+			b.Fatal("FPU upper bound violated")
+		}
+		b.ReportMetric(float64(r.DivOpMax-r.DivOpMin), "div-jitter-cycles")
+	}
+}
+
+// BenchmarkE7PlacementAblation regenerates the memory-layout ablation.
+func BenchmarkE7PlacementAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := newEnv(b)
+		r, err := experiments.E7PlacementAblation(env, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.DETSpread, "DET-layout-spread-%")
+		b.ReportMetric(100*r.CoverFraction, "RAND-cover-%")
+	}
+}
+
+// --- Design-choice ablations (DESIGN.md §5) ---
+
+// BenchmarkAblationFitMethod compares the Gumbel estimators on the same
+// synthetic maxima.
+func BenchmarkAblationFitMethod(b *testing.B) {
+	truth := evt.Gumbel{Mu: 10000, Beta: 150}
+	src := rng.NewXoroshiro128(12)
+	maxima := truth.Sample(src, 200)
+	for _, m := range []evt.FitMethod{evt.MethodPWM, evt.MethodMoments, evt.MethodMLE} {
+		b.Run(string(m), func(b *testing.B) {
+			var fit evt.Gumbel
+			var err error
+			for i := 0; i < b.N; i++ {
+				fit, err = evt.FitGumbel(maxima, m)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(fit.Beta, "beta")
+		})
+	}
+}
+
+// BenchmarkAblationBlockSize sweeps the block-maxima block length.
+func BenchmarkAblationBlockSize(b *testing.B) {
+	truth := evt.Gumbel{Mu: 10000, Beta: 150}
+	src := rng.NewXoroshiro128(13)
+	times := truth.Sample(src, 3000)
+	for _, bs := range []int{20, 50, 100} {
+		b.Run(map[int]string{20: "B20", 50: "B50", 100: "B100"}[bs], func(b *testing.B) {
+			var bound float64
+			for i := 0; i < b.N; i++ {
+				an := core.NewAnalyzer(core.Options{BlockSize: bs})
+				res, err := an.Analyze(times)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if bound, err = res.PWCET(1e-12); err != nil {
+					b.Fatal(err)
+				}
+			}
+			want, _ := truth.QuantileSF(1e-12)
+			b.ReportMetric(bound/want, "bound/truth")
+		})
+	}
+}
+
+// BenchmarkAblationPlacement compares cache placement policies on the
+// TVCA footprint: hit ratio and (for the randomized ones) run-to-run
+// spread.
+func BenchmarkAblationPlacement(b *testing.B) {
+	cases := []struct {
+		name string
+		p    cache.Placement
+		r    cache.Replacement
+	}{
+		{"modulo-LRU", cache.PlacementModulo, cache.ReplaceLRU},
+		{"randmod-rand", cache.PlacementRandomModulo, cache.ReplaceRandom},
+		{"hash-rand", cache.PlacementRandomHash, cache.ReplaceRandom},
+	}
+	cfg := tvca.DefaultConfig()
+	cfg.Frames = 8
+	app, err := tvca.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			pc := platform.RAND()
+			pc.Name = c.name
+			pc.IL1.Placement, pc.IL1.Replacement = c.p, c.r
+			pc.DL1.Placement, pc.DL1.Replacement = c.p, c.r
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				camp, err := platform.RunCampaign(pc, app, platform.CampaignOptions{
+					Runs: 100, BaseSeed: 3,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum := 0.0
+				for _, t := range camp.Times() {
+					sum += t
+				}
+				mean = sum / float64(len(camp.Times()))
+			}
+			b.ReportMetric(mean, "mean-cycles")
+		})
+	}
+}
+
+// BenchmarkAblationReplacement compares LRU vs random vs round-robin
+// replacement under randomized placement.
+func BenchmarkAblationReplacement(b *testing.B) {
+	cfg := tvca.DefaultConfig()
+	cfg.Frames = 8
+	app, err := tvca.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range []cache.Replacement{cache.ReplaceLRU, cache.ReplaceRandom, cache.ReplaceRoundRobin} {
+		b.Run(string(r), func(b *testing.B) {
+			pc := platform.RAND()
+			pc.Name = "RAND-" + string(r)
+			pc.IL1.Replacement = r
+			pc.DL1.Replacement = r
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				camp, err := platform.RunCampaign(pc, app, platform.CampaignOptions{
+					Runs: 100, BaseSeed: 5,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum := 0.0
+				for _, t := range camp.Times() {
+					sum += t
+				}
+				mean = sum / float64(len(camp.Times()))
+			}
+			b.ReportMetric(mean, "mean-cycles")
+		})
+	}
+}
+
+// BenchmarkAblationDRAMPolicy compares closed-page (jitterless) and
+// open-page (row-buffer jitter) memory controllers on the DET platform.
+func BenchmarkAblationDRAMPolicy(b *testing.B) {
+	cfg := tvca.DefaultConfig()
+	cfg.Frames = 8
+	app, err := tvca.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pol := range []mem.Policy{mem.PolicyClosedPage, mem.PolicyOpenPage} {
+		b.Run(string(pol), func(b *testing.B) {
+			pc := platform.DET()
+			pc.Name = "DET-" + string(pol)
+			pc.DRAM.Policy = pol
+			var spread float64
+			for i := 0; i < b.N; i++ {
+				camp, err := platform.RunCampaign(pc, app, platform.CampaignOptions{
+					Runs: 50, BaseSeed: 7,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				mn, mx := camp.Times()[0], camp.Times()[0]
+				for _, t := range camp.Times() {
+					if t < mn {
+						mn = t
+					}
+					if t > mx {
+						mx = t
+					}
+				}
+				spread = (mx - mn) / mn
+			}
+			b.ReportMetric(100*spread, "spread-%")
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw platform speed: simulated
+// instructions per second for one TVCA run.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := tvca.DefaultConfig()
+	cfg.Frames = 8
+	app, err := tvca.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := platform.New(platform.RAND())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var instr uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := p.Run(app, i, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instr += r.Instructions
+	}
+	b.ReportMetric(float64(instr)/b.Elapsed().Seconds(), "instr/s")
+}
+
+// BenchmarkE8Contention regenerates the multicore-contention extension
+// (co-simulated co-runners).
+func BenchmarkE8Contention(b *testing.B) {
+	p := benchParams()
+	cfg := p.TVCA
+	cfg.Frames = 4
+	p.TVCA = cfg
+	env, err := experiments.NewEnv(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.E8Contention(env, 2, 300)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.SlowdownByCoRunners[2], "slowdown-2co")
+	}
+}
+
+// BenchmarkMulticoreThroughput measures co-simulation speed: simulated
+// instructions per second on the measured core with three streaming
+// co-runners.
+func BenchmarkMulticoreThroughput(b *testing.B) {
+	cfg := tvca.DefaultConfig()
+	cfg.Frames = 4
+	app, err := tvca.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	co := []platform.Workload{
+		experiments.StreamerWorkload{Lines: 1024},
+		experiments.StreamerWorkload{Lines: 1024},
+		experiments.StreamerWorkload{Lines: 1024},
+	}
+	mc, err := platform.NewMulticore(platform.RAND(), co)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var instr uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := mc.Run(app, i, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instr += r.Measured.Instructions
+	}
+	b.ReportMetric(float64(instr)/b.Elapsed().Seconds(), "instr/s")
+}
+
+// BenchmarkE9Generality regenerates the workload-generality table.
+func BenchmarkE9Generality(b *testing.B) {
+	env := newEnv(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.E9Generality(env, 400)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pass := 0
+		for _, k := range r.Kernels {
+			if k.IIDPass {
+				pass++
+			}
+		}
+		b.ReportMetric(float64(pass), "kernels-gate-pass")
+	}
+}
+
+// BenchmarkAblationCodeLayout compares the looped and unrolled TVCA
+// code shapes: the unrolled text exceeds the IL1, adding
+// instruction-cache placement sensitivity on the randomized platform.
+func BenchmarkAblationCodeLayout(b *testing.B) {
+	for _, unroll := range []bool{false, true} {
+		name := "looped"
+		if unroll {
+			name = "unrolled"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := tvca.DefaultConfig()
+			cfg.Frames = 8
+			cfg.UnrollChannels = unroll
+			app, err := tvca.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var cov float64
+			for i := 0; i < b.N; i++ {
+				camp, err := platform.RunCampaign(platform.RAND(), app, platform.CampaignOptions{
+					Runs: 100, BaseSeed: 21,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				times := camp.Times()
+				mean, sum2 := 0.0, 0.0
+				for _, t := range times {
+					mean += t
+				}
+				mean /= float64(len(times))
+				for _, t := range times {
+					d := t - mean
+					sum2 += d * d
+				}
+				cov = 100 * (sum2 / float64(len(times)-1)) / (mean * mean)
+			}
+			b.ReportMetric(cov*1e4, "var-over-mean2-x1e4")
+			b.ReportMetric(float64(app.Program().Len()*4), "text-bytes")
+		})
+	}
+}

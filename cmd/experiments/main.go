@@ -1,0 +1,154 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation section (see DESIGN.md for the experiment index):
+//
+//	experiments -exp all -runs 3000
+//	experiments -exp e3 -runs 1000 -parallel 8
+//
+// Each experiment prints an ASCII rendition of the corresponding paper
+// artifact plus the key numbers; exit status is non-zero on any error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment to run: all, e1..e9 (e8: multicore contention; e9: workload generality)")
+		runs     = flag.Int("runs", 3000, "measurement runs per campaign (paper: 3000)")
+		seed     = flag.Uint64("seed", 0, "base seed (0 = paper default)")
+		parallel = flag.Int("parallel", 0, "campaign workers (0 = GOMAXPROCS)")
+		frames   = flag.Int("frames", 0, "TVCA minor frames per run (0 = default)")
+		layouts  = flag.Int("layouts", 12, "link-time layouts for e7")
+		e8runs   = flag.Int("e8-runs", 500, "runs per co-runner configuration for e8 (co-simulation)")
+		e9runs   = flag.Int("e9-runs", 600, "runs per kernel for e9 (workload generality)")
+		csvDir   = flag.String("csv-dir", "", "directory to export figure data as CSV (optional)")
+	)
+	flag.Parse()
+
+	p := experiments.DefaultParams()
+	p.Runs = *runs
+	p.Parallel = *parallel
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	if *frames != 0 {
+		p.TVCA.Frames = *frames
+	}
+	env, err := experiments.NewEnv(p)
+	if err != nil {
+		fatal(err)
+	}
+
+	which := strings.ToLower(*exp)
+	all := which == "all"
+	ran := false
+	var e2res *experiments.E2Result
+	var e3res *experiments.E3Result
+	var e5res *experiments.E5Result
+	var e7res *experiments.E7Result
+	run := func(id string, f func() error) {
+		if !all && which != id {
+			return
+		}
+		ran = true
+		fmt.Printf("\n===== %s =====\n", strings.ToUpper(id))
+		if err := f(); err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+	}
+
+	run("e1", func() error {
+		r, err := experiments.E1IID(env)
+		if err != nil {
+			return err
+		}
+		experiments.RenderE1(os.Stdout, r)
+		return nil
+	})
+	run("e2", func() error {
+		r, err := experiments.E2PWCETCurve(env)
+		if err != nil {
+			return err
+		}
+		e2res = r
+		return experiments.RenderE2(os.Stdout, r)
+	})
+	run("e3", func() error {
+		r, err := experiments.E3Comparison(env)
+		if err != nil {
+			return err
+		}
+		e3res = r
+		return experiments.RenderE3(os.Stdout, r)
+	})
+	run("e4", func() error {
+		r, err := experiments.E4AvgPerformance(env)
+		if err != nil {
+			return err
+		}
+		experiments.RenderE4(os.Stdout, r)
+		return nil
+	})
+	run("e5", func() error {
+		r, err := experiments.E5Convergence(env)
+		if err != nil {
+			return err
+		}
+		e5res = r
+		experiments.RenderE5(os.Stdout, r)
+		return nil
+	})
+	run("e6", func() error {
+		r, err := experiments.E6FPUJitter(env)
+		if err != nil {
+			return err
+		}
+		experiments.RenderE6(os.Stdout, r)
+		return nil
+	})
+	run("e7", func() error {
+		r, err := experiments.E7PlacementAblation(env, *layouts)
+		if err != nil {
+			return err
+		}
+		e7res = r
+		return experiments.RenderE7(os.Stdout, r)
+	})
+	run("e8", func() error {
+		r, err := experiments.E8Contention(env, 3, *e8runs)
+		if err != nil {
+			return err
+		}
+		return experiments.RenderE8(os.Stdout, r)
+	})
+	run("e9", func() error {
+		r, err := experiments.E9Generality(env, *e9runs)
+		if err != nil {
+			return err
+		}
+		experiments.RenderE9(os.Stdout, r)
+		return nil
+	})
+
+	if !ran {
+		fatal(fmt.Errorf("unknown experiment %q (want all or e1..e9)", *exp))
+	}
+	if *csvDir != "" {
+		files, err := experiments.WriteAllCSV(*csvDir, e2res, e3res, e5res, e7res)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nCSV data written to %s: %s\n", *csvDir, strings.Join(files, ", "))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

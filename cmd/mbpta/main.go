@@ -1,0 +1,205 @@
+// Command mbpta applies the MBPTA analysis pipeline to a recorded
+// execution-time campaign (CSV "run,cycles,path" or the JSON trace
+// format): the i.i.d. gate, the block-maxima Gumbel fit and the pWCET
+// estimates at the requested exceedance probabilities. This is the
+// standalone-tool role the commercial timing-analysis suite plays in
+// the paper.
+//
+//	mbpta -in traces/tvca_rand.csv -cutoffs 1e-6,1e-9,1e-12,1e-15
+//	mbpta -in campaign.json -format json -per-path=false
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/evt"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input trace file (required)")
+		format  = flag.String("format", "csv", "input format: csv or json")
+		alpha   = flag.Float64("alpha", 0.05, "significance level of the i.i.d. tests")
+		block   = flag.Int("block", 50, "block-maxima block size")
+		fit     = flag.String("fit", "pwm", "Gumbel fit method: pwm, moments, mle")
+		cutoffs = flag.String("cutoffs", "1e-6,1e-9,1e-12,1e-15", "comma-separated exceedance probabilities")
+		perPath = flag.Bool("per-path", true, "analyze per executed path, taking the max across paths")
+		force   = flag.Bool("force", false, "continue even if the i.i.d. gate fails (diagnostic mode)")
+		diag    = flag.Bool("diagnostics", false, "print extended diagnostics (trend tests, MBPTA-CV ladder)")
+	)
+	flag.Parse()
+	if *in == "" {
+		fatal(fmt.Errorf("missing -in"))
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	var set *trace.Set
+	switch *format {
+	case "csv":
+		set, err = trace.ReadCSV(f)
+	case "json":
+		set, err = trace.ReadJSON(f)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	qs, err := parseCutoffs(*cutoffs)
+	if err != nil {
+		fatal(err)
+	}
+
+	an := core.NewAnalyzer(core.Options{
+		Alpha:           *alpha,
+		BlockSize:       *block,
+		FitMethod:       evt.FitMethod(*fit),
+		AllowIIDFailure: *force,
+	})
+	var res *core.Result
+	if *perPath {
+		res, err = an.AnalyzeByPath(set.TimesByPath())
+	} else {
+		res, err = an.Analyze(set.Times())
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("campaign: %d samples", len(set.Samples))
+	if set.Platform != "" {
+		fmt.Printf(" on %s", set.Platform)
+	}
+	if set.Workload != "" {
+		fmt.Printf(" running %s", set.Workload)
+	}
+	fmt.Println()
+
+	for _, p := range res.Paths {
+		name := p.Path
+		if name == "" {
+			name = "(single path)"
+		}
+		fmt.Println()
+		report.Table(os.Stdout, fmt.Sprintf("path %s", name), [][2]string{
+			{"runs", fmt.Sprintf("%d (%d block maxima of %d)", p.N, p.Maxima, res.BlockSize)},
+			{"mean / max", fmt.Sprintf("%.0f / %.0f cycles", p.Summary.Mean, p.Summary.Max)},
+			{"Ljung-Box p-value", fmt.Sprintf("%.4f", p.IID.Independence.PValue)},
+			{"KS p-value", fmt.Sprintf("%.4f", p.IID.IdentDist.PValue)},
+			{"i.i.d. gate", verdict(p.IID.Pass)},
+			{"Gumbel fit (block maxima)", p.Fit.String()},
+			{"GEV shape diagnostic", fmt.Sprintf("xi = %.3f", p.GEVXi)},
+			{"Anderson-Darling fit check", fmt.Sprintf("A2 = %.3f, p = %.3f", p.GoF.Statistic, p.GoF.PValue)},
+		})
+	}
+	for _, sp := range res.SmallPaths {
+		fmt.Printf("\npath %s: only %d runs - kept as HWM floor (%.0f cycles); collect more runs\n",
+			sp.Path, sp.N, sp.HWM)
+	}
+
+	fmt.Println()
+	rows := make([][2]string, 0, len(qs))
+	for _, q := range qs {
+		v, err := res.PWCET(q)
+		if err != nil {
+			fatal(err)
+		}
+		rows = append(rows, [2]string{fmt.Sprintf("pWCET @ %.0e", q), fmt.Sprintf("%.0f cycles", v)})
+	}
+	report.Table(os.Stdout, "pWCET estimates (max across paths)", rows)
+	if res.Incomplete() {
+		fmt.Println("note: analysis incomplete - some paths were observed too rarely to fit")
+	}
+
+	if *diag {
+		printDiagnostics(set.Times(), *alpha)
+	}
+}
+
+// printDiagnostics runs the extended battery over the whole series:
+// turning-point and Mann-Kendall checks plus the MBPTA-CV
+// exponentiality ladder.
+func printDiagnostics(times []float64, alpha float64) {
+	fmt.Println()
+	ext, err := stats.CheckIIDExtended(times, alpha)
+	if err != nil {
+		fatal(err)
+	}
+	report.Table(os.Stdout, "extended diagnostics", [][2]string{
+		{"turning-point (randomness)", ext.TurningPoint.String()},
+		{"Mann-Kendall (trend)", ext.Trend.String()},
+	})
+	pts, err := core.ExponentialityCV(times, 0.5, 0.95, 10)
+	if err != nil {
+		fmt.Println("MBPTA-CV ladder unavailable:", err)
+		return
+	}
+	rows := make([][2]string, 0, len(pts)+1)
+	for _, p := range pts {
+		inBand := ""
+		if p.InBand {
+			inBand = " (in band)"
+		}
+		rows = append(rows, [2]string{
+			fmt.Sprintf("u=%.0f n=%d", p.Threshold, p.Exceedances),
+			fmt.Sprintf("CV=%.3f%s", p.CV, inBand),
+		})
+	}
+	ok, err := core.CVVerdict(pts, 0.5)
+	if err != nil {
+		fatal(err)
+	}
+	verdictStr := "tail accepted (exponential or lighter)"
+	if !ok {
+		verdictStr = "tail REJECTED as heavy"
+	}
+	rows = append(rows, [2]string{"MBPTA-CV verdict", verdictStr})
+	report.Table(os.Stdout, "MBPTA-CV exponentiality ladder", rows)
+}
+
+func verdict(pass bool) string {
+	if pass {
+		return "pass"
+	}
+	return "REJECTED"
+}
+
+func parseCutoffs(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		q, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad cutoff %q: %w", part, err)
+		}
+		if q <= 0 || q >= 1 {
+			return nil, fmt.Errorf("cutoff %g outside (0,1)", q)
+		}
+		out = append(out, q)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no cutoffs given")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mbpta:", err)
+	os.Exit(1)
+}

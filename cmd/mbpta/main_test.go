@@ -1,0 +1,39 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseCutoffs(t *testing.T) {
+	qs, err := parseCutoffs("1e-6, 1e-9,1e-12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1e-6, 1e-9, 1e-12}
+	if len(qs) != len(want) {
+		t.Fatalf("%v", qs)
+	}
+	for i := range want {
+		if qs[i] != want[i] {
+			t.Errorf("qs[%d] = %v", i, qs[i])
+		}
+	}
+}
+
+func TestParseCutoffsErrors(t *testing.T) {
+	for _, in := range []string{"", "abc", "0", "1", "-1e-3", "2", "1e-6,,"} {
+		if _, err := parseCutoffs(in); err == nil && in != "1e-6,," {
+			t.Errorf("%q accepted", in)
+		}
+	}
+	// Trailing commas are tolerated (empty parts skipped).
+	if qs, err := parseCutoffs("1e-6,,"); err != nil || len(qs) != 1 {
+		t.Errorf("trailing commas: %v %v", qs, err)
+	}
+}
+
+func TestVerdict(t *testing.T) {
+	if verdict(true) != "pass" || verdict(false) != "REJECTED" {
+		t.Error("verdict strings")
+	}
+}

@@ -1,0 +1,181 @@
+// Command tvca runs the paper's Space case study end to end: the TVCA
+// workload is measured on the time-randomized (RAND) and deterministic
+// (DET) builds of the LEON3-class platform, the i.i.d. gate and the
+// MBPTA analysis are applied, and the equivalents of Figures 2 and 3
+// are printed. Optionally the raw campaigns are saved as CSV for
+// external tooling.
+//
+//	tvca -runs 3000 -save-dir ./traces
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		runs     = flag.Int("runs", 3000, "measurement runs per campaign")
+		seed     = flag.Uint64("seed", 0, "base seed (0 = default)")
+		parallel = flag.Int("parallel", 0, "campaign workers (0 = GOMAXPROCS)")
+		saveDir  = flag.String("save-dir", "", "directory to save campaign CSVs (optional)")
+		perTask  = flag.Bool("per-task", false, "additionally derive per-task pWCETs (worst job per run)")
+	)
+	flag.Parse()
+
+	p := experiments.DefaultParams()
+	p.Runs = *runs
+	p.Parallel = *parallel
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	env, err := experiments.NewEnv(p)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("TVCA case study: %d runs per campaign, %d minor frames per run\n",
+		p.Runs, p.TVCA.Frames)
+
+	e1, err := experiments.E1IID(env)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	experiments.RenderE1(os.Stdout, e1)
+	if !e1.Pass {
+		fmt.Println("i.i.d. gate failed; MBPTA is not applicable to this campaign")
+		os.Exit(2)
+	}
+
+	e2, err := experiments.E2PWCETCurve(env)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	if err := experiments.RenderE2(os.Stdout, e2); err != nil {
+		fatal(err)
+	}
+
+	e3, err := experiments.E3Comparison(env)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	if err := experiments.RenderE3(os.Stdout, e3); err != nil {
+		fatal(err)
+	}
+
+	e4, err := experiments.E4AvgPerformance(env)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	experiments.RenderE4(os.Stdout, e4)
+	fmt.Println()
+	if err := experiments.RenderDistributions(os.Stdout, env, 12); err != nil {
+		fatal(err)
+	}
+
+	if *perTask {
+		if err := perTaskReport(env, p.Runs/4); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *saveDir != "" {
+		if err := saveCampaigns(env, *saveDir); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\ncampaign traces written to %s\n", *saveDir)
+	}
+}
+
+// perTaskReport derives per-task pWCET budgets from worst-job-per-run
+// campaigns (a reduced campaign suffices: each run yields one sample
+// per task).
+func perTaskReport(env *experiments.Env, runs int) error {
+	if runs < 500 {
+		runs = 500
+	}
+	byTask, err := platform.PerTaskWorstCampaign(platform.RAND(), env.App(),
+		platform.CampaignOptions{Runs: runs, BaseSeed: 99})
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(byTask))
+	for name := range byTask {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("\nper-task pWCET (worst job per run, %d runs):\n", runs)
+	for _, name := range names {
+		times := byTask[name]
+		lo, hi := times[0], times[0]
+		for _, v := range times {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if lo == hi {
+			fmt.Printf("  %-12s jitterless: exact WCET %.0f cycles\n", name, hi)
+			continue
+		}
+		res, err := core.NewAnalyzer(core.Options{BlockSize: 25}).Analyze(times)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		bound, err := res.PWCET(1e-12)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-12s HWM %.0f, pWCET(1e-12) %.0f cycles\n", name, hi, bound)
+	}
+	return nil
+}
+
+func saveCampaigns(env *experiments.Env, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	save := func(name string, c *platform.CampaignResult) error {
+		set := &trace.Set{Platform: c.Platform, Workload: c.Workload}
+		for i, r := range c.Results {
+			set.Samples = append(set.Samples, trace.Sample{Run: i, Cycles: r.Cycles, Path: r.Path})
+		}
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return trace.WriteCSV(f, set)
+	}
+	randc, err := env.RAND()
+	if err != nil {
+		return err
+	}
+	if err := save("tvca_rand.csv", randc); err != nil {
+		return err
+	}
+	detc, err := env.DET()
+	if err != nil {
+		return err
+	}
+	return save("tvca_det.csv", detc)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tvca:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+// The i.i.d. gate in action: MBPTA's statistical tests detect when a
+// measurement campaign violates the protocol.
+//
+// A correct campaign flushes the caches, resets the board, reloads the
+// binary and reseeds the PRNG before every run; the resulting series is
+// independent and identically distributed and the gate passes. If the
+// experimenter instead measures back-to-back executions on the
+// deterministic platform while recycling a handful of input vectors —
+// a classic lazy test harness — consecutive measurements are coupled
+// (the series is periodic in the input schedule and carries the cache
+// warm-up transient), the Ljung-Box test rejects independence, and
+// MBPTA correctly refuses the campaign.
+//
+//	go run ./examples/iid_gate
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"repro/pkg/mbpta"
+)
+
+const runs = 600
+
+func main() {
+	cfg := mbpta.DefaultTVCAConfig()
+	cfg.Frames = 8
+	app, err := mbpta.NewTVCA(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Correct protocol: per-run flush + reset + reload + reseed. ---
+	set, err := mbpta.Collect(mbpta.RANDPlatform(), app, runs, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gate, err := mbpta.CheckIID(set.Times(), 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("protocol-compliant campaign:")
+	fmt.Println(gate)
+
+	// --- Broken protocol: back-to-back DET runs, recycled inputs. ---
+	broken, err := collectWithoutReset(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gate, err = mbpta.CheckIID(broken, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nback-to-back campaign (no per-run reset):")
+	fmt.Println(gate)
+
+	// The analyzer enforces the gate.
+	_, err = mbpta.NewAnalyzer(mbpta.Options{}).Analyze(broken)
+	switch {
+	case errors.Is(err, mbpta.ErrIIDRejected):
+		fmt.Println("\nanalyzer verdict: campaign rejected (as it must be)")
+	case err != nil:
+		log.Fatal(err)
+	default:
+		fmt.Println("\nanalyzer verdict: accepted — this should not happen")
+	}
+}
+
+// collectWithoutReset measures back-to-back executions on one
+// deterministic platform instance, skipping the per-run protocol and
+// recycling four input vectors: the observed series inherits the
+// period-4 structure of the schedule plus the cold-start transient.
+func collectWithoutReset(app *mbpta.TVCA) ([]float64, error) {
+	p, err := mbpta.NewPlatform(mbpta.DETPlatform())
+	if err != nil {
+		return nil, err
+	}
+	p.PrepareRun(12345) // seed once, like a careless campaign
+	times := make([]float64, 0, runs)
+	// The careless harness even discards a few warm-up runs "to get
+	// stable numbers" — which removes the cold-start outlier and makes
+	// the periodic coupling of the remaining series plainly visible to
+	// the independence test.
+	for run := 0; run < runs+8; run++ {
+		m, err := app.Prepare(run % 4) // recycle a few input vectors
+		if err != nil {
+			return nil, err
+		}
+		cycles, err := p.Core().RunProgram(m)
+		if err != nil {
+			return nil, err
+		}
+		if run >= 8 {
+			times = append(times, float64(cycles))
+		}
+	}
+	return times, nil
+}

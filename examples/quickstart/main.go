@@ -1,0 +1,53 @@
+// Quickstart: measure the TVCA case study on the time-randomized
+// platform and derive a probabilistic WCET bound.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/pkg/mbpta"
+)
+
+func main() {
+	// The workload: the thrust-vector-control application with a
+	// shorter major frame so the demo finishes in seconds.
+	cfg := mbpta.DefaultTVCAConfig()
+	cfg.Frames = 8
+	app, err := mbpta.NewTVCA(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Collect a measurement campaign on the MBPTA-compliant platform:
+	// every run flushes the caches, resets the board, reloads the
+	// binary and installs a fresh seed.
+	const runs = 1000
+	set, err := mbpta.Collect(mbpta.RANDPlatform(), app, runs, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collected %d runs of %s on %s\n", runs, set.Workload, set.Platform)
+
+	// The i.i.d. gate must pass before MBPTA applies.
+	gate, err := mbpta.CheckIID(set.Times(), 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(gate)
+
+	// Fit the extreme-value tail per executed path and query pWCET.
+	res, err := mbpta.NewAnalyzer(mbpta.Options{}).AnalyzeByPath(set.TimesByPath())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, q := range []float64{1e-6, 1e-9, 1e-12, 1e-15} {
+		bound, err := res.PWCET(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("pWCET(%.0e) = %.0f cycles\n", q, bound)
+	}
+}

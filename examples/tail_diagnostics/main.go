@@ -1,0 +1,93 @@
+// Tail diagnostics beyond the paper's pipeline: the same campaign
+// analyzed with both tail estimators (block-maxima Gumbel, the paper's
+// method, and peaks-over-threshold GPD), a bootstrap confidence
+// interval around the pWCET estimate, and the MBPTA-CV
+// coefficient-of-variation ladder that justifies the exponential-tail
+// assumption.
+//
+//	go run ./examples/tail_diagnostics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/pkg/mbpta"
+)
+
+const runs = 1500
+
+func main() {
+	cfg := mbpta.DefaultTVCAConfig()
+	cfg.Frames = 8
+	app, err := mbpta.NewTVCA(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	set, err := mbpta.Collect(mbpta.RANDPlatform(), app, runs, 2024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	times := set.Times()
+
+	// Two tail estimators over the same campaign.
+	for _, method := range []mbpta.TailMethod{mbpta.MethodBlockMaxima, mbpta.MethodPoT} {
+		res, err := mbpta.NewAnalyzer(mbpta.Options{Method: method}).Analyze(times)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b9, err := res.PWCET(1e-9)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b15, err := res.PWCET(1e-15)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s pWCET(1e-9) = %.0f   pWCET(1e-15) = %.0f\n", method, b9, b15)
+	}
+
+	// How much is the point estimate worth? A 95% bootstrap interval.
+	an := mbpta.NewAnalyzer(mbpta.Options{})
+	ci, err := an.BootstrapPWCET(times, 1e-12, 500, 0.95, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	point, err := must(an.Analyze(times)).PWCET(1e-12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npWCET(1e-12) = %.0f cycles, 95%% bootstrap CI [%.0f, %.0f]\n",
+		point, ci.Lo, ci.Hi)
+
+	// The MBPTA-CV exponentiality ladder: CV of threshold exceedances
+	// should settle around 1 (exponential tail) or below (bounded).
+	pts, err := mbpta.ExponentialityCV(times, 0.5, 0.95, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nMBPTA-CV ladder (threshold quantile -> CV of exceedances):")
+	for _, p := range pts {
+		marker := " "
+		if p.InBand {
+			marker = "*"
+		}
+		fmt.Printf("  u=%-9.0f n=%-5d CV=%.3f %s\n", p.Threshold, p.Exceedances, p.CV, marker)
+	}
+	ok, err := mbpta.CVVerdict(pts, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ok {
+		fmt.Println("verdict: tail accepted (exponential or lighter) - Gumbel projection is sound")
+	} else {
+		fmt.Println("verdict: tail REJECTED as heavy - do not trust the Gumbel projection")
+	}
+}
+
+func must(r *mbpta.Result, err error) *mbpta.Result {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}

@@ -1,0 +1,146 @@
+package repro
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/pkg/mbpta"
+)
+
+// TestLibraryEndToEnd mirrors the README flow through the public API:
+// collect on both platforms, gate, analyze, compare with the MBTA
+// baseline, persist and re-read the campaign.
+func TestLibraryEndToEnd(t *testing.T) {
+	cfg := mbpta.DefaultTVCAConfig()
+	cfg.Frames = 8
+	app, err := mbpta.NewTVCA(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	randSet, err := mbpta.Collect(mbpta.RANDPlatform(), app, 600, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detSet, err := mbpta.Collect(mbpta.DETPlatform(), app, 600, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gate, err := mbpta.CheckIID(randSet.Times(), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gate.Pass {
+		t.Fatalf("gate failed:\n%s", gate)
+	}
+
+	res, err := mbpta.NewAnalyzer(mbpta.Options{}).AnalyzeByPath(randSet.TimesByPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := res.PWCET(1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := mbpta.AnalyzeMBTA(detSet.Times())
+	if err != nil {
+		t.Fatal(err)
+	}
+	margin, err := base.WCET(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shape assertions of Figure 3.
+	if bound < base.HWM {
+		t.Errorf("pWCET(1e-12) %.0f below DET HWM %.0f", bound, base.HWM)
+	}
+	if bound > margin {
+		t.Errorf("pWCET(1e-12) %.0f beyond HWM+50%% %.0f", bound, margin)
+	}
+
+	// Round-trip the campaign through CSV.
+	var buf bytes.Buffer
+	if err := mbpta.WriteTraceCSV(&buf, randSet); err != nil {
+		t.Fatal(err)
+	}
+	back, err := mbpta.ReadTraceCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Samples) != len(randSet.Samples) {
+		t.Error("CSV round trip lost samples")
+	}
+}
+
+// buildCmds compiles the three binaries once into a temp dir.
+func buildCmds(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, name := range []string{"mbpta", "tvca", "experiments"} {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, msg)
+		}
+	}
+	return dir
+}
+
+func TestCommandsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bin := buildCmds(t)
+
+	// experiments: the cheapest experiment, reduced campaign.
+	out, err := exec.Command(filepath.Join(bin, "experiments"),
+		"-exp", "e6", "-runs", "600", "-frames", "8").CombinedOutput()
+	if err != nil {
+		t.Fatalf("experiments: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "upper-bound property") {
+		t.Errorf("experiments output:\n%s", out)
+	}
+
+	// tvca with trace saving.
+	traces := t.TempDir()
+	out, err = exec.Command(filepath.Join(bin, "tvca"),
+		"-runs", "600", "-save-dir", traces).CombinedOutput()
+	if err != nil {
+		t.Fatalf("tvca: %v\n%s", err, out)
+	}
+	for _, want := range []string{"i.i.d.", "Figure 2", "Figure 3"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("tvca output lacks %q", want)
+		}
+	}
+	randCSV := filepath.Join(traces, "tvca_rand.csv")
+	if _, err := os.Stat(randCSV); err != nil {
+		t.Fatalf("trace not saved: %v", err)
+	}
+
+	// mbpta on the saved trace.
+	out, err = exec.Command(filepath.Join(bin, "mbpta"),
+		"-in", randCSV, "-cutoffs", "1e-6,1e-12").CombinedOutput()
+	if err != nil {
+		t.Fatalf("mbpta: %v\n%s", err, out)
+	}
+	for _, want := range []string{"Gumbel fit", "pWCET @ 1e-06", "pWCET @ 1e-12"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("mbpta output lacks %q:\n%s", want, out)
+		}
+	}
+
+	// mbpta error path: missing input.
+	if err := exec.Command(filepath.Join(bin, "mbpta")).Run(); err == nil {
+		t.Error("mbpta without -in succeeded")
+	}
+	// experiments error path: unknown experiment.
+	if err := exec.Command(filepath.Join(bin, "experiments"), "-exp", "e99").Run(); err == nil {
+		t.Error("unknown experiment succeeded")
+	}
+}

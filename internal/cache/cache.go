@@ -1,0 +1,334 @@
+// Package cache models the first-level set-associative caches of the
+// platform, in both the baseline deterministic flavour (modulo placement
+// + LRU replacement) and the MBPTA-compliant time-randomized flavour
+// (random-modulo placement, Hernandez et al. DAC 2016, + random
+// replacement, Kosmidis et al. DATE 2013).
+//
+// Random modulo keeps the key property of modulo placement — a sequence
+// of addresses with consecutive line indices and the same tag never
+// conflicts with itself — while making the concrete set of any given
+// line a per-run random variable: the set index is the modulo index
+// rotated by a hash of (seed, tag). A fresh seed per run therefore
+// re-rolls the program's cache layout exactly as the paper's protocol
+// prescribes ("we set a new seed for each experiment after the binary
+// has been reloaded").
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Placement selects the set-index function.
+type Placement string
+
+// Placement policies.
+const (
+	PlacementModulo       Placement = "modulo"        // deterministic: index bits
+	PlacementRandomModulo Placement = "random-modulo" // DAC'16 random modulo
+	PlacementRandomHash   Placement = "random-hash"   // pure hash of line address (ablation)
+)
+
+// Replacement selects the victim-way policy.
+type Replacement string
+
+// Replacement policies.
+const (
+	ReplaceLRU        Replacement = "lru"
+	ReplaceRandom     Replacement = "random"
+	ReplaceRoundRobin Replacement = "round-robin"
+)
+
+// Config is the geometry and policy of one cache.
+type Config struct {
+	Name        string
+	SizeBytes   int
+	LineBytes   int
+	Ways        int
+	Placement   Placement
+	Replacement Replacement
+	// WriteAllocate selects whether stores allocate on miss. The
+	// platform's DL1 is write-through no-write-allocate, so this is
+	// false there; it is configurable for ablations.
+	WriteAllocate bool
+}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache %q: non-positive geometry %+v", c.Name, c)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache %q: line size %d not a power of two", c.Name, c.LineBytes)
+	}
+	if c.SizeBytes%(c.LineBytes*c.Ways) != 0 {
+		return fmt.Errorf("cache %q: size %d not divisible by ways*line (%d)",
+			c.Name, c.SizeBytes, c.LineBytes*c.Ways)
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Ways)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %q: set count %d not a power of two", c.Name, sets)
+	}
+	switch c.Placement {
+	case PlacementModulo, PlacementRandomModulo, PlacementRandomHash:
+	default:
+		return fmt.Errorf("cache %q: unknown placement %q", c.Name, c.Placement)
+	}
+	switch c.Replacement {
+	case ReplaceLRU, ReplaceRandom, ReplaceRoundRobin:
+	default:
+		return fmt.Errorf("cache %q: unknown replacement %q", c.Name, c.Replacement)
+	}
+	return nil
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() int { return c.SizeBytes / (c.LineBytes * c.Ways) }
+
+// Stats counts cache events since the last ResetStats.
+type Stats struct {
+	Hits        uint64
+	Misses      uint64
+	Evictions   uint64
+	WriteHits   uint64 // write-through stores that hit
+	WriteMisses uint64 // write-through stores that missed (no allocate)
+}
+
+// Accesses returns total demand accesses.
+func (s Stats) Accesses() uint64 {
+	return s.Hits + s.Misses + s.WriteHits + s.WriteMisses
+}
+
+// MissRatio returns misses/(hits+misses) over read accesses.
+func (s Stats) MissRatio() float64 {
+	tot := s.Hits + s.Misses
+	if tot == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(tot)
+}
+
+type line struct {
+	valid bool
+	tag   uint64
+	// lru is a recency stamp for LRU; for round-robin the set keeps a
+	// cursor instead.
+	lru uint64
+}
+
+// Cache is one level-one cache instance. It is not safe for concurrent
+// use; each core owns its caches, as in the modeled hardware.
+type Cache struct {
+	cfg       Config
+	sets      [][]line
+	rrCursor  []int // round-robin cursor per set
+	clock     uint64
+	seed      uint64
+	rnd       rng.Source
+	stats     Stats
+	lineShift uint
+	setMask   uint64
+}
+
+// New builds a cache from cfg, drawing placement/replacement randomness
+// from src (may be nil for fully deterministic configurations; required
+// for random placement or replacement).
+func New(cfg Config, src rng.Source) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	needsRand := cfg.Placement != PlacementModulo || cfg.Replacement == ReplaceRandom
+	if needsRand && src == nil {
+		return nil, fmt.Errorf("cache %q: randomized policy requires an rng source", cfg.Name)
+	}
+	c := &Cache{
+		cfg:      cfg,
+		rnd:      src,
+		sets:     make([][]line, cfg.Sets()),
+		rrCursor: make([]int, cfg.Sets()),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	c.lineShift = uint(trailingZeros(uint64(cfg.LineBytes)))
+	c.setMask = uint64(cfg.Sets() - 1)
+	return c, nil
+}
+
+func trailingZeros(v uint64) int {
+	n := 0
+	for v&1 == 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters without touching contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Flush invalidates every line — the paper's protocol flushes caches
+// between measurement runs.
+func (c *Cache) Flush() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w] = line{}
+		}
+		c.rrCursor[s] = 0
+	}
+}
+
+// Reseed installs the per-run placement seed. Under random modulo this
+// re-rolls the memory layout's cache mapping; under modulo placement it
+// has no effect (kept so callers can treat both platforms uniformly).
+func (c *Cache) Reseed(seed uint64) { c.seed = seed }
+
+// lineAddr strips the offset bits.
+func (c *Cache) lineAddr(addr uint64) uint64 { return addr >> c.lineShift }
+
+// tagOf returns the tag: the line address above the index bits. Note
+// that under randomized placement the full line address must be stored
+// (two different line addresses may share tag bits but map to the same
+// set only under one seed), so we conservatively tag with the whole
+// line address in all configurations.
+func (c *Cache) tagOf(addr uint64) uint64 { return c.lineAddr(addr) }
+
+// setOf implements the placement function.
+func (c *Cache) setOf(addr uint64) int {
+	la := c.lineAddr(addr)
+	index := la & c.setMask
+	switch c.cfg.Placement {
+	case PlacementModulo:
+		return int(index)
+	case PlacementRandomModulo:
+		// DAC'16 random modulo: rotate the modulo index by a hash of the
+		// seed and the tag (the bits above the index). Lines sharing a
+		// tag keep their relative order, so a contiguous region up to
+		// Sets()*LineBytes never self-conflicts; distinct tags receive
+		// independent rotations per seed.
+		tag := la >> uint(popcountMask(c.setMask))
+		return int((index + hash64(c.seed, tag)) & c.setMask)
+	case PlacementRandomHash:
+		// Pure hash placement: every line lands in an independent
+		// random set; sacrifices the modulo non-conflict property
+		// (provided for the E7 ablation).
+		return int(hash64(c.seed, la) & c.setMask)
+	default:
+		panic("cache: unreachable placement " + c.cfg.Placement)
+	}
+}
+
+func popcountMask(m uint64) int {
+	n := 0
+	for m != 0 {
+		n += int(m & 1)
+		m >>= 1
+	}
+	return n
+}
+
+// hash64 is a strong 64-bit mix of seed and value (splitmix64 finalizer
+// over the xor), standing in for the parametric hardware hash of the
+// random-modulo design.
+func hash64(seed, v uint64) uint64 {
+	z := seed ^ (v * 0x9E3779B97F4A7C15)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Access performs a read access (instruction fetch or load). It returns
+// true on hit; on miss the line is allocated, evicting per policy.
+func (c *Cache) Access(addr uint64) bool {
+	set := c.setOf(addr)
+	tag := c.tagOf(addr)
+	ways := c.sets[set]
+	c.clock++
+	for w := range ways {
+		if ways[w].valid && ways[w].tag == tag {
+			ways[w].lru = c.clock
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	c.fill(set, tag)
+	return false
+}
+
+// Write performs a store access. With write-through no-write-allocate
+// (the platform's DL1 configuration) a write hit refreshes recency and a
+// write miss does not allocate. With WriteAllocate it behaves like a
+// read access for allocation purposes. Returns true on hit.
+func (c *Cache) Write(addr uint64) bool {
+	set := c.setOf(addr)
+	tag := c.tagOf(addr)
+	ways := c.sets[set]
+	c.clock++
+	for w := range ways {
+		if ways[w].valid && ways[w].tag == tag {
+			ways[w].lru = c.clock
+			c.stats.WriteHits++
+			return true
+		}
+	}
+	c.stats.WriteMisses++
+	if c.cfg.WriteAllocate {
+		c.fill(set, tag)
+	}
+	return false
+}
+
+// Probe reports whether addr is present without updating state or
+// counters (test/debug aid).
+func (c *Cache) Probe(addr uint64) bool {
+	set := c.setOf(addr)
+	tag := c.tagOf(addr)
+	for _, l := range c.sets[set] {
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// fill allocates tag into set, choosing a victim per policy.
+func (c *Cache) fill(set int, tag uint64) {
+	ways := c.sets[set]
+	// Prefer an invalid way.
+	for w := range ways {
+		if !ways[w].valid {
+			ways[w] = line{valid: true, tag: tag, lru: c.clock}
+			return
+		}
+	}
+	var victim int
+	switch c.cfg.Replacement {
+	case ReplaceLRU:
+		victim = 0
+		for w := 1; w < len(ways); w++ {
+			if ways[w].lru < ways[victim].lru {
+				victim = w
+			}
+		}
+	case ReplaceRandom:
+		victim = rng.Intn(c.rnd, len(ways))
+	case ReplaceRoundRobin:
+		victim = c.rrCursor[set]
+		c.rrCursor[set] = (victim + 1) % len(ways)
+	}
+	c.stats.Evictions++
+	ways[victim] = line{valid: true, tag: tag, lru: c.clock}
+}
+
+// SetOfForTest exposes the placement function for property tests.
+func (c *Cache) SetOfForTest(addr uint64) int { return c.setOf(addr) }

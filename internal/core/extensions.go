@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/evt"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// The extensions in this file go beyond the paper's §III pipeline, into
+// the techniques its successor literature applies on top of the same
+// campaigns: bootstrap confidence intervals on pWCET estimates and the
+// coefficient-of-variation exponentiality diagnostic of MBPTA-CV.
+
+// CI is a two-sided confidence interval.
+type CI struct {
+	Lo, Hi float64
+	Level  float64 // e.g. 0.95
+}
+
+// BootstrapPWCET estimates a percentile-bootstrap confidence interval
+// for the pWCET at exceedance probability q: the block maxima of the
+// series are resampled with replacement, the Gumbel tail is refitted
+// and the bound recomputed, resamples times. Resampling randomness is
+// derived from seed, so results are reproducible.
+func (a *Analyzer) BootstrapPWCET(times []float64, q float64, resamples int,
+	level float64, seed uint64) (CI, error) {
+	src := rng.NewXoroshiro128(seed)
+	if resamples < 20 {
+		return CI{}, fmt.Errorf("core: %d resamples too few (need >= 20)", resamples)
+	}
+	if level <= 0 || level >= 1 {
+		return CI{}, fmt.Errorf("core: confidence level %v outside (0,1)", level)
+	}
+	maxima, err := evt.BlockMaxima(times, a.opts.BlockSize)
+	if err != nil {
+		return CI{}, err
+	}
+	if len(maxima) < 5 {
+		return CI{}, fmt.Errorf("%w: %d block maxima", ErrInsufficient, len(maxima))
+	}
+	bounds := make([]float64, 0, resamples)
+	resample := make([]float64, len(maxima))
+	for r := 0; r < resamples; r++ {
+		for i := range resample {
+			resample[i] = maxima[rng.Intn(src, len(maxima))]
+		}
+		fit, err := evt.FitGumbel(resample, a.opts.FitMethod)
+		if err != nil {
+			// A degenerate resample (all-equal maxima) can occur on tiny
+			// inputs; skip it rather than abort the whole interval.
+			continue
+		}
+		b, err := PerRunTail{Block: fit, B: a.opts.BlockSize}.QuantileSF(q)
+		if err != nil {
+			return CI{}, err
+		}
+		bounds = append(bounds, b)
+	}
+	if len(bounds) < resamples/2 {
+		return CI{}, fmt.Errorf("%w: %d/%d resamples degenerate", ErrInsufficient,
+			resamples-len(bounds), resamples)
+	}
+	sort.Float64s(bounds)
+	alpha := (1 - level) / 2
+	lo, err := stats.Quantile(bounds, alpha)
+	if err != nil {
+		return CI{}, err
+	}
+	hi, err := stats.Quantile(bounds, 1-alpha)
+	if err != nil {
+		return CI{}, err
+	}
+	return CI{Lo: lo, Hi: hi, Level: level}, nil
+}
+
+// CVPoint is one point of the residual coefficient-of-variation plot
+// used by the MBPTA-CV exponentiality diagnostic.
+type CVPoint struct {
+	Threshold   float64 // threshold value (a quantile of the sample)
+	Exceedances int
+	CV          float64 // coefficient of variation of the exceedances
+	InBand      bool    // within the 95% acceptance band around 1
+}
+
+// ExponentialityCV computes the coefficient of variation of the
+// threshold exceedances (X - u | X > u) over a ladder of thresholds
+// (quantiles from startQ up to endQ). For an exponential tail the CV
+// converges to 1; CV significantly above 1 indicates a heavy tail and
+// below 1 a bounded tail (both detected against the asymptotic
+// 1 +- 1.96/sqrt(n) band). This is the tail-acceptance criterion of
+// MBPTA-CV (Abella et al.), usable alongside the GEV-shape check.
+func ExponentialityCV(times []float64, startQ, endQ float64, steps int) ([]CVPoint, error) {
+	if len(times) < 50 {
+		return nil, fmt.Errorf("%w: %d observations", ErrInsufficient, len(times))
+	}
+	if !(0 < startQ && startQ < endQ && endQ < 1) || steps < 1 {
+		return nil, fmt.Errorf("core: bad CV ladder [%v,%v] x%d", startQ, endQ, steps)
+	}
+	sorted := append([]float64(nil), times...)
+	sort.Float64s(sorted)
+	out := make([]CVPoint, 0, steps)
+	for s := 0; s < steps; s++ {
+		q := startQ + (endQ-startQ)*float64(s)/float64(maxInt(steps-1, 1))
+		u := sorted[int(q*float64(len(sorted)-1))]
+		var exc []float64
+		for _, x := range sorted {
+			if x > u {
+				exc = append(exc, x-u)
+			}
+		}
+		if len(exc) < 10 {
+			break
+		}
+		m, err := stats.Mean(exc)
+		if err != nil {
+			return nil, err
+		}
+		sd, err := stats.StdDev(exc)
+		if err != nil {
+			return nil, err
+		}
+		cv := 0.0
+		if m > 0 {
+			cv = sd / m
+		}
+		band := 1.96 / math.Sqrt(float64(len(exc)))
+		out = append(out, CVPoint{
+			Threshold:   u,
+			Exceedances: len(exc),
+			CV:          cv,
+			InBand:      cv >= 1-band && cv <= 1+band,
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: no usable thresholds", ErrInsufficient)
+	}
+	return out, nil
+}
+
+// CVVerdict summarizes an ExponentialityCV ladder: the tail is accepted
+// as exponential when the final windowFrac fraction of points lies in
+// the acceptance band or below it (a CV below the band means a bounded,
+// hence safely Gumbel-overbounded, tail).
+func CVVerdict(points []CVPoint, windowFrac float64) (bool, error) {
+	if len(points) == 0 {
+		return false, fmt.Errorf("%w: empty ladder", ErrInsufficient)
+	}
+	if windowFrac <= 0 || windowFrac > 1 {
+		return false, fmt.Errorf("core: window fraction %v outside (0,1]", windowFrac)
+	}
+	start := int(float64(len(points)) * (1 - windowFrac))
+	for _, p := range points[start:] {
+		band := 1.96 / math.Sqrt(float64(p.Exceedances))
+		if p.CV > 1+band {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/evt"
+	"repro/internal/rng"
+)
+
+func TestPoTMethodRecoversTail(t *testing.T) {
+	truth := evt.Gumbel{Mu: 10000, Beta: 120}
+	times := gumbelSeries(41, 5000, truth)
+	res, err := NewAnalyzer(Options{Method: MethodPoT}).Analyze(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Paths[0]
+	if p.Method != MethodPoT {
+		t.Errorf("method = %q", p.Method)
+	}
+	if p.PoT.Rate < 0.05 || p.PoT.Rate > 0.15 {
+		t.Errorf("exceedance rate %v, want ~0.1", p.PoT.Rate)
+	}
+	// The PoT bound at 1e-6 should be within a few percent of truth.
+	got, err := res.PWCET(1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := truth.QuantileSF(1e-6)
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("PoT pWCET(1e-6) = %.0f, truth %.0f", got, want)
+	}
+}
+
+func TestPoTAndBlockMaximaAgree(t *testing.T) {
+	times := gumbelSeries(43, 5000, evt.Gumbel{Mu: 5000, Beta: 60})
+	bm, err := NewAnalyzer(Options{}).Analyze(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pot, err := NewAnalyzer(Options{Method: MethodPoT}).Analyze(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At moderate depth the methods agree closely; at deep cutoffs PoT
+	// grows more conservative because GPD-shape sampling noise is
+	// amplified by the extrapolation.
+	b1, _ := bm.PWCET(1e-6)
+	b2, _ := pot.PWCET(1e-6)
+	if math.Abs(b1-b2)/b1 > 0.15 {
+		t.Errorf("block-maxima %.0f vs PoT %.0f differ by >15%% at 1e-6", b1, b2)
+	}
+	d1, _ := bm.PWCET(1e-12)
+	d2, _ := pot.PWCET(1e-12)
+	if d2 < d1*0.85 || d2 > d1*1.6 {
+		t.Errorf("PoT 1e-12 bound %.0f outside sanity band of block-maxima %.0f", d2, d1)
+	}
+}
+
+func TestPoTRejectsHeavyTail(t *testing.T) {
+	src := rng.NewXoroshiro128(44)
+	gev := evt.GEV{Xi: 0.6, Mu: 1000, Sigma: 50}
+	times := make([]float64, 4000)
+	for i := range times {
+		u := rng.Float64(src)
+		for u == 0 {
+			u = rng.Float64(src)
+		}
+		times[i], _ = gev.Quantile(u)
+	}
+	_, err := NewAnalyzer(Options{Method: MethodPoT}).Analyze(times)
+	if !errors.Is(err, ErrHeavyTail) {
+		t.Errorf("err = %v, want ErrHeavyTail", err)
+	}
+}
+
+func TestUnknownMethodRejected(t *testing.T) {
+	times := gumbelSeries(45, 1000, evt.Gumbel{Mu: 10, Beta: 1})
+	if _, err := NewAnalyzer(Options{Method: "quantum"}).Analyze(times); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestBootstrapPWCETCoversPointEstimate(t *testing.T) {
+	truth := evt.Gumbel{Mu: 3000, Beta: 40}
+	times := gumbelSeries(51, 3000, truth)
+	an := NewAnalyzer(Options{})
+	res, err := an.Analyze(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	point, _ := res.PWCET(1e-9)
+	ci, err := an.BootstrapPWCET(times, 1e-9, 200, 0.95, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ci.Lo < point && point < ci.Hi) {
+		t.Errorf("CI [%.0f, %.0f] does not cover point %.0f", ci.Lo, ci.Hi, point)
+	}
+	if ci.Level != 0.95 {
+		t.Errorf("level %v", ci.Level)
+	}
+	// The true quantile should usually be inside too.
+	want, _ := truth.QuantileSF(1e-9)
+	if want < ci.Lo*0.98 || want > ci.Hi*1.02 {
+		t.Errorf("CI [%.0f, %.0f] far from truth %.0f", ci.Lo, ci.Hi, want)
+	}
+}
+
+func TestBootstrapPWCETWidensWithDepth(t *testing.T) {
+	times := gumbelSeries(52, 3000, evt.Gumbel{Mu: 3000, Beta: 40})
+	an := NewAnalyzer(Options{})
+	shallow, err := an.BootstrapPWCET(times, 1e-6, 200, 0.95, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, err := an.BootstrapPWCET(times, 1e-15, 200, 0.95, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep.Hi-deep.Lo <= shallow.Hi-shallow.Lo {
+		t.Errorf("deep CI width %.0f <= shallow %.0f",
+			deep.Hi-deep.Lo, shallow.Hi-shallow.Lo)
+	}
+}
+
+func TestBootstrapPWCETValidation(t *testing.T) {
+	times := gumbelSeries(53, 1000, evt.Gumbel{Mu: 10, Beta: 1})
+	an := NewAnalyzer(Options{})
+	if _, err := an.BootstrapPWCET(times, 1e-9, 5, 0.95, 1); err == nil {
+		t.Error("5 resamples accepted")
+	}
+	if _, err := an.BootstrapPWCET(times, 1e-9, 100, 1.5, 1); err == nil {
+		t.Error("level 1.5 accepted")
+	}
+	if _, err := an.BootstrapPWCET(times[:20], 1e-9, 100, 0.95, 1); err == nil {
+		t.Error("20 observations accepted")
+	}
+}
+
+func TestExponentialityCVOnExponentialTail(t *testing.T) {
+	// Exponential data: CV ladder should sit in the band.
+	src := rng.NewXoroshiro128(61)
+	times := make([]float64, 5000)
+	for i := range times {
+		u := rng.Float64(src)
+		for u == 0 {
+			u = rng.Float64(src)
+		}
+		times[i] = -math.Log(u) * 100
+	}
+	pts, err := ExponentialityCV(times, 0.5, 0.95, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := CVVerdict(pts, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("exponential tail rejected: %+v", pts)
+	}
+}
+
+func TestExponentialityCVOnHeavyTail(t *testing.T) {
+	// Pareto tail (xi = 0.5): CV grows above the band.
+	src := rng.NewXoroshiro128(62)
+	times := make([]float64, 5000)
+	for i := range times {
+		u := rng.Float64(src)
+		for u == 0 {
+			u = rng.Float64(src)
+		}
+		times[i] = math.Pow(u, -0.5) * 100 // Pareto alpha=2
+	}
+	pts, err := ExponentialityCV(times, 0.5, 0.95, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := CVVerdict(pts, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Errorf("heavy tail accepted: %+v", pts)
+	}
+}
+
+func TestExponentialityCVOnBoundedTail(t *testing.T) {
+	// Uniform (bounded) tail: CV below 1 — accepted, since a Gumbel
+	// projection over-bounds a bounded tail.
+	src := rng.NewXoroshiro128(63)
+	times := make([]float64, 5000)
+	for i := range times {
+		times[i] = rng.Float64(src) * 100
+	}
+	pts, err := ExponentialityCV(times, 0.5, 0.95, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := CVVerdict(pts, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("bounded tail rejected")
+	}
+	// And the raw points should mostly sit below the band.
+	below := 0
+	for _, p := range pts {
+		if p.CV < 1 {
+			below++
+		}
+	}
+	if below < len(pts)/2 {
+		t.Errorf("bounded tail CV not below 1: %+v", pts)
+	}
+}
+
+func TestExponentialityCVValidation(t *testing.T) {
+	if _, err := ExponentialityCV(make([]float64, 10), 0.5, 0.9, 5); err == nil {
+		t.Error("tiny sample accepted")
+	}
+	times := gumbelSeries(64, 1000, evt.Gumbel{Mu: 10, Beta: 1})
+	if _, err := ExponentialityCV(times, 0.9, 0.5, 5); err == nil {
+		t.Error("inverted ladder accepted")
+	}
+	if _, err := ExponentialityCV(times, 0.5, 0.9, 0); err == nil {
+		t.Error("zero steps accepted")
+	}
+	if _, err := CVVerdict(nil, 0.5); err == nil {
+		t.Error("empty ladder accepted")
+	}
+	if _, err := CVVerdict([]CVPoint{{CV: 1}}, 2); err == nil {
+		t.Error("window fraction 2 accepted")
+	}
+}

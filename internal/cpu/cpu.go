@@ -1,0 +1,285 @@
+// Package cpu implements the timing model of one LEON3-class core: a
+// 7-stage in-order pipeline (fetch, decode, register access, execute,
+// memory, exception, write-back) fed by split first-level caches and
+// TLBs, with a write-through store buffer, a shared bus and the DRAM
+// controller behind it.
+//
+// The model is event-additive: the architectural interpreter
+// (internal/isa) feeds one Event per retired instruction, and the core
+// charges the base pipelined cost plus every stall that event incurs
+// (cache misses, TLB walks, long execute latencies, taken-branch
+// bubbles, store-buffer pressure). This is the standard abstraction
+// level of the MBPTA literature, where the analyzed jitter sources are
+// exactly cache/TLB placement and replacement, FPU latency and memory
+// interference.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/cache"
+	"repro/internal/fpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/tlb"
+)
+
+// Params are the fixed pipeline latencies (cycles). Execute-stage
+// latencies are *additional* cycles beyond the 1-cycle base CPI of a
+// fully pipelined instruction.
+type Params struct {
+	IntMulExtra  int // integer multiply extra cycles
+	IntDivExtra  int // integer divide extra cycles (fixed latency, jitterless)
+	BranchTaken  int // pipeline bubbles on a taken branch/jump
+	LoadUseExtra int // extra cycle of a load hit (cache access in ME stage)
+	// StoreBufferDepth is the number of pending write-through stores the
+	// core tolerates before stalling.
+	StoreBufferDepth int
+}
+
+// DefaultParams returns LEON3-flavoured defaults.
+func DefaultParams() Params {
+	return Params{
+		IntMulExtra:      3,
+		IntDivExtra:      34,
+		BranchTaken:      2,
+		LoadUseExtra:     1,
+		StoreBufferDepth: 4,
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.IntMulExtra < 0 || p.IntDivExtra < 0 || p.BranchTaken < 0 || p.LoadUseExtra < 0 {
+		return fmt.Errorf("cpu: negative latency in %+v", p)
+	}
+	if p.StoreBufferDepth < 1 {
+		return fmt.Errorf("cpu: store buffer depth %d < 1", p.StoreBufferDepth)
+	}
+	return nil
+}
+
+// Stats aggregates per-run pipeline activity.
+type Stats struct {
+	Instructions uint64
+	Cycles       uint64
+	IFetchStall  uint64 // cycles lost to IL1 misses + ITLB walks
+	DMemStall    uint64 // cycles lost to DL1 load misses + DTLB walks
+	StoreStall   uint64 // cycles lost to a full store buffer
+	ExecStall    uint64 // cycles lost to long execute latencies
+	BranchStall  uint64 // taken-branch bubbles
+}
+
+// CPI returns cycles per instruction.
+func (s Stats) CPI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Instructions)
+}
+
+// Interconnect is the memory-system contract the core needs: FCFS bus
+// grants on a global timeline, the DRAM access latency behind each
+// transaction, and the per-transaction bus occupancy. BusMem couples
+// the stand-alone bus and DRAM models; the platform layer substitutes
+// interference injectors or the multicore arbiter.
+type Interconnect interface {
+	// Request asks for the bus at time t for a transaction on addr. It
+	// returns the grant cycle and the memory access latency behind the
+	// transfer.
+	Request(core int, t uint64, kind bus.Kind, addr uint64) (start, memLat uint64)
+	// TransferCycles is the bus occupancy of one transaction.
+	TransferCycles() uint64
+}
+
+// BusMem is the single-requestor Interconnect: a bus directly in front
+// of the DRAM controller.
+type BusMem struct {
+	Bus *bus.Bus
+	Mem *mem.Controller
+}
+
+// Request grants the bus FCFS and charges the DRAM access.
+func (bm BusMem) Request(core int, t uint64, kind bus.Kind, addr uint64) (uint64, uint64) {
+	start := bm.Bus.Request(core, t, kind)
+	return start, bm.Mem.Latency(addr)
+}
+
+// TransferCycles forwards the bus occupancy.
+func (bm BusMem) TransferCycles() uint64 { return bm.Bus.TransferCycles() }
+
+// Core is the timing model of one core. Not safe for concurrent use.
+type Core struct {
+	ID     int
+	Params Params
+
+	IL1  *cache.Cache
+	DL1  *cache.Cache
+	ITLB *tlb.TLB
+	DTLB *tlb.TLB
+	FPU  *fpu.FPU
+	Bus  Interconnect
+
+	cycle      uint64
+	storeSlots []uint64 // completion times of in-flight write-through stores
+	stats      Stats
+}
+
+// NewCore wires a core together. All components must be non-nil.
+func NewCore(id int, params Params, il1, dl1 *cache.Cache, itlb, dtlb *tlb.TLB,
+	f *fpu.FPU, b Interconnect) (*Core, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if il1 == nil || dl1 == nil || itlb == nil || dtlb == nil || f == nil || b == nil {
+		return nil, fmt.Errorf("cpu: core %d: nil component", id)
+	}
+	return &Core{
+		ID: id, Params: params,
+		IL1: il1, DL1: dl1, ITLB: itlb, DTLB: dtlb,
+		FPU: f, Bus: b,
+		storeSlots: make([]uint64, params.StoreBufferDepth),
+	}, nil
+}
+
+// Cycle returns the current core-local cycle count.
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+// Stats returns a copy of the counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// Reset rewinds the core clock and counters and empties the store
+// buffer. Cache/TLB contents are managed separately (FlushAll), as the
+// platform protocol distinguishes "reset" and "flush".
+func (c *Core) Reset() {
+	c.cycle = 0
+	c.stats = Stats{}
+	for i := range c.storeSlots {
+		c.storeSlots[i] = 0
+	}
+}
+
+// FlushAll invalidates the core's caches and TLBs.
+func (c *Core) FlushAll() {
+	c.IL1.Flush()
+	c.DL1.Flush()
+	c.ITLB.Flush()
+	c.DTLB.Flush()
+}
+
+// memFill charges one cache-line fill (or page-walk access) via the
+// shared bus and DRAM: queueing delay + transfer + access latency.
+func (c *Core) memFill(addr uint64, kind bus.Kind) uint64 {
+	start, memLat := c.Bus.Request(c.ID, c.cycle, kind, addr)
+	wait := start - c.cycle
+	return wait + c.Bus.TransferCycles() + memLat
+}
+
+// Consume charges one retired instruction to the pipeline.
+func (c *Core) Consume(ev isa.Event) {
+	c.stats.Instructions++
+	// --- Fetch: ITLB, then IL1. ---
+	if !c.ITLB.Lookup(ev.PC) {
+		walk := uint64(0)
+		for i := 0; i < c.ITLB.Config().WalkAccesses; i++ {
+			walk += c.memFill(ev.PC, bus.KindTLBWalk)
+		}
+		c.cycle += walk
+		c.stats.IFetchStall += walk
+	}
+	if !c.IL1.Access(ev.PC) {
+		fill := c.memFill(ev.PC, bus.KindLineFill)
+		c.cycle += fill
+		c.stats.IFetchStall += fill
+	}
+	// Base pipelined cost.
+	c.cycle++
+	c.stats.Cycles = c.cycle
+
+	// --- Execute / memory stage, by class. ---
+	switch ev.Class {
+	case isa.ClassNop, isa.ClassIntALU, isa.ClassHalt:
+		// single cycle, fully pipelined
+	case isa.ClassIntMul:
+		c.stall(uint64(c.Params.IntMulExtra), &c.stats.ExecStall)
+	case isa.ClassIntDiv:
+		c.stall(uint64(c.Params.IntDivExtra), &c.stats.ExecStall)
+	case isa.ClassBranch:
+		if ev.Taken {
+			c.stall(uint64(c.Params.BranchTaken), &c.stats.BranchStall)
+		}
+	case isa.ClassFPAdd:
+		c.stall(uint64(c.FPU.AddLatency()-1), &c.stats.ExecStall)
+	case isa.ClassFPMul:
+		c.stall(uint64(c.FPU.MulLatency()-1), &c.stats.ExecStall)
+	case isa.ClassFPDiv:
+		c.stall(uint64(c.FPU.DivLatency(ev.FOp1, ev.FOp2)-1), &c.stats.ExecStall)
+	case isa.ClassFPSqrt:
+		c.stall(uint64(c.FPU.SqrtLatency(ev.FOp1)-1), &c.stats.ExecStall)
+	case isa.ClassLoad:
+		c.dtlbCheck(ev.Addr)
+		if c.DL1.Access(ev.Addr) {
+			c.stall(uint64(c.Params.LoadUseExtra), &c.stats.DMemStall)
+		} else {
+			fill := c.memFill(ev.Addr, bus.KindLineFill)
+			c.cycle += fill
+			c.stats.DMemStall += fill
+			c.stats.Cycles = c.cycle
+		}
+	case isa.ClassStore:
+		c.dtlbCheck(ev.Addr)
+		c.DL1.Write(ev.Addr) // write-through, no allocate
+		c.storeDrain(ev.Addr)
+	}
+	c.stats.Cycles = c.cycle
+}
+
+func (c *Core) stall(cycles uint64, counter *uint64) {
+	c.cycle += cycles
+	*counter += cycles
+}
+
+func (c *Core) dtlbCheck(addr uint64) {
+	if c.DTLB.Lookup(addr) {
+		return
+	}
+	walk := uint64(0)
+	for i := 0; i < c.DTLB.Config().WalkAccesses; i++ {
+		walk += c.memFill(addr, bus.KindTLBWalk)
+	}
+	c.cycle += walk
+	c.stats.DMemStall += walk
+}
+
+// storeDrain posts a write-through store into the store buffer. The
+// write occupies a buffer slot until the bus+DRAM write completes; when
+// all slots are busy the core stalls until the earliest one frees.
+func (c *Core) storeDrain(addr uint64) {
+	// Find the earliest-free slot.
+	slot := 0
+	for i := 1; i < len(c.storeSlots); i++ {
+		if c.storeSlots[i] < c.storeSlots[slot] {
+			slot = i
+		}
+	}
+	if c.storeSlots[slot] > c.cycle {
+		// Buffer full: stall until the earliest drain completes.
+		wait := c.storeSlots[slot] - c.cycle
+		c.cycle += wait
+		c.stats.StoreStall += wait
+	}
+	// Issue the drain from the current (post-stall) time.
+	start, memLat := c.Bus.Request(c.ID, c.cycle, bus.KindWrite, addr)
+	c.storeSlots[slot] = start + c.Bus.TransferCycles() + memLat
+}
+
+// RunProgram executes prog architecturally on machine memory mem32 and
+// charges its timing to the core, returning the consumed cycles.
+func (c *Core) RunProgram(m *isa.Machine) (uint64, error) {
+	startCycle := c.cycle
+	if _, err := m.Run(c.Consume); err != nil {
+		return 0, err
+	}
+	return c.cycle - startCycle, nil
+}

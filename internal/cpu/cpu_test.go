@@ -1,0 +1,419 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/cache"
+	"repro/internal/fpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/rng"
+	"repro/internal/tlb"
+)
+
+// testCore builds a single deterministic core with small caches so
+// tests can force misses cheaply.
+func testCore(t *testing.T, mode fpu.Mode) *Core {
+	t.Helper()
+	mkCache := func(name string) *cache.Cache {
+		c, err := cache.New(cache.Config{
+			Name: name, SizeBytes: 1024, LineBytes: 32, Ways: 2,
+			Placement: cache.PlacementModulo, Replacement: cache.ReplaceLRU,
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	mkTLB := func(name string) *tlb.TLB {
+		tl, err := tlb.New(tlb.Config{
+			Name: name, Entries: 8, PageBytes: 4096,
+			Replacement: tlb.ReplaceLRU, WalkAccesses: 2,
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tl
+	}
+	f, err := fpu.New(fpu.DefaultLatencies(), mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bus.New(bus.Config{TransferCycles: 4, Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dram, err := mem.New(mem.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := NewCore(0, DefaultParams(), mkCache("IL1"), mkCache("DL1"),
+		mkTLB("ITLB"), mkTLB("DTLB"), f, BusMem{Bus: b, Mem: dram})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.IntDivExtra = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative latency accepted")
+	}
+	p = DefaultParams()
+	p.StoreBufferDepth = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero store buffer accepted")
+	}
+}
+
+func TestNewCoreNilComponent(t *testing.T) {
+	if _, err := NewCore(0, DefaultParams(), nil, nil, nil, nil, nil, nil); err == nil {
+		t.Error("nil components accepted")
+	}
+}
+
+func buildAndRun(t *testing.T, core *Core, build func(b *isa.Builder)) uint64 {
+	t.Helper()
+	b := isa.NewBuilder("prog", 0)
+	build(b)
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := isa.NewMachine(prog, isa.NewMemory())
+	cycles, err := core.RunProgram(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cycles
+}
+
+func TestStraightLineCost(t *testing.T) {
+	core := testCore(t, fpu.ModeAnalysis)
+	// 10 nops + halt, all in one icache line after the first fill and
+	// one ITLB walk.
+	cycles := buildAndRun(t, core, func(b *isa.Builder) {
+		for i := 0; i < 10; i++ {
+			b.Nop()
+		}
+		b.Halt()
+	})
+	st := core.Stats()
+	if st.Instructions != 11 {
+		t.Errorf("instructions = %d", st.Instructions)
+	}
+	// Base cost 11; plus 1 IL1 fill per touched line (11*4=44 bytes → 2
+	// lines) and one ITLB walk (2 accesses).
+	base := uint64(11)
+	if cycles <= base {
+		t.Errorf("cycles = %d, want > %d (stalls missing)", cycles, base)
+	}
+	if st.IFetchStall == 0 {
+		t.Error("no fetch stalls recorded on a cold cache")
+	}
+	if st.CPI() <= 1 {
+		t.Errorf("CPI = %.2f, want > 1 cold", st.CPI())
+	}
+}
+
+func TestWarmLoopApproachesBaseCPI(t *testing.T) {
+	core := testCore(t, fpu.ModeAnalysis)
+	// A tight warm loop: after warmup, per-iteration cost should be the
+	// base 3 cycles (addi, addi, blt) + 2-cycle taken-branch bubble.
+	cycles := buildAndRun(t, core, func(b *isa.Builder) {
+		b.Li(1, 0)
+		b.Li(2, 10000)
+		b.Label("loop")
+		b.Addi(1, 1, 1)
+		b.Blt(1, 2, "loop")
+		b.Halt()
+	})
+	st := core.Stats()
+	// ~2 instructions per iteration + taken bubble: ideal ~= 10000*(2+2).
+	ideal := uint64(10000 * 4)
+	if cycles < ideal || cycles > ideal+ideal/10 {
+		t.Errorf("cycles = %d, want within 10%% above %d", cycles, ideal)
+	}
+	if st.BranchStall == 0 {
+		t.Error("no branch stalls recorded")
+	}
+}
+
+func TestColdVsWarmDataAccess(t *testing.T) {
+	core := testCore(t, fpu.ModeAnalysis)
+	// Two identical load sweeps; the second should be far cheaper.
+	mkProg := func() *isa.Machine {
+		b := isa.NewBuilder("sweep", 0)
+		b.Li(1, 0x2000)
+		b.Li(2, 0) // i
+		b.Li(3, 8) // lines
+		b.Label("loop")
+		b.Ld(4, 1, 0)
+		b.Addi(1, 1, 32)
+		b.Addi(2, 2, 1)
+		b.Blt(2, 3, "loop")
+		b.Halt()
+		prog, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return isa.NewMachine(prog, isa.NewMemory())
+	}
+	cold, err := core.RunProgram(mkProg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := core.RunProgram(mkProg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm >= cold {
+		t.Errorf("warm run (%d) not cheaper than cold (%d)", warm, cold)
+	}
+	if core.Stats().DMemStall == 0 {
+		t.Error("no data stalls recorded")
+	}
+}
+
+func TestFPUAnalysisModeCostsMoreOnEasyOperands(t *testing.T) {
+	// FDIV of easy operands: operation mode terminates early, analysis
+	// mode charges the worst case. Same program, different FPU mode.
+	run := func(mode fpu.Mode) uint64 {
+		core := testCore(t, mode)
+		return buildAndRun(t, core, func(b *isa.Builder) {
+			b.Li(1, 8)
+			b.Li(2, 2)
+			b.Fcvt(1, 1)
+			b.Fcvt(2, 2)
+			// 100 easy divisions (8/2 = power of two).
+			for i := 0; i < 100; i++ {
+				b.Fdiv(3, 1, 2)
+			}
+			b.Halt()
+		})
+	}
+	analysis := run(fpu.ModeAnalysis)
+	operation := run(fpu.ModeOperation)
+	if analysis <= operation {
+		t.Errorf("analysis %d <= operation %d on easy FDIVs", analysis, operation)
+	}
+	// Difference should be ~100 * (DivMax - DivMin).
+	lat := fpu.DefaultLatencies()
+	wantDiff := uint64(100 * (lat.DivMax - lat.DivMin))
+	diff := analysis - operation
+	if diff != wantDiff {
+		t.Errorf("diff = %d, want %d", diff, wantDiff)
+	}
+}
+
+func TestStoreBufferBackpressure(t *testing.T) {
+	core := testCore(t, fpu.ModeAnalysis)
+	// A burst of stores larger than the buffer must record store
+	// stalls: each drain costs bus+DRAM (~32 cycles) while the core
+	// issues one store per cycle.
+	buildAndRun(t, core, func(b *isa.Builder) {
+		b.Li(1, 0x2000)
+		for i := int32(0); i < 32; i++ {
+			b.St(1, i*4, 2)
+		}
+		b.Halt()
+	})
+	if core.Stats().StoreStall == 0 {
+		t.Error("no store-buffer stalls on a 32-store burst")
+	}
+}
+
+func TestResetClearsClockAndStats(t *testing.T) {
+	core := testCore(t, fpu.ModeAnalysis)
+	buildAndRun(t, core, func(b *isa.Builder) { b.Nop().Halt() })
+	if core.Cycle() == 0 {
+		t.Fatal("no cycles consumed")
+	}
+	core.Reset()
+	if core.Cycle() != 0 || core.Stats() != (Stats{}) {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestFlushAllForcesRefetch(t *testing.T) {
+	core := testCore(t, fpu.ModeAnalysis)
+	run := func() uint64 {
+		return buildAndRun(t, core, func(b *isa.Builder) {
+			for i := 0; i < 8; i++ {
+				b.Nop()
+			}
+			b.Halt()
+		})
+	}
+	run()
+	warm := run()
+	core.FlushAll()
+	cold := run()
+	if cold <= warm {
+		t.Errorf("post-flush run (%d) not slower than warm run (%d)", cold, warm)
+	}
+}
+
+func TestTLBWalkCharged(t *testing.T) {
+	core := testCore(t, fpu.ModeAnalysis)
+	// Touch 16 distinct pages with loads: 8-entry DTLB must miss and
+	// walk repeatedly on a second randomized-order pass too; here just
+	// check walks show up as DMemStall beyond DL1 fills.
+	buildAndRun(t, core, func(b *isa.Builder) {
+		b.Li(1, 0)
+		for p := int32(0); p < 16; p++ {
+			b.Li(1, p*4096+0x100)
+			b.Ld(2, 1, 0)
+		}
+		b.Halt()
+	})
+	if core.Stats().DMemStall == 0 {
+		t.Error("no data-side stalls with 16-page sweep")
+	}
+}
+
+func TestCPIZeroWithoutInstructions(t *testing.T) {
+	if (Stats{}).CPI() != 0 {
+		t.Error("CPI of empty stats != 0")
+	}
+}
+
+func TestRandomizedCoreVariesAcrossSeeds(t *testing.T) {
+	// A core with random-modulo placement and random replacement must
+	// show run-to-run execution time variability across seeds for a
+	// program whose footprint exceeds one way.
+	mkRandCache := func(name string, src rng.Source) *cache.Cache {
+		c, err := cache.New(cache.Config{
+			Name: name, SizeBytes: 512, LineBytes: 32, Ways: 2,
+			Placement: cache.PlacementRandomModulo, Replacement: cache.ReplaceRandom,
+		}, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	src := rng.NewXoroshiro128(1)
+	il1 := mkRandCache("IL1", src)
+	dl1 := mkRandCache("DL1", src)
+	itlb, _ := tlb.New(tlb.Config{Name: "ITLB", Entries: 8, PageBytes: 4096,
+		Replacement: tlb.ReplaceRandom, WalkAccesses: 2}, src)
+	dtlb, _ := tlb.New(tlb.Config{Name: "DTLB", Entries: 8, PageBytes: 4096,
+		Replacement: tlb.ReplaceRandom, WalkAccesses: 2}, src)
+	f, _ := fpu.New(fpu.DefaultLatencies(), fpu.ModeAnalysis)
+	b, _ := bus.New(bus.Config{TransferCycles: 4, Cores: 1})
+	dram, _ := mem.New(mem.DefaultConfig())
+	core, err := NewCore(0, DefaultParams(), il1, dl1, itlb, dtlb, f, BusMem{Bus: b, Mem: dram})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Working set: four 4-line regions in distinct tag regions, swept
+	// repeatedly. Under random modulo each region lands on 4 consecutive
+	// sets at a per-seed random rotation, so the overlap between regions
+	// — and hence the conflict-miss count — varies run to run.
+	prog := func() *isa.Machine {
+		bld := isa.NewBuilder("regions", 0)
+		bases := []int32{0x8000, 0x10000, 0x18000, 0x20000}
+		bld.Li(2, 0)  // pass counter
+		bld.Li(3, 20) // passes
+		bld.Label("pass")
+		for _, base := range bases {
+			bld.Li(1, base)
+			for l := int32(0); l < 4; l++ {
+				bld.Ld(4, 1, l*32)
+			}
+		}
+		bld.Addi(2, 2, 1)
+		bld.Blt(2, 3, "pass")
+		bld.Halt()
+		p, err := bld.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return isa.NewMachine(p, isa.NewMemory())
+	}
+
+	seen := make(map[uint64]bool)
+	for seed := uint64(1); seed <= 20; seed++ {
+		core.Reset()
+		core.FlushAll()
+		b.Reset()
+		il1.Reseed(seed)
+		dl1.Reseed(seed)
+		src.Seed(seed)
+		cycles, err := core.RunProgram(prog())
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[cycles] = true
+	}
+	if len(seen) < 3 {
+		t.Errorf("randomized platform produced only %d distinct times across 20 seeds", len(seen))
+	}
+}
+
+func TestBusMemDirectly(t *testing.T) {
+	b, err := bus.New(bus.Config{TransferCycles: 4, Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dram, err := mem.New(mem.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm := BusMem{Bus: b, Mem: dram}
+	start, lat := bm.Request(0, 10, bus.KindLineFill, 0x1000)
+	if start != 10 {
+		t.Errorf("start = %d", start)
+	}
+	if lat != dram.Config().AccessCycles {
+		t.Errorf("lat = %d", lat)
+	}
+	if bm.TransferCycles() != 4 {
+		t.Errorf("transfer = %d", bm.TransferCycles())
+	}
+	// A second overlapping request queues behind the first.
+	start2, _ := bm.Request(1, 11, bus.KindWrite, 0x2000)
+	if start2 != 14 {
+		t.Errorf("queued start = %d, want 14", start2)
+	}
+}
+
+func TestStallCountersPartitionCycles(t *testing.T) {
+	// Cycles = instructions + all stall categories, exactly.
+	core := testCore(t, fpu.ModeAnalysis)
+	buildAndRun(t, core, func(b *isa.Builder) {
+		b.Li(1, 0x2000)
+		b.Li(2, 0)
+		b.Li(3, 200)
+		b.Label("loop")
+		b.Ld(4, 1, 0)
+		b.St(1, 4, 4)
+		b.Fcvt(1, 4)
+		b.Fdiv(2, 1, 1)
+		b.Addi(1, 1, 32)
+		b.Addi(2, 2, 1)
+		b.Blt(2, 3, "loop")
+		b.Halt()
+	})
+	st := core.Stats()
+	sum := st.Instructions + st.IFetchStall + st.DMemStall +
+		st.StoreStall + st.ExecStall + st.BranchStall
+	if sum != st.Cycles {
+		t.Errorf("cycles %d != instructions+stalls %d (stats %+v)", st.Cycles, sum, st)
+	}
+	for name, v := range map[string]uint64{
+		"ifetch": st.IFetchStall, "dmem": st.DMemStall,
+		"exec": st.ExecStall, "branch": st.BranchStall,
+	} {
+		if v == 0 {
+			t.Errorf("no %s stalls recorded", name)
+		}
+	}
+}

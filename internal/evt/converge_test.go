@@ -1,0 +1,187 @@
+package evt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestSampleMatchesDistribution(t *testing.T) {
+	g := Gumbel{Mu: 100, Beta: 10}
+	src := rng.NewXoroshiro128(21)
+	xs := g.Sample(src, 50000)
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if math.Abs(mean-g.Mean()) > 0.5 {
+		t.Errorf("sample mean %.2f, want ~%.2f", mean, g.Mean())
+	}
+	// Empirical fraction above the 0.9 quantile should be ~0.1.
+	q90, _ := g.Quantile(0.9)
+	above := 0
+	for _, x := range xs {
+		if x > q90 {
+			above++
+		}
+	}
+	frac := float64(above) / float64(len(xs))
+	if math.Abs(frac-0.1) > 0.01 {
+		t.Errorf("fraction above q90 = %.4f", frac)
+	}
+}
+
+func TestCRPSDistanceZeroForIdentical(t *testing.T) {
+	g := Gumbel{Mu: 10, Beta: 2}
+	d, err := CRPSDistance(g, g, 0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("self-distance = %g", d)
+	}
+}
+
+func TestCRPSDistancePositiveAndSymmetric(t *testing.T) {
+	a := Gumbel{Mu: 10, Beta: 2}
+	b := Gumbel{Mu: 12, Beta: 2}
+	d1, err := CRPSDistance(a, b, -10, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := CRPSDistance(b, a, -10, 60)
+	if d1 <= 0 {
+		t.Errorf("distance = %g, want > 0", d1)
+	}
+	approx(t, "symmetry", d1, d2, 1e-12)
+}
+
+func TestCRPSDistanceBadRange(t *testing.T) {
+	g := Gumbel{Mu: 0, Beta: 1}
+	if _, err := CRPSDistance(g, g, 5, 5); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := CRPSDistance(g, g, math.NaN(), 1); err == nil {
+		t.Error("NaN range accepted")
+	}
+}
+
+func TestGumbelCRPSScalesWithSeparation(t *testing.T) {
+	base := Gumbel{Mu: 1000, Beta: 20}
+	near := Gumbel{Mu: 1001, Beta: 20}
+	far := Gumbel{Mu: 1100, Beta: 20}
+	dNear, err := GumbelCRPS(base, near)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dFar, _ := GumbelCRPS(base, far)
+	if dNear >= dFar {
+		t.Errorf("near distance %g >= far distance %g", dNear, dFar)
+	}
+}
+
+func TestGumbelCRPSInvalid(t *testing.T) {
+	if _, err := GumbelCRPS(Gumbel{0, -1}, Gumbel{0, 1}); err == nil {
+		t.Error("invalid Gumbel accepted")
+	}
+}
+
+func TestConvergenceCriterionStableFits(t *testing.T) {
+	c := NewConvergenceCriterion()
+	g := Gumbel{Mu: 100, Beta: 5}
+	done, err := c.Observe(g)
+	if err != nil || done {
+		t.Fatalf("first observation: done=%v err=%v", done, err)
+	}
+	// Identical fits converge after Streak=2 further observations.
+	done, _ = c.Observe(g)
+	if done {
+		t.Fatal("converged after a single comparison; want streak of 2")
+	}
+	done, _ = c.Observe(g)
+	if !done {
+		t.Fatal("did not converge on identical fits")
+	}
+	if len(c.History()) != 2 {
+		t.Errorf("history length %d, want 2", len(c.History()))
+	}
+}
+
+func TestConvergenceCriterionResetsStreakOnJump(t *testing.T) {
+	c := NewConvergenceCriterion()
+	a := Gumbel{Mu: 100, Beta: 5}
+	b := Gumbel{Mu: 200, Beta: 5}
+	c.Observe(a)
+	c.Observe(a)            // streak 1
+	done, _ := c.Observe(b) // jump: streak resets
+	if done {
+		t.Fatal("converged across a parameter jump")
+	}
+	done, _ = c.Observe(b) // streak 1
+	if done {
+		t.Fatal("converged with streak 1")
+	}
+	done, _ = c.Observe(b) // streak 2
+	if !done {
+		t.Fatal("did not converge after stabilizing")
+	}
+}
+
+func TestConvergenceCriterionInvalidFit(t *testing.T) {
+	c := NewConvergenceCriterion()
+	if _, err := c.Observe(Gumbel{Mu: 0, Beta: -1}); err == nil {
+		t.Error("invalid fit accepted")
+	}
+}
+
+func TestConvergenceCriterionReset(t *testing.T) {
+	c := NewConvergenceCriterion()
+	g := Gumbel{Mu: 1, Beta: 1}
+	c.Observe(g)
+	c.Observe(g)
+	c.Observe(g)
+	c.Reset()
+	if len(c.History()) != 0 {
+		t.Error("history survives Reset")
+	}
+	done, _ := c.Observe(g)
+	if done {
+		t.Error("converged immediately after Reset")
+	}
+}
+
+func TestConvergenceOnRealCampaign(t *testing.T) {
+	// Simulated campaign: batches of 100 Gumbel samples; the criterion
+	// should converge well before 5,000 total runs and the final fit
+	// should be close to truth.
+	truth := Gumbel{Mu: 3000, Beta: 30}
+	src := rng.NewXoroshiro128(2)
+	c := NewConvergenceCriterion()
+	var all []float64
+	converged := false
+	batches := 0
+	for batches = 0; batches < 50; batches++ {
+		all = append(all, truth.Sample(src, 100)...)
+		fit, err := FitGumbel(all, MethodPWM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done, err := c.Observe(fit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			converged = true
+			break
+		}
+	}
+	if !converged {
+		t.Fatalf("no convergence in %d batches (history %v)", batches, c.History())
+	}
+	fit, _ := FitGumbel(all, MethodPWM)
+	if math.Abs(fit.Mu-truth.Mu) > 10 || math.Abs(fit.Beta-truth.Beta) > 5 {
+		t.Errorf("converged fit %v far from truth %v", fit, truth)
+	}
+}

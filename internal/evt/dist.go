@@ -1,0 +1,262 @@
+// Package evt implements the extreme-value machinery of MBPTA: the
+// Gumbel, Fréchet/Weibull (via GEV) and generalized-Pareto families,
+// block-maxima extraction, parameter fitting (probability-weighted
+// moments, method of moments, maximum likelihood), pWCET quantile
+// inversion and the CRPS-based convergence criterion of the
+// Cucu-Grosjean et al. (ECRTS 2012) MBPTA process that the paper applies.
+//
+// MBPTA convention: the pWCET curve plots, for each execution-time bound
+// x, the probability that one run of the program exceeds x — i.e. the
+// survival function 1-F(x) of the fitted extreme-value distribution,
+// rescaled from per-block to per-run where needed.
+package evt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadParam reports invalid distribution parameters.
+var ErrBadParam = errors.New("evt: invalid distribution parameter")
+
+// ErrBadSample reports an unusable input sample.
+var ErrBadSample = errors.New("evt: unusable sample")
+
+// EulerGamma is the Euler–Mascheroni constant, used by moment-based
+// Gumbel estimators.
+const EulerGamma = 0.5772156649015328606
+
+// Gumbel is the type-I extreme value distribution with location mu and
+// scale beta > 0. It is the limiting distribution of block maxima for
+// light-tailed parents and the distribution MBPTA fits to execution-time
+// maxima on time-randomized platforms.
+type Gumbel struct {
+	Mu   float64 // location
+	Beta float64 // scale, > 0
+}
+
+// Valid reports whether the parameters are admissible.
+func (g Gumbel) Valid() bool {
+	return g.Beta > 0 && !math.IsNaN(g.Mu) && !math.IsInf(g.Mu, 0) &&
+		!math.IsNaN(g.Beta) && !math.IsInf(g.Beta, 0)
+}
+
+// CDF returns F(x) = exp(-exp(-(x-mu)/beta)).
+func (g Gumbel) CDF(x float64) float64 {
+	return math.Exp(-math.Exp(-(x - g.Mu) / g.Beta))
+}
+
+// SF returns the survival (exceedance) function 1 - F(x), computed via
+// expm1 so that probabilities down to ~1e-300 keep full precision —
+// essential when querying pWCET at cutoffs like 1e-15.
+func (g Gumbel) SF(x float64) float64 {
+	return -math.Expm1(-math.Exp(-(x - g.Mu) / g.Beta))
+}
+
+// PDF returns the density at x.
+func (g Gumbel) PDF(x float64) float64 {
+	z := (x - g.Mu) / g.Beta
+	return math.Exp(-z-math.Exp(-z)) / g.Beta
+}
+
+// Quantile returns F^{-1}(p) = mu - beta ln(-ln p) for p in (0,1).
+func (g Gumbel) Quantile(p float64) (float64, error) {
+	if p <= 0 || p >= 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("%w: quantile probability %v", ErrBadParam, p)
+	}
+	return g.Mu - g.Beta*math.Log(-math.Log(p)), nil
+}
+
+// QuantileSF returns the execution-time bound exceeded with probability
+// q: SF^{-1}(q). For tiny q it evaluates via log1p to preserve precision
+// (Quantile(1-q) would collapse to Quantile(1) below q ~ 1e-16).
+func (g Gumbel) QuantileSF(q float64) (float64, error) {
+	if q <= 0 || q >= 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("%w: exceedance probability %v", ErrBadParam, q)
+	}
+	// SF(x)=q  <=>  exp(-z)= -ln(1-q)  <=>  z = -ln(-log1p(-q)).
+	return g.Mu - g.Beta*math.Log(-math.Log1p(-q)), nil
+}
+
+// Mean returns mu + beta*gamma.
+func (g Gumbel) Mean() float64 { return g.Mu + g.Beta*EulerGamma }
+
+// StdDev returns beta*pi/sqrt(6).
+func (g Gumbel) StdDev() float64 { return g.Beta * math.Pi / math.Sqrt(6) }
+
+// String formats the parameters for reports.
+func (g Gumbel) String() string {
+	return fmt.Sprintf("Gumbel(mu=%.4g, beta=%.4g)", g.Mu, g.Beta)
+}
+
+// GEV is the generalized extreme value distribution with shape xi
+// (xi = 0 is Gumbel, xi > 0 Fréchet, xi < 0 reversed Weibull), location
+// mu and scale sigma > 0. MBPTA soundness arguments require xi <= 0
+// (bounded or exponential tails); GEV is provided so the analyzer can
+// *detect* heavy tails and refuse them.
+type GEV struct {
+	Xi    float64
+	Mu    float64
+	Sigma float64
+}
+
+// Valid reports whether the parameters are admissible.
+func (g GEV) Valid() bool {
+	return g.Sigma > 0 && !math.IsNaN(g.Xi) && !math.IsNaN(g.Mu) && !math.IsNaN(g.Sigma)
+}
+
+// gevZ returns 1 + xi*(x-mu)/sigma, clamped at the support boundary.
+func (g GEV) gevZ(x float64) float64 {
+	return 1 + g.Xi*(x-g.Mu)/g.Sigma
+}
+
+// CDF returns the GEV distribution function at x.
+func (g GEV) CDF(x float64) float64 {
+	if math.Abs(g.Xi) < 1e-12 {
+		return Gumbel{Mu: g.Mu, Beta: g.Sigma}.CDF(x)
+	}
+	z := g.gevZ(x)
+	if z <= 0 {
+		if g.Xi > 0 {
+			return 0 // below the lower endpoint of a Fréchet-type
+		}
+		return 1 // above the upper endpoint of a Weibull-type
+	}
+	return math.Exp(-math.Pow(z, -1/g.Xi))
+}
+
+// SF returns 1 - CDF with expm1 precision in the far tail.
+func (g GEV) SF(x float64) float64 {
+	if math.Abs(g.Xi) < 1e-12 {
+		return Gumbel{Mu: g.Mu, Beta: g.Sigma}.SF(x)
+	}
+	z := g.gevZ(x)
+	if z <= 0 {
+		if g.Xi > 0 {
+			return 1
+		}
+		return 0
+	}
+	return -math.Expm1(-math.Pow(z, -1/g.Xi))
+}
+
+// PDF returns the density at x.
+func (g GEV) PDF(x float64) float64 {
+	if math.Abs(g.Xi) < 1e-12 {
+		return Gumbel{Mu: g.Mu, Beta: g.Sigma}.PDF(x)
+	}
+	z := g.gevZ(x)
+	if z <= 0 {
+		return 0
+	}
+	t := math.Pow(z, -1/g.Xi)
+	return t / z * math.Exp(-t) / g.Sigma
+}
+
+// Quantile returns F^{-1}(p).
+func (g GEV) Quantile(p float64) (float64, error) {
+	if p <= 0 || p >= 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("%w: quantile probability %v", ErrBadParam, p)
+	}
+	if math.Abs(g.Xi) < 1e-12 {
+		return Gumbel{Mu: g.Mu, Beta: g.Sigma}.Quantile(p)
+	}
+	return g.Mu + g.Sigma*(math.Pow(-math.Log(p), -g.Xi)-1)/g.Xi, nil
+}
+
+// QuantileSF returns the bound exceeded with probability q.
+func (g GEV) QuantileSF(q float64) (float64, error) {
+	if q <= 0 || q >= 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("%w: exceedance probability %v", ErrBadParam, q)
+	}
+	if math.Abs(g.Xi) < 1e-12 {
+		return Gumbel{Mu: g.Mu, Beta: g.Sigma}.QuantileSF(q)
+	}
+	return g.Mu + g.Sigma*(math.Pow(-math.Log1p(-q), -g.Xi)-1)/g.Xi, nil
+}
+
+// String formats the parameters for reports.
+func (g GEV) String() string {
+	return fmt.Sprintf("GEV(xi=%.4g, mu=%.4g, sigma=%.4g)", g.Xi, g.Mu, g.Sigma)
+}
+
+// GPD is the generalized Pareto distribution over exceedances above a
+// threshold u, with shape xi and scale sigma > 0. Used by the
+// peaks-over-threshold variant of the analyzer.
+type GPD struct {
+	Xi    float64
+	U     float64 // threshold (location)
+	Sigma float64
+}
+
+// Valid reports whether the parameters are admissible.
+func (g GPD) Valid() bool {
+	return g.Sigma > 0 && !math.IsNaN(g.Xi) && !math.IsNaN(g.U) && !math.IsNaN(g.Sigma)
+}
+
+// CDF returns P(X <= x | X > u) for x >= u.
+func (g GPD) CDF(x float64) float64 {
+	if x <= g.U {
+		return 0
+	}
+	z := (x - g.U) / g.Sigma
+	if math.Abs(g.Xi) < 1e-12 {
+		return -math.Expm1(-z)
+	}
+	w := 1 + g.Xi*z
+	if w <= 0 {
+		// Beyond the finite upper endpoint (xi<0).
+		return 1
+	}
+	return 1 - math.Pow(w, -1/g.Xi)
+}
+
+// SF returns the conditional exceedance probability 1-CDF.
+func (g GPD) SF(x float64) float64 {
+	if x <= g.U {
+		return 1
+	}
+	z := (x - g.U) / g.Sigma
+	if math.Abs(g.Xi) < 1e-12 {
+		return math.Exp(-z)
+	}
+	w := 1 + g.Xi*z
+	if w <= 0 {
+		return 0
+	}
+	return math.Pow(w, -1/g.Xi)
+}
+
+// QuantileSF returns the value exceeded with conditional probability q.
+func (g GPD) QuantileSF(q float64) (float64, error) {
+	if q <= 0 || q >= 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("%w: exceedance probability %v", ErrBadParam, q)
+	}
+	if math.Abs(g.Xi) < 1e-12 {
+		return g.U - g.Sigma*math.Log(q), nil
+	}
+	return g.U + g.Sigma*(math.Pow(q, -g.Xi)-1)/g.Xi, nil
+}
+
+// String formats the parameters for reports.
+func (g GPD) String() string {
+	return fmt.Sprintf("GPD(xi=%.4g, u=%.4g, sigma=%.4g)", g.Xi, g.U, g.Sigma)
+}
+
+// TailModel is the common interface the analyzer uses for any fitted
+// tail: Gumbel, GEV or a GPD-over-threshold composite.
+type TailModel interface {
+	// SF returns the probability that one observation exceeds x.
+	SF(x float64) float64
+	// QuantileSF returns the smallest x exceeded with probability <= q.
+	QuantileSF(q float64) (float64, error)
+	// String describes the fitted model.
+	String() string
+}
+
+var (
+	_ TailModel = Gumbel{}
+	_ TailModel = GEV{}
+	_ TailModel = GPD{}
+)

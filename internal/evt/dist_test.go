@@ -1,0 +1,235 @@
+package evt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.10g, want %.10g (tol %g)", name, got, want, tol)
+	}
+}
+
+func TestGumbelCDFKnownValues(t *testing.T) {
+	g := Gumbel{Mu: 0, Beta: 1}
+	// F(0) = exp(-1).
+	approx(t, "F(0)", g.CDF(0), math.Exp(-1), 1e-15)
+	// F(mu + beta*ln(ln 2)) ... median: F^-1(0.5) = -ln(ln 2).
+	med, _ := g.Quantile(0.5)
+	approx(t, "median", med, -math.Log(math.Ln2), 1e-12)
+	approx(t, "F(med)", g.CDF(med), 0.5, 1e-12)
+}
+
+func TestGumbelSFPrecisionInFarTail(t *testing.T) {
+	g := Gumbel{Mu: 100, Beta: 5}
+	// At the 1e-15 exceedance quantile, SF must return ~1e-15, which a
+	// naive 1-CDF would round to 0.
+	x, err := g.QuantileSF(1e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf := g.SF(x)
+	if sf < 0.5e-15 || sf > 2e-15 {
+		t.Errorf("SF at 1e-15 quantile = %g", sf)
+	}
+}
+
+func TestGumbelQuantileRoundTrip(t *testing.T) {
+	g := Gumbel{Mu: 1000, Beta: 42}
+	for _, p := range []float64{1e-6, 0.01, 0.5, 0.99, 1 - 1e-9} {
+		x, err := g.Quantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx(t, "CDF(Q(p))", g.CDF(x), p, 1e-9)
+	}
+	for _, q := range []float64{1e-15, 1e-12, 1e-9, 1e-6, 1e-3, 0.1, 0.9} {
+		x, err := g.QuantileSF(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := math.Abs(g.SF(x)-q) / q
+		if rel > 1e-6 {
+			t.Errorf("SF(QSF(%g)) relative error %g", q, rel)
+		}
+	}
+}
+
+func TestGumbelQuantileDomain(t *testing.T) {
+	g := Gumbel{Mu: 0, Beta: 1}
+	for _, p := range []float64{0, 1, -1, 2, math.NaN()} {
+		if _, err := g.Quantile(p); err == nil {
+			t.Errorf("Quantile(%v) accepted", p)
+		}
+		if _, err := g.QuantileSF(p); err == nil {
+			t.Errorf("QuantileSF(%v) accepted", p)
+		}
+	}
+}
+
+func TestGumbelMoments(t *testing.T) {
+	g := Gumbel{Mu: 10, Beta: 2}
+	approx(t, "mean", g.Mean(), 10+2*EulerGamma, 1e-12)
+	approx(t, "stddev", g.StdDev(), 2*math.Pi/math.Sqrt(6), 1e-12)
+}
+
+func TestGumbelPDFIntegratesToOne(t *testing.T) {
+	g := Gumbel{Mu: 5, Beta: 3}
+	lo, _ := g.Quantile(1e-10)
+	hi, _ := g.QuantileSF(1e-10)
+	const steps = 100000
+	h := (hi - lo) / steps
+	sum := 0.0
+	for i := 0; i <= steps; i++ {
+		w := 1.0
+		if i == 0 || i == steps {
+			w = 0.5
+		}
+		sum += w * g.PDF(lo+float64(i)*h)
+	}
+	approx(t, "integral", sum*h, 1, 1e-6)
+}
+
+func TestGumbelValid(t *testing.T) {
+	if !(Gumbel{Mu: 0, Beta: 1}).Valid() {
+		t.Error("valid params rejected")
+	}
+	for _, g := range []Gumbel{{0, 0}, {0, -1}, {math.NaN(), 1}, {0, math.NaN()}, {math.Inf(1), 1}} {
+		if g.Valid() {
+			t.Errorf("%+v accepted", g)
+		}
+	}
+}
+
+func TestGumbelSFMonotoneProperty(t *testing.T) {
+	g := Gumbel{Mu: 50, Beta: 7}
+	f := func(a, b float64) bool {
+		a = math.Mod(math.Abs(a), 200)
+		b = math.Mod(math.Abs(b), 200)
+		if a > b {
+			a, b = b, a
+		}
+		return g.SF(a) >= g.SF(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGEVReducesToGumbel(t *testing.T) {
+	gev := GEV{Xi: 0, Mu: 10, Sigma: 2}
+	gum := Gumbel{Mu: 10, Beta: 2}
+	for _, x := range []float64{0, 5, 10, 15, 30} {
+		approx(t, "CDF", gev.CDF(x), gum.CDF(x), 1e-12)
+		approx(t, "SF", gev.SF(x), gum.SF(x), 1e-12)
+		approx(t, "PDF", gev.PDF(x), gum.PDF(x), 1e-12)
+	}
+	q1, _ := gev.Quantile(0.9)
+	q2, _ := gum.Quantile(0.9)
+	approx(t, "Quantile", q1, q2, 1e-12)
+	q1, _ = gev.QuantileSF(1e-9)
+	q2, _ = gum.QuantileSF(1e-9)
+	approx(t, "QuantileSF", q1, q2, 1e-9)
+}
+
+func TestGEVFrechetSupport(t *testing.T) {
+	// xi > 0: lower endpoint at mu - sigma/xi.
+	g := GEV{Xi: 0.5, Mu: 0, Sigma: 1}
+	lowEnd := g.Mu - g.Sigma/g.Xi // -2
+	if got := g.CDF(lowEnd - 1); got != 0 {
+		t.Errorf("CDF below lower endpoint = %v", got)
+	}
+	if got := g.SF(lowEnd - 1); got != 1 {
+		t.Errorf("SF below lower endpoint = %v", got)
+	}
+	if g.PDF(lowEnd-1) != 0 {
+		t.Error("PDF below support nonzero")
+	}
+}
+
+func TestGEVWeibullSupport(t *testing.T) {
+	// xi < 0: upper endpoint at mu + sigma/|xi|.
+	g := GEV{Xi: -0.5, Mu: 0, Sigma: 1}
+	upEnd := 2.0
+	if got := g.CDF(upEnd + 1); got != 1 {
+		t.Errorf("CDF above upper endpoint = %v", got)
+	}
+	if got := g.SF(upEnd + 1); got != 0 {
+		t.Errorf("SF above upper endpoint = %v", got)
+	}
+}
+
+func TestGEVQuantileRoundTrip(t *testing.T) {
+	for _, xi := range []float64{-0.3, -0.1, 0.1, 0.3} {
+		g := GEV{Xi: xi, Mu: 100, Sigma: 10}
+		for _, p := range []float64{0.01, 0.5, 0.99} {
+			x, err := g.Quantile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			approx(t, "roundtrip", g.CDF(x), p, 1e-9)
+		}
+		x, err := g.QuantileSF(1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := math.Abs(g.SF(x)-1e-6) / 1e-6
+		if rel > 1e-6 {
+			t.Errorf("xi=%v: QSF roundtrip rel err %g", xi, rel)
+		}
+	}
+}
+
+func TestGPDExponentialLimit(t *testing.T) {
+	g := GPD{Xi: 0, U: 10, Sigma: 2}
+	// SF(u + sigma) = e^-1.
+	approx(t, "SF", g.SF(12), math.Exp(-1), 1e-12)
+	approx(t, "CDF+SF", g.CDF(15)+g.SF(15), 1, 1e-12)
+	if g.SF(9) != 1 || g.CDF(9) != 0 {
+		t.Error("below threshold: SF != 1 or CDF != 0")
+	}
+}
+
+func TestGPDBoundedTail(t *testing.T) {
+	// xi < 0 gives a finite upper endpoint u + sigma/|xi|.
+	g := GPD{Xi: -0.5, U: 0, Sigma: 1}
+	end := 2.0
+	if g.SF(end+0.1) != 0 {
+		t.Errorf("SF beyond endpoint = %v", g.SF(end+0.1))
+	}
+	if g.CDF(end+0.1) != 1 {
+		t.Errorf("CDF beyond endpoint = %v", g.CDF(end+0.1))
+	}
+}
+
+func TestGPDQuantileSFRoundTrip(t *testing.T) {
+	for _, xi := range []float64{-0.3, 0, 0.3} {
+		g := GPD{Xi: xi, U: 100, Sigma: 5}
+		for _, q := range []float64{1e-9, 1e-6, 0.01, 0.5} {
+			x, err := g.QuantileSF(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rel := math.Abs(g.SF(x)-q) / q
+			if rel > 1e-9 {
+				t.Errorf("xi=%v q=%g: rel err %g", xi, q, rel)
+			}
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, s := range []string{
+		Gumbel{1, 2}.String(),
+		GEV{0.1, 1, 2}.String(),
+		GPD{0.1, 1, 2}.String(),
+		ExceedanceModel{Tail: GPD{0, 1, 2}, Rate: 0.1}.String(),
+	} {
+		if s == "" {
+			t.Error("empty String()")
+		}
+	}
+}

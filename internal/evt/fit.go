@@ -1,0 +1,300 @@
+package evt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// BlockMaxima partitions xs into consecutive blocks of size blockSize
+// (in observation order — order matters, so callers pass the raw
+// measurement series) and returns the maximum of each complete block.
+// A trailing partial block is discarded, as in the MBPTA process.
+func BlockMaxima(xs []float64, blockSize int) ([]float64, error) {
+	if blockSize < 1 {
+		return nil, fmt.Errorf("%w: block size %d", ErrBadParam, blockSize)
+	}
+	if len(xs) < blockSize {
+		return nil, fmt.Errorf("%w: %d observations < block size %d", ErrBadSample, len(xs), blockSize)
+	}
+	n := len(xs) / blockSize
+	out := make([]float64, n)
+	for b := 0; b < n; b++ {
+		m := xs[b*blockSize]
+		for _, v := range xs[b*blockSize+1 : (b+1)*blockSize] {
+			if v > m {
+				m = v
+			}
+		}
+		out[b] = m
+	}
+	return out, nil
+}
+
+// FitMethod selects the Gumbel parameter estimator.
+type FitMethod string
+
+// Available estimators. PWM is the MBPTA literature default: it is
+// robust on the small block-maxima samples the convergence loop starts
+// from and has no iterative failure modes.
+const (
+	MethodPWM     FitMethod = "pwm"
+	MethodMoments FitMethod = "moments"
+	MethodMLE     FitMethod = "mle"
+)
+
+// FitGumbel estimates Gumbel parameters from a sample of (block) maxima.
+func FitGumbel(maxima []float64, method FitMethod) (Gumbel, error) {
+	if len(maxima) < 5 {
+		return Gumbel{}, fmt.Errorf("%w: need >=5 maxima, have %d", ErrBadSample, len(maxima))
+	}
+	if constantSample(maxima) {
+		return Gumbel{}, fmt.Errorf("%w: constant maxima (no jitter to model)", ErrBadSample)
+	}
+	switch method {
+	case MethodPWM, "":
+		return fitGumbelPWM(maxima)
+	case MethodMoments:
+		return fitGumbelMoments(maxima)
+	case MethodMLE:
+		return fitGumbelMLE(maxima)
+	default:
+		return Gumbel{}, fmt.Errorf("%w: unknown fit method %q", ErrBadParam, method)
+	}
+}
+
+func constantSample(xs []float64) bool {
+	for _, x := range xs[1:] {
+		if x != xs[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// fitGumbelPWM uses probability-weighted moments (Landwehr et al. 1979):
+// beta = (2 b1 - b0) / ln 2, mu = b0 - gamma*beta, where b0 is the
+// sample mean and b1 = sum_{i} (i-1)/(n-1) x_(i) / n over the sorted
+// sample.
+func fitGumbelPWM(maxima []float64) (Gumbel, error) {
+	s := append([]float64(nil), maxima...)
+	sort.Float64s(s)
+	n := len(s)
+	var b0, b1 float64
+	for i, x := range s {
+		b0 += x
+		b1 += float64(i) / float64(n-1) * x
+	}
+	b0 /= float64(n)
+	b1 /= float64(n)
+	beta := (2*b1 - b0) / math.Ln2
+	if beta <= 0 {
+		return Gumbel{}, fmt.Errorf("%w: PWM produced non-positive scale %g", ErrBadSample, beta)
+	}
+	return Gumbel{Mu: b0 - EulerGamma*beta, Beta: beta}, nil
+}
+
+// fitGumbelMoments matches mean and variance:
+// beta = s*sqrt(6)/pi, mu = mean - gamma*beta.
+func fitGumbelMoments(maxima []float64) (Gumbel, error) {
+	m, err := stats.Mean(maxima)
+	if err != nil {
+		return Gumbel{}, err
+	}
+	sd, err := stats.StdDev(maxima)
+	if err != nil {
+		return Gumbel{}, err
+	}
+	beta := sd * math.Sqrt(6) / math.Pi
+	if beta <= 0 {
+		return Gumbel{}, fmt.Errorf("%w: zero variance", ErrBadSample)
+	}
+	return Gumbel{Mu: m - EulerGamma*beta, Beta: beta}, nil
+}
+
+// fitGumbelMLE solves the one-dimensional profile likelihood equation
+// for beta by Newton iteration with bisection safeguards:
+//
+//	beta = mean(x) - sum(x e^{-x/beta}) / sum(e^{-x/beta})
+//
+// then mu = -beta ln( mean(e^{-x/beta}) ).
+func fitGumbelMLE(maxima []float64) (Gumbel, error) {
+	m, _ := stats.Mean(maxima)
+	sd, _ := stats.StdDev(maxima)
+	beta := sd * math.Sqrt(6) / math.Pi // moments start
+	if beta <= 0 {
+		return Gumbel{}, fmt.Errorf("%w: zero variance", ErrBadSample)
+	}
+	// g(beta) = beta - mean + S1/S0 where S1 = sum x e^{-x/b}, S0 = sum e^{-x/b}.
+	g := func(b float64) float64 {
+		var s0, s1 float64
+		for _, x := range maxima {
+			// Shift by m for numerical stability; the ratio S1/S0 is
+			// shift-invariant in the exponent.
+			e := math.Exp(-(x - m) / b)
+			s0 += e
+			s1 += x * e
+		}
+		return b - m + s1/s0
+	}
+	lo, hi := beta/100, beta*100
+	glo := g(lo)
+	for iter := 0; iter < 200; iter++ {
+		mid := (lo + hi) / 2
+		gm := g(mid)
+		if math.Abs(gm) < 1e-12*math.Max(1, m) || (hi-lo) < 1e-14*beta {
+			beta = mid
+			break
+		}
+		if (gm < 0) == (glo < 0) {
+			lo, glo = mid, gm
+		} else {
+			hi = mid
+		}
+		beta = mid
+	}
+	if beta <= 0 || math.IsNaN(beta) {
+		return Gumbel{}, fmt.Errorf("%w: MLE did not converge", ErrBadSample)
+	}
+	var s0 float64
+	for _, x := range maxima {
+		s0 += math.Exp(-(x - m) / beta)
+	}
+	mu := m - beta*math.Log(s0/float64(len(maxima)))
+	return Gumbel{Mu: mu, Beta: beta}, nil
+}
+
+// FitGEV estimates GEV parameters by probability-weighted moments
+// (Hosking, Wallis & Wood 1985). The analyzer uses the fitted shape xi
+// as a tail diagnostic: MBPTA requires xi <= 0 (light or bounded tail).
+func FitGEV(maxima []float64) (GEV, error) {
+	if len(maxima) < 10 {
+		return GEV{}, fmt.Errorf("%w: need >=10 maxima for GEV, have %d", ErrBadSample, len(maxima))
+	}
+	if constantSample(maxima) {
+		return GEV{}, fmt.Errorf("%w: constant maxima", ErrBadSample)
+	}
+	s := append([]float64(nil), maxima...)
+	sort.Float64s(s)
+	n := len(s)
+	var b0, b1, b2 float64
+	for i, x := range s {
+		fi := float64(i)
+		b0 += x
+		b1 += fi / float64(n-1) * x
+		if n > 2 {
+			b2 += fi * (fi - 1) / (float64(n-1) * float64(n-2)) * x
+		}
+	}
+	b0 /= float64(n)
+	b1 /= float64(n)
+	b2 /= float64(n)
+	// Hosking's approximation for the shape.
+	c := (2*b1-b0)/(3*b2-b0) - math.Ln2/math.Log(3)
+	xi := -(7.8590*c + 2.9554*c*c) // note: Hosking's k = -xi
+	k := -xi
+	var sigma, mu float64
+	if math.Abs(k) < 1e-8 {
+		// Gumbel limit.
+		g, err := fitGumbelPWM(maxima)
+		if err != nil {
+			return GEV{}, err
+		}
+		return GEV{Xi: 0, Mu: g.Mu, Sigma: g.Beta}, nil
+	}
+	gamma1k := math.Gamma(1 + k)
+	sigma = (2*b1 - b0) * k / (gamma1k * (1 - math.Pow(2, -k)))
+	mu = b0 + sigma*(gamma1k-1)/k
+	if sigma <= 0 || math.IsNaN(sigma) || math.IsNaN(mu) || math.IsNaN(xi) {
+		return GEV{}, fmt.Errorf("%w: GEV PWM produced invalid parameters", ErrBadSample)
+	}
+	return GEV{Xi: xi, Mu: mu, Sigma: sigma}, nil
+}
+
+// FitGPD estimates GPD parameters over the exceedances of xs above the
+// threshold u, by probability-weighted moments (Hosking & Wallis 1987).
+// Returns the model and the number of exceedances used.
+func FitGPD(xs []float64, u float64) (GPD, int, error) {
+	var exc []float64
+	for _, x := range xs {
+		if x > u {
+			exc = append(exc, x-u)
+		}
+	}
+	if len(exc) < 10 {
+		return GPD{}, len(exc), fmt.Errorf("%w: only %d exceedances above %g", ErrBadSample, len(exc), u)
+	}
+	sort.Float64s(exc)
+	n := len(exc)
+	var b0, b1 float64
+	for i, x := range exc {
+		b0 += x
+		// PWM beta_1 with plotting position (i - 0.35)/n.
+		b1 += (1 - (float64(i)+0.65)/float64(n)) * x
+	}
+	b0 /= float64(n)
+	b1 /= float64(n)
+	if b0 <= 0 {
+		return GPD{}, n, fmt.Errorf("%w: degenerate exceedances", ErrBadSample)
+	}
+	xi := 2 - b0/(b0-2*b1)
+	sigma := 2 * b0 * b1 / (b0 - 2*b1)
+	if sigma <= 0 || math.IsNaN(sigma) || math.IsNaN(xi) {
+		return GPD{}, n, fmt.Errorf("%w: GPD PWM produced invalid parameters", ErrBadSample)
+	}
+	return GPD{Xi: xi, U: u, Sigma: sigma}, n, nil
+}
+
+// ExceedanceModel composes a GPD tail with the empirical exceedance rate
+// of the threshold, so SF gives *unconditional* per-observation
+// exceedance probabilities comparable with a Gumbel-per-block model.
+type ExceedanceModel struct {
+	Tail GPD
+	Rate float64 // P(X > u), estimated as (#exceedances)/n
+}
+
+// SF returns P(X > x) = Rate * P(X > x | X > u) for x above the
+// threshold and the (conservative) Rate itself below it.
+func (m ExceedanceModel) SF(x float64) float64 {
+	if x <= m.Tail.U {
+		return m.Rate
+	}
+	return m.Rate * m.Tail.SF(x)
+}
+
+// QuantileSF inverts SF for q < Rate.
+func (m ExceedanceModel) QuantileSF(q float64) (float64, error) {
+	if q <= 0 || q >= 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("%w: exceedance probability %v", ErrBadParam, q)
+	}
+	if q >= m.Rate {
+		return m.Tail.U, nil
+	}
+	return m.Tail.QuantileSF(q / m.Rate)
+}
+
+// String describes the composite model.
+func (m ExceedanceModel) String() string {
+	return fmt.Sprintf("PoT{rate=%.4g, %s}", m.Rate, m.Tail)
+}
+
+var _ TailModel = ExceedanceModel{}
+
+// FitPoT builds an ExceedanceModel using the q-quantile of xs as the
+// threshold (q in (0,1), e.g. 0.9).
+func FitPoT(xs []float64, q float64) (ExceedanceModel, error) {
+	if q <= 0 || q >= 1 {
+		return ExceedanceModel{}, fmt.Errorf("%w: threshold quantile %v", ErrBadParam, q)
+	}
+	u, err := stats.Quantile(xs, q)
+	if err != nil {
+		return ExceedanceModel{}, err
+	}
+	gpd, nexc, err := FitGPD(xs, u)
+	if err != nil {
+		return ExceedanceModel{}, err
+	}
+	return ExceedanceModel{Tail: gpd, Rate: float64(nexc) / float64(len(xs))}, nil
+}

@@ -1,0 +1,278 @@
+package evt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestBlockMaxima(t *testing.T) {
+	xs := []float64{1, 5, 2, 8, 3, 4, 9, 7, 6}
+	bm, err := BlockMaxima(xs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 8, 9}
+	if len(bm) != 3 {
+		t.Fatalf("len = %d", len(bm))
+	}
+	for i := range want {
+		if bm[i] != want[i] {
+			t.Errorf("bm[%d] = %v, want %v", i, bm[i], want[i])
+		}
+	}
+}
+
+func TestBlockMaximaPartialBlockDropped(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 100}
+	bm, err := BlockMaxima(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bm) != 2 {
+		t.Fatalf("len = %d, want 2 (trailing 100 dropped)", len(bm))
+	}
+	if bm[0] != 2 || bm[1] != 4 {
+		t.Errorf("bm = %v", bm)
+	}
+}
+
+func TestBlockMaximaErrors(t *testing.T) {
+	if _, err := BlockMaxima([]float64{1, 2}, 0); err == nil {
+		t.Error("blockSize=0 accepted")
+	}
+	if _, err := BlockMaxima([]float64{1, 2}, 5); err == nil {
+		t.Error("sample shorter than block accepted")
+	}
+}
+
+func TestBlockMaximaBlockOne(t *testing.T) {
+	xs := []float64{3, 1, 4}
+	bm, _ := BlockMaxima(xs, 1)
+	for i := range xs {
+		if bm[i] != xs[i] {
+			t.Errorf("block size 1 must be identity; got %v", bm)
+		}
+	}
+}
+
+func TestFitGumbelRecoversParameters(t *testing.T) {
+	truth := Gumbel{Mu: 1000, Beta: 25}
+	src := rng.NewXoroshiro128(31)
+	sample := truth.Sample(src, 20000)
+	for _, m := range []FitMethod{MethodPWM, MethodMoments, MethodMLE} {
+		fit, err := FitGumbel(sample, m)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if math.Abs(fit.Mu-truth.Mu) > 1.0 {
+			t.Errorf("%s: mu = %.2f, want ~%.2f", m, fit.Mu, truth.Mu)
+		}
+		if math.Abs(fit.Beta-truth.Beta)/truth.Beta > 0.05 {
+			t.Errorf("%s: beta = %.2f, want ~%.2f", m, fit.Beta, truth.Beta)
+		}
+	}
+}
+
+func TestFitGumbelDefaultMethodIsPWM(t *testing.T) {
+	src := rng.NewXoroshiro128(5)
+	sample := Gumbel{Mu: 10, Beta: 2}.Sample(src, 500)
+	def, err := FitGumbel(sample, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pwm, _ := FitGumbel(sample, MethodPWM)
+	if def != pwm {
+		t.Errorf("default fit %+v != PWM fit %+v", def, pwm)
+	}
+}
+
+func TestFitGumbelSmallSample(t *testing.T) {
+	if _, err := FitGumbel([]float64{1, 2, 3}, MethodPWM); err == nil {
+		t.Error("n=3 accepted")
+	}
+}
+
+func TestFitGumbelConstantSample(t *testing.T) {
+	xs := []float64{7, 7, 7, 7, 7, 7}
+	for _, m := range []FitMethod{MethodPWM, MethodMoments, MethodMLE} {
+		if _, err := FitGumbel(xs, m); err == nil {
+			t.Errorf("%s: constant sample accepted", m)
+		}
+	}
+}
+
+func TestFitGumbelUnknownMethod(t *testing.T) {
+	if _, err := FitGumbel([]float64{1, 2, 3, 4, 5, 6}, "bogus"); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestFitGumbelMLEBeatsMomentsOnLikelihood(t *testing.T) {
+	truth := Gumbel{Mu: 500, Beta: 13}
+	src := rng.NewXoroshiro128(77)
+	sample := truth.Sample(src, 2000)
+	logLik := func(g Gumbel) float64 {
+		ll := 0.0
+		for _, x := range sample {
+			ll += math.Log(g.PDF(x))
+		}
+		return ll
+	}
+	mle, err := FitGumbel(sample, MethodMLE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mom, _ := FitGumbel(sample, MethodMoments)
+	if logLik(mle) < logLik(mom)-1e-6 {
+		t.Errorf("MLE loglik %.4f < moments loglik %.4f", logLik(mle), logLik(mom))
+	}
+}
+
+func TestFitGEVRecoversShape(t *testing.T) {
+	// Sample from GEV with each shape and check the recovered xi sign
+	// and rough magnitude.
+	src := rng.NewXoroshiro128(8)
+	for _, xi := range []float64{-0.2, 0.0, 0.2} {
+		truth := GEV{Xi: xi, Mu: 100, Sigma: 10}
+		sample := make([]float64, 20000)
+		for i := range sample {
+			u := rng.Float64(src)
+			for u == 0 {
+				u = rng.Float64(src)
+			}
+			x, err := truth.Quantile(u)
+			if err != nil {
+				// u could be exactly 1? Float64 < 1 always.
+				t.Fatal(err)
+			}
+			sample[i] = x
+		}
+		fit, err := FitGEV(sample)
+		if err != nil {
+			t.Fatalf("xi=%v: %v", xi, err)
+		}
+		if math.Abs(fit.Xi-xi) > 0.05 {
+			t.Errorf("xi = %.3f, want ~%.1f", fit.Xi, xi)
+		}
+		if math.Abs(fit.Mu-truth.Mu) > 1 {
+			t.Errorf("mu = %.2f, want ~%.0f", fit.Mu, truth.Mu)
+		}
+		if math.Abs(fit.Sigma-truth.Sigma)/truth.Sigma > 0.1 {
+			t.Errorf("sigma = %.2f, want ~%.0f", fit.Sigma, truth.Sigma)
+		}
+	}
+}
+
+func TestFitGEVErrors(t *testing.T) {
+	if _, err := FitGEV([]float64{1, 2, 3}); err == nil {
+		t.Error("n=3 accepted")
+	}
+	if _, err := FitGEV(make([]float64, 50)); err == nil {
+		t.Error("constant sample accepted")
+	}
+}
+
+func TestFitGPDRecoversExponential(t *testing.T) {
+	// Exponential exceedances = GPD with xi=0.
+	src := rng.NewXoroshiro128(12)
+	xs := make([]float64, 50000)
+	for i := range xs {
+		u := rng.Float64(src)
+		for u == 0 {
+			u = rng.Float64(src)
+		}
+		xs[i] = 100 - 5*math.Log(u) // shifted exponential, scale 5
+	}
+	gpd, n, err := FitGPD(xs, 105)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 1000 {
+		t.Fatalf("only %d exceedances", n)
+	}
+	if math.Abs(gpd.Xi) > 0.05 {
+		t.Errorf("xi = %.3f, want ~0", gpd.Xi)
+	}
+	if math.Abs(gpd.Sigma-5)/5 > 0.1 {
+		t.Errorf("sigma = %.3f, want ~5", gpd.Sigma)
+	}
+}
+
+func TestFitGPDTooFewExceedances(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if _, _, err := FitGPD(xs, 4.5); err == nil {
+		t.Error("accepted with 1 exceedance")
+	}
+}
+
+func TestFitPoT(t *testing.T) {
+	src := rng.NewXoroshiro128(3)
+	truth := Gumbel{Mu: 1000, Beta: 20}
+	xs := truth.Sample(src, 20000)
+	m, err := FitPoT(xs, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Rate-0.1) > 0.02 {
+		t.Errorf("rate = %.3f, want ~0.1", m.Rate)
+	}
+	// The PoT model's 1e-3 exceedance bound should be near the true
+	// Gumbel's (both are light-tailed fits of the same data).
+	potQ, err := m.QuantileSF(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gumQ, _ := truth.QuantileSF(1e-3)
+	if math.Abs(potQ-gumQ)/gumQ > 0.05 {
+		t.Errorf("PoT 1e-3 bound %.1f vs Gumbel %.1f", potQ, gumQ)
+	}
+}
+
+func TestFitPoTBadQuantile(t *testing.T) {
+	if _, err := FitPoT([]float64{1, 2, 3}, 1.5); err == nil {
+		t.Error("q=1.5 accepted")
+	}
+	if _, err := FitPoT([]float64{1, 2, 3}, 0); err == nil {
+		t.Error("q=0 accepted")
+	}
+}
+
+func TestExceedanceModelBelowThreshold(t *testing.T) {
+	m := ExceedanceModel{Tail: GPD{Xi: 0, U: 100, Sigma: 5}, Rate: 0.1}
+	if got := m.SF(50); got != 0.1 {
+		t.Errorf("SF below threshold = %v, want rate", got)
+	}
+	x, err := m.QuantileSF(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x != 100 {
+		t.Errorf("QuantileSF(q>rate) = %v, want threshold", x)
+	}
+	if _, err := m.QuantileSF(0); err == nil {
+		t.Error("q=0 accepted")
+	}
+}
+
+func TestGumbelFitUpperBoundsObservations(t *testing.T) {
+	// The fitted tail at the empirical max should give a plausible
+	// (non-vanishing) exceedance probability: the pWCET curve must
+	// upper-bound the observations, i.e. SF(max) >= ~1/(3n).
+	src := rng.NewXoroshiro128(99)
+	sample := Gumbel{Mu: 2000, Beta: 40}.Sample(src, 3000)
+	fit, err := FitGumbel(sample, MethodPWM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxv := sample[0]
+	for _, v := range sample {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	if sf := fit.SF(maxv); sf < 1.0/float64(10*len(sample)) {
+		t.Errorf("SF(max)=%g too small: fitted tail does not cover observations", sf)
+	}
+}

@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/tvca"
+)
+
+// testEnv builds a reduced-but-valid evaluation environment: fewer runs
+// and a shorter major frame than the paper's 3,000x16, sized so tests
+// finish quickly while every statistical stage still has enough data.
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	p := DefaultParams()
+	p.Runs = 600
+	cfg := tvca.DefaultConfig()
+	cfg.Frames = 8
+	p.TVCA = cfg
+	e, err := NewEnv(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewEnvRejectsTinyCampaign(t *testing.T) {
+	p := DefaultParams()
+	p.Runs = 100
+	if _, err := NewEnv(p); err == nil {
+		t.Error("100-run campaign accepted")
+	}
+}
+
+func TestE1IIDPassesOnRAND(t *testing.T) {
+	e := testEnv(t)
+	r, err := E1IID(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pass {
+		t.Errorf("i.i.d. gate failed on RAND:\n%s\n%s", r.Independence, r.IdentDist)
+	}
+	if r.Independence.PValue < 0.05 || r.IdentDist.PValue < 0.05 {
+		t.Errorf("p-values %.3f / %.3f below 0.05",
+			r.Independence.PValue, r.IdentDist.PValue)
+	}
+}
+
+func TestE2CurveShape(t *testing.T) {
+	e := testEnv(t)
+	r, err := E2PWCETCurve(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pWCET estimates increase as the cutoff decreases.
+	if !(r.PWCET[1e-3] < r.PWCET[1e-6] && r.PWCET[1e-6] < r.PWCET[1e-12] &&
+		r.PWCET[1e-12] < r.PWCET[1e-15]) {
+		t.Errorf("pWCET not increasing: %v", r.PWCET)
+	}
+	// The projection upper-bounds the observations: pWCET(1/N) >= ~HWM.
+	if r.PWCET[1e-3] < r.HWM*0.95 {
+		t.Errorf("pWCET(1e-3) = %.0f far below HWM %.0f", r.PWCET[1e-3], r.HWM)
+	}
+	// Same order of magnitude (the paper's qualitative claim).
+	if r.PWCET[1e-15] > 10*r.HWM {
+		t.Errorf("pWCET(1e-15) = %.0f an order of magnitude beyond HWM %.0f",
+			r.PWCET[1e-15], r.HWM)
+	}
+	if len(r.Curve) != 200 {
+		t.Errorf("curve points = %d", len(r.Curve))
+	}
+}
+
+func TestE3ComparisonShape(t *testing.T) {
+	e := testEnv(t)
+	r, err := E3Comparison(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 3's qualitative content: averages similar, margins above
+	// HWM, pWCET estimates within the same order of magnitude as the
+	// HWM and growing with deeper cutoffs.
+	if r.DETHWM <= r.DETAvg {
+		t.Error("HWM <= mean")
+	}
+	if r.Margin50 != r.DETHWM*1.5 || r.Margin20 != r.DETHWM*1.2 {
+		t.Error("margins wrong")
+	}
+	if r.PWCET[1e-6] >= r.PWCET[1e-15] {
+		t.Error("pWCET not growing with cutoff depth")
+	}
+	for q, ratio := range r.RatioAtCutoff {
+		if ratio < 0.9 || ratio > 10 {
+			t.Errorf("pWCET(%g)/HWM = %.2f outside same-order band", q, ratio)
+		}
+	}
+}
+
+func TestE4AveragesClose(t *testing.T) {
+	e := testEnv(t)
+	r, err := E4AvgPerformance(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "no noticeable difference": a few percent at most.
+	if r.RelativeOverhead > 0.05 || r.RelativeOverhead < -0.05 {
+		t.Errorf("relative overhead %.3f outside +-5%%", r.RelativeOverhead)
+	}
+}
+
+func TestE5ConvergesWithinCampaign(t *testing.T) {
+	e := testEnv(t)
+	r, err := E5Convergence(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	if r.StopAt == 0 {
+		t.Error("campaign did not converge")
+	}
+}
+
+func TestE6FPUUpperBound(t *testing.T) {
+	e := testEnv(t)
+	r, err := E6FPUJitter(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.UpperBoundsHold {
+		t.Error("analysis-mode latency failed to upper-bound operation mode")
+	}
+	if r.DivOpMin >= r.DivOpMax {
+		t.Error("operation-mode FDIV shows no jitter")
+	}
+	if r.DivAnalysis != r.DivOpMax {
+		t.Errorf("analysis FDIV %d != operation max %d", r.DivAnalysis, r.DivOpMax)
+	}
+}
+
+func TestE7LayoutAblation(t *testing.T) {
+	e := testEnv(t)
+	r, err := E7PlacementAblation(e, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.DETByLayout) != 8 {
+		t.Fatalf("%d layouts", len(r.DETByLayout))
+	}
+	// The layout must matter on DET...
+	if r.DETSpread <= 0 {
+		t.Error("no layout sensitivity on DET")
+	}
+	// ...and the RAND tail bound should cover most layouts.
+	if r.CoverFraction < 0.75 {
+		t.Errorf("RAND 1e-3 bound covers only %.0f%% of layouts", 100*r.CoverFraction)
+	}
+	if _, err := E7PlacementAblation(e, 1); err == nil {
+		t.Error("1 layout accepted")
+	}
+}
+
+func TestCampaignsCached(t *testing.T) {
+	e := testEnv(t)
+	c1, err := e.RAND()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := e.RAND()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Error("RAND campaign not cached")
+	}
+}
+
+func TestE8ContentionShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("co-simulation campaign")
+	}
+	// E8 uses its own small co-simulated campaigns; shrink the workload
+	// further to keep the test fast.
+	p := DefaultParams()
+	p.Runs = 600
+	cfg := tvca.DefaultConfig()
+	cfg.Frames = 4
+	cfg.Sensors = 16
+	cfg.Taps = 16
+	p.TVCA = cfg
+	e, err := NewEnv(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := E8Contention(e, 2, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.MeanByCoRunners) != 3 {
+		t.Fatalf("configs = %d", len(r.MeanByCoRunners))
+	}
+	// Slowdown is monotone in co-runner count and > 1 with contention.
+	for k := 1; k < len(r.SlowdownByCoRunners); k++ {
+		if r.SlowdownByCoRunners[k] < r.SlowdownByCoRunners[k-1] {
+			t.Errorf("slowdown not monotone: %v", r.SlowdownByCoRunners)
+		}
+	}
+	if r.SlowdownByCoRunners[2] <= 1.0 {
+		t.Errorf("2 streaming co-runners produced no slowdown: %v", r.SlowdownByCoRunners)
+	}
+	// MBPTA remains applicable under contention.
+	if !r.IIDPass {
+		t.Error("contended campaign failed the i.i.d. gate")
+	}
+	// Each configuration's pWCET bound upper-bounds its own campaign
+	// (cross-configuration comparisons at 1e-12 are fit-noise-dominated
+	// on these reduced campaigns, so they are not asserted).
+	for k := range r.PWCET1e12 {
+		if r.PWCET1e12[k] < r.MeanByCoRunners[k] {
+			t.Errorf("config %d: pWCET %.0f below its own mean %.0f",
+				k, r.PWCET1e12[k], r.MeanByCoRunners[k])
+		}
+	}
+	if _, err := E8Contention(e, 9, 300); err == nil {
+		t.Error("9 co-runners accepted")
+	}
+	if _, err := E8Contention(e, 2, 10); err == nil {
+		t.Error("10 runs accepted")
+	}
+}
+
+func TestE9GeneralityShape(t *testing.T) {
+	e := testEnv(t)
+	r, err := E9Generality(e, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Kernels) != 4 {
+		t.Fatalf("%d kernels", len(r.Kernels))
+	}
+	for _, k := range r.Kernels {
+		if !k.IIDPass {
+			t.Errorf("%s failed the i.i.d. gate on RAND", k.Name)
+		}
+		if k.PWCET1e12 < k.HWM {
+			t.Errorf("%s: pWCET %.0f below HWM %.0f", k.Name, k.PWCET1e12, k.HWM)
+		}
+		if k.Mean <= 0 {
+			t.Errorf("%s: mean %v", k.Name, k.Mean)
+		}
+	}
+	if _, err := E9Generality(e, 10); err == nil {
+		t.Error("10 runs accepted")
+	}
+}

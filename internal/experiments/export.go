@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/report"
+)
+
+// CSV exporters: the figures as plain data series, for regeneration
+// with external plotting tools (gnuplot/matplotlib). Each function
+// writes one file's content to w.
+
+// ExportE2CSV writes the Figure-2 curve: time, projected exceedance,
+// observed exceedance.
+func ExportE2CSV(w io.Writer, r *E2Result) error {
+	t := make([]float64, len(r.Curve))
+	proj := make([]float64, len(r.Curve))
+	obs := make([]float64, len(r.Curve))
+	for i, pt := range r.Curve {
+		t[i], proj[i], obs[i] = pt.Time, pt.Projected, pt.Observed
+	}
+	return report.CSV(w, []string{"cycles", "projected_exceedance", "observed_exceedance"}, t, proj, obs)
+}
+
+// ExportE3CSV writes the Figure-3 bars: label, cycles.
+func ExportE3CSV(w io.Writer, r *E3Result) error {
+	fmt.Fprintln(w, "bar,cycles")
+	rows := []struct {
+		label string
+		v     float64
+	}{
+		{"det_avg", r.DETAvg},
+		{"rand_avg", r.RANDAvg},
+		{"det_hwm", r.DETHWM},
+		{"det_hwm_plus20", r.Margin20},
+		{"det_hwm_plus50", r.Margin50},
+	}
+	for _, row := range rows {
+		fmt.Fprintf(w, "%s,%g\n", row.label, row.v)
+	}
+	for _, q := range cutoffsOf(r.PWCET) {
+		fmt.Fprintf(w, "pwcet_%.0e,%g\n", q, r.PWCET[q])
+	}
+	return nil
+}
+
+// ExportE5CSV writes the convergence trace: runs, mu, beta, distance.
+func ExportE5CSV(w io.Writer, r *E5Result) error {
+	runs := make([]float64, len(r.Trace))
+	mu := make([]float64, len(r.Trace))
+	beta := make([]float64, len(r.Trace))
+	dist := make([]float64, len(r.Trace))
+	for i, pt := range r.Trace {
+		runs[i] = float64(pt.Runs)
+		mu[i] = pt.Fit.Mu
+		beta[i] = pt.Fit.Beta
+		dist[i] = pt.Distance
+	}
+	return report.CSV(w, []string{"runs", "gumbel_mu", "gumbel_beta", "crps_distance"},
+		runs, mu, beta, dist)
+}
+
+// ExportE7CSV writes the layout ablation: layout index, DET cycles,
+// plus the RAND bound as the final row.
+func ExportE7CSV(w io.Writer, r *E7Result) error {
+	fmt.Fprintln(w, "layout,cycles")
+	for i, v := range r.DETByLayout {
+		fmt.Fprintf(w, "%d,%g\n", i, v)
+	}
+	fmt.Fprintf(w, "rand_pwcet_1e-3,%g\n", r.RANDQuantile)
+	return nil
+}
+
+// WriteAllCSV exports every figure's data into dir (created if needed).
+// Experiments whose results are nil are skipped; the returned list
+// names the files written.
+func WriteAllCSV(dir string, e2 *E2Result, e3 *E3Result, e5 *E5Result, e7 *E7Result) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var written []string
+	save := func(name string, fn func(io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			return err
+		}
+		written = append(written, name)
+		return nil
+	}
+	if e2 != nil {
+		if err := save("fig2_pwcet_curve.csv", func(w io.Writer) error { return ExportE2CSV(w, e2) }); err != nil {
+			return written, err
+		}
+	}
+	if e3 != nil {
+		if err := save("fig3_comparison.csv", func(w io.Writer) error { return ExportE3CSV(w, e3) }); err != nil {
+			return written, err
+		}
+	}
+	if e5 != nil {
+		if err := save("convergence.csv", func(w io.Writer) error { return ExportE5CSV(w, e5) }); err != nil {
+			return written, err
+		}
+	}
+	if e7 != nil {
+		if err := save("layout_ablation.csv", func(w io.Writer) error { return ExportE7CSV(w, e7) }); err != nil {
+			return written, err
+		}
+	}
+	sort.Strings(written)
+	return written, nil
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// cutoffsOf returns the map keys in decreasing probability order.
+func cutoffsOf(m map[float64]float64) []float64 {
+	out := make([]float64, 0, len(m))
+	for q := range m {
+		out = append(out, q)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}
+
+// RenderE1 prints the i.i.d. table of §III.
+func RenderE1(w io.Writer, r *E1Result) {
+	verdict := "PASSED - MBPTA enabled"
+	if !r.Pass {
+		verdict = "FAILED - MBPTA not applicable"
+	}
+	report.Table(w, "E1 - i.i.d. properties (paper: Ljung-Box 0.83, KS 0.45, both pass)", [][2]string{
+		{"Ljung-Box (independence) p-value", fmt.Sprintf("%.4f", r.Independence.PValue)},
+		{"Kolmogorov-Smirnov (ident. dist.) p-value", fmt.Sprintf("%.4f", r.IdentDist.PValue)},
+		{"significance level", fmt.Sprintf("%.2f", r.Independence.Alpha)},
+		{"verdict", verdict},
+	})
+}
+
+// RenderE2 prints Figure 2: the pWCET curve against the observed tail.
+func RenderE2(w io.Writer, r *E2Result) error {
+	var projT, projP, obsT, obsP []float64
+	for _, pt := range r.Curve {
+		projT = append(projT, pt.Time)
+		projP = append(projP, pt.Projected)
+		if pt.Observed > 0 {
+			obsT = append(obsT, pt.Time)
+			obsP = append(obsP, pt.Observed)
+		}
+	}
+	err := report.ExceedancePlot(w,
+		"E2 / Figure 2 - pWCET estimate for TVCA (projection tightly upper-bounds observations)",
+		1e-16, 72, 17,
+		report.Series{Name: "pWCET projection", Times: projT, Probs: projP},
+		report.Series{Name: "observed", Times: obsT, Probs: obsP})
+	if err != nil {
+		return err
+	}
+	rows := [][2]string{{"observed HWM", fmt.Sprintf("%.0f cycles", r.HWM)}}
+	for _, q := range cutoffsOf(r.PWCET) {
+		rows = append(rows, [2]string{
+			fmt.Sprintf("pWCET @ %.0e", q),
+			fmt.Sprintf("%.0f cycles (%.3fx HWM)", r.PWCET[q], r.PWCET[q]/r.HWM),
+		})
+	}
+	report.Table(w, "", rows)
+	return nil
+}
+
+// RenderE3 prints Figure 3: MBPTA vs. industrial DET practice.
+func RenderE3(w io.Writer, r *E3Result) error {
+	bars := []report.Bar{
+		{Label: "DET avg", Value: r.DETAvg},
+		{Label: "RAND avg", Value: r.RANDAvg},
+		{Label: "DET HWM", Value: r.DETHWM},
+		{Label: "DET HWM +20%", Value: r.Margin20},
+		{Label: "DET HWM +50%", Value: r.Margin50},
+	}
+	for _, q := range cutoffsOf(r.PWCET) {
+		bars = append(bars, report.Bar{
+			Label: fmt.Sprintf("pWCET @ %.0e", q),
+			Value: r.PWCET[q],
+		})
+	}
+	if err := report.BarChart(w,
+		"E3 / Figure 3 - MBPTA vs DET observed execution times (cycles)", 50, bars); err != nil {
+		return err
+	}
+	rows := make([][2]string, 0, len(r.RatioAtCutoff))
+	for _, q := range cutoffsOf(r.RatioAtCutoff) {
+		rows = append(rows, [2]string{
+			fmt.Sprintf("pWCET(%.0e) / DET HWM", q),
+			fmt.Sprintf("%.3f", r.RatioAtCutoff[q]),
+		})
+	}
+	report.Table(w, "Ratios (paper: ~1.5x at 1e-6, growing slowly, same order of magnitude):", rows)
+	return nil
+}
+
+// RenderE4 prints the average-performance table.
+func RenderE4(w io.Writer, r *E4Result) {
+	report.Table(w, "E4 - average performance (paper: no noticeable DET/RAND difference)", [][2]string{
+		{"DET mean", fmt.Sprintf("%.0f cycles (stddev %.0f)", r.DET.Mean, r.DET.StdDev)},
+		{"RAND mean", fmt.Sprintf("%.0f cycles (stddev %.0f)", r.RAND.Mean, r.RAND.StdDev)},
+		{"relative overhead", fmt.Sprintf("%+.2f%%", 100*r.RelativeOverhead)},
+	})
+}
+
+// RenderE5 prints the convergence trace.
+func RenderE5(w io.Writer, r *E5Result) {
+	rows := make([][2]string, 0, len(r.Trace)+1)
+	for _, pt := range r.Trace {
+		mark := ""
+		if pt.Done {
+			mark = "  <- criterion satisfied"
+		}
+		rows = append(rows, [2]string{
+			fmt.Sprintf("runs=%d", pt.Runs),
+			fmt.Sprintf("fit=%s  dist=%.2e%s", pt.Fit, pt.Distance, mark),
+		})
+	}
+	if r.StopAt > 0 {
+		rows = append(rows, [2]string{"stop allowed at", fmt.Sprintf("%d runs", r.StopAt)})
+	} else {
+		rows = append(rows, [2]string{"stop allowed at", "never (collect more runs)"})
+	}
+	report.Table(w, "E5 - convergence of the tail fit (paper: 3,000 runs satisfied the criterion)", rows)
+}
+
+// RenderE6 prints the FPU jitter-control table.
+func RenderE6(w io.Writer, r *E6Result) {
+	verdict := "holds for every sampled operand pair"
+	if !r.UpperBoundsHold {
+		verdict = "VIOLATED"
+	}
+	report.Table(w, "E6 - FPU jitter control (paper SSII: analysis-mode fixed latency upper-bounds operation)", [][2]string{
+		{"FDIV operation-mode latency", fmt.Sprintf("%d..%d cycles (operand-dependent)", r.DivOpMin, r.DivOpMax)},
+		{"FDIV analysis-mode latency", fmt.Sprintf("%d cycles (fixed)", r.DivAnalysis)},
+		{"FSQRT operation-mode latency", fmt.Sprintf("%d..%d cycles (operand-dependent)", r.SqrtOpMin, r.SqrtOpMax)},
+		{"FSQRT analysis-mode latency", fmt.Sprintf("%d cycles (fixed)", r.SqrtAnalysis)},
+		{"upper-bound property", fmt.Sprintf("%s (%d samples)", verdict, r.Samples)},
+	})
+}
+
+// RenderE7 prints the placement ablation.
+func RenderE7(w io.Writer, r *E7Result) error {
+	bars := make([]report.Bar, len(r.DETByLayout)+1)
+	for i, v := range r.DETByLayout {
+		bars[i] = report.Bar{Label: fmt.Sprintf("DET layout %d", i), Value: v}
+	}
+	bars[len(r.DETByLayout)] = report.Bar{Label: "RAND pWCET@1e-3", Value: r.RANDQuantile}
+	if err := report.BarChart(w,
+		"E7 - memory-layout sensitivity: same binary, shifted link addresses (cycles)", 50, bars); err != nil {
+		return err
+	}
+	report.Table(w, "", [][2]string{
+		{"DET spread across layouts", fmt.Sprintf("%.2f%%", 100*r.DETSpread)},
+		{"layouts covered by RAND bound", fmt.Sprintf("%.0f%%", 100*r.CoverFraction)},
+	})
+	return nil
+}
+
+// RenderDistributions prints side-by-side execution-time histograms of
+// the DET and RAND campaigns — the visual counterpart of E4: the DET
+// distribution is a needle, the RAND distribution a spread of the same
+// mean.
+func RenderDistributions(w io.Writer, e *Env, bins int) error {
+	det, err := e.DET()
+	if err != nil {
+		return err
+	}
+	randc, err := e.RAND()
+	if err != nil {
+		return err
+	}
+	// Common binning over the joint range so the shapes are comparable.
+	all := append(append([]float64(nil), det.Times()...), randc.Times()...)
+	joint, err := stats.NewHistogram(all, bins)
+	if err != nil {
+		return err
+	}
+	binOf := func(x float64) int {
+		i := int((x - joint.Lo) / joint.Width)
+		if i >= bins {
+			i = bins - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		return i
+	}
+	count := func(ts []float64) []int {
+		counts := make([]int, bins)
+		for _, x := range ts {
+			counts[binOf(x)]++
+		}
+		return counts
+	}
+	if err := report.HistogramChart(w, "DET execution-time distribution (cycles)",
+		40, joint.Lo, joint.Width, count(det.Times())); err != nil {
+		return err
+	}
+	return report.HistogramChart(w, "RAND execution-time distribution (cycles)",
+		40, joint.Lo, joint.Width, count(randc.Times()))
+}

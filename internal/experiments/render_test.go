@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/evt"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func TestRenderE1(t *testing.T) {
+	var buf bytes.Buffer
+	RenderE1(&buf, &E1Result{
+		Independence: stats.TestResult{Name: "LB", PValue: 0.83, Alpha: 0.05},
+		IdentDist:    stats.TestResult{Name: "KS", PValue: 0.45, Alpha: 0.05},
+		Pass:         true,
+	})
+	out := buf.String()
+	for _, want := range []string{"0.8300", "0.4500", "PASSED"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E1 output lacks %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	RenderE1(&buf, &E1Result{Pass: false})
+	if !strings.Contains(buf.String(), "FAILED") {
+		t.Error("failed gate not rendered")
+	}
+}
+
+func fabricatedAnalysis(t *testing.T) *core.Result {
+	t.Helper()
+	// A small genuine analysis so the curve has an Observed ECDF.
+	times := evt.Gumbel{Mu: 1000, Beta: 20}.Sample(newTestSource(), 1000)
+	res, err := core.NewAnalyzer(core.Options{}).Analyze(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRenderE2(t *testing.T) {
+	res := fabricatedAnalysis(t)
+	deep, err := res.PWCET(1e-16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := res.Curve(950, deep, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &E2Result{
+		Analysis: res, Curve: curve, HWM: 1100,
+		PWCET: map[float64]float64{1e-6: 1150, 1e-15: 1250},
+	}
+	var buf bytes.Buffer
+	if err := RenderE2(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 2", "observed HWM", "pWCET @ 1e-06", "1e-15"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E2 output lacks %q", want)
+		}
+	}
+}
+
+func TestRenderE3(t *testing.T) {
+	r := &E3Result{
+		DETAvg: 100, RANDAvg: 101, DETHWM: 110,
+		Margin20: 132, Margin50: 165,
+		PWCET:         map[float64]float64{1e-6: 120, 1e-15: 140},
+		RatioAtCutoff: map[float64]float64{1e-6: 1.09, 1e-15: 1.27},
+	}
+	var buf bytes.Buffer
+	if err := RenderE3(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 3", "DET HWM +50%", "pWCET @ 1e-06", "1.090"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E3 output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderE4(t *testing.T) {
+	var buf bytes.Buffer
+	RenderE4(&buf, &E4Result{
+		DET:              stats.Summary{Mean: 100, StdDev: 1},
+		RAND:             stats.Summary{Mean: 102, StdDev: 5},
+		RelativeOverhead: 0.02,
+	})
+	if !strings.Contains(buf.String(), "+2.00%") {
+		t.Errorf("E4 output:\n%s", buf.String())
+	}
+}
+
+func TestRenderE5(t *testing.T) {
+	var buf bytes.Buffer
+	RenderE5(&buf, &E5Result{
+		Trace: []core.ConvergencePoint{
+			{Runs: 100, Fit: evt.Gumbel{Mu: 1, Beta: 2}},
+			{Runs: 200, Fit: evt.Gumbel{Mu: 1, Beta: 2}, Distance: 1e-4, Done: true},
+		},
+		StopAt: 200,
+	})
+	out := buf.String()
+	if !strings.Contains(out, "criterion satisfied") || !strings.Contains(out, "200 runs") {
+		t.Errorf("E5 output:\n%s", out)
+	}
+	buf.Reset()
+	RenderE5(&buf, &E5Result{Trace: []core.ConvergencePoint{{Runs: 100, Fit: evt.Gumbel{Mu: 1, Beta: 2}}}})
+	if !strings.Contains(buf.String(), "never") {
+		t.Error("non-convergence not rendered")
+	}
+}
+
+func TestRenderE6(t *testing.T) {
+	var buf bytes.Buffer
+	RenderE6(&buf, &E6Result{
+		DivAnalysis: 25, DivOpMin: 15, DivOpMax: 25,
+		SqrtAnalysis: 30, SqrtOpMin: 22, SqrtOpMax: 30,
+		UpperBoundsHold: true, Samples: 100,
+	})
+	out := buf.String()
+	if !strings.Contains(out, "15..25") || !strings.Contains(out, "holds") {
+		t.Errorf("E6 output:\n%s", out)
+	}
+	buf.Reset()
+	RenderE6(&buf, &E6Result{DivAnalysis: 1, DivOpMax: 2, SqrtAnalysis: 1, UpperBoundsHold: false})
+	if !strings.Contains(buf.String(), "VIOLATED") {
+		t.Error("violation not rendered")
+	}
+}
+
+func TestRenderE7(t *testing.T) {
+	var buf bytes.Buffer
+	err := RenderE7(&buf, &E7Result{
+		DETByLayout:   []float64{100, 110, 105},
+		DETSpread:     0.10,
+		RANDQuantile:  115,
+		CoverFraction: 1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "10.00%") || !strings.Contains(out, "100%") {
+		t.Errorf("E7 output:\n%s", out)
+	}
+}
+
+func TestRenderE8(t *testing.T) {
+	var buf bytes.Buffer
+	err := RenderE8(&buf, &E8Result{
+		MeanByCoRunners:     []float64{100, 105, 112},
+		SlowdownByCoRunners: []float64{1, 1.05, 1.12},
+		PWCET1e12:           []float64{140, 150, 160},
+		IIDPass:             true,
+		Runs:                300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "1.120x") || !strings.Contains(out, "passes") {
+		t.Errorf("E8 output:\n%s", out)
+	}
+}
+
+// newTestSource gives the render tests a fixed randomness source.
+func newTestSource() *rng.Xoroshiro128 { return rng.NewXoroshiro128(1234) }
+
+func TestCSVExports(t *testing.T) {
+	res := fabricatedAnalysis(t)
+	deep, _ := res.PWCET(1e-16)
+	curve, err := res.Curve(950, deep, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := &E2Result{Analysis: res, Curve: curve, HWM: 1100,
+		PWCET: map[float64]float64{1e-6: 1150}}
+	e3 := &E3Result{DETAvg: 1, RANDAvg: 2, DETHWM: 3, Margin20: 4, Margin50: 5,
+		PWCET: map[float64]float64{1e-6: 6}, RatioAtCutoff: map[float64]float64{1e-6: 2}}
+	e5 := &E5Result{Trace: []core.ConvergencePoint{{Runs: 100, Fit: evt.Gumbel{Mu: 1, Beta: 2}}}}
+	e7 := &E7Result{DETByLayout: []float64{10, 11}, RANDQuantile: 12}
+
+	var buf bytes.Buffer
+	if err := ExportE2CSV(&buf, e2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "cycles,projected_exceedance,observed_exceedance\n") {
+		t.Errorf("e2 csv header: %q", buf.String()[:60])
+	}
+	buf.Reset()
+	if err := ExportE3CSV(&buf, e3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "det_hwm_plus50,5") || !strings.Contains(buf.String(), "pwcet_1e-06,6") {
+		t.Errorf("e3 csv:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := ExportE5CSV(&buf, e5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "100,1,2,0") {
+		t.Errorf("e5 csv:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := ExportE7CSV(&buf, e7); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "rand_pwcet_1e-3,12") {
+		t.Errorf("e7 csv:\n%s", buf.String())
+	}
+
+	dir := t.TempDir()
+	files, err := WriteAllCSV(dir, e2, e3, e5, e7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 4 {
+		t.Errorf("files written: %v", files)
+	}
+	// Nil results are skipped.
+	files, err = WriteAllCSV(dir, nil, e3, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 || files[0] != "fig3_comparison.csv" {
+		t.Errorf("selective export: %v", files)
+	}
+}
+
+func TestRenderDistributions(t *testing.T) {
+	e := testEnv(t)
+	var buf bytes.Buffer
+	if err := RenderDistributions(&buf, e, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "DET execution-time distribution") ||
+		!strings.Contains(out, "RAND execution-time distribution") {
+		t.Errorf("distributions output:\n%s", out)
+	}
+}

@@ -1,0 +1,162 @@
+// Package fpu models the floating-point unit latency behaviour the
+// paper controls. On the baseline (deterministic, operation-mode)
+// platform, FDIV and FSQRT take a variable number of cycles depending on
+// the values operated — the classic SRT-style early-termination
+// behaviour of the GRFPU. Controlling that jitter with plain MBTA would
+// require the user to prove their test vectors exercise the worst
+// latency; instead, the MBPTA-compliant build *fixes* both operations at
+// their highest latency during the analysis phase, so the analysis-time
+// behaviour is jitterless and upper-bounds operation.
+package fpu
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mode selects the latency behaviour.
+type Mode string
+
+// Operating modes. ModeAnalysis is the MBPTA-compliant setting (fixed
+// worst-case latency); ModeOperation is the deployed/deterministic
+// setting (operand-dependent latency).
+const (
+	ModeAnalysis  Mode = "analysis"
+	ModeOperation Mode = "operation"
+)
+
+// Latencies gives the cycle cost of each FPU operation class. Min/Max
+// bound the variable-latency operations; fixed-latency operations have
+// Min == Max. Values follow the GRFPU datasheet orders of magnitude.
+type Latencies struct {
+	Add     int // fadd/fsub/fcmp/fmov/conversions
+	Mul     int
+	DivMin  int
+	DivMax  int
+	SqrtMin int
+	SqrtMax int
+}
+
+// DefaultLatencies returns the GRFPU-like defaults used by the platform
+// configurations. Add/Mul are the *effective* issue-to-use costs in the
+// in-order pipeline: the GRFPU is pipelined, so independent operations
+// overlap and only the dependency distance (2 cycles) is charged.
+// FDIV and FSQRT are not pipelined and their full latency applies:
+// FDIV 15..25, FSQRT 22..30 depending on operands.
+func DefaultLatencies() Latencies {
+	return Latencies{Add: 2, Mul: 2, DivMin: 15, DivMax: 25, SqrtMin: 22, SqrtMax: 30}
+}
+
+// Validate checks the latency table.
+func (l Latencies) Validate() error {
+	if l.Add < 1 || l.Mul < 1 {
+		return fmt.Errorf("fpu: add/mul latency must be >= 1 (%+v)", l)
+	}
+	if l.DivMin < 1 || l.DivMax < l.DivMin {
+		return fmt.Errorf("fpu: invalid div latency range [%d,%d]", l.DivMin, l.DivMax)
+	}
+	if l.SqrtMin < 1 || l.SqrtMax < l.SqrtMin {
+		return fmt.Errorf("fpu: invalid sqrt latency range [%d,%d]", l.SqrtMin, l.SqrtMax)
+	}
+	return nil
+}
+
+// FPU is the latency model instance.
+type FPU struct {
+	lat  Latencies
+	mode Mode
+}
+
+// New builds an FPU model.
+func New(lat Latencies, mode Mode) (*FPU, error) {
+	if err := lat.Validate(); err != nil {
+		return nil, err
+	}
+	switch mode {
+	case ModeAnalysis, ModeOperation:
+	default:
+		return nil, fmt.Errorf("fpu: unknown mode %q", mode)
+	}
+	return &FPU{lat: lat, mode: mode}, nil
+}
+
+// Mode returns the configured mode.
+func (f *FPU) Mode() Mode { return f.mode }
+
+// Latencies returns the latency table.
+func (f *FPU) Latencies() Latencies { return f.lat }
+
+// AddLatency returns the (fixed) latency of add-class operations.
+func (f *FPU) AddLatency() int { return f.lat.Add }
+
+// MulLatency returns the (fixed) latency of multiplies.
+func (f *FPU) MulLatency() int { return f.lat.Mul }
+
+// DivLatency returns the cycles of an FDIV of dividend/divisor. In
+// analysis mode it is the worst case regardless of operands.
+func (f *FPU) DivLatency(dividend, divisor float64) int {
+	if f.mode == ModeAnalysis {
+		return f.lat.DivMax
+	}
+	return scaleLatency(f.lat.DivMin, f.lat.DivMax, divOperandWork(dividend, divisor))
+}
+
+// SqrtLatency returns the cycles of an FSQRT of x. In analysis mode it
+// is the worst case regardless of the operand.
+func (f *FPU) SqrtLatency(x float64) int {
+	if f.mode == ModeAnalysis {
+		return f.lat.SqrtMax
+	}
+	return scaleLatency(f.lat.SqrtMin, f.lat.SqrtMax, sqrtOperandWork(x))
+}
+
+// divOperandWork maps operand values to a work fraction in [0,1]
+// mirroring SRT early termination: "easy" operands (exact powers of
+// two, zero dividend, equal operands) finish at the minimum latency;
+// full-precision quotients take the maximum. The model keys on the
+// number of significant bits in the quotient's mantissa.
+func divOperandWork(dividend, divisor float64) float64 {
+	if dividend == 0 || math.IsNaN(dividend) || math.IsNaN(divisor) ||
+		math.IsInf(dividend, 0) || math.IsInf(divisor, 0) || divisor == 0 {
+		return 0 // special cases terminate immediately
+	}
+	q := dividend / divisor
+	return mantissaWork(q)
+}
+
+// sqrtOperandWork is the analogue for square roots.
+func sqrtOperandWork(x float64) float64 {
+	if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return mantissaWork(math.Sqrt(x))
+}
+
+// mantissaWork returns the fraction of the 52 mantissa bits of v that
+// are significant (position of the lowest set bit): results expressible
+// in few bits terminate early.
+func mantissaWork(v float64) float64 {
+	bits := math.Float64bits(v)
+	mant := bits & ((1 << 52) - 1)
+	if mant == 0 {
+		return 0 // exact power of two
+	}
+	// Lowest set bit position: trailing zeros of the mantissa.
+	tz := 0
+	for mant&1 == 0 {
+		mant >>= 1
+		tz++
+	}
+	sig := 52 - tz
+	return float64(sig) / 52
+}
+
+func scaleLatency(min, max int, work float64) int {
+	if work < 0 {
+		work = 0
+	}
+	if work > 1 {
+		work = 1
+	}
+	return min + int(math.Round(work*float64(max-min)))
+}

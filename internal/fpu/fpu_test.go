@@ -1,0 +1,145 @@
+package fpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func newFPU(t *testing.T, mode Mode) *FPU {
+	t.Helper()
+	f, err := New(DefaultLatencies(), mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultLatencies().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Latencies{
+		{Add: 0, Mul: 1, DivMin: 1, DivMax: 1, SqrtMin: 1, SqrtMax: 1},
+		{Add: 1, Mul: 1, DivMin: 5, DivMax: 4, SqrtMin: 1, SqrtMax: 1},
+		{Add: 1, Mul: 1, DivMin: 1, DivMax: 1, SqrtMin: 9, SqrtMax: 8},
+		{Add: 1, Mul: 1, DivMin: 0, DivMax: 1, SqrtMin: 1, SqrtMax: 1},
+	}
+	for i, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, l)
+		}
+	}
+	if _, err := New(DefaultLatencies(), "warp"); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestAnalysisModeIsFixedWorstCase(t *testing.T) {
+	f := newFPU(t, ModeAnalysis)
+	lat := f.Latencies()
+	src := rng.NewXoroshiro128(4)
+	for i := 0; i < 500; i++ {
+		a := (rng.Float64(src) - 0.5) * 1e6
+		b := (rng.Float64(src) - 0.5) * 1e6
+		if got := f.DivLatency(a, b); got != lat.DivMax {
+			t.Fatalf("analysis div latency %d != max %d for %v/%v", got, lat.DivMax, a, b)
+		}
+		if got := f.SqrtLatency(math.Abs(a)); got != lat.SqrtMax {
+			t.Fatalf("analysis sqrt latency %d != max %d for %v", got, lat.SqrtMax, a)
+		}
+	}
+}
+
+func TestOperationModeIsWithinBounds(t *testing.T) {
+	f := newFPU(t, ModeOperation)
+	lat := f.Latencies()
+	src := rng.NewXoroshiro128(9)
+	for i := 0; i < 2000; i++ {
+		a := (rng.Float64(src) - 0.5) * 1e6
+		b := (rng.Float64(src)-0.5)*1e6 + 1e-9
+		d := f.DivLatency(a, b)
+		if d < lat.DivMin || d > lat.DivMax {
+			t.Fatalf("div latency %d outside [%d,%d]", d, lat.DivMin, lat.DivMax)
+		}
+		s := f.SqrtLatency(math.Abs(a))
+		if s < lat.SqrtMin || s > lat.SqrtMax {
+			t.Fatalf("sqrt latency %d outside [%d,%d]", s, lat.SqrtMin, lat.SqrtMax)
+		}
+	}
+}
+
+func TestOperationModeEasyOperandsAreFast(t *testing.T) {
+	f := newFPU(t, ModeOperation)
+	lat := f.Latencies()
+	// Power-of-two quotients terminate at the minimum.
+	if got := f.DivLatency(8, 2); got != lat.DivMin {
+		t.Errorf("8/2 latency %d, want min %d", got, lat.DivMin)
+	}
+	if got := f.DivLatency(0, 3); got != lat.DivMin {
+		t.Errorf("0/3 latency %d, want min %d", got, lat.DivMin)
+	}
+	if got := f.DivLatency(1, 0); got != lat.DivMin {
+		t.Errorf("1/0 (inf) latency %d, want min %d", got, lat.DivMin)
+	}
+	if got := f.SqrtLatency(4); got != lat.SqrtMin {
+		t.Errorf("sqrt(4) latency %d, want min %d", got, lat.SqrtMin)
+	}
+	if got := f.SqrtLatency(-1); got != lat.SqrtMin {
+		t.Errorf("sqrt(-1) latency %d, want min %d", got, lat.SqrtMin)
+	}
+}
+
+func TestOperationModeHardOperandsAreSlow(t *testing.T) {
+	f := newFPU(t, ModeOperation)
+	lat := f.Latencies()
+	// 1/3 has a full-precision repeating mantissa.
+	if got := f.DivLatency(1, 3); got != lat.DivMax {
+		t.Errorf("1/3 latency %d, want max %d", got, lat.DivMax)
+	}
+	if got := f.SqrtLatency(2); got != lat.SqrtMax {
+		t.Errorf("sqrt(2) latency %d, want max %d", got, lat.SqrtMax)
+	}
+}
+
+func TestOperationModeActuallyJitters(t *testing.T) {
+	f := newFPU(t, ModeOperation)
+	src := rng.NewXoroshiro128(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		a := rng.Float64(src) * 100
+		b := rng.Float64(src)*100 + 0.001
+		seen[f.DivLatency(a, b)] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("operation-mode div produced a single latency %v", seen)
+	}
+}
+
+func TestAnalysisUpperBoundsOperationProperty(t *testing.T) {
+	// The paper's core FPU claim: analysis-mode latency upper-bounds
+	// operation-mode latency for every operand pair.
+	an := newFPU(t, ModeAnalysis)
+	op := newFPU(t, ModeOperation)
+	f := func(a, b float64) bool {
+		if op.DivLatency(a, b) > an.DivLatency(a, b) {
+			return false
+		}
+		return op.SqrtLatency(math.Abs(a)) <= an.SqrtLatency(math.Abs(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFixedLatencyAccessors(t *testing.T) {
+	f := newFPU(t, ModeOperation)
+	if f.AddLatency() != 2 || f.MulLatency() != 2 {
+		t.Errorf("add/mul = %d/%d", f.AddLatency(), f.MulLatency())
+	}
+	if f.Mode() != ModeOperation {
+		t.Errorf("mode = %v", f.Mode())
+	}
+}

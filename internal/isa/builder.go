@@ -1,0 +1,262 @@
+package isa
+
+import (
+	"fmt"
+)
+
+// Builder is a small structured assembler: workload packages use it to
+// write programs in Go with symbolic labels, which the builder resolves
+// to instruction indices at Build time.
+type Builder struct {
+	name     string
+	codeBase uint64
+	code     []Instr
+	labels   map[string]int32
+	fixups   []fixup
+	errs     []error
+}
+
+type fixup struct {
+	instr int
+	label string
+}
+
+// NewBuilder starts a program named name whose text segment is linked at
+// codeBase. The base must be 4-byte aligned.
+func NewBuilder(name string, codeBase uint64) *Builder {
+	b := &Builder{name: name, codeBase: codeBase, labels: make(map[string]int32)}
+	if codeBase%InstrBytes != 0 {
+		b.errs = append(b.errs, fmt.Errorf("%w: %#x", ErrMisalignedBase, codeBase))
+	}
+	return b
+}
+
+// Label binds name to the address of the next emitted instruction.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("isa: duplicate label %q", name))
+		return b
+	}
+	b.labels[name] = int32(len(b.code))
+	return b
+}
+
+func (b *Builder) emit(i Instr) *Builder {
+	b.code = append(b.code, i)
+	return b
+}
+
+func (b *Builder) emitBranch(i Instr, label string) *Builder {
+	b.fixups = append(b.fixups, fixup{instr: len(b.code), label: label})
+	return b.emit(i)
+}
+
+// Nop emits a no-op.
+func (b *Builder) Nop() *Builder { return b.emit(Instr{Op: OpNop}) }
+
+// Halt emits a halt; executing it ends the run.
+func (b *Builder) Halt() *Builder { return b.emit(Instr{Op: OpHalt}) }
+
+// Add emits rd = rs1 + rs2.
+func (b *Builder) Add(rd, rs1, rs2 Reg) *Builder {
+	return b.emit(Instr{Op: OpAdd, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Addi emits rd = rs1 + imm.
+func (b *Builder) Addi(rd, rs1 Reg, imm int32) *Builder {
+	return b.emit(Instr{Op: OpAddi, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Sub emits rd = rs1 - rs2.
+func (b *Builder) Sub(rd, rs1, rs2 Reg) *Builder {
+	return b.emit(Instr{Op: OpSub, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Subi emits rd = rs1 - imm.
+func (b *Builder) Subi(rd, rs1 Reg, imm int32) *Builder {
+	return b.emit(Instr{Op: OpSubi, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// And emits rd = rs1 & rs2.
+func (b *Builder) And(rd, rs1, rs2 Reg) *Builder {
+	return b.emit(Instr{Op: OpAnd, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Andi emits rd = rs1 & imm.
+func (b *Builder) Andi(rd, rs1 Reg, imm int32) *Builder {
+	return b.emit(Instr{Op: OpAndi, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Or emits rd = rs1 | rs2.
+func (b *Builder) Or(rd, rs1, rs2 Reg) *Builder {
+	return b.emit(Instr{Op: OpOr, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Ori emits rd = rs1 | imm.
+func (b *Builder) Ori(rd, rs1 Reg, imm int32) *Builder {
+	return b.emit(Instr{Op: OpOri, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Xor emits rd = rs1 ^ rs2.
+func (b *Builder) Xor(rd, rs1, rs2 Reg) *Builder {
+	return b.emit(Instr{Op: OpXor, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Xori emits rd = rs1 ^ imm.
+func (b *Builder) Xori(rd, rs1 Reg, imm int32) *Builder {
+	return b.emit(Instr{Op: OpXori, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Sll emits rd = rs1 << imm.
+func (b *Builder) Sll(rd, rs1 Reg, imm int32) *Builder {
+	return b.emit(Instr{Op: OpSll, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Srl emits rd = rs1 >> imm (logical).
+func (b *Builder) Srl(rd, rs1 Reg, imm int32) *Builder {
+	return b.emit(Instr{Op: OpSrl, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Mul emits rd = rs1 * rs2.
+func (b *Builder) Mul(rd, rs1, rs2 Reg) *Builder {
+	return b.emit(Instr{Op: OpMul, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Div emits rd = rs1 / rs2 (signed).
+func (b *Builder) Div(rd, rs1, rs2 Reg) *Builder {
+	return b.emit(Instr{Op: OpDiv, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Li loads a 32-bit immediate into rd (assembler idiom for addi rd,r0,imm).
+func (b *Builder) Li(rd Reg, imm int32) *Builder {
+	return b.emit(Instr{Op: OpAddi, Rd: rd, Rs1: 0, Imm: imm})
+}
+
+// Mov copies rs1 to rd.
+func (b *Builder) Mov(rd, rs1 Reg) *Builder {
+	return b.emit(Instr{Op: OpAddi, Rd: rd, Rs1: rs1, Imm: 0})
+}
+
+// Ld emits rd = mem32[rs1 + imm].
+func (b *Builder) Ld(rd, rs1 Reg, imm int32) *Builder {
+	return b.emit(Instr{Op: OpLd, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// St emits mem32[rs1 + imm] = rs2.
+func (b *Builder) St(rs1 Reg, imm int32, rs2 Reg) *Builder {
+	return b.emit(Instr{Op: OpSt, Rs1: rs1, Imm: imm, Rs2: rs2})
+}
+
+// Fld emits fd = mem64[rs1 + imm].
+func (b *Builder) Fld(fd FReg, rs1 Reg, imm int32) *Builder {
+	return b.emit(Instr{Op: OpFld, Fd: fd, Rs1: rs1, Imm: imm})
+}
+
+// Fst emits mem64[rs1 + imm] = fs2.
+func (b *Builder) Fst(rs1 Reg, imm int32, fs2 FReg) *Builder {
+	return b.emit(Instr{Op: OpFst, Rs1: rs1, Imm: imm, Fs2: fs2})
+}
+
+// Beq branches to label when rs1 == rs2.
+func (b *Builder) Beq(rs1, rs2 Reg, label string) *Builder {
+	return b.emitBranch(Instr{Op: OpBeq, Rs1: rs1, Rs2: rs2}, label)
+}
+
+// Bne branches to label when rs1 != rs2.
+func (b *Builder) Bne(rs1, rs2 Reg, label string) *Builder {
+	return b.emitBranch(Instr{Op: OpBne, Rs1: rs1, Rs2: rs2}, label)
+}
+
+// Blt branches to label when rs1 < rs2 (signed).
+func (b *Builder) Blt(rs1, rs2 Reg, label string) *Builder {
+	return b.emitBranch(Instr{Op: OpBlt, Rs1: rs1, Rs2: rs2}, label)
+}
+
+// Bge branches to label when rs1 >= rs2 (signed).
+func (b *Builder) Bge(rs1, rs2 Reg, label string) *Builder {
+	return b.emitBranch(Instr{Op: OpBge, Rs1: rs1, Rs2: rs2}, label)
+}
+
+// Jmp jumps unconditionally to label.
+func (b *Builder) Jmp(label string) *Builder {
+	return b.emitBranch(Instr{Op: OpJmp}, label)
+}
+
+// Call jumps to label, leaving the return instruction index in rd.
+func (b *Builder) Call(label string, rd Reg) *Builder {
+	return b.emitBranch(Instr{Op: OpCall, Rd: rd}, label)
+}
+
+// Ret jumps to the instruction index held in rs1.
+func (b *Builder) Ret(rs1 Reg) *Builder {
+	return b.emit(Instr{Op: OpRet, Rs1: rs1})
+}
+
+// Fadd emits fd = fs1 + fs2.
+func (b *Builder) Fadd(fd, fs1, fs2 FReg) *Builder {
+	return b.emit(Instr{Op: OpFadd, Fd: fd, Fs1: fs1, Fs2: fs2})
+}
+
+// Fsub emits fd = fs1 - fs2.
+func (b *Builder) Fsub(fd, fs1, fs2 FReg) *Builder {
+	return b.emit(Instr{Op: OpFsub, Fd: fd, Fs1: fs1, Fs2: fs2})
+}
+
+// Fmul emits fd = fs1 * fs2.
+func (b *Builder) Fmul(fd, fs1, fs2 FReg) *Builder {
+	return b.emit(Instr{Op: OpFmul, Fd: fd, Fs1: fs1, Fs2: fs2})
+}
+
+// Fdiv emits fd = fs1 / fs2 — one of the two jittery FPU operations.
+func (b *Builder) Fdiv(fd, fs1, fs2 FReg) *Builder {
+	return b.emit(Instr{Op: OpFdiv, Fd: fd, Fs1: fs1, Fs2: fs2})
+}
+
+// Fsqrt emits fd = sqrt(fs1) — the other jittery FPU operation.
+func (b *Builder) Fsqrt(fd, fs1 FReg) *Builder {
+	return b.emit(Instr{Op: OpFsqrt, Fd: fd, Fs1: fs1})
+}
+
+// Fcmp emits rd = sign(fs1 - fs2) as -1/0/+1.
+func (b *Builder) Fcmp(rd Reg, fs1, fs2 FReg) *Builder {
+	return b.emit(Instr{Op: OpFcmp, Rd: rd, Fs1: fs1, Fs2: fs2})
+}
+
+// Fmov copies fs1 to fd.
+func (b *Builder) Fmov(fd, fs1 FReg) *Builder {
+	return b.emit(Instr{Op: OpFmov, Fd: fd, Fs1: fs1})
+}
+
+// Fcvt converts the integer in rs1 to float64 in fd.
+func (b *Builder) Fcvt(fd FReg, rs1 Reg) *Builder {
+	return b.emit(Instr{Op: OpFcvt, Fd: fd, Rs1: rs1})
+}
+
+// Ftoi truncates fs1 into the integer register rd.
+func (b *Builder) Ftoi(rd Reg, fs1 FReg) *Builder {
+	return b.emit(Instr{Op: OpFtoi, Rd: rd, Fs1: fs1})
+}
+
+// Build resolves labels and returns the finished program. It fails on
+// unresolved or duplicate labels, or an empty body.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if len(b.code) == 0 {
+		return nil, fmt.Errorf("isa: program %q is empty", b.name)
+	}
+	code := append([]Instr(nil), b.code...)
+	for _, f := range b.fixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: undefined label %q in program %q", f.label, b.name)
+		}
+		code[f.instr].Target = target
+	}
+	symbols := make(map[string]int32, len(b.labels))
+	for name, idx := range b.labels {
+		symbols[name] = idx
+	}
+	return &Program{Name: b.name, CodeBase: b.codeBase, Code: code, Symbols: symbols}, nil
+}

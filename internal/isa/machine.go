@@ -1,0 +1,309 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Event describes one retired instruction to the timing model: where it
+// was fetched from, what pipeline resource it uses, which data address
+// it touched (loads/stores) and the FPU operand values (FDIV/FSQRT,
+// whose latency is operand-dependent on the deterministic platform).
+type Event struct {
+	PC    uint64
+	Class Class
+	Addr  uint64  // effective address for loads/stores, else 0
+	Size  uint8   // access size in bytes for loads/stores, else 0
+	FOp1  float64 // first FPU operand (dividend / sqrt argument)
+	FOp2  float64 // second FPU operand (divisor)
+	Taken bool    // branch outcome
+}
+
+// Memory is the byte-addressable data memory shared by architectural
+// execution. It is sparse (4 KiB pages allocated on demand) so programs
+// can scatter data segments across a 32-bit space without cost.
+type Memory struct {
+	pages map[uint64]*page
+}
+
+const pageShift = 12
+const pageSize = 1 << pageShift
+
+type page [pageSize]byte
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*page)}
+}
+
+func (m *Memory) pageFor(addr uint64, alloc bool) *page {
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil && alloc {
+		p = new(page)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// Read32 loads an aligned 32-bit word.
+func (m *Memory) Read32(addr uint64) (uint32, error) {
+	if addr%4 != 0 {
+		return 0, fmt.Errorf("%w: read32 at %#x", ErrUnalignedAddr, addr)
+	}
+	p := m.pageFor(addr, false)
+	if p == nil {
+		return 0, nil
+	}
+	off := addr & (pageSize - 1)
+	return binary.LittleEndian.Uint32(p[off : off+4]), nil
+}
+
+// Write32 stores an aligned 32-bit word.
+func (m *Memory) Write32(addr uint64, v uint32) error {
+	if addr%4 != 0 {
+		return fmt.Errorf("%w: write32 at %#x", ErrUnalignedAddr, addr)
+	}
+	p := m.pageFor(addr, true)
+	off := addr & (pageSize - 1)
+	binary.LittleEndian.PutUint32(p[off:off+4], v)
+	return nil
+}
+
+// Read64 loads an aligned 64-bit float.
+func (m *Memory) Read64(addr uint64) (float64, error) {
+	if addr%8 != 0 {
+		return 0, fmt.Errorf("%w: read64 at %#x", ErrUnalignedAddr, addr)
+	}
+	p := m.pageFor(addr, false)
+	if p == nil {
+		return 0, nil
+	}
+	off := addr & (pageSize - 1)
+	return math.Float64frombits(binary.LittleEndian.Uint64(p[off : off+8])), nil
+}
+
+// Write64 stores an aligned 64-bit float.
+func (m *Memory) Write64(addr uint64, v float64) error {
+	if addr%8 != 0 {
+		return fmt.Errorf("%w: write64 at %#x", ErrUnalignedAddr, addr)
+	}
+	p := m.pageFor(addr, true)
+	off := addr & (pageSize - 1)
+	binary.LittleEndian.PutUint64(p[off:off+8], math.Float64bits(v))
+	return nil
+}
+
+// Reset drops all pages.
+func (m *Memory) Reset() {
+	m.pages = make(map[uint64]*page)
+}
+
+// Machine executes a Program architecturally. A fresh Machine (or Reset)
+// corresponds to the paper's measurement protocol step "reload the
+// executable": registers cleared, PC at entry.
+type Machine struct {
+	Prog *Program
+	Mem  *Memory
+
+	regs  [NumRegs]int32
+	fregs [NumRegs]float64
+	pc    int32
+	steps uint64
+
+	// StepLimit guards against runaway loops in workload code; 0 means
+	// the default of 100M instructions.
+	StepLimit uint64
+	// Cancel, when non-nil, is polled every 1024 retired instructions;
+	// Run returns ErrCancelled once it reports true. Co-runner cores in
+	// the multicore co-simulation use it to stop when the measured core
+	// finishes.
+	Cancel func() bool
+}
+
+// NewMachine binds a program to a memory.
+func NewMachine(prog *Program, mem *Memory) *Machine {
+	return &Machine{Prog: prog, Mem: mem}
+}
+
+// Reset clears registers and rewinds the PC; memory is left untouched
+// (workloads re-initialize their data segments explicitly, mirroring a
+// binary reload that rewrites .data).
+func (m *Machine) Reset() {
+	m.regs = [NumRegs]int32{}
+	m.fregs = [NumRegs]float64{}
+	m.pc = 0
+	m.steps = 0
+}
+
+// Reg returns the value of integer register r.
+func (m *Machine) Reg(r Reg) int32 { return m.regs[r] }
+
+// SetReg writes integer register r (writes to r0 are discarded).
+func (m *Machine) SetReg(r Reg, v int32) {
+	if r != 0 {
+		m.regs[r] = v
+	}
+}
+
+// FRegVal returns the value of FP register f.
+func (m *Machine) FRegVal(f FReg) float64 { return m.fregs[f] }
+
+// SetFReg writes FP register f.
+func (m *Machine) SetFReg(f FReg, v float64) { m.fregs[f] = v }
+
+// Steps returns the number of retired instructions since Reset.
+func (m *Machine) Steps() uint64 { return m.steps }
+
+// Run executes until Halt, feeding one Event per retired instruction to
+// sink. sink may be nil for pure architectural runs. Returns the number
+// of retired instructions.
+func (m *Machine) Run(sink func(Event)) (uint64, error) {
+	limit := m.StepLimit
+	if limit == 0 {
+		limit = 100_000_000
+	}
+	code := m.Prog.Code
+	n := int32(len(code))
+	for {
+		if m.pc < 0 || m.pc >= n {
+			return m.steps, fmt.Errorf("%w: pc=%d len=%d", ErrPCOutOfRange, m.pc, n)
+		}
+		if m.steps >= limit {
+			return m.steps, fmt.Errorf("%w: %d", ErrStepLimit, limit)
+		}
+		if m.Cancel != nil && m.steps&1023 == 0 && m.Cancel() {
+			return m.steps, ErrCancelled
+		}
+		ins := &code[m.pc]
+		ev := Event{PC: m.Prog.PCOf(int(m.pc)), Class: ClassOf(ins.Op)}
+		next := m.pc + 1
+		switch ins.Op {
+		case OpNop:
+		case OpHalt:
+			m.steps++
+			if sink != nil {
+				sink(ev)
+			}
+			return m.steps, nil
+		case OpAdd:
+			m.SetReg(ins.Rd, m.regs[ins.Rs1]+m.regs[ins.Rs2])
+		case OpAddi:
+			m.SetReg(ins.Rd, m.regs[ins.Rs1]+ins.Imm)
+		case OpSub:
+			m.SetReg(ins.Rd, m.regs[ins.Rs1]-m.regs[ins.Rs2])
+		case OpSubi:
+			m.SetReg(ins.Rd, m.regs[ins.Rs1]-ins.Imm)
+		case OpAnd:
+			m.SetReg(ins.Rd, m.regs[ins.Rs1]&m.regs[ins.Rs2])
+		case OpAndi:
+			m.SetReg(ins.Rd, m.regs[ins.Rs1]&ins.Imm)
+		case OpOr:
+			m.SetReg(ins.Rd, m.regs[ins.Rs1]|m.regs[ins.Rs2])
+		case OpOri:
+			m.SetReg(ins.Rd, m.regs[ins.Rs1]|ins.Imm)
+		case OpXor:
+			m.SetReg(ins.Rd, m.regs[ins.Rs1]^m.regs[ins.Rs2])
+		case OpXori:
+			m.SetReg(ins.Rd, m.regs[ins.Rs1]^ins.Imm)
+		case OpSll:
+			m.SetReg(ins.Rd, m.regs[ins.Rs1]<<uint(ins.Imm&31))
+		case OpSrl:
+			m.SetReg(ins.Rd, int32(uint32(m.regs[ins.Rs1])>>uint(ins.Imm&31)))
+		case OpMul:
+			m.SetReg(ins.Rd, m.regs[ins.Rs1]*m.regs[ins.Rs2])
+		case OpDiv:
+			if m.regs[ins.Rs2] == 0 {
+				return m.steps, fmt.Errorf("%w at pc=%d", ErrDivideByZero, m.pc)
+			}
+			m.SetReg(ins.Rd, m.regs[ins.Rs1]/m.regs[ins.Rs2])
+		case OpLd:
+			addr := uint64(uint32(m.regs[ins.Rs1] + ins.Imm))
+			v, err := m.Mem.Read32(addr)
+			if err != nil {
+				return m.steps, fmt.Errorf("pc=%d: %w", m.pc, err)
+			}
+			m.SetReg(ins.Rd, int32(v))
+			ev.Addr, ev.Size = addr, 4
+		case OpSt:
+			addr := uint64(uint32(m.regs[ins.Rs1] + ins.Imm))
+			if err := m.Mem.Write32(addr, uint32(m.regs[ins.Rs2])); err != nil {
+				return m.steps, fmt.Errorf("pc=%d: %w", m.pc, err)
+			}
+			ev.Addr, ev.Size = addr, 4
+		case OpFld:
+			addr := uint64(uint32(m.regs[ins.Rs1] + ins.Imm))
+			v, err := m.Mem.Read64(addr)
+			if err != nil {
+				return m.steps, fmt.Errorf("pc=%d: %w", m.pc, err)
+			}
+			m.fregs[ins.Fd] = v
+			ev.Addr, ev.Size = addr, 8
+		case OpFst:
+			addr := uint64(uint32(m.regs[ins.Rs1] + ins.Imm))
+			if err := m.Mem.Write64(addr, m.fregs[ins.Fs2]); err != nil {
+				return m.steps, fmt.Errorf("pc=%d: %w", m.pc, err)
+			}
+			ev.Addr, ev.Size = addr, 8
+		case OpBeq:
+			if m.regs[ins.Rs1] == m.regs[ins.Rs2] {
+				next, ev.Taken = ins.Target, true
+			}
+		case OpBne:
+			if m.regs[ins.Rs1] != m.regs[ins.Rs2] {
+				next, ev.Taken = ins.Target, true
+			}
+		case OpBlt:
+			if m.regs[ins.Rs1] < m.regs[ins.Rs2] {
+				next, ev.Taken = ins.Target, true
+			}
+		case OpBge:
+			if m.regs[ins.Rs1] >= m.regs[ins.Rs2] {
+				next, ev.Taken = ins.Target, true
+			}
+		case OpJmp:
+			next, ev.Taken = ins.Target, true
+		case OpCall:
+			m.SetReg(ins.Rd, m.pc+1)
+			next, ev.Taken = ins.Target, true
+		case OpRet:
+			next, ev.Taken = m.regs[ins.Rs1], true
+		case OpFadd:
+			m.fregs[ins.Fd] = m.fregs[ins.Fs1] + m.fregs[ins.Fs2]
+		case OpFsub:
+			m.fregs[ins.Fd] = m.fregs[ins.Fs1] - m.fregs[ins.Fs2]
+		case OpFmul:
+			m.fregs[ins.Fd] = m.fregs[ins.Fs1] * m.fregs[ins.Fs2]
+		case OpFdiv:
+			ev.FOp1, ev.FOp2 = m.fregs[ins.Fs1], m.fregs[ins.Fs2]
+			m.fregs[ins.Fd] = m.fregs[ins.Fs1] / m.fregs[ins.Fs2]
+		case OpFsqrt:
+			ev.FOp1 = m.fregs[ins.Fs1]
+			m.fregs[ins.Fd] = math.Sqrt(m.fregs[ins.Fs1])
+		case OpFcmp:
+			a, b := m.fregs[ins.Fs1], m.fregs[ins.Fs2]
+			switch {
+			case a < b:
+				m.SetReg(ins.Rd, -1)
+			case a > b:
+				m.SetReg(ins.Rd, 1)
+			default:
+				m.SetReg(ins.Rd, 0)
+			}
+		case OpFmov:
+			m.fregs[ins.Fd] = m.fregs[ins.Fs1]
+		case OpFcvt:
+			m.fregs[ins.Fd] = float64(m.regs[ins.Rs1])
+		case OpFtoi:
+			m.SetReg(ins.Rd, int32(m.fregs[ins.Fs1]))
+		default:
+			return m.steps, fmt.Errorf("%w: %v at pc=%d", ErrUnknownOpcode, ins.Op, m.pc)
+		}
+		m.steps++
+		if sink != nil {
+			sink(ev)
+		}
+		m.pc = next
+	}
+}

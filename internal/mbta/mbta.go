@@ -1,0 +1,73 @@
+// Package mbta implements the industrial baseline the paper compares
+// against: classical measurement-based timing analysis on the
+// deterministic platform. The practice is to take the high-watermark
+// (HWM — the largest observed execution time) and inflate it by an
+// engineering margin (e.g. 20% or 50%) to cover untested conditions
+// such as unlucky cache placements. The paper's Figure 3 places the
+// MBPTA pWCET estimates next to DET HWM + 50%.
+package mbta
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// ErrNoData is returned for empty samples.
+var ErrNoData = errors.New("mbta: no observations")
+
+// Result is a classical MBTA outcome.
+type Result struct {
+	N    int
+	HWM  float64 // high watermark: max observed execution time
+	Mean float64
+}
+
+// Analyze computes the high-watermark result of a measurement series.
+func Analyze(times []float64) (Result, error) {
+	if len(times) == 0 {
+		return Result{}, ErrNoData
+	}
+	hwm, err := stats.Max(times)
+	if err != nil {
+		return Result{}, err
+	}
+	mean, err := stats.Mean(times)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{N: len(times), HWM: hwm, Mean: mean}, nil
+}
+
+// WCET returns the engineering-margin WCET estimate HWM * (1+margin),
+// e.g. margin = 0.5 for the customary "+50%".
+func (r Result) WCET(margin float64) (float64, error) {
+	if margin < 0 {
+		return 0, fmt.Errorf("mbta: negative margin %v", margin)
+	}
+	return r.HWM * (1 + margin), nil
+}
+
+// AnalyzeByPath computes per-path HWM results and the cross-path
+// envelope (max of HWMs), mirroring per-path MBPTA.
+func AnalyzeByPath(byPath map[string][]float64) (map[string]Result, Result, error) {
+	if len(byPath) == 0 {
+		return nil, Result{}, ErrNoData
+	}
+	out := make(map[string]Result, len(byPath))
+	var all []float64
+	for p, ts := range byPath {
+		r, err := Analyze(ts)
+		if err != nil {
+			return nil, Result{}, fmt.Errorf("path %q: %w", p, err)
+		}
+		out[p] = r
+		all = append(all, ts...)
+	}
+	env, err := Analyze(all)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	return out, env, nil
+}

@@ -1,0 +1,63 @@
+package mbta
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestAnalyze(t *testing.T) {
+	r, err := Analyze([]float64{100, 300, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HWM != 300 || r.N != 3 {
+		t.Errorf("result %+v", r)
+	}
+	if math.Abs(r.Mean-200) > 1e-12 {
+		t.Errorf("mean %v", r.Mean)
+	}
+	if _, err := Analyze(nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestWCETMargins(t *testing.T) {
+	r := Result{HWM: 1000}
+	for _, c := range []struct{ margin, want float64 }{
+		{0, 1000}, {0.2, 1200}, {0.5, 1500},
+	} {
+		got, err := r.WCET(c.margin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("WCET(%v) = %v, want %v", c.margin, got, c.want)
+		}
+	}
+	if _, err := r.WCET(-0.1); err == nil {
+		t.Error("negative margin accepted")
+	}
+}
+
+func TestAnalyzeByPath(t *testing.T) {
+	per, env, err := AnalyzeByPath(map[string][]float64{
+		"a": {10, 20},
+		"b": {5, 50, 15},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if per["a"].HWM != 20 || per["b"].HWM != 50 {
+		t.Errorf("per-path %+v", per)
+	}
+	if env.HWM != 50 || env.N != 5 {
+		t.Errorf("envelope %+v", env)
+	}
+	if _, _, err := AnalyzeByPath(nil); !errors.Is(err, ErrNoData) {
+		t.Error("empty map accepted")
+	}
+	if _, _, err := AnalyzeByPath(map[string][]float64{"x": nil}); err == nil {
+		t.Error("empty path accepted")
+	}
+}

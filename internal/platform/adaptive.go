@@ -1,0 +1,120 @@
+package platform
+
+import (
+	"fmt"
+
+	"repro/internal/evt"
+)
+
+// AdaptiveOptions tunes AdaptiveCampaign, the paper's actual collection
+// protocol: runs are collected in batches until the tail fit satisfies
+// the CRPS convergence criterion (plus a minimum), or MaxRuns is hit.
+type AdaptiveOptions struct {
+	// MinRuns before convergence may stop the campaign (default 300).
+	MinRuns int
+	// MaxRuns hard cap (default 10x MinRuns).
+	MaxRuns int
+	// Batch size between refits (default 100).
+	Batch int
+	// BlockSize of the block-maxima fit (default 50).
+	BlockSize int
+	// BaseSeed derives per-run seeds.
+	BaseSeed uint64
+	// Threshold and Streak override the convergence criterion defaults
+	// (1e-3, 2) when non-zero.
+	Threshold float64
+	Streak    int
+}
+
+func (o AdaptiveOptions) withDefaults() AdaptiveOptions {
+	if o.MinRuns == 0 {
+		o.MinRuns = 300
+	}
+	if o.MaxRuns == 0 {
+		o.MaxRuns = 10 * o.MinRuns
+	}
+	if o.Batch == 0 {
+		o.Batch = 100
+	}
+	if o.BlockSize == 0 {
+		o.BlockSize = 50
+	}
+	return o
+}
+
+// AdaptiveResult is the outcome of an adaptive campaign.
+type AdaptiveResult struct {
+	Campaign  *CampaignResult
+	Converged bool
+	// StopRuns is the run count at which the criterion was satisfied
+	// (== len(Campaign.Results) when Converged).
+	StopRuns int
+	// Distances is the CRPS trace between consecutive refits.
+	Distances []float64
+}
+
+// AdaptiveCampaign implements the MBPTA collection loop: measure a
+// batch, refit the Gumbel tail over everything collected so far, and
+// stop once consecutive fits are CRPS-close — "enough runs" decided by
+// the data, exactly as the paper's protocol prescribes. The same
+// (cfg, w, opts) always reproduces the same campaign.
+func AdaptiveCampaign(cfg Config, w Workload, opts AdaptiveOptions) (*AdaptiveResult, error) {
+	o := opts.withDefaults()
+	if o.MinRuns < 5*o.BlockSize {
+		return nil, fmt.Errorf("platform: MinRuns %d < 5 blocks of %d", o.MinRuns, o.BlockSize)
+	}
+	if o.MaxRuns < o.MinRuns {
+		return nil, fmt.Errorf("platform: MaxRuns %d < MinRuns %d", o.MaxRuns, o.MinRuns)
+	}
+	p, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	crit := evt.NewConvergenceCriterion()
+	if o.Threshold > 0 {
+		crit.Threshold = o.Threshold
+	}
+	if o.Streak > 0 {
+		crit.Streak = o.Streak
+	}
+	res := &AdaptiveResult{Campaign: &CampaignResult{Platform: cfg.Name, Workload: w.Name()}}
+	var times []float64
+	run := 0
+	for run < o.MaxRuns {
+		for b := 0; b < o.Batch && run < o.MaxRuns; b++ {
+			r, err := p.Run(w, run, DeriveRunSeed(o.BaseSeed, run))
+			if err != nil {
+				return nil, err
+			}
+			res.Campaign.Results = append(res.Campaign.Results, r)
+			times = append(times, float64(r.Cycles))
+			run++
+		}
+		if run < o.MinRuns {
+			continue
+		}
+		maxima, err := evt.BlockMaxima(times, o.BlockSize)
+		if err != nil {
+			return nil, err
+		}
+		fit, err := evt.FitGumbel(maxima, evt.MethodPWM)
+		if err != nil {
+			// Degenerate (e.g. constant) samples cannot converge by
+			// refitting; report the campaign as-is.
+			res.StopRuns = run
+			return res, nil
+		}
+		done, err := crit.Observe(fit)
+		if err != nil {
+			return nil, err
+		}
+		res.Distances = crit.History()
+		if done {
+			res.Converged = true
+			res.StopRuns = run
+			return res, nil
+		}
+	}
+	res.StopRuns = run
+	return res, nil
+}

@@ -1,0 +1,92 @@
+package platform
+
+import (
+	"testing"
+
+	"repro/internal/tvca"
+)
+
+func TestAdaptiveCampaignConverges(t *testing.T) {
+	cfg := tvca.DefaultConfig()
+	cfg.Frames = 8
+	app, err := tvca.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AdaptiveCampaign(RAND(), app, AdaptiveOptions{
+		MinRuns: 300, MaxRuns: 2000, Batch: 100, BaseSeed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("no convergence within %d runs (distances %v)",
+			res.StopRuns, res.Distances)
+	}
+	if res.StopRuns < 300 || res.StopRuns > 2000 {
+		t.Errorf("stop at %d runs", res.StopRuns)
+	}
+	if len(res.Campaign.Results) != res.StopRuns {
+		t.Errorf("campaign has %d results, stop %d", len(res.Campaign.Results), res.StopRuns)
+	}
+	if len(res.Distances) == 0 {
+		t.Error("no convergence trace")
+	}
+}
+
+func TestAdaptiveCampaignReproducible(t *testing.T) {
+	cfg := tvca.DefaultConfig()
+	cfg.Frames = 8
+	app, err := tvca.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := AdaptiveOptions{MinRuns: 300, MaxRuns: 1200, Batch: 150, BaseSeed: 4}
+	a, err := AdaptiveCampaign(RAND(), app, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AdaptiveCampaign(RAND(), app, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.StopRuns != b.StopRuns || a.Converged != b.Converged {
+		t.Fatalf("adaptive campaign not reproducible: %d/%v vs %d/%v",
+			a.StopRuns, a.Converged, b.StopRuns, b.Converged)
+	}
+	for i := range a.Campaign.Results {
+		if a.Campaign.Results[i] != b.Campaign.Results[i] {
+			t.Fatalf("run %d differs", i)
+		}
+	}
+}
+
+func TestAdaptiveCampaignDegenerateWorkload(t *testing.T) {
+	// A constant-time workload cannot be fitted; the campaign returns
+	// un-converged with the collected runs instead of erroring.
+	res, err := AdaptiveCampaign(DET(), trivialWorkload{}, AdaptiveOptions{
+		MinRuns: 300, MaxRuns: 400, Batch: 300, BaseSeed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("constant workload reported converged")
+	}
+	if res.StopRuns != 300 {
+		t.Errorf("stop at %d, want 300 (first refit attempt)", res.StopRuns)
+	}
+}
+
+func TestAdaptiveCampaignValidation(t *testing.T) {
+	app, err := tvca.New(tvca.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AdaptiveCampaign(RAND(), app, AdaptiveOptions{MinRuns: 100}); err == nil {
+		t.Error("MinRuns below fit minimum accepted")
+	}
+	if _, err := AdaptiveCampaign(RAND(), app, AdaptiveOptions{MinRuns: 300, MaxRuns: 200}); err == nil {
+		t.Error("MaxRuns < MinRuns accepted")
+	}
+}

@@ -1,0 +1,108 @@
+package platform
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// CampaignResult holds the outcome of a measurement campaign: per-run
+// results in run order. Order matters — the Ljung-Box independence test
+// is applied to the series as collected.
+type CampaignResult struct {
+	Platform string
+	Workload string
+	Results  []RunResult
+}
+
+// Times returns the execution-time series in cycles.
+func (c *CampaignResult) Times() []float64 {
+	out := make([]float64, len(c.Results))
+	for i, r := range c.Results {
+		out[i] = float64(r.Cycles)
+	}
+	return out
+}
+
+// TimesByPath groups the execution times by path identifier, preserving
+// run order within each path — the input to per-path MBPTA.
+func (c *CampaignResult) TimesByPath() map[string][]float64 {
+	out := make(map[string][]float64)
+	for _, r := range c.Results {
+		out[r.Path] = append(out[r.Path], float64(r.Cycles))
+	}
+	return out
+}
+
+// CampaignOptions tunes RunCampaign.
+type CampaignOptions struct {
+	// Runs is the number of measurement runs (the paper uses 3,000).
+	Runs int
+	// BaseSeed derives the per-run seeds; the same BaseSeed reproduces
+	// the campaign bit-for-bit.
+	BaseSeed uint64
+	// Parallel is the number of worker platforms (0 = GOMAXPROCS).
+	// Parallelism does not affect results: run i always uses seed
+	// derive(BaseSeed, i) and results are stored by run index.
+	Parallel int
+}
+
+// RunCampaign executes a full measurement campaign of w on a platform
+// built from cfg.
+func RunCampaign(cfg Config, w Workload, opts CampaignOptions) (*CampaignResult, error) {
+	if opts.Runs < 1 {
+		return nil, fmt.Errorf("platform: campaign needs >= 1 run, got %d", opts.Runs)
+	}
+	workers := opts.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > opts.Runs {
+		workers = opts.Runs
+	}
+	res := &CampaignResult{Platform: cfg.Name, Workload: w.Name(),
+		Results: make([]RunResult, opts.Runs)}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	next := make(chan int, opts.Runs)
+	for i := 0; i < opts.Runs; i++ {
+		next <- i
+	}
+	close(next)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			p, err := New(cfg)
+			if err != nil {
+				errs[wk] = err
+				return
+			}
+			for run := range next {
+				r, err := p.Run(w, run, DeriveRunSeed(opts.BaseSeed, run))
+				if err != nil {
+					errs[wk] = err
+					return
+				}
+				res.Results[run] = r
+			}
+		}(wk)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// DeriveRunSeed maps (baseSeed, run) to the per-run PRNG seed installed
+// after reloading the binary, as the protocol prescribes. SplitMix-style
+// mixing keeps seeds of consecutive runs statistically independent.
+func DeriveRunSeed(baseSeed uint64, run int) uint64 {
+	z := baseSeed + 0x9E3779B97F4A7C15*uint64(run+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

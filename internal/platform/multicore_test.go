@@ -1,0 +1,259 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/tvca"
+)
+
+// tinyTVCA is a cheap workload for co-simulation tests.
+func tinyTVCA(t *testing.T) *tvca.App {
+	t.Helper()
+	cfg := tvca.DefaultConfig()
+	cfg.Frames = 4
+	cfg.Sensors = 8
+	cfg.Taps = 8
+	app, err := tvca.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+// streamer is a memory-streaming co-runner: it sweeps a large buffer,
+// missing constantly — a worst-case-ish bus hog.
+type streamer struct{ lines int32 }
+
+func (s streamer) Name() string { return "streamer" }
+func (s streamer) Prepare(run int) (*isa.Machine, error) {
+	b := isa.NewBuilder("streamer", 0x8000)
+	b.Li(1, 0x400000)
+	b.Li(2, 0)
+	b.Li(3, s.lines)
+	b.Label("loop")
+	b.Ld(4, 1, 0)
+	b.Addi(1, 1, 32)
+	b.Addi(2, 2, 1)
+	b.Blt(2, 3, "loop")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return isa.NewMachine(p, isa.NewMemory()), nil
+}
+func (s streamer) PathOf(*isa.Machine) string { return "" }
+
+func TestNewMulticoreValidation(t *testing.T) {
+	app := tinyTVCA(t)
+	if _, err := NewMulticore(RAND(), []Workload{app, app, app, app}); err == nil {
+		t.Error("4 co-runners on a 4-core platform accepted")
+	}
+	if _, err := NewMulticore(RAND(), []Workload{nil}); err == nil {
+		t.Error("nil co-runner accepted")
+	}
+	cfg := RAND()
+	cfg.Interference = &InterferenceConfig{Cores: 1, PeriodCycles: 100}
+	if _, err := NewMulticore(cfg, nil); err == nil {
+		t.Error("interference + co-runners accepted")
+	}
+	if _, err := NewMulticore(RAND(), []Workload{app}); err != nil {
+		t.Errorf("valid multicore rejected: %v", err)
+	}
+}
+
+func TestMulticoreSoloMatchesSinglecore(t *testing.T) {
+	// With no co-runners, the co-simulation must reproduce the
+	// single-core platform's cycle count exactly (same seed derivation
+	// differs, so compare against a Multicore-run with zero co-runners
+	// twice for determinism, and against plausibility bounds).
+	app := tinyTVCA(t)
+	mc, err := NewMulticore(RAND(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := mc.Run(app, 3, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := mc.Run(app, 3, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Measured != r2.Measured {
+		t.Errorf("solo multicore not deterministic: %+v vs %+v", r1.Measured, r2.Measured)
+	}
+	if r1.Measured.Cycles == 0 || r1.Measured.Instructions == 0 {
+		t.Errorf("empty measurement %+v", r1.Measured)
+	}
+}
+
+func TestMulticoreDeterministicWithCoRunners(t *testing.T) {
+	app := tinyTVCA(t)
+	co := streamer{lines: 256}
+	mc, err := NewMulticore(RAND(), []Workload{co, co, co})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first MulticoreResult
+	for trial := 0; trial < 5; trial++ {
+		r, err := mc.Run(app, 1, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trial == 0 {
+			first = r
+			continue
+		}
+		if r.Measured != first.Measured {
+			t.Fatalf("trial %d: measured %+v != %+v (goroutine-schedule dependence!)",
+				trial, r.Measured, first.Measured)
+		}
+	}
+}
+
+func TestMulticoreContentionSlowsMeasuredCore(t *testing.T) {
+	app := tinyTVCA(t)
+	solo, err := NewMulticore(RAND(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := NewMulticore(RAND(), []Workload{
+		streamer{lines: 512}, streamer{lines: 512}, streamer{lines: 512},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slower := 0
+	for run := 0; run < 4; run++ {
+		rs, err := solo.Run(app, run, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rn, err := noisy.Run(app, run, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rn.Measured.Cycles > rs.Measured.Cycles {
+			slower++
+		}
+		if rn.BusStats.WaitCycles == 0 {
+			t.Error("no bus contention recorded with 3 streaming co-runners")
+		}
+	}
+	if slower < 4 {
+		t.Errorf("contention slowed only %d/4 runs", slower)
+	}
+}
+
+func TestMulticoreCoRunnersMakeProgress(t *testing.T) {
+	app := tinyTVCA(t)
+	mc, err := NewMulticore(RAND(), []Workload{streamer{lines: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := mc.Run(app, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.CoRunnerIterations) != 1 {
+		t.Fatalf("iterations %v", r.CoRunnerIterations)
+	}
+	if r.CoRunnerIterations[0] == 0 {
+		t.Error("co-runner completed no iterations during the measured run")
+	}
+}
+
+func TestMulticoreArchitecturalResultUnaffected(t *testing.T) {
+	// Contention changes timing, never results: the measured path must
+	// match the single-core platform's for the same run index.
+	app := tinyTVCA(t)
+	p, err := New(RAND())
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := p.Run(app, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := NewMulticore(RAND(), []Workload{streamer{lines: 256}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := mc.Run(app, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Path != multi.Measured.Path {
+		t.Errorf("path %q != %q", single.Path, multi.Measured.Path)
+	}
+	if single.Instructions != multi.Measured.Instructions {
+		t.Errorf("instructions %d != %d", single.Instructions, multi.Measured.Instructions)
+	}
+}
+
+// failingWorkload errors at Prepare to test propagation.
+type failingWorkload struct{}
+
+func (failingWorkload) Name() string { return "failing" }
+func (failingWorkload) Prepare(int) (*isa.Machine, error) {
+	return nil, errTest
+}
+func (failingWorkload) PathOf(*isa.Machine) string { return "" }
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "synthetic failure" }
+
+func TestMulticoreCoRunnerErrorPropagates(t *testing.T) {
+	app := tinyTVCA(t)
+	mc, err := NewMulticore(RAND(), []Workload{failingWorkload{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mc.Run(app, 0, 1); err == nil ||
+		!strings.Contains(err.Error(), "synthetic failure") {
+		t.Errorf("co-runner error not propagated: %v", err)
+	}
+}
+
+func TestMulticoreMeasuredErrorPropagates(t *testing.T) {
+	mc, err := NewMulticore(RAND(), []Workload{streamer{lines: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mc.Run(failingWorkload{}, 0, 1); err == nil ||
+		!strings.Contains(err.Error(), "synthetic failure") {
+		t.Errorf("measured-core error not propagated: %v", err)
+	}
+}
+
+func TestMulticoreSeedsChangeTiming(t *testing.T) {
+	// Needs the cache-pressured workload geometry: the tiny test app
+	// fits in the caches and is placement-insensitive.
+	cfg := tvca.DefaultConfig()
+	cfg.Frames = 4
+	app, err := tvca.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := NewMulticore(RAND(), []Workload{streamer{lines: 1024}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]bool)
+	for seed := uint64(1); seed <= 8; seed++ {
+		r, err := mc.Run(app, 1, seed*7919)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[r.Measured.Cycles] = true
+	}
+	if len(seen) < 4 {
+		t.Errorf("only %d distinct timings over 8 seeds", len(seen))
+	}
+}

@@ -1,0 +1,170 @@
+package platform
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// TaskAware is a Workload that exposes its task layout (PC spans),
+// enabling per-job execution-time measurement — the input to per-task
+// MBPTA and probabilistic response-time analysis. PCs outside every
+// span (the dispatcher / cyclic executive glue) belong to no task.
+type TaskAware interface {
+	Workload
+	TaskSpans() []isa.Span
+}
+
+// ValidateSpans checks that spans are well-formed and disjoint.
+func ValidateSpans(spans []isa.Span) error {
+	if len(spans) == 0 {
+		return fmt.Errorf("platform: no task spans")
+	}
+	s := append([]isa.Span(nil), spans...)
+	sort.Slice(s, func(i, j int) bool { return s[i].Start < s[j].Start })
+	for i, sp := range s {
+		if sp.End <= sp.Start {
+			return fmt.Errorf("platform: span %q empty [%#x,%#x)", sp.Name, sp.Start, sp.End)
+		}
+		if i > 0 && sp.Start < s[i-1].End {
+			return fmt.Errorf("platform: spans %q and %q overlap", s[i-1].Name, sp.Name)
+		}
+	}
+	return nil
+}
+
+// JobTimes maps task name to the per-job execution times (cycles) in
+// activation order. Cycles spent outside every span are reported under
+// the pseudo-task "(dispatcher)" as a single figure per run.
+type JobTimes map[string][]uint64
+
+// RunPerTask performs one protocol-compliant measurement of w,
+// additionally attributing cycles to task jobs by PC span. A job starts
+// when execution enters a task's span and ends when it leaves it; the
+// cyclic executive of the case study calls each task body once per
+// activation, so jobs are contiguous (the measurement does not support
+// preemption inside a span).
+func (p *Platform) RunPerTask(w TaskAware, run int, runSeed uint64) (RunResult, JobTimes, error) {
+	spans := w.TaskSpans()
+	if err := ValidateSpans(spans); err != nil {
+		return RunResult{}, nil, err
+	}
+	m, err := w.Prepare(run)
+	if err != nil {
+		return RunResult{}, nil, fmt.Errorf("platform %s: prepare run %d: %w", p.cfg.Name, run, err)
+	}
+	p.PrepareRun(runSeed)
+
+	jobs := make(JobTimes)
+	spanOf := func(pc uint64) int {
+		for i := range spans {
+			if pc >= spans[i].Start && pc < spans[i].End {
+				return i
+			}
+		}
+		return -1
+	}
+	current := -1 // span index of the running job
+	var jobCycles, dispatchCycles uint64
+	prev := p.core.Cycle()
+	sink := func(ev isa.Event) {
+		p.core.Consume(ev)
+		now := p.core.Cycle()
+		delta := now - prev
+		prev = now
+		sp := spanOf(ev.PC)
+		if sp != current {
+			if current >= 0 {
+				name := spans[current].Name
+				jobs[name] = append(jobs[name], jobCycles)
+			}
+			current = sp
+			jobCycles = 0
+		}
+		if sp >= 0 {
+			jobCycles += delta
+		} else {
+			dispatchCycles += delta
+		}
+	}
+	if _, err := m.Run(sink); err != nil {
+		return RunResult{}, nil, fmt.Errorf("platform %s: run %d: %w", p.cfg.Name, run, err)
+	}
+	if current >= 0 {
+		jobs[spans[current].Name] = append(jobs[spans[current].Name], jobCycles)
+	}
+	jobs["(dispatcher)"] = []uint64{dispatchCycles}
+	return RunResult{
+		Cycles:       p.core.Cycle(),
+		Instructions: p.core.Stats().Instructions,
+		Path:         w.PathOf(m),
+	}, jobs, nil
+}
+
+// PerTaskCampaign runs a protocol-compliant campaign with per-task
+// attribution: the result maps each task to the concatenated per-job
+// execution times across all runs (in run, then activation order) —
+// directly analyzable with the MBPTA pipeline per task.
+func PerTaskCampaign(cfg Config, w TaskAware, opts CampaignOptions) (map[string][]float64, error) {
+	if opts.Runs < 1 {
+		return nil, fmt.Errorf("platform: campaign needs >= 1 run, got %d", opts.Runs)
+	}
+	p, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]float64)
+	for run := 0; run < opts.Runs; run++ {
+		_, jobs, err := p.RunPerTask(w, run, DeriveRunSeed(opts.BaseSeed, run))
+		if err != nil {
+			return nil, err
+		}
+		for task, times := range jobs {
+			if task == "(dispatcher)" {
+				continue
+			}
+			for _, t := range times {
+				out[task] = append(out[task], float64(t))
+			}
+		}
+	}
+	return out, nil
+}
+
+// PerTaskWorstCampaign is the per-task campaign a certification-grade
+// analysis actually uses: for each run, each task contributes its
+// WORST job time. Within one run consecutive jobs of a task share
+// warmed cache state and are therefore correlated (the i.i.d. gate
+// rightly rejects concatenated job series); per-run maxima are i.i.d.
+// across protocol-compliant runs and upper-bound every activation, so
+// the fitted pWCET conservatively covers all jobs.
+func PerTaskWorstCampaign(cfg Config, w TaskAware, opts CampaignOptions) (map[string][]float64, error) {
+	if opts.Runs < 1 {
+		return nil, fmt.Errorf("platform: campaign needs >= 1 run, got %d", opts.Runs)
+	}
+	p, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]float64)
+	for run := 0; run < opts.Runs; run++ {
+		_, jobs, err := p.RunPerTask(w, run, DeriveRunSeed(opts.BaseSeed, run))
+		if err != nil {
+			return nil, err
+		}
+		for task, times := range jobs {
+			if task == "(dispatcher)" {
+				continue
+			}
+			worst := uint64(0)
+			for _, t := range times {
+				if t > worst {
+					worst = t
+				}
+			}
+			out[task] = append(out[task], float64(worst))
+		}
+	}
+	return out, nil
+}

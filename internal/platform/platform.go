@@ -1,0 +1,324 @@
+// Package platform composes the substrate models (cores, caches, TLBs,
+// FPU, bus, DRAM) into the two processor builds the paper compares:
+//
+//   - DET: the baseline deterministic LEON3 — modulo placement, LRU
+//     replacement, operation-mode (operand-dependent) FPU. This is the
+//     platform industrial MBTA practice measures, inflating the
+//     high-watermark by an engineering factor.
+//   - RAND: the MBPTA-compliant build — random-modulo placement and
+//     random replacement in IL1/DL1, random replacement in ITLB/DTLB,
+//     analysis-mode (fixed worst-case) FDIV/FSQRT.
+//
+// The package also implements the paper's measurement protocol: for
+// every run the caches and TLBs are flushed, the board (bus, DRAM, core
+// clock) is reset, the binary is reloaded (fresh machine + data
+// segments) and a new PRNG seed is installed.
+package platform
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/fpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/rng"
+	"repro/internal/tlb"
+)
+
+// Config is a full platform description.
+type Config struct {
+	Name       string
+	Cores      int
+	CoreParams cpu.Params
+	IL1        cache.Config
+	DL1        cache.Config
+	ITLB       tlb.Config
+	DTLB       tlb.Config
+	FPUMode    fpu.Mode
+	FPULat     fpu.Latencies
+	Bus        bus.Config
+	DRAM       mem.Config
+	RNGKind    rng.Kind
+	// Interference, when non-nil, attaches synthetic bus traffic from
+	// the other cores (co-runner model).
+	Interference *InterferenceConfig
+}
+
+// InterferenceConfig models co-runner bus pressure: each of the other
+// cores issues one line-fill-sized bus transaction every PeriodCycles,
+// with the phase jittered per run on the RAND platform.
+type InterferenceConfig struct {
+	Cores        int    // number of interfering cores (<= Config.Cores-1)
+	PeriodCycles uint64 // mean cycles between transactions per core
+	Randomize    bool   // randomize phases/periods per run (RAND platform)
+}
+
+// Validate checks the full configuration.
+func (c Config) Validate() error {
+	if c.Cores < 1 {
+		return fmt.Errorf("platform %q: cores %d < 1", c.Name, c.Cores)
+	}
+	if err := c.CoreParams.Validate(); err != nil {
+		return err
+	}
+	for _, cc := range []cache.Config{c.IL1, c.DL1} {
+		if err := cc.Validate(); err != nil {
+			return err
+		}
+	}
+	for _, tc := range []tlb.Config{c.ITLB, c.DTLB} {
+		if err := tc.Validate(); err != nil {
+			return err
+		}
+	}
+	if err := c.FPULat.Validate(); err != nil {
+		return err
+	}
+	switch c.FPUMode {
+	case fpu.ModeAnalysis, fpu.ModeOperation:
+	default:
+		return fmt.Errorf("platform %q: bad FPU mode %q", c.Name, c.FPUMode)
+	}
+	if err := c.Bus.Validate(); err != nil {
+		return err
+	}
+	if err := c.DRAM.Validate(); err != nil {
+		return err
+	}
+	if ic := c.Interference; ic != nil {
+		if ic.Cores < 1 || ic.Cores > c.Cores-1 {
+			return fmt.Errorf("platform %q: interference cores %d not in [1,%d]",
+				c.Name, ic.Cores, c.Cores-1)
+		}
+		if ic.PeriodCycles < 1 {
+			return fmt.Errorf("platform %q: interference period %d < 1", c.Name, ic.PeriodCycles)
+		}
+	}
+	return nil
+}
+
+// reference geometry shared by both builds: 16KB 4-way 32B-line L1s,
+// 64-entry TLBs, 4 cores, per the paper's platform section.
+func baseConfig(name string) Config {
+	return Config{
+		Name:       name,
+		Cores:      4,
+		CoreParams: cpu.DefaultParams(),
+		IL1: cache.Config{
+			Name: "IL1", SizeBytes: 16 * 1024, LineBytes: 32, Ways: 4,
+		},
+		DL1: cache.Config{
+			Name: "DL1", SizeBytes: 16 * 1024, LineBytes: 32, Ways: 4,
+			WriteAllocate: false, // write-through no-write-allocate
+		},
+		ITLB: tlb.Config{
+			Name: "ITLB", Entries: 64, PageBytes: 4096, WalkAccesses: 2,
+		},
+		DTLB: tlb.Config{
+			Name: "DTLB", Entries: 64, PageBytes: 4096, WalkAccesses: 2,
+		},
+		FPULat:  fpu.DefaultLatencies(),
+		Bus:     bus.Config{TransferCycles: 4, Cores: 4},
+		DRAM:    mem.DefaultConfig(),
+		RNGKind: rng.KindXoroshiro,
+	}
+}
+
+// DET returns the deterministic baseline platform configuration.
+func DET() Config {
+	c := baseConfig("DET")
+	c.IL1.Placement = cache.PlacementModulo
+	c.IL1.Replacement = cache.ReplaceLRU
+	c.DL1.Placement = cache.PlacementModulo
+	c.DL1.Replacement = cache.ReplaceLRU
+	c.ITLB.Replacement = tlb.ReplaceLRU
+	c.DTLB.Replacement = tlb.ReplaceLRU
+	c.FPUMode = fpu.ModeOperation
+	return c
+}
+
+// RAND returns the MBPTA-compliant time-randomized platform
+// configuration.
+func RAND() Config {
+	c := baseConfig("RAND")
+	c.IL1.Placement = cache.PlacementRandomModulo
+	c.IL1.Replacement = cache.ReplaceRandom
+	c.DL1.Placement = cache.PlacementRandomModulo
+	c.DL1.Replacement = cache.ReplaceRandom
+	c.ITLB.Replacement = tlb.ReplaceRandom
+	c.DTLB.Replacement = tlb.ReplaceRandom
+	c.FPUMode = fpu.ModeAnalysis
+	return c
+}
+
+// Platform is one instantiated board. Only core 0 executes the workload
+// (as in the case study); the other cores contribute interference when
+// configured. Not safe for concurrent use — campaigns instantiate one
+// Platform per worker.
+type Platform struct {
+	cfg   Config
+	core  *cpu.Core
+	bus   *bus.Bus
+	dram  *mem.Controller
+	il1   *cache.Cache
+	dl1   *cache.Cache
+	itlb  *tlb.TLB
+	dtlb  *tlb.TLB
+	rsrc  *rng.Xoroshiro128 // hardware randomness (replacement policies)
+	seedr *rng.SplitMix64   // derives per-resource seeds from the run seed
+	icx   *interferingBus
+}
+
+// New instantiates a platform from cfg.
+func New(cfg Config) (*Platform, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Platform{cfg: cfg}
+	p.rsrc = rng.NewXoroshiro128(1)
+	p.seedr = rng.NewSplitMix64(1)
+	var err error
+	if p.il1, err = cache.New(cfg.IL1, p.rsrc); err != nil {
+		return nil, err
+	}
+	if p.dl1, err = cache.New(cfg.DL1, p.rsrc); err != nil {
+		return nil, err
+	}
+	if p.itlb, err = tlb.New(cfg.ITLB, p.rsrc); err != nil {
+		return nil, err
+	}
+	if p.dtlb, err = tlb.New(cfg.DTLB, p.rsrc); err != nil {
+		return nil, err
+	}
+	f, err := fpu.New(cfg.FPULat, cfg.FPUMode)
+	if err != nil {
+		return nil, err
+	}
+	if p.bus, err = bus.New(cfg.Bus); err != nil {
+		return nil, err
+	}
+	if p.dram, err = mem.New(cfg.DRAM); err != nil {
+		return nil, err
+	}
+	var ic cpu.Interconnect = cpu.BusMem{Bus: p.bus, Mem: p.dram}
+	if cfg.Interference != nil {
+		p.icx = newInterferingBus(p.bus, p.dram, *cfg.Interference)
+		ic = p.icx
+	}
+	if p.core, err = cpu.NewCore(0, cfg.CoreParams, p.il1, p.dl1, p.itlb, p.dtlb, f, ic); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Config returns the platform configuration.
+func (p *Platform) Config() Config { return p.cfg }
+
+// Core returns the measured core (core 0).
+func (p *Platform) Core() *cpu.Core { return p.core }
+
+// PrepareRun applies the paper's per-run protocol: flush caches and
+// TLBs, reset the board, and install a fresh seed derived from runSeed
+// for every randomized resource.
+func (p *Platform) PrepareRun(runSeed uint64) {
+	p.core.Reset()
+	p.core.FlushAll()
+	p.bus.Reset()
+	p.dram.Reset()
+	p.seedr.Seed(runSeed)
+	p.il1.Reseed(p.seedr.Uint64())
+	p.dl1.Reseed(p.seedr.Uint64())
+	p.rsrc.Seed(p.seedr.Uint64())
+	if p.icx != nil {
+		p.icx.reset(p.seedr.Uint64())
+	}
+}
+
+// RunResult is the outcome of one measurement run.
+type RunResult struct {
+	Cycles       uint64
+	Instructions uint64
+	Path         string // workload path identifier ("" if single-path)
+}
+
+// Workload is a program under analysis. Prepare must return a fresh
+// machine for run index run ("reload the executable": new memory image,
+// per-run input vector). PathOf classifies the executed path after the
+// run for per-path analysis; return "" for single-path programs.
+type Workload interface {
+	Name() string
+	Prepare(run int) (*isa.Machine, error)
+	PathOf(m *isa.Machine) string
+}
+
+// Run performs one protocol-compliant measurement of w.
+func (p *Platform) Run(w Workload, run int, runSeed uint64) (RunResult, error) {
+	m, err := w.Prepare(run)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("platform %s: prepare run %d: %w", p.cfg.Name, run, err)
+	}
+	p.PrepareRun(runSeed)
+	cycles, err := p.core.RunProgram(m)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("platform %s: run %d: %w", p.cfg.Name, run, err)
+	}
+	return RunResult{
+		Cycles:       cycles,
+		Instructions: p.core.Stats().Instructions,
+		Path:         w.PathOf(m),
+	}, nil
+}
+
+// interferingBus wraps the shared bus, injecting co-runner transactions
+// with timestamps interleaved against the measured core's requests.
+type interferingBus struct {
+	inner cpu.BusMem
+	cfg   InterferenceConfig
+	next  []uint64 // next injection time per interfering core
+	rnd   *rng.Xoroshiro128
+}
+
+func newInterferingBus(b *bus.Bus, d *mem.Controller, cfg InterferenceConfig) *interferingBus {
+	return &interferingBus{
+		inner: cpu.BusMem{Bus: b, Mem: d},
+		cfg:   cfg,
+		next:  make([]uint64, cfg.Cores),
+		rnd:   rng.NewXoroshiro128(0),
+	}
+}
+
+func (ib *interferingBus) reset(seed uint64) {
+	ib.rnd.Seed(seed)
+	for i := range ib.next {
+		if ib.cfg.Randomize {
+			ib.next[i] = uint64(rng.Intn(ib.rnd, int(ib.cfg.PeriodCycles))) + 1
+		} else {
+			// Deterministic phase: evenly staggered.
+			ib.next[i] = (uint64(i) + 1) * ib.cfg.PeriodCycles / uint64(len(ib.next)+1)
+		}
+	}
+}
+
+// Request injects all due interference traffic before granting the
+// measured core's request, preserving global FCFS order.
+func (ib *interferingBus) Request(core int, t uint64, kind bus.Kind, addr uint64) (uint64, uint64) {
+	for i := range ib.next {
+		for ib.next[i] <= t {
+			// Synthetic co-runner fill: the address only matters for the
+			// open-page DRAM ablation; spread it across rows.
+			ib.inner.Request(i+1, ib.next[i], bus.KindLineFill, ib.next[i]<<6)
+			if ib.cfg.Randomize {
+				ib.next[i] += uint64(rng.Intn(ib.rnd, int(2*ib.cfg.PeriodCycles))) + 1
+			} else {
+				ib.next[i] += ib.cfg.PeriodCycles
+			}
+		}
+	}
+	return ib.inner.Request(core, t, kind, addr)
+}
+
+// TransferCycles forwards the bus occupancy.
+func (ib *interferingBus) TransferCycles() uint64 { return ib.inner.TransferCycles() }

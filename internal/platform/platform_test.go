@@ -1,0 +1,330 @@
+package platform
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/fpu"
+	"repro/internal/isa"
+	"repro/internal/tlb"
+	"repro/internal/tvca"
+)
+
+func smallTVCA(t *testing.T) *tvca.App {
+	t.Helper()
+	cfg := tvca.DefaultConfig()
+	cfg.Frames = 8 // halve the run length; keep the cache pressure
+	app, err := tvca.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+func TestConfigsValidate(t *testing.T) {
+	for _, cfg := range []Config{DET(), RAND()} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestPaperGeometry(t *testing.T) {
+	for _, cfg := range []Config{DET(), RAND()} {
+		if cfg.Cores != 4 {
+			t.Errorf("%s: cores = %d, want 4", cfg.Name, cfg.Cores)
+		}
+		for _, cc := range []cache.Config{cfg.IL1, cfg.DL1} {
+			if cc.SizeBytes != 16*1024 || cc.Ways != 4 {
+				t.Errorf("%s/%s: geometry %d/%d-way, want 16KB 4-way",
+					cfg.Name, cc.Name, cc.SizeBytes, cc.Ways)
+			}
+		}
+		if cfg.DL1.WriteAllocate {
+			t.Errorf("%s: DL1 must be no-write-allocate", cfg.Name)
+		}
+		for _, tc := range []tlb.Config{cfg.ITLB, cfg.DTLB} {
+			if tc.Entries != 64 {
+				t.Errorf("%s/%s: %d entries, want 64", cfg.Name, tc.Name, tc.Entries)
+			}
+		}
+	}
+}
+
+func TestDETvsRANDPolicies(t *testing.T) {
+	det, rand := DET(), RAND()
+	if det.IL1.Placement != cache.PlacementModulo || det.IL1.Replacement != cache.ReplaceLRU {
+		t.Error("DET IL1 policies wrong")
+	}
+	if det.FPUMode != fpu.ModeOperation {
+		t.Error("DET FPU mode wrong")
+	}
+	if rand.IL1.Placement != cache.PlacementRandomModulo || rand.IL1.Replacement != cache.ReplaceRandom {
+		t.Error("RAND IL1 policies wrong")
+	}
+	if rand.ITLB.Replacement != tlb.ReplaceRandom || rand.DTLB.Replacement != tlb.ReplaceRandom {
+		t.Error("RAND TLB policies wrong")
+	}
+	if rand.FPUMode != fpu.ModeAnalysis {
+		t.Error("RAND FPU mode wrong")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	c := DET()
+	c.Cores = 0
+	if err := c.Validate(); err == nil {
+		t.Error("cores=0 accepted")
+	}
+	c = DET()
+	c.FPUMode = "turbo"
+	if err := c.Validate(); err == nil {
+		t.Error("bad FPU mode accepted")
+	}
+	c = RAND()
+	c.Interference = &InterferenceConfig{Cores: 5, PeriodCycles: 100}
+	if err := c.Validate(); err == nil {
+		t.Error("too many interfering cores accepted")
+	}
+	c = RAND()
+	c.Interference = &InterferenceConfig{Cores: 1, PeriodCycles: 0}
+	if err := c.Validate(); err == nil {
+		t.Error("zero interference period accepted")
+	}
+}
+
+func TestDETRunsAreBitIdenticalAcrossSeeds(t *testing.T) {
+	// The deterministic platform must produce the same cycle count for
+	// the same run (same inputs) regardless of the run seed.
+	app := smallTVCA(t)
+	p, err := New(DET())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := p.Run(app, 5, 111)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p.Run(app, 5, 999999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles {
+		t.Errorf("DET cycles differ across seeds: %d vs %d", r1.Cycles, r2.Cycles)
+	}
+}
+
+func TestRANDRunsVaryAcrossSeeds(t *testing.T) {
+	app := smallTVCA(t)
+	p, err := New(RAND())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]bool)
+	for seed := uint64(1); seed <= 12; seed++ {
+		r, err := p.Run(app, 5, seed*7919)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[r.Cycles] = true
+	}
+	if len(seen) < 6 {
+		t.Errorf("RAND produced only %d distinct times over 12 seeds", len(seen))
+	}
+}
+
+func TestRunReproducibleGivenSeed(t *testing.T) {
+	app := smallTVCA(t)
+	for _, cfg := range []Config{DET(), RAND()} {
+		p1, _ := New(cfg)
+		p2, _ := New(cfg)
+		a, err := p1.Run(app, 3, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := p2.Run(app, 3, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Cycles != b.Cycles || a.Path != b.Path || a.Instructions != b.Instructions {
+			t.Errorf("%s: runs with same seed differ: %+v vs %+v", cfg.Name, a, b)
+		}
+	}
+}
+
+func TestArchitecturalResultsPlatformIndependent(t *testing.T) {
+	// Timing differs between DET and RAND but the computed outputs and
+	// executed path must be identical — the same binary and inputs.
+	app := smallTVCA(t)
+	det, _ := New(DET())
+	rand, _ := New(RAND())
+	for run := 0; run < 5; run++ {
+		rd, err := det.Run(app, run, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := rand.Run(app, run, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rd.Path != rr.Path {
+			t.Errorf("run %d: path %q (DET) != %q (RAND)", run, rd.Path, rr.Path)
+		}
+		if rd.Instructions != rr.Instructions {
+			t.Errorf("run %d: instructions %d != %d", run, rd.Instructions, rr.Instructions)
+		}
+	}
+}
+
+func TestCampaignDeterministicAndOrdered(t *testing.T) {
+	app := smallTVCA(t)
+	opts := CampaignOptions{Runs: 24, BaseSeed: 7, Parallel: 4}
+	c1, err := RunCampaign(RAND(), app, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallel = 1
+	c2, err := RunCampaign(RAND(), app, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c1.Results) != 24 || len(c2.Results) != 24 {
+		t.Fatal("wrong result count")
+	}
+	for i := range c1.Results {
+		if c1.Results[i] != c2.Results[i] {
+			t.Fatalf("run %d differs between parallel and serial: %+v vs %+v",
+				i, c1.Results[i], c2.Results[i])
+		}
+	}
+	if c1.Platform != "RAND" || c1.Workload != "TVCA" {
+		t.Errorf("labels %q %q", c1.Platform, c1.Workload)
+	}
+}
+
+func TestCampaignTimesAndPaths(t *testing.T) {
+	app := smallTVCA(t)
+	c, err := RunCampaign(RAND(), app, CampaignOptions{Runs: 30, BaseSeed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := c.Times()
+	if len(times) != 30 {
+		t.Fatal("times length")
+	}
+	for _, v := range times {
+		if v <= 0 {
+			t.Fatal("non-positive execution time")
+		}
+	}
+	byPath := c.TimesByPath()
+	total := 0
+	for _, ts := range byPath {
+		total += len(ts)
+	}
+	if total != 30 {
+		t.Errorf("per-path counts sum to %d", total)
+	}
+}
+
+func TestCampaignRejectsZeroRuns(t *testing.T) {
+	app := smallTVCA(t)
+	if _, err := RunCampaign(RAND(), app, CampaignOptions{Runs: 0}); err == nil {
+		t.Error("zero runs accepted")
+	}
+}
+
+func TestDeriveRunSeedDistinct(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 10000; i++ {
+		s := DeriveRunSeed(42, i)
+		if seen[s] {
+			t.Fatalf("duplicate seed at run %d", i)
+		}
+		seen[s] = true
+	}
+}
+
+func TestInterferenceSlowsDownRuns(t *testing.T) {
+	app := smallTVCA(t)
+	base := RAND()
+	noisy := RAND()
+	noisy.Interference = &InterferenceConfig{Cores: 3, PeriodCycles: 50, Randomize: true}
+	pBase, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pNoisy, err := New(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slower := 0
+	for run := 0; run < 5; run++ {
+		rb, err := pBase.Run(app, run, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rn, err := pNoisy.Run(app, run, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rn.Cycles > rb.Cycles {
+			slower++
+		}
+	}
+	if slower < 4 {
+		t.Errorf("interference made only %d/5 runs slower", slower)
+	}
+}
+
+func TestInterferenceDeterministicMode(t *testing.T) {
+	app := smallTVCA(t)
+	cfg := DET()
+	cfg.Interference = &InterferenceConfig{Cores: 2, PeriodCycles: 100, Randomize: false}
+	p1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := p1.Run(app, 0, 1)
+	r2, _ := p2.Run(app, 0, 2) // different seed, deterministic interference
+	if r1.Cycles != r2.Cycles {
+		t.Errorf("deterministic interference varies with seed: %d vs %d", r1.Cycles, r2.Cycles)
+	}
+}
+
+// trivialWorkload exercises the Workload plumbing with a 3-instruction
+// program.
+type trivialWorkload struct{}
+
+func (trivialWorkload) Name() string { return "trivial" }
+func (trivialWorkload) Prepare(run int) (*isa.Machine, error) {
+	b := isa.NewBuilder("trivial", 0)
+	b.Li(1, int32(run)).Halt()
+	p, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return isa.NewMachine(p, isa.NewMemory()), nil
+}
+func (trivialWorkload) PathOf(*isa.Machine) string { return "" }
+
+func TestTrivialWorkloadRuns(t *testing.T) {
+	p, err := New(DET())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.Run(trivialWorkload{}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Instructions != 2 {
+		t.Errorf("instructions = %d, want 2", r.Instructions)
+	}
+	if r.Path != "" {
+		t.Errorf("path = %q", r.Path)
+	}
+}

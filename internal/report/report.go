@@ -1,0 +1,205 @@
+// Package report renders the paper's figures and tables as ASCII for
+// terminals and as CSV series for external plotting: the pWCET
+// exceedance plot of Figure 2 (log-scale Y), the MBPTA-vs-DET bar
+// comparison of Figure 3, and aligned key/value tables.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line of an exceedance plot: execution times with
+// their exceedance probabilities.
+type Series struct {
+	Name  string
+	Times []float64
+	Probs []float64
+}
+
+// ExceedancePlot renders series on a log10(probability) Y axis between
+// 1 and floor (e.g. 1e-16), mapping execution time to the X axis —
+// the layout of the paper's Figure 2.
+func ExceedancePlot(w io.Writer, title string, floor float64, width, height int, series ...Series) error {
+	if width < 20 || height < 5 {
+		return fmt.Errorf("report: plot area %dx%d too small", width, height)
+	}
+	if floor <= 0 || floor >= 1 {
+		return fmt.Errorf("report: floor %g outside (0,1)", floor)
+	}
+	var tmin, tmax float64
+	first := true
+	for _, s := range series {
+		if len(s.Times) != len(s.Probs) {
+			return fmt.Errorf("report: series %q length mismatch", s.Name)
+		}
+		for i, t := range s.Times {
+			if s.Probs[i] <= 0 {
+				continue
+			}
+			if first {
+				tmin, tmax, first = t, t, false
+			} else {
+				tmin = math.Min(tmin, t)
+				tmax = math.Max(tmax, t)
+			}
+		}
+	}
+	if first || tmax == tmin {
+		return fmt.Errorf("report: nothing to plot")
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	logFloor := math.Log10(floor)
+	marks := []byte{'*', '+', 'o', 'x', '#'}
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for i, t := range s.Times {
+			p := s.Probs[i]
+			if p <= 0 {
+				continue
+			}
+			lp := math.Log10(p)
+			if lp < logFloor {
+				continue
+			}
+			col := int(math.Round((t - tmin) / (tmax - tmin) * float64(width-1)))
+			row := int(math.Round(lp / logFloor * float64(height-1)))
+			if row >= 0 && row < height && col >= 0 && col < width {
+				grid[row][col] = mark
+			}
+		}
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	for r := 0; r < height; r++ {
+		exp := logFloor * float64(r) / float64(height-1)
+		if exp == 0 {
+			exp = 0 // normalize IEEE negative zero so the axis reads 1e0
+		}
+		fmt.Fprintf(w, "1e%-4.0f |%s|\n", exp, grid[r])
+	}
+	fmt.Fprintf(w, "       %s\n", strings.Repeat("-", width+2))
+	fmt.Fprintf(w, "       %-*.4g%*.4g\n", width/2, tmin, width-width/2+2, tmax)
+	legend := make([]string, len(series))
+	for i, s := range series {
+		legend[i] = fmt.Sprintf("%c=%s", marks[i%len(marks)], s.Name)
+	}
+	fmt.Fprintf(w, "       X: execution time (cycles); Y: exceedance probability. %s\n",
+		strings.Join(legend, "  "))
+	return nil
+}
+
+// Bar is one labelled value of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders horizontal bars scaled to the maximum value — the
+// layout of the paper's Figure 3 comparison.
+func BarChart(w io.Writer, title string, width int, bars []Bar) error {
+	if len(bars) == 0 {
+		return fmt.Errorf("report: no bars")
+	}
+	if width < 10 {
+		return fmt.Errorf("report: width %d too small", width)
+	}
+	maxv := bars[0].Value
+	maxl := len(bars[0].Label)
+	for _, b := range bars[1:] {
+		if b.Value > maxv {
+			maxv = b.Value
+		}
+		if len(b.Label) > maxl {
+			maxl = len(b.Label)
+		}
+	}
+	if maxv <= 0 {
+		return fmt.Errorf("report: non-positive maximum")
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	for _, b := range bars {
+		n := int(math.Round(b.Value / maxv * float64(width)))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(w, "  %-*s |%s%s %.4g\n", maxl, b.Label,
+			strings.Repeat("#", n), strings.Repeat(" ", width-n), b.Value)
+	}
+	return nil
+}
+
+// Table renders aligned two-column rows.
+func Table(w io.Writer, title string, rows [][2]string) {
+	if title != "" {
+		fmt.Fprintf(w, "%s\n", title)
+	}
+	maxk := 0
+	for _, r := range rows {
+		if len(r[0]) > maxk {
+			maxk = len(r[0])
+		}
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-*s  %s\n", maxk, r[0], r[1])
+	}
+}
+
+// CSV writes named columns of equal length as a CSV block (for external
+// plotting of the figures).
+func CSV(w io.Writer, headers []string, cols ...[]float64) error {
+	if len(headers) != len(cols) {
+		return fmt.Errorf("report: %d headers for %d columns", len(headers), len(cols))
+	}
+	if len(cols) == 0 {
+		return fmt.Errorf("report: no columns")
+	}
+	n := len(cols[0])
+	for _, c := range cols[1:] {
+		if len(c) != n {
+			return fmt.Errorf("report: ragged columns")
+		}
+	}
+	fmt.Fprintln(w, strings.Join(headers, ","))
+	for i := 0; i < n; i++ {
+		parts := make([]string, len(cols))
+		for j := range cols {
+			parts[j] = fmt.Sprintf("%g", cols[j][i])
+		}
+		fmt.Fprintln(w, strings.Join(parts, ","))
+	}
+	return nil
+}
+
+// HistogramChart renders a stats.Histogram-style bin/count pair list as
+// a vertical-bar ASCII distribution (used to compare the DET and RAND
+// execution-time distributions).
+func HistogramChart(w io.Writer, title string, width int, lo float64, binWidth float64, counts []int) error {
+	if len(counts) == 0 {
+		return fmt.Errorf("report: empty histogram")
+	}
+	if width < 10 {
+		return fmt.Errorf("report: width %d too small", width)
+	}
+	maxc := 0
+	for _, c := range counts {
+		if c > maxc {
+			maxc = c
+		}
+	}
+	if maxc == 0 {
+		return fmt.Errorf("report: all-zero histogram")
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	for i, c := range counts {
+		n := int(math.Round(float64(c) / float64(maxc) * float64(width)))
+		fmt.Fprintf(w, "  [%10.4g, %10.4g) |%s%s %d\n",
+			lo+float64(i)*binWidth, lo+float64(i+1)*binWidth,
+			strings.Repeat("#", n), strings.Repeat(" ", width-n), c)
+	}
+	return nil
+}

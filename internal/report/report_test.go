@@ -1,0 +1,143 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExceedancePlot(t *testing.T) {
+	times := []float64{100, 110, 120, 130, 140}
+	probs := []float64{1, 0.1, 0.01, 1e-4, 1e-8}
+	var buf bytes.Buffer
+	err := ExceedancePlot(&buf, "pWCET", 1e-10, 40, 10,
+		Series{Name: "projected", Times: times, Probs: probs},
+		Series{Name: "observed", Times: times[:3], Probs: probs[:3]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"pWCET", "*", "+", "projected", "observed", "1e0", "exceedance"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExceedancePlotErrors(t *testing.T) {
+	s := Series{Name: "x", Times: []float64{1, 2}, Probs: []float64{0.5, 0.1}}
+	var buf bytes.Buffer
+	if err := ExceedancePlot(&buf, "t", 1e-9, 5, 2, s); err == nil {
+		t.Error("tiny plot accepted")
+	}
+	if err := ExceedancePlot(&buf, "t", 2, 40, 10, s); err == nil {
+		t.Error("floor >= 1 accepted")
+	}
+	bad := Series{Name: "bad", Times: []float64{1}, Probs: []float64{0.1, 0.2}}
+	if err := ExceedancePlot(&buf, "t", 1e-9, 40, 10, bad); err == nil {
+		t.Error("ragged series accepted")
+	}
+	flat := Series{Name: "flat", Times: []float64{5, 5}, Probs: []float64{0.5, 0.1}}
+	if err := ExceedancePlot(&buf, "t", 1e-9, 40, 10, flat); err == nil {
+		t.Error("degenerate time range accepted")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	var buf bytes.Buffer
+	err := BarChart(&buf, "Fig3", 30, []Bar{
+		{Label: "DET avg", Value: 100},
+		{Label: "RAND avg", Value: 101},
+		{Label: "pWCET@1e-15", Value: 220},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Fig3") || !strings.Contains(out, "DET avg") {
+		t.Errorf("chart:\n%s", out)
+	}
+	// The largest bar must render the full width.
+	lines := strings.Split(out, "\n")
+	maxHashes := 0
+	for _, l := range lines {
+		n := strings.Count(l, "#")
+		if n > maxHashes {
+			maxHashes = n
+		}
+	}
+	if maxHashes != 30 {
+		t.Errorf("max bar %d hashes, want 30", maxHashes)
+	}
+}
+
+func TestBarChartErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := BarChart(&buf, "t", 30, nil); err == nil {
+		t.Error("no bars accepted")
+	}
+	if err := BarChart(&buf, "t", 5, []Bar{{"a", 1}}); err == nil {
+		t.Error("narrow chart accepted")
+	}
+	if err := BarChart(&buf, "t", 30, []Bar{{"a", 0}}); err == nil {
+		t.Error("all-zero bars accepted")
+	}
+}
+
+func TestTable(t *testing.T) {
+	var buf bytes.Buffer
+	Table(&buf, "i.i.d. tests", [][2]string{
+		{"Ljung-Box p-value", "0.83"},
+		{"KS p-value", "0.45"},
+	})
+	out := buf.String()
+	if !strings.Contains(out, "Ljung-Box p-value  0.83") {
+		t.Errorf("table misaligned:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := CSV(&buf, []string{"t", "p"}, []float64{1, 2}, []float64{0.5, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "t,p\n1,0.5\n2,0.25\n"
+	if buf.String() != want {
+		t.Errorf("csv = %q, want %q", buf.String(), want)
+	}
+	if err := CSV(&buf, []string{"a"}, []float64{1}, []float64{2}); err == nil {
+		t.Error("header/column mismatch accepted")
+	}
+	if err := CSV(&buf, []string{"a", "b"}, []float64{1}, []float64{2, 3}); err == nil {
+		t.Error("ragged columns accepted")
+	}
+	if err := CSV(&buf, nil); err == nil {
+		t.Error("no columns accepted")
+	}
+}
+
+func TestHistogramChart(t *testing.T) {
+	var buf bytes.Buffer
+	err := HistogramChart(&buf, "dist", 20, 100, 10, []int{1, 5, 3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "dist") || strings.Count(out, "\n") != 5 {
+		t.Errorf("histogram:\n%s", out)
+	}
+	// The modal bin renders full width.
+	if !strings.Contains(out, strings.Repeat("#", 20)) {
+		t.Error("modal bin not full width")
+	}
+	if err := HistogramChart(&buf, "t", 20, 0, 1, nil); err == nil {
+		t.Error("empty histogram accepted")
+	}
+	if err := HistogramChart(&buf, "t", 5, 0, 1, []int{1}); err == nil {
+		t.Error("narrow accepted")
+	}
+	if err := HistogramChart(&buf, "t", 20, 0, 1, []int{0, 0}); err == nil {
+		t.Error("all-zero accepted")
+	}
+}

@@ -1,0 +1,219 @@
+package rng
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// The health tests below follow the FIPS 140-2 single-bit-stream tests
+// (monobit, poker, runs, long run) plus the SP 800-90B repetition-count
+// test. The IEC-61508 SIL3 PRNG of the paper embeds comparable on-line
+// self-checks; a randomized cache whose PRNG silently degenerates would
+// void the probabilistic WCET argument, so the platform models consume
+// randomness through a Checked wrapper that continuously samples its
+// generator.
+
+// HealthReport summarizes one execution of the test battery over a
+// 20,000-bit stream (the FIPS 140-2 sample size).
+type HealthReport struct {
+	Ones       int     // monobit count of one bits
+	Poker      float64 // poker test statistic X
+	Runs       [6]int  // runs of length 1..5 and >=6, per polarity summed
+	GapRuns    [6]int  // runs of zeros
+	LongestRun int     // longest run of identical bits
+	Pass       bool    // overall verdict
+	Failures   []string
+}
+
+// String renders the report for logs and CLI output.
+func (r HealthReport) String() string {
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = fmt.Sprintf("FAIL %v", r.Failures)
+	}
+	return fmt.Sprintf("health{ones=%d poker=%.2f longest=%d %s}",
+		r.Ones, r.Poker, r.LongestRun, verdict)
+}
+
+// fips bit-stream length: 20,000 bits = 2,500 bytes = 312.5 uint64s.
+const fipsBits = 20000
+
+// CheckHealth runs the FIPS 140-2 battery on 20,000 bits drawn from s and
+// reports the outcome. The generator state advances.
+func CheckHealth(s Source) HealthReport {
+	var stream []uint64
+	for got := 0; got < fipsBits; got += 64 {
+		stream = append(stream, s.Uint64())
+	}
+	return checkBits(stream)
+}
+
+func checkBits(words []uint64) HealthReport {
+	var r HealthReport
+
+	// Monobit: count of ones in the first 20,000 bits must lie in
+	// (9,725, 10,275).
+	bitsSeen := 0
+	for _, w := range words {
+		take := 64
+		if fipsBits-bitsSeen < 64 {
+			take = fipsBits - bitsSeen
+			w >>= uint(64 - take)
+		}
+		r.Ones += bits.OnesCount64(w)
+		bitsSeen += take
+		if bitsSeen >= fipsBits {
+			break
+		}
+	}
+
+	// Poker: partition 20,000 bits into 5,000 nibbles, X =
+	// 16/5000 * sum(f_i^2) - 5000 must lie in (2.16, 46.17).
+	var freq [16]int
+	nibbles := 0
+	for _, w := range words {
+		for sh := 0; sh < 64 && nibbles < fipsBits/4; sh += 4 {
+			freq[(w>>uint(sh))&0xF]++
+			nibbles++
+		}
+		if nibbles >= fipsBits/4 {
+			break
+		}
+	}
+	sum := 0
+	for _, f := range freq {
+		sum += f * f
+	}
+	r.Poker = 16.0/5000.0*float64(sum) - 5000.0
+
+	// Runs and long-run over the same 20,000 bits.
+	prev := -1
+	runLen := 0
+	bitsSeen = 0
+	record := func() {
+		if runLen == 0 {
+			return
+		}
+		idx := runLen
+		if idx > 6 {
+			idx = 6
+		}
+		if prev == 1 {
+			r.Runs[idx-1]++
+		} else {
+			r.GapRuns[idx-1]++
+		}
+		if runLen > r.LongestRun {
+			r.LongestRun = runLen
+		}
+	}
+	for _, w := range words {
+		for i := 63; i >= 0 && bitsSeen < fipsBits; i-- {
+			b := int(w>>uint(i)) & 1
+			if b == prev {
+				runLen++
+			} else {
+				record()
+				prev, runLen = b, 1
+			}
+			bitsSeen++
+		}
+		if bitsSeen >= fipsBits {
+			break
+		}
+	}
+	record()
+
+	// FIPS 140-2 acceptance intervals.
+	r.Pass = true
+	fail := func(name string) {
+		r.Pass = false
+		r.Failures = append(r.Failures, name)
+	}
+	if r.Ones <= 9725 || r.Ones >= 10275 {
+		fail("monobit")
+	}
+	if r.Poker <= 2.16 || r.Poker >= 46.17 {
+		fail("poker")
+	}
+	lo := [6]int{2315, 1114, 527, 240, 103, 103}
+	hi := [6]int{2685, 1386, 723, 384, 209, 209}
+	for i := 0; i < 6; i++ {
+		if r.Runs[i] < lo[i] || r.Runs[i] > hi[i] {
+			fail(fmt.Sprintf("runs(1s,len=%d)", i+1))
+		}
+		if r.GapRuns[i] < lo[i] || r.GapRuns[i] > hi[i] {
+			fail(fmt.Sprintf("runs(0s,len=%d)", i+1))
+		}
+	}
+	if r.LongestRun >= 26 {
+		fail("long-run")
+	}
+	return r
+}
+
+// Checked wraps a Source with an SP 800-90B-style repetition-count test
+// executed on every output word, plus a periodic full FIPS battery. Once a
+// test trips, Err reports ErrUnhealthy; outputs keep flowing (the hardware
+// analogue raises a fault flag rather than halting the clock) so callers
+// can decide whether to abort the measurement campaign.
+type Checked struct {
+	src         Source
+	last        uint64
+	repeat      int
+	outputs     uint64
+	batteryEvry uint64
+	err         error
+	lastReport  HealthReport
+}
+
+// repetitionCutoff: with 64-bit outputs, even 3 identical consecutive
+// words has probability ~2^-128 for a healthy source; the standard cutoff
+// C = 1 + ceil(-log2(alpha)/H) with alpha=2^-20, H=64 gives 2. We allow
+// one repeat and flag at the second.
+const repetitionCutoff = 3
+
+// NewChecked wraps src; a full health battery runs at construction and
+// every batteryEvery outputs (0 disables periodic batteries).
+func NewChecked(src Source, batteryEvery uint64) *Checked {
+	c := &Checked{src: src, batteryEvry: batteryEvery}
+	c.lastReport = CheckHealth(src)
+	if !c.lastReport.Pass {
+		c.err = fmt.Errorf("%w: startup battery: %v", ErrUnhealthy, c.lastReport.Failures)
+	}
+	return c
+}
+
+// Seed reseeds the underlying source and clears the failure latch.
+func (c *Checked) Seed(seed uint64) {
+	c.src.Seed(seed)
+	c.last, c.repeat, c.outputs, c.err = 0, 0, 0, nil
+}
+
+// Uint64 returns the next output while running the repetition-count test.
+func (c *Checked) Uint64() uint64 {
+	v := c.src.Uint64()
+	if c.outputs > 0 && v == c.last {
+		c.repeat++
+		if c.repeat+1 >= repetitionCutoff && c.err == nil {
+			c.err = fmt.Errorf("%w: repetition count (value %#x repeated)", ErrUnhealthy, v)
+		}
+	} else {
+		c.repeat = 0
+	}
+	c.last = v
+	c.outputs++
+	if c.batteryEvry > 0 && c.outputs%c.batteryEvry == 0 {
+		c.lastReport = CheckHealth(c.src)
+		if !c.lastReport.Pass && c.err == nil {
+			c.err = fmt.Errorf("%w: periodic battery: %v", ErrUnhealthy, c.lastReport.Failures)
+		}
+	}
+	return v
+}
+
+// Err reports whether any online test has tripped since the last Seed.
+func (c *Checked) Err() error { return c.err }
+
+// LastReport returns the most recent full battery report.
+func (c *Checked) LastReport() HealthReport { return c.lastReport }

@@ -1,0 +1,361 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func allKinds() []Kind {
+	return []Kind{KindXoroshiro, KindMWC, KindLFSR, KindSplitMix}
+}
+
+func TestNewKnownKinds(t *testing.T) {
+	for _, k := range allKinds() {
+		s, err := New(k, 42)
+		if err != nil {
+			t.Fatalf("New(%q): %v", k, err)
+		}
+		if s == nil {
+			t.Fatalf("New(%q): nil source", k)
+		}
+	}
+}
+
+func TestNewDefaultKind(t *testing.T) {
+	s, err := New("", 1)
+	if err != nil {
+		t.Fatalf("New(\"\"): %v", err)
+	}
+	if _, ok := s.(*Xoroshiro128); !ok {
+		t.Errorf("default kind = %T, want *Xoroshiro128", s)
+	}
+}
+
+func TestNewUnknownKind(t *testing.T) {
+	if _, err := New("mersenne", 1); err == nil {
+		t.Error("New(unknown) succeeded, want error")
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	for _, k := range allKinds() {
+		a, _ := New(k, 12345)
+		b, _ := New(k, 12345)
+		for i := 0; i < 100; i++ {
+			if av, bv := a.Uint64(), b.Uint64(); av != bv {
+				t.Fatalf("%s: output %d differs: %#x vs %#x", k, i, av, bv)
+			}
+		}
+	}
+}
+
+func TestSeedChangesStream(t *testing.T) {
+	for _, k := range allKinds() {
+		a, _ := New(k, 1)
+		b, _ := New(k, 2)
+		same := 0
+		for i := 0; i < 64; i++ {
+			if a.Uint64() == b.Uint64() {
+				same++
+			}
+		}
+		if same > 2 {
+			t.Errorf("%s: seeds 1 and 2 share %d/64 outputs", k, same)
+		}
+	}
+}
+
+func TestReseedRestartsStream(t *testing.T) {
+	for _, k := range allKinds() {
+		s, _ := New(k, 7)
+		var first [8]uint64
+		for i := range first {
+			first[i] = s.Uint64()
+		}
+		s.Seed(7)
+		for i := range first {
+			if got := s.Uint64(); got != first[i] {
+				t.Fatalf("%s: after reseed output %d = %#x, want %#x", k, i, got, first[i])
+			}
+		}
+	}
+}
+
+func TestZeroSeedNotDegenerate(t *testing.T) {
+	for _, k := range allKinds() {
+		s, _ := New(k, 0)
+		zeros := 0
+		for i := 0; i < 32; i++ {
+			if s.Uint64() == 0 {
+				zeros++
+			}
+		}
+		if zeros > 1 {
+			t.Errorf("%s: zero seed produced %d zero outputs in 32", k, zeros)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := NewXoroshiro128(99)
+	for _, n := range []int{1, 2, 3, 7, 16, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := Intn(s, n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	Intn(NewXoroshiro128(1), 0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	// Chi-squared goodness of fit over 10 buckets, 100k draws.
+	s := NewXoroshiro128(2024)
+	const n, draws = 10, 100000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[Intn(s, n)]++
+	}
+	exp := float64(draws) / n
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - exp
+		chi2 += d * d / exp
+	}
+	// 9 dof, 99.9% critical value ~ 27.88.
+	if chi2 > 27.88 {
+		t.Errorf("Intn uniformity chi2 = %.2f > 27.88 (counts %v)", chi2, counts)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := NewMWC(5)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		f := Float64(s)
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %.4f, want ~0.5", mean)
+	}
+}
+
+func TestBoolBalance(t *testing.T) {
+	s := NewXoroshiro128(3)
+	trues := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if Bool(s) {
+			trues++
+		}
+	}
+	if math.Abs(float64(trues)/n-0.5) > 0.01 {
+		t.Errorf("Bool true fraction = %.4f, want ~0.5", float64(trues)/n)
+	}
+}
+
+func TestMul64AgainstBig(t *testing.T) {
+	// Cross-check the 128-bit multiply against decomposed arithmetic.
+	f := func(a, b uint64) bool {
+		hi, lo := mul64(a, b)
+		// Verify via 32-bit split computed independently.
+		a0, a1 := a&0xFFFFFFFF, a>>32
+		b0, b1 := b&0xFFFFFFFF, b>>32
+		lo00 := a0 * b0
+		m1 := a1*b0 + lo00>>32
+		m2 := a0*b1 + m1&0xFFFFFFFF
+		wantHi := a1*b1 + m1>>32 + m2>>32
+		wantLo := a * b
+		return hi == wantHi && lo == wantLo
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHealthGoodGenerators(t *testing.T) {
+	for _, k := range []Kind{KindXoroshiro, KindMWC, KindSplitMix} {
+		s, _ := New(k, 77)
+		rep := CheckHealth(s)
+		if !rep.Pass {
+			t.Errorf("%s: healthy generator failed battery: %v", k, rep.Failures)
+		}
+	}
+}
+
+func TestHealthDetectsStuckSource(t *testing.T) {
+	rep := CheckHealth(stuckSource{})
+	if rep.Pass {
+		t.Error("stuck-at-zero source passed the battery")
+	}
+}
+
+func TestHealthDetectsAlternatingSource(t *testing.T) {
+	rep := CheckHealth(&alternatingSource{})
+	if rep.Pass {
+		t.Error("0101... source passed the battery")
+	}
+}
+
+type stuckSource struct{}
+
+func (stuckSource) Uint64() uint64 { return 0 }
+func (stuckSource) Seed(uint64)    {}
+
+type alternatingSource struct{}
+
+func (*alternatingSource) Uint64() uint64 { return 0xAAAAAAAAAAAAAAAA }
+func (*alternatingSource) Seed(uint64)    {}
+
+func TestCheckedPassesHealthySource(t *testing.T) {
+	c := NewChecked(NewXoroshiro128(11), 0)
+	for i := 0; i < 10000; i++ {
+		c.Uint64()
+	}
+	if err := c.Err(); err != nil {
+		t.Errorf("healthy source flagged: %v", err)
+	}
+	if !c.LastReport().Pass {
+		t.Error("startup battery failed for healthy source")
+	}
+}
+
+func TestCheckedRepetitionCount(t *testing.T) {
+	c := NewChecked(stuckSource{}, 0)
+	for i := 0; i < 5; i++ {
+		c.Uint64()
+	}
+	if c.Err() == nil {
+		t.Error("repetition count did not trip on stuck source")
+	}
+}
+
+func TestCheckedSeedClearsLatch(t *testing.T) {
+	// Trip the latch with a stuck source wrapped in a switchable shim.
+	sw := &switchable{stuck: true, inner: NewXoroshiro128(1)}
+	c := &Checked{src: sw}
+	for i := 0; i < 5; i++ {
+		c.Uint64()
+	}
+	if c.Err() == nil {
+		t.Fatal("latch did not trip")
+	}
+	sw.stuck = false
+	c.Seed(42)
+	for i := 0; i < 100; i++ {
+		c.Uint64()
+	}
+	if err := c.Err(); err != nil {
+		t.Errorf("latch not cleared by Seed: %v", err)
+	}
+}
+
+type switchable struct {
+	stuck bool
+	inner Source
+}
+
+func (s *switchable) Uint64() uint64 {
+	if s.stuck {
+		return 0xDEAD
+	}
+	return s.inner.Uint64()
+}
+func (s *switchable) Seed(seed uint64) { s.inner.Seed(seed) }
+
+func TestCheckedPeriodicBattery(t *testing.T) {
+	// A source that is healthy at startup then degenerates should be
+	// caught by the periodic battery.
+	sw := &switchable{stuck: false, inner: NewXoroshiro128(8)}
+	c := NewChecked(sw, 256)
+	if c.Err() != nil {
+		t.Fatalf("startup: %v", c.Err())
+	}
+	sw.stuck = true
+	for i := 0; i < 1024 && c.Err() == nil; i++ {
+		c.Uint64()
+	}
+	if c.Err() == nil {
+		t.Error("periodic battery did not detect degeneration")
+	}
+}
+
+func TestLFSRPeriodProgress(t *testing.T) {
+	// The LFSR must not return to its seed state quickly.
+	l := NewLFSR(1)
+	start := l.state
+	for i := 0; i < 10000; i++ {
+		l.Uint64()
+		if l.state == start {
+			t.Fatalf("LFSR state repeated after %d words", i+1)
+		}
+	}
+}
+
+func TestEquidistributionHighBits(t *testing.T) {
+	// High bits of each generator should be roughly balanced.
+	for _, k := range []Kind{KindXoroshiro, KindMWC, KindSplitMix} {
+		s, _ := New(k, 99)
+		ones := 0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			if s.Uint64()>>63 == 1 {
+				ones++
+			}
+		}
+		frac := float64(ones) / n
+		if math.Abs(frac-0.5) > 0.02 {
+			t.Errorf("%s: top-bit one fraction %.4f", k, frac)
+		}
+	}
+}
+
+func BenchmarkXoroshiro128(b *testing.B) {
+	s := NewXoroshiro128(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkMWC(b *testing.B) {
+	s := NewMWC(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntnPow2(b *testing.B) {
+	s := NewXoroshiro128(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += Intn(s, 256)
+	}
+	_ = sink
+}
+
+func BenchmarkIntnNonPow2(b *testing.B) {
+	s := NewXoroshiro128(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += Intn(s, 100)
+	}
+	_ = sink
+}

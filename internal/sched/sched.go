@@ -1,0 +1,152 @@
+// Package sched models the fixed-priority periodic task set of the
+// case-study application. TVCA "implements a fixed priority scheduler
+// with 3 periodic tasks"; this package provides the task-set
+// abstraction, hyperperiod and activation-table computation (used by
+// the workload generator to emit the dispatch code embedded in the
+// binary) and a classical response-time analysis utility.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Task is one periodic task. Periods are expressed in minor frames of
+// the cyclic executive; lower Priority value = higher priority.
+type Task struct {
+	Name     string
+	Period   int    // activation period in minor frames, >= 1
+	Priority int    // fixed priority; lower is more urgent
+	WCET     uint64 // execution-time budget in cycles (for RTA)
+}
+
+// ErrBadTaskSet reports an invalid task set.
+var ErrBadTaskSet = errors.New("sched: invalid task set")
+
+// Validate checks the task set: non-empty, positive periods, unique
+// names and priorities.
+func Validate(tasks []Task) error {
+	if len(tasks) == 0 {
+		return fmt.Errorf("%w: empty", ErrBadTaskSet)
+	}
+	names := make(map[string]bool)
+	prios := make(map[int]bool)
+	for _, t := range tasks {
+		if t.Period < 1 {
+			return fmt.Errorf("%w: task %q period %d", ErrBadTaskSet, t.Name, t.Period)
+		}
+		if names[t.Name] {
+			return fmt.Errorf("%w: duplicate name %q", ErrBadTaskSet, t.Name)
+		}
+		if prios[t.Priority] {
+			return fmt.Errorf("%w: duplicate priority %d", ErrBadTaskSet, t.Priority)
+		}
+		names[t.Name] = true
+		prios[t.Priority] = true
+	}
+	return nil
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Hyperperiod returns the least common multiple of the task periods —
+// the length of the major frame in minor frames.
+func Hyperperiod(tasks []Task) (int, error) {
+	if err := Validate(tasks); err != nil {
+		return 0, err
+	}
+	h := 1
+	for _, t := range tasks {
+		h = h / gcd(h, t.Period) * t.Period
+	}
+	return h, nil
+}
+
+// ActivationTable returns, for each of the frames minor frames, the
+// indices (into tasks) of the tasks activated in that frame, ordered by
+// priority (highest first). A task with period P activates in frames
+// 0, P, 2P, ...
+func ActivationTable(tasks []Task, frames int) ([][]int, error) {
+	if err := Validate(tasks); err != nil {
+		return nil, err
+	}
+	if frames < 1 {
+		return nil, fmt.Errorf("%w: frames %d", ErrBadTaskSet, frames)
+	}
+	table := make([][]int, frames)
+	for f := 0; f < frames; f++ {
+		var act []int
+		for i, t := range tasks {
+			if f%t.Period == 0 {
+				act = append(act, i)
+			}
+		}
+		sort.Slice(act, func(a, b int) bool {
+			return tasks[act[a]].Priority < tasks[act[b]].Priority
+		})
+		table[f] = act
+	}
+	return table, nil
+}
+
+// ResponseTimes computes the classical fixed-priority response-time
+// analysis R_i = C_i + sum_{j in hp(i)} ceil(R_i / T_j) C_j, with
+// periods interpreted in frames of frameCycles cycles each. It returns
+// the fixed-point response time per task, or an error if iteration
+// exceeds the task's period (unschedulable).
+func ResponseTimes(tasks []Task, frameCycles uint64) ([]uint64, error) {
+	if err := Validate(tasks); err != nil {
+		return nil, err
+	}
+	if frameCycles < 1 {
+		return nil, fmt.Errorf("%w: frameCycles %d", ErrBadTaskSet, frameCycles)
+	}
+	res := make([]uint64, len(tasks))
+	for i, ti := range tasks {
+		deadline := uint64(ti.Period) * frameCycles
+		r := ti.WCET
+		for iter := 0; iter < 1000; iter++ {
+			next := ti.WCET
+			for j, tj := range tasks {
+				if j == i || tj.Priority >= ti.Priority {
+					continue
+				}
+				tjPeriod := uint64(tj.Period) * frameCycles
+				n := (r + tjPeriod - 1) / tjPeriod // ceil
+				next += n * tj.WCET
+			}
+			if next == r {
+				break
+			}
+			r = next
+			if r > deadline {
+				return nil, fmt.Errorf("sched: task %q unschedulable (R=%d > D=%d)",
+					ti.Name, r, deadline)
+			}
+		}
+		res[i] = r
+	}
+	return res, nil
+}
+
+// Utilization returns sum(C_i / T_i) with periods in frames of
+// frameCycles cycles.
+func Utilization(tasks []Task, frameCycles uint64) (float64, error) {
+	if err := Validate(tasks); err != nil {
+		return 0, err
+	}
+	if frameCycles < 1 {
+		return 0, fmt.Errorf("%w: frameCycles %d", ErrBadTaskSet, frameCycles)
+	}
+	u := 0.0
+	for _, t := range tasks {
+		u += float64(t.WCET) / (float64(t.Period) * float64(frameCycles))
+	}
+	return u, nil
+}

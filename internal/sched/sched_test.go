@@ -1,0 +1,159 @@
+package sched
+
+import (
+	"testing"
+)
+
+func tvcaLike() []Task {
+	return []Task{
+		{Name: "sensor", Period: 1, Priority: 0, WCET: 100},
+		{Name: "actx", Period: 2, Priority: 1, WCET: 150},
+		{Name: "acty", Period: 4, Priority: 2, WCET: 200},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(tvcaLike()); err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]Task{
+		{},
+		{{Name: "a", Period: 0, Priority: 0}},
+		{{Name: "a", Period: 1, Priority: 0}, {Name: "a", Period: 2, Priority: 1}},
+		{{Name: "a", Period: 1, Priority: 0}, {Name: "b", Period: 2, Priority: 0}},
+	}
+	for i, ts := range bad {
+		if err := Validate(ts); err == nil {
+			t.Errorf("bad set %d accepted", i)
+		}
+	}
+}
+
+func TestHyperperiod(t *testing.T) {
+	h, err := Hyperperiod(tvcaLike())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 4 {
+		t.Errorf("hyperperiod = %d, want 4", h)
+	}
+	h, _ = Hyperperiod([]Task{
+		{Name: "a", Period: 3, Priority: 0},
+		{Name: "b", Period: 5, Priority: 1},
+		{Name: "c", Period: 10, Priority: 2},
+	})
+	if h != 30 {
+		t.Errorf("hyperperiod = %d, want 30", h)
+	}
+	if _, err := Hyperperiod(nil); err == nil {
+		t.Error("empty set accepted")
+	}
+}
+
+func TestActivationTable(t *testing.T) {
+	table, err := ActivationTable(tvcaLike(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table) != 8 {
+		t.Fatalf("table length %d", len(table))
+	}
+	// Frame 0: all three, priority order sensor, actx, acty.
+	want0 := []int{0, 1, 2}
+	if len(table[0]) != 3 {
+		t.Fatalf("frame 0 activations %v", table[0])
+	}
+	for i, ti := range want0 {
+		if table[0][i] != ti {
+			t.Errorf("frame 0 = %v, want %v", table[0], want0)
+			break
+		}
+	}
+	// Frame 1: only the sensor.
+	if len(table[1]) != 1 || table[1][0] != 0 {
+		t.Errorf("frame 1 = %v", table[1])
+	}
+	// Frame 2: sensor + actx.
+	if len(table[2]) != 2 || table[2][0] != 0 || table[2][1] != 1 {
+		t.Errorf("frame 2 = %v", table[2])
+	}
+	// Frame 4: all three again.
+	if len(table[4]) != 3 {
+		t.Errorf("frame 4 = %v", table[4])
+	}
+	if _, err := ActivationTable(tvcaLike(), 0); err == nil {
+		t.Error("frames=0 accepted")
+	}
+}
+
+func TestActivationTablePriorityOrderWithShuffledInput(t *testing.T) {
+	tasks := []Task{
+		{Name: "low", Period: 1, Priority: 9},
+		{Name: "high", Period: 1, Priority: 1},
+		{Name: "mid", Period: 1, Priority: 5},
+	}
+	table, err := ActivationTable(tasks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := table[0]
+	if tasks[got[0]].Name != "high" || tasks[got[1]].Name != "mid" || tasks[got[2]].Name != "low" {
+		t.Errorf("priority order wrong: %v", got)
+	}
+}
+
+func TestResponseTimes(t *testing.T) {
+	// frameCycles = 1000: sensor (C=100,T=1000), actx (C=150,T=2000),
+	// acty (C=200,T=4000). Classic RTA:
+	// R_sensor = 100.
+	// R_actx = 150 + ceil(R/1000)*100 -> 250.
+	// R_acty = 200 + ceil(R/1000)*100 + ceil(R/2000)*150 -> 450.
+	rts, err := ResponseTimes(tvcaLike(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{100, 250, 450}
+	for i := range want {
+		if rts[i] != want[i] {
+			t.Errorf("R[%d] = %d, want %d", i, rts[i], want[i])
+		}
+	}
+}
+
+func TestResponseTimesUnschedulable(t *testing.T) {
+	tasks := []Task{
+		{Name: "hog", Period: 1, Priority: 0, WCET: 900},
+		{Name: "starved", Period: 2, Priority: 1, WCET: 500},
+	}
+	if _, err := ResponseTimes(tasks, 1000); err == nil {
+		t.Error("unschedulable set accepted")
+	}
+}
+
+func TestResponseTimesInterferenceGrows(t *testing.T) {
+	// A longer low-priority task must absorb more preemptions.
+	tasks := tvcaLike()
+	tasks[2].WCET = 1800 // acty nearly fills two frames
+	rts, err := ResponseTimes(tasks, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R_acty >= C + 2 sensor activations + 1-2 actx activations.
+	if rts[2] < 1800+2*100+150 {
+		t.Errorf("R_acty = %d, interference undercounted", rts[2])
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	u, err := Utilization(tvcaLike(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 100.0/1000 + 150.0/2000 + 200.0/4000
+	if diff := u - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("U = %v, want %v", u, want)
+	}
+	if _, err := Utilization(tvcaLike(), 0); err == nil {
+		t.Error("frameCycles=0 accepted")
+	}
+}

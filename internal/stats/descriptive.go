@@ -1,0 +1,286 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that need at least one observation.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// ErrTooFew is returned when a sample is too small for the requested
+// statistic (e.g. variance of a single point, Ljung-Box with fewer
+// observations than lags).
+var ErrTooFew = errors.New("stats: too few observations")
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	// Kahan summation: campaigns sum millions of cycle counts and naive
+	// summation loses low-order bits that matter for variance estimates.
+	var sum, comp float64
+	for _, x := range xs {
+		y := x - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Variance returns the unbiased (n-1) sample variance.
+func Variance(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, ErrTooFew
+	}
+	m, _ := Mean(xs)
+	var sum, comp float64
+	for _, x := range xs {
+		d := x - m
+		y := d*d - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum / float64(len(xs)-1), nil
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// Skewness returns the adjusted Fisher-Pearson sample skewness.
+func Skewness(xs []float64) (float64, error) {
+	n := float64(len(xs))
+	if len(xs) < 3 {
+		return 0, ErrTooFew
+	}
+	m, _ := Mean(xs)
+	var m2, m3 float64
+	for _, x := range xs {
+		d := x - m
+		m2 += d * d
+		m3 += d * d * d
+	}
+	m2 /= n
+	m3 /= n
+	if m2 == 0 {
+		return 0, nil
+	}
+	g1 := m3 / math.Pow(m2, 1.5)
+	return g1 * math.Sqrt(n*(n-1)) / (n - 2), nil
+}
+
+// Min returns the smallest element of xs.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the largest element of xs — the high-watermark (HWM) in
+// MBTA terminology.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics (type-7, the R default).
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, ErrDomain
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, q), nil
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	n := len(s)
+	if n == 1 {
+		return s[0]
+	}
+	h := q * float64(n-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	if hi >= n {
+		return s[n-1]
+	}
+	return s[lo] + (h-float64(lo))*(s[hi]-s[lo])
+}
+
+// Summary bundles the descriptive statistics reported for an
+// execution-time sample.
+type Summary struct {
+	N                int
+	Mean, StdDev     float64
+	Min, Max         float64
+	P50, P90, P99    float64
+	CoefficientOfVar float64 // StdDev / Mean
+	Skew             float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	var s Summary
+	s.N = len(xs)
+	s.Mean, _ = Mean(xs)
+	if len(xs) >= 2 {
+		s.StdDev, _ = StdDev(xs)
+	}
+	s.Min, _ = Min(xs)
+	s.Max, _ = Max(xs)
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.P50 = quantileSorted(sorted, 0.50)
+	s.P90 = quantileSorted(sorted, 0.90)
+	s.P99 = quantileSorted(sorted, 0.99)
+	if s.Mean != 0 {
+		s.CoefficientOfVar = s.StdDev / s.Mean
+	}
+	if len(xs) >= 3 {
+		s.Skew, _ = Skewness(xs)
+	}
+	return s, nil
+}
+
+// Autocorrelation returns the sample autocorrelation coefficients
+// r_1..r_maxLag of xs. These feed the Ljung-Box statistic.
+func Autocorrelation(xs []float64, maxLag int) ([]float64, error) {
+	n := len(xs)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if maxLag < 1 || maxLag >= n {
+		return nil, ErrTooFew
+	}
+	m, _ := Mean(xs)
+	denom := 0.0
+	for _, x := range xs {
+		d := x - m
+		denom += d * d
+	}
+	r := make([]float64, maxLag)
+	if denom == 0 {
+		// A constant series: autocorrelation is undefined; by convention
+		// report zeros (a constant series carries no linear dependence
+		// information and Ljung-Box on it degenerates).
+		return r, nil
+	}
+	for k := 1; k <= maxLag; k++ {
+		num := 0.0
+		for t := 0; t < n-k; t++ {
+			num += (xs[t] - m) * (xs[t+k] - m)
+		}
+		r[k-1] = num / denom
+	}
+	return r, nil
+}
+
+// ECDF is an empirical cumulative distribution function over a sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from xs (which is copied and sorted).
+func NewECDF(xs []float64) (*ECDF, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}, nil
+}
+
+// At returns F_n(x) = (#observations <= x) / n.
+func (e *ECDF) At(x float64) float64 {
+	// sort.SearchFloat64s returns the first index with sorted[i] >= x;
+	// we need strictly greater, so search for the insertion point after
+	// equal elements.
+	i := sort.Search(len(e.sorted), func(i int) bool { return e.sorted[i] > x })
+	return float64(i) / float64(len(e.sorted))
+}
+
+// ExceedanceAt returns 1 - F_n(x): the empirical probability of observing
+// a value strictly greater than x. This is the Y-axis of the paper's
+// Figure 2 for the observed sample.
+func (e *ECDF) ExceedanceAt(x float64) float64 { return 1 - e.At(x) }
+
+// N returns the sample size.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// Sorted exposes the underlying sorted sample (read-only by convention).
+func (e *ECDF) Sorted() []float64 { return e.sorted }
+
+// Quantile returns the q-quantile of the sample.
+func (e *ECDF) Quantile(q float64) (float64, error) {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, ErrDomain
+	}
+	return quantileSorted(e.sorted, q), nil
+}
+
+// Histogram bins a sample into nbins equal-width buckets over [min,max].
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Width  float64
+	Total  int
+}
+
+// NewHistogram bins xs into nbins buckets.
+func NewHistogram(xs []float64, nbins int) (*Histogram, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	if nbins < 1 {
+		return nil, ErrDomain
+	}
+	lo, _ := Min(xs)
+	hi, _ := Max(xs)
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, nbins), Total: len(xs)}
+	if hi == lo {
+		h.Width = 1
+		h.Counts[0] = len(xs)
+		return h, nil
+	}
+	h.Width = (hi - lo) / float64(nbins)
+	for _, x := range xs {
+		i := int((x - lo) / h.Width)
+		if i >= nbins {
+			i = nbins - 1
+		}
+		h.Counts[i]++
+	}
+	return h, nil
+}

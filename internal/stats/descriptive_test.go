@@ -1,0 +1,328 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestMean(t *testing.T) {
+	got, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "mean", got, 2.5, 1e-15)
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Errorf("Mean(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestMeanKahanStability(t *testing.T) {
+	// 1e8 + many tiny values: naive summation loses them entirely in
+	// float32 and partially in careless float64 orderings.
+	xs := make([]float64, 1_000_001)
+	xs[0] = 1e8
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 1e-8
+	}
+	got, _ := Mean(xs)
+	want := (1e8 + 1e6*1e-8) / 1_000_001
+	approx(t, "kahan mean", got, want, 1e-12)
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	v, err := Variance(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "variance", v, 32.0/7.0, 1e-12)
+	sd, _ := StdDev(xs)
+	approx(t, "stddev", sd, math.Sqrt(32.0/7.0), 1e-12)
+	if _, err := Variance([]float64{1}); err != ErrTooFew {
+		t.Errorf("Variance(single) err = %v, want ErrTooFew", err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 7, 0}
+	mn, _ := Min(xs)
+	mx, _ := Max(xs)
+	if mn != -1 || mx != 7 {
+		t.Errorf("min,max = %v,%v want -1,7", mn, mx)
+	}
+	if _, err := Max(nil); err != ErrEmpty {
+		t.Error("Max(nil) should be ErrEmpty")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	q, err := Quantile(xs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "median", q, 3, 1e-15)
+	q, _ = Quantile(xs, 0.25)
+	approx(t, "q25", q, 2, 1e-15)
+	q, _ = Quantile(xs, 0)
+	approx(t, "q0", q, 1, 1e-15)
+	q, _ = Quantile(xs, 1)
+	approx(t, "q1", q, 5, 1e-15)
+	if _, err := Quantile(xs, 1.1); err != ErrDomain {
+		t.Error("Quantile(1.1) accepted")
+	}
+	if _, err := Quantile(xs, math.NaN()); err != ErrDomain {
+		t.Error("Quantile(NaN) accepted")
+	}
+	q, _ = Quantile([]float64{42}, 0.7)
+	approx(t, "single", q, 42, 0)
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	orig := append([]float64(nil), xs...)
+	if _, err := Quantile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if xs[i] != orig[i] {
+			t.Fatal("Quantile mutated its input")
+		}
+	}
+}
+
+func TestQuantileOrderProperty(t *testing.T) {
+	src := rng.NewXoroshiro128(4)
+	f := func(seed uint64) bool {
+		src.Seed(seed)
+		n := 2 + rng.Intn(src, 100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64(src) * 1000
+		}
+		q1, _ := Quantile(xs, 0.3)
+		q2, _ := Quantile(xs, 0.7)
+		mn, _ := Min(xs)
+		mx, _ := Max(xs)
+		return q1 <= q2 && mn <= q1 && q2 <= mx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkewness(t *testing.T) {
+	// Symmetric sample: skewness ~ 0.
+	sym := []float64{-2, -1, 0, 1, 2}
+	s, err := Skewness(sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "symmetric skew", s, 0, 1e-12)
+	// Right-skewed sample has positive skewness.
+	right := []float64{1, 1, 1, 1, 10}
+	s, _ = Skewness(right)
+	if s <= 0 {
+		t.Errorf("right-skewed sample skew = %v, want > 0", s)
+	}
+	if _, err := Skewness([]float64{1, 2}); err != ErrTooFew {
+		t.Error("Skewness(n=2) accepted")
+	}
+	s, _ = Skewness([]float64{3, 3, 3, 3})
+	approx(t, "constant skew", s, 0, 0)
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	s, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 10 {
+		t.Errorf("N = %d", s.N)
+	}
+	approx(t, "mean", s.Mean, 55, 1e-12)
+	approx(t, "min", s.Min, 10, 0)
+	approx(t, "max", s.Max, 100, 0)
+	approx(t, "p50", s.P50, 55, 1e-12)
+	if s.CoefficientOfVar <= 0 {
+		t.Error("CV should be positive")
+	}
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Error("Summarize(nil) should fail")
+	}
+}
+
+func TestAutocorrelationWhiteNoise(t *testing.T) {
+	src := rng.NewXoroshiro128(7)
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.Float64(src)
+	}
+	r, err := Autocorrelation(xs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// White noise: |r_k| should be within ~3/sqrt(n).
+	bound := 3 / math.Sqrt(float64(len(xs)))
+	for k, rk := range r {
+		if math.Abs(rk) > bound {
+			t.Errorf("lag %d autocorrelation %.4f exceeds bound %.4f", k+1, rk, bound)
+		}
+	}
+}
+
+func TestAutocorrelationAR1(t *testing.T) {
+	// AR(1) with phi=0.8 must show r_1 near 0.8.
+	src := rng.NewXoroshiro128(9)
+	xs := make([]float64, 20000)
+	prev := 0.0
+	for i := range xs {
+		prev = 0.8*prev + (rng.Float64(src) - 0.5)
+		xs[i] = prev
+	}
+	r, _ := Autocorrelation(xs, 3)
+	if r[0] < 0.7 || r[0] > 0.9 {
+		t.Errorf("AR(1) r1 = %.3f, want ~0.8", r[0])
+	}
+	if r[1] < r[0]*r[0]-0.1 || r[1] > r[0]*r[0]+0.1 {
+		t.Errorf("AR(1) r2 = %.3f, want ~r1^2=%.3f", r[1], r[0]*r[0])
+	}
+}
+
+func TestAutocorrelationConstantSeries(t *testing.T) {
+	r, err := Autocorrelation([]float64{5, 5, 5, 5, 5, 5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range r {
+		if v != 0 {
+			t.Errorf("constant series autocorrelation = %v, want 0", v)
+		}
+	}
+}
+
+func TestAutocorrelationErrors(t *testing.T) {
+	if _, err := Autocorrelation(nil, 1); err != ErrEmpty {
+		t.Error("empty accepted")
+	}
+	if _, err := Autocorrelation([]float64{1, 2, 3}, 3); err != ErrTooFew {
+		t.Error("maxLag >= n accepted")
+	}
+	if _, err := Autocorrelation([]float64{1, 2, 3}, 0); err != ErrTooFew {
+		t.Error("maxLag=0 accepted")
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e, err := NewECDF([]float64{1, 2, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {4, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); got != c.want {
+			t.Errorf("F(%g) = %v, want %v", c.x, got, c.want)
+		}
+		if got := e.ExceedanceAt(c.x); math.Abs(got-(1-c.want)) > 1e-15 {
+			t.Errorf("1-F(%g) = %v, want %v", c.x, got, 1-c.want)
+		}
+	}
+	if e.N() != 4 {
+		t.Errorf("N = %d", e.N())
+	}
+	if _, err := NewECDF(nil); err != ErrEmpty {
+		t.Error("NewECDF(nil) accepted")
+	}
+}
+
+func TestECDFMonotoneProperty(t *testing.T) {
+	src := rng.NewXoroshiro128(17)
+	f := func(seed uint64) bool {
+		src.Seed(seed)
+		n := 1 + rng.Intn(src, 200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64(src) * 100
+		}
+		e, err := NewECDF(xs)
+		if err != nil {
+			return false
+		}
+		prev := -1.0
+		for x := -5.0; x < 110; x += 2.5 {
+			v := e.At(x)
+			if v < prev || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return e.At(110) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestECDFQuantileConsistency(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	e, _ := NewECDF(xs)
+	q, err := e.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "ecdf median", q, 25, 1e-12)
+	if _, err := e.Quantile(-0.1); err != ErrDomain {
+		t.Error("Quantile(-0.1) accepted")
+	}
+}
+
+func TestECDFSortedIsSorted(t *testing.T) {
+	e, _ := NewECDF([]float64{3, 1, 2})
+	if !sort.Float64sAreSorted(e.Sorted()) {
+		t.Error("Sorted() not sorted")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total != 10 {
+		t.Errorf("total = %d", h.Total)
+	}
+	sum := 0
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum != 10 {
+		t.Errorf("bin sum = %d, want 10", sum)
+	}
+	// Max lands in the last bucket.
+	if h.Counts[4] < 2 {
+		t.Errorf("last bin = %d, want >=2 (contains 8 and 9)", h.Counts[4])
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h, err := NewHistogram([]float64{7, 7, 7}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Counts[0] != 3 {
+		t.Errorf("constant sample counts = %v", h.Counts)
+	}
+	if _, err := NewHistogram(nil, 3); err != ErrEmpty {
+		t.Error("empty accepted")
+	}
+	if _, err := NewHistogram([]float64{1}, 0); err != ErrDomain {
+		t.Error("nbins=0 accepted")
+	}
+}

@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.10g, want %.10g (tol %g)", name, got, want, tol)
+	}
+}
+
+func TestRegularizedGammaPKnownValues(t *testing.T) {
+	// Reference values computed with scipy.special.gammainc.
+	cases := []struct{ a, x, want float64 }{
+		{1, 1, 0.6321205588285577}, // 1 - e^-1
+		{0.5, 0.5, 0.6826894921370859},
+		{2, 2, 0.5939941502901616},
+		{5, 1, 0.003659846827343713},
+		{5, 10, 0.9707473119230389},
+		{10, 10, 0.5420702855281478},
+		{0.5, 2, 0.9544997361036416},
+	}
+	for _, c := range cases {
+		got, err := RegularizedGammaP(c.a, c.x)
+		if err != nil {
+			t.Fatalf("P(%g,%g): %v", c.a, c.x, err)
+		}
+		approx(t, "P", got, c.want, 1e-10)
+	}
+}
+
+func TestRegularizedGammaEdges(t *testing.T) {
+	if p, err := RegularizedGammaP(3, 0); err != nil || p != 0 {
+		t.Errorf("P(3,0) = %v,%v want 0,nil", p, err)
+	}
+	if _, err := RegularizedGammaP(0, 1); err == nil {
+		t.Error("P(0,1) accepted, want domain error")
+	}
+	if _, err := RegularizedGammaP(1, -1); err == nil {
+		t.Error("P(1,-1) accepted, want domain error")
+	}
+	if _, err := RegularizedGammaP(math.NaN(), 1); err == nil {
+		t.Error("P(NaN,1) accepted, want domain error")
+	}
+}
+
+func TestGammaPQComplementary(t *testing.T) {
+	f := func(a, x float64) bool {
+		a = 0.1 + math.Abs(math.Mod(a, 50))
+		x = math.Abs(math.Mod(x, 100))
+		p, err1 := RegularizedGammaP(a, x)
+		q, err2 := RegularizedGammaQ(a, x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(p+q-1) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGammaPMonotoneInX(t *testing.T) {
+	prev := -1.0
+	for x := 0.0; x <= 30; x += 0.25 {
+		p, err := RegularizedGammaP(4, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < prev-1e-14 {
+			t.Fatalf("P(4,x) not monotone at x=%g: %g < %g", x, p, prev)
+		}
+		prev = p
+	}
+	if prev < 0.999999 {
+		t.Errorf("P(4,30) = %g, want ~1", prev)
+	}
+}
+
+func TestChiSquaredCDFKnownValues(t *testing.T) {
+	// scipy.stats.chi2.cdf reference values.
+	cases := []struct {
+		x    float64
+		k    int
+		want float64
+	}{
+		{3.841458820694124, 1, 0.95},
+		{5.991464547107979, 2, 0.95},
+		{18.307038053275146, 10, 0.95},
+		{31.410432844230918, 20, 0.95},
+		{10, 10, 0.5595067149347875},
+	}
+	for _, c := range cases {
+		got, err := ChiSquaredCDF(c.x, c.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx(t, "chi2cdf", got, c.want, 1e-9)
+	}
+}
+
+func TestChiSquaredSFComplement(t *testing.T) {
+	for _, k := range []int{1, 2, 5, 10, 20} {
+		for x := 0.5; x < 40; x += 3.7 {
+			cdf, _ := ChiSquaredCDF(x, k)
+			sf, _ := ChiSquaredSF(x, k)
+			approx(t, "cdf+sf", cdf+sf, 1, 1e-12)
+		}
+	}
+	if sf, _ := ChiSquaredSF(-1, 3); sf != 1 {
+		t.Errorf("SF(-1) = %v, want 1", sf)
+	}
+	if _, err := ChiSquaredSF(1, 0); err == nil {
+		t.Error("SF with k=0 accepted")
+	}
+}
+
+func TestKolmogorovSFKnownValues(t *testing.T) {
+	// Reference values from direct high-precision evaluation of the
+	// defining series Q(l) = 2 sum (-1)^{j-1} exp(-2 j^2 l^2).
+	cases := []struct{ lambda, want float64 }{
+		{0.5, 0.9639452436648751},
+		{1.0, 0.2699996716773546},
+		{1.36, 0.0494858767553779}, // near the classic 5% critical value
+		{1.63, 0.0098463648884865},
+		{2.0, 0.0006709252557797},
+	}
+	for _, c := range cases {
+		approx(t, "kolmogorovSF", KolmogorovSF(c.lambda), c.want, 1e-6)
+	}
+}
+
+func TestKolmogorovSFLimits(t *testing.T) {
+	if got := KolmogorovSF(0); got != 1 {
+		t.Errorf("SF(0) = %v, want 1", got)
+	}
+	if got := KolmogorovSF(-1); got != 1 {
+		t.Errorf("SF(-1) = %v, want 1", got)
+	}
+	if got := KolmogorovSF(10); got > 1e-50 {
+		t.Errorf("SF(10) = %v, want ~0", got)
+	}
+	// Continuity across the small/large lambda switch at 0.4.
+	lo, hi := KolmogorovSF(0.399999), KolmogorovSF(0.400001)
+	if math.Abs(lo-hi) > 1e-6 {
+		t.Errorf("discontinuity at switch point: %g vs %g", lo, hi)
+	}
+}
+
+func TestKolmogorovSFMonotone(t *testing.T) {
+	prev := 1.0
+	for l := 0.01; l < 3; l += 0.01 {
+		v := KolmogorovSF(l)
+		if v > prev+1e-12 {
+			t.Fatalf("SF not monotone at lambda=%g", l)
+		}
+		prev = v
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	approx(t, "Phi(0)", NormalCDF(0), 0.5, 1e-15)
+	approx(t, "Phi(1.96)", NormalCDF(1.959963984540054), 0.975, 1e-12)
+	approx(t, "Phi(-1.96)", NormalCDF(-1.959963984540054), 0.025, 1e-12)
+	approx(t, "Phi(3)", NormalCDF(3), 0.9986501019683699, 1e-12)
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{1e-10, 1e-6, 0.001, 0.025, 0.5, 0.975, 0.999, 1 - 1e-9} {
+		x, err := NormalQuantile(p)
+		if err != nil {
+			t.Fatalf("quantile(%g): %v", p, err)
+		}
+		approx(t, "Phi(Phi^-1(p))", NormalCDF(x), p, 1e-12)
+	}
+}
+
+func TestNormalQuantileDomain(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if _, err := NormalQuantile(p); err == nil {
+			t.Errorf("NormalQuantile(%v) accepted", p)
+		}
+	}
+}
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	x, _ := NormalQuantile(0.975)
+	approx(t, "z(0.975)", x, 1.959963984540054, 1e-9)
+	x, _ = NormalQuantile(0.5)
+	approx(t, "z(0.5)", x, 0, 1e-12)
+	x, _ = NormalQuantile(0.9999999)
+	approx(t, "z(0.9999999)", x, 5.199337582290661, 1e-7)
+}

@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+)
+
+// The tests in this file complement the paper's Ljung-Box/KS gate with
+// the additional randomness and stationarity diagnostics that MBPTA
+// tooling (e.g. the chronovise framework) applies to measurement
+// campaigns: the turning-point test for serial randomness and the
+// Mann-Kendall test for monotone trends (a drifting platform —
+// thermal, warm-up, fragmentation — shows up here first).
+
+// TurningPointTest checks serial randomness: in an i.i.d. series the
+// expected number of turning points (local maxima or minima) among n
+// observations is 2(n-2)/3 with variance (16n-29)/90; the standardized
+// count is asymptotically normal. Too few turning points indicate
+// positive correlation (trends), too many indicate alternation.
+func TurningPointTest(xs []float64, alpha float64) (TestResult, error) {
+	n := len(xs)
+	if n < 20 {
+		return TestResult{}, ErrTooFew
+	}
+	turns := 0
+	for i := 1; i < n-1; i++ {
+		if (xs[i] > xs[i-1] && xs[i] > xs[i+1]) || (xs[i] < xs[i-1] && xs[i] < xs[i+1]) {
+			turns++
+		}
+	}
+	fn := float64(n)
+	mu := 2 * (fn - 2) / 3
+	sigma := math.Sqrt((16*fn - 29) / 90)
+	z := (float64(turns) - mu) / sigma
+	p := 2 * (1 - NormalCDF(math.Abs(z)))
+	return TestResult{
+		Name:      "turning-point",
+		Statistic: z,
+		PValue:    p,
+		Alpha:     alpha,
+		Rejected:  p < alpha,
+	}, nil
+}
+
+// MannKendall tests for a monotone trend: S = sum over pairs of
+// sign(x_j - x_i), j > i. Under no trend S is asymptotically normal
+// with variance n(n-1)(2n+5)/18 (with the standard tie correction). A
+// significant positive (negative) statistic indicates an increasing
+// (decreasing) drift across the campaign — a protocol violation for
+// MBPTA measurements.
+func MannKendall(xs []float64, alpha float64) (TestResult, error) {
+	n := len(xs)
+	if n < 10 {
+		return TestResult{}, ErrTooFew
+	}
+	s := 0
+	for i := 0; i < n-1; i++ {
+		for j := i + 1; j < n; j++ {
+			switch {
+			case xs[j] > xs[i]:
+				s++
+			case xs[j] < xs[i]:
+				s--
+			}
+		}
+	}
+	// Tie correction: group sizes of equal values.
+	ties := make(map[float64]int)
+	for _, x := range xs {
+		ties[x]++
+	}
+	fn := float64(n)
+	v := fn * (fn - 1) * (2*fn + 5) / 18
+	for _, g := range ties {
+		if g > 1 {
+			fg := float64(g)
+			v -= fg * (fg - 1) * (2*fg + 5) / 18
+		}
+	}
+	if v <= 0 {
+		// All values identical: no evidence of trend.
+		return TestResult{
+			Name: "Mann-Kendall", Statistic: 0, PValue: 1,
+			Alpha: alpha, Rejected: false,
+		}, nil
+	}
+	// Continuity-corrected standardization.
+	var z float64
+	switch {
+	case s > 0:
+		z = (float64(s) - 1) / math.Sqrt(v)
+	case s < 0:
+		z = (float64(s) + 1) / math.Sqrt(v)
+	}
+	p := 2 * (1 - NormalCDF(math.Abs(z)))
+	return TestResult{
+		Name:      "Mann-Kendall",
+		Statistic: z,
+		PValue:    p,
+		Alpha:     alpha,
+		Rejected:  p < alpha,
+	}, nil
+}
+
+// ExtendedIIDReport runs the full diagnostic battery on a campaign:
+// the paper's gate (Ljung-Box + KS) plus the turning-point randomness
+// check and the Mann-Kendall trend check.
+type ExtendedIIDReport struct {
+	Gate         IIDReport
+	TurningPoint TestResult
+	Trend        TestResult
+	Pass         bool // every test accepts
+}
+
+// CheckIIDExtended applies all four diagnostics at level alpha.
+func CheckIIDExtended(xs []float64, alpha float64) (ExtendedIIDReport, error) {
+	gate, err := CheckIID(xs, alpha)
+	if err != nil {
+		return ExtendedIIDReport{}, err
+	}
+	tp, err := TurningPointTest(xs, alpha)
+	if err != nil {
+		return ExtendedIIDReport{}, err
+	}
+	mk, err := MannKendall(xs, alpha)
+	if err != nil {
+		return ExtendedIIDReport{}, err
+	}
+	return ExtendedIIDReport{
+		Gate:         gate,
+		TurningPoint: tp,
+		Trend:        mk,
+		Pass:         gate.Pass && !tp.Rejected && !mk.Rejected,
+	}, nil
+}

@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestTurningPointAcceptsIID(t *testing.T) {
+	rejections := 0
+	const trials = 30
+	for s := uint64(1); s <= trials; s++ {
+		res, err := TurningPointTest(iidSample(s, 500), 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rejected {
+			rejections++
+		}
+	}
+	if rejections > 5 {
+		t.Errorf("turning-point rejected %d/%d iid samples", rejections, trials)
+	}
+}
+
+func TestTurningPointRejectsTrend(t *testing.T) {
+	// A strong monotone component suppresses turning points.
+	src := rng.NewXoroshiro128(4)
+	xs := make([]float64, 400)
+	for i := range xs {
+		xs[i] = float64(i) + 0.3*rng.Float64(src)
+	}
+	res, err := TurningPointTest(xs, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rejected {
+		t.Errorf("trend accepted (z=%.2f p=%.4f)", res.Statistic, res.PValue)
+	}
+	if res.Statistic > 0 {
+		t.Errorf("trend should reduce turning points (z=%.2f)", res.Statistic)
+	}
+}
+
+func TestTurningPointRejectsAlternation(t *testing.T) {
+	xs := make([]float64, 300)
+	for i := range xs {
+		xs[i] = float64(i % 2)
+	}
+	res, err := TurningPointTest(xs, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rejected || res.Statistic < 0 {
+		t.Errorf("alternation: z=%.2f p=%.4f", res.Statistic, res.PValue)
+	}
+}
+
+func TestTurningPointTooFew(t *testing.T) {
+	if _, err := TurningPointTest(make([]float64, 10), 0.05); err != ErrTooFew {
+		t.Error("short sample accepted")
+	}
+}
+
+func TestMannKendallAcceptsIID(t *testing.T) {
+	rejections := 0
+	const trials = 30
+	for s := uint64(1); s <= trials; s++ {
+		res, err := MannKendall(iidSample(s, 300), 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rejected {
+			rejections++
+		}
+	}
+	if rejections > 5 {
+		t.Errorf("Mann-Kendall rejected %d/%d iid samples", rejections, trials)
+	}
+}
+
+func TestMannKendallDetectsDrift(t *testing.T) {
+	// A mild drift (thermal-style) buried in noise.
+	src := rng.NewXoroshiro128(6)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.Float64(src) + float64(i)*0.002
+	}
+	res, err := MannKendall(xs, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rejected || res.Statistic <= 0 {
+		t.Errorf("upward drift missed: z=%.2f p=%.4f", res.Statistic, res.PValue)
+	}
+	// Decreasing drift gives a negative statistic.
+	for i := range xs {
+		xs[i] = rng.Float64(src) - float64(i)*0.002
+	}
+	res, _ = MannKendall(xs, 0.05)
+	if !res.Rejected || res.Statistic >= 0 {
+		t.Errorf("downward drift missed: z=%.2f", res.Statistic)
+	}
+}
+
+func TestMannKendallConstantSeries(t *testing.T) {
+	res, err := MannKendall(make([]float64, 50), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected || res.PValue != 1 {
+		t.Errorf("constant series: %+v", res)
+	}
+}
+
+func TestMannKendallTooFew(t *testing.T) {
+	if _, err := MannKendall(make([]float64, 5), 0.05); err != ErrTooFew {
+		t.Error("short sample accepted")
+	}
+}
+
+func TestCheckIIDExtended(t *testing.T) {
+	rep, err := CheckIIDExtended(iidSample(12, 1000), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Errorf("extended gate failed on iid data: %+v", rep)
+	}
+	// A drifting series fails via the trend test even when KS on halves
+	// might be borderline.
+	src := rng.NewXoroshiro128(2)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.Float64(src) + float64(i)*0.001
+	}
+	rep, err = CheckIIDExtended(xs, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Error("extended gate passed on drifting data")
+	}
+	if !rep.Trend.Rejected {
+		t.Error("Mann-Kendall did not flag the drift")
+	}
+	if _, err := CheckIIDExtended(make([]float64, 5), 0.05); err == nil {
+		t.Error("tiny sample accepted")
+	}
+}

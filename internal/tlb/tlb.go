@@ -1,0 +1,171 @@
+// Package tlb models the instruction and data translation lookaside
+// buffers of the platform: 64-entry fully-associative TLBs whose
+// replacement policy was changed to random in the MBPTA-compliant build
+// of the processor (the paper randomizes ITLB and DTLB replacement).
+//
+// Address translation itself is identity (the case study runs bare-metal
+// with a flat mapping); what matters for timing is hit/miss behaviour
+// and the page-table-walk cost on a miss.
+package tlb
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Replacement selects the victim policy.
+type Replacement string
+
+// Replacement policies.
+const (
+	ReplaceLRU    Replacement = "lru"
+	ReplaceRandom Replacement = "random"
+	ReplaceFIFO   Replacement = "fifo"
+)
+
+// Config describes one TLB.
+type Config struct {
+	Name        string
+	Entries     int
+	PageBytes   int
+	Replacement Replacement
+	// WalkAccesses is the number of memory accesses a miss costs (the
+	// depth of the page-table walk); each goes to the bus/DRAM.
+	WalkAccesses int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Entries <= 0 {
+		return fmt.Errorf("tlb %q: non-positive entries %d", c.Name, c.Entries)
+	}
+	if c.PageBytes <= 0 || c.PageBytes&(c.PageBytes-1) != 0 {
+		return fmt.Errorf("tlb %q: page size %d not a positive power of two", c.Name, c.PageBytes)
+	}
+	if c.WalkAccesses < 1 {
+		return fmt.Errorf("tlb %q: walk accesses %d < 1", c.Name, c.WalkAccesses)
+	}
+	switch c.Replacement {
+	case ReplaceLRU, ReplaceRandom, ReplaceFIFO:
+	default:
+		return fmt.Errorf("tlb %q: unknown replacement %q", c.Name, c.Replacement)
+	}
+	return nil
+}
+
+// Stats counts TLB events.
+type Stats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// MissRatio returns misses / total.
+func (s Stats) MissRatio() float64 {
+	tot := s.Hits + s.Misses
+	if tot == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(tot)
+}
+
+type entry struct {
+	valid bool
+	vpn   uint64
+	stamp uint64 // recency (LRU) or insertion order (FIFO)
+}
+
+// TLB is one translation buffer. Not safe for concurrent use; each core
+// owns its TLBs.
+type TLB struct {
+	cfg       Config
+	entries   []entry
+	clock     uint64
+	rnd       rng.Source
+	stats     Stats
+	pageShift uint
+}
+
+// New builds a TLB. src is required for random replacement.
+func New(cfg Config, src rng.Source) (*TLB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Replacement == ReplaceRandom && src == nil {
+		return nil, fmt.Errorf("tlb %q: random replacement requires an rng source", cfg.Name)
+	}
+	shift := uint(0)
+	for p := cfg.PageBytes; p > 1; p >>= 1 {
+		shift++
+	}
+	return &TLB{cfg: cfg, entries: make([]entry, cfg.Entries), rnd: src, pageShift: shift}, nil
+}
+
+// Config returns the TLB configuration.
+func (t *TLB) Config() Config { return t.cfg }
+
+// Stats returns a copy of the counters.
+func (t *TLB) Stats() Stats { return t.stats }
+
+// ResetStats zeroes the counters.
+func (t *TLB) ResetStats() { t.stats = Stats{} }
+
+// Flush invalidates all entries (per-run protocol).
+func (t *TLB) Flush() {
+	for i := range t.entries {
+		t.entries[i] = entry{}
+	}
+}
+
+// Lookup translates addr, returning true on hit. On a miss the entry is
+// filled (the walk cost is charged by the timing model, which sees the
+// miss and issues Config().WalkAccesses memory accesses).
+func (t *TLB) Lookup(addr uint64) bool {
+	vpn := addr >> t.pageShift
+	t.clock++
+	free := -1
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.vpn == vpn {
+			if t.cfg.Replacement == ReplaceLRU {
+				e.stamp = t.clock
+			}
+			t.stats.Hits++
+			return true
+		}
+		if !e.valid && free < 0 {
+			free = i
+		}
+	}
+	t.stats.Misses++
+	if free >= 0 {
+		t.entries[free] = entry{valid: true, vpn: vpn, stamp: t.clock}
+		return false
+	}
+	var victim int
+	switch t.cfg.Replacement {
+	case ReplaceRandom:
+		victim = rng.Intn(t.rnd, len(t.entries))
+	default: // LRU and FIFO both evict the oldest stamp; they differ in
+		// whether Lookup refreshes it (LRU does, FIFO does not).
+		victim = 0
+		for i := 1; i < len(t.entries); i++ {
+			if t.entries[i].stamp < t.entries[victim].stamp {
+				victim = i
+			}
+		}
+	}
+	t.entries[victim] = entry{valid: true, vpn: vpn, stamp: t.clock}
+	return false
+}
+
+// Probe reports residency without side effects.
+func (t *TLB) Probe(addr uint64) bool {
+	vpn := addr >> t.pageShift
+	for _, e := range t.entries {
+		if e.valid && e.vpn == vpn {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,162 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func cfg(r Replacement) Config {
+	return Config{Name: "DTLB", Entries: 64, PageBytes: 4096, Replacement: r, WalkAccesses: 2}
+}
+
+func newTLB(t *testing.T, c Config, seed uint64) *TLB {
+	t.Helper()
+	tl, err := New(c, rng.NewXoroshiro128(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tl
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := cfg(ReplaceLRU).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Name: "entries", Entries: 0, PageBytes: 4096, Replacement: ReplaceLRU, WalkAccesses: 1},
+		{Name: "page", Entries: 4, PageBytes: 1000, Replacement: ReplaceLRU, WalkAccesses: 1},
+		{Name: "walk", Entries: 4, PageBytes: 4096, Replacement: ReplaceLRU, WalkAccesses: 0},
+		{Name: "policy", Entries: 4, PageBytes: 4096, Replacement: "bogus", WalkAccesses: 1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %q accepted", c.Name)
+		}
+	}
+}
+
+func TestRandomRequiresRNG(t *testing.T) {
+	if _, err := New(cfg(ReplaceRandom), nil); err == nil {
+		t.Error("random replacement without rng accepted")
+	}
+	if _, err := New(cfg(ReplaceLRU), nil); err != nil {
+		t.Errorf("LRU without rng rejected: %v", err)
+	}
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	for _, r := range []Replacement{ReplaceLRU, ReplaceRandom, ReplaceFIFO} {
+		tl := newTLB(t, cfg(r), 1)
+		if tl.Lookup(0x1234) {
+			t.Errorf("%s: cold lookup hit", r)
+		}
+		if !tl.Lookup(0x1FFF) {
+			t.Errorf("%s: same-page lookup missed", r)
+		}
+		if tl.Lookup(0x2000) {
+			t.Errorf("%s: next page hit", r)
+		}
+	}
+}
+
+func TestCapacityAndLRUEviction(t *testing.T) {
+	small := Config{Name: "T", Entries: 4, PageBytes: 4096, Replacement: ReplaceLRU, WalkAccesses: 2}
+	tl := newTLB(t, small, 0)
+	pages := []uint64{0, 1, 2, 3}
+	for _, p := range pages {
+		tl.Lookup(p << 12)
+	}
+	tl.Lookup(0 << 12) // refresh page 0
+	tl.Lookup(9 << 12) // evicts page 1 (LRU)
+	if !tl.Probe(0 << 12) {
+		t.Error("refreshed page evicted")
+	}
+	if tl.Probe(1 << 12) {
+		t.Error("LRU page survived")
+	}
+}
+
+func TestFIFOEvictionIgnoresRecency(t *testing.T) {
+	small := Config{Name: "T", Entries: 4, PageBytes: 4096, Replacement: ReplaceFIFO, WalkAccesses: 2}
+	tl := newTLB(t, small, 0)
+	for p := uint64(0); p < 4; p++ {
+		tl.Lookup(p << 12)
+	}
+	tl.Lookup(0 << 12) // hit; FIFO does not refresh
+	tl.Lookup(9 << 12) // evicts page 0 (oldest insertion)
+	if tl.Probe(0 << 12) {
+		t.Error("FIFO kept the oldest insertion")
+	}
+	if !tl.Probe(1 << 12) {
+		t.Error("page 1 evicted out of order")
+	}
+}
+
+func TestRandomEvictionCoversAllEntries(t *testing.T) {
+	small := Config{Name: "T", Entries: 4, PageBytes: 4096, Replacement: ReplaceRandom, WalkAccesses: 2}
+	tl := newTLB(t, small, 5)
+	evicted := make(map[uint64]bool)
+	for trial := 0; trial < 300 && len(evicted) < 4; trial++ {
+		tl.Flush()
+		for p := uint64(0); p < 4; p++ {
+			tl.Lookup(p << 12)
+		}
+		tl.Lookup(99 << 12)
+		for p := uint64(0); p < 4; p++ {
+			if !tl.Probe(p << 12) {
+				evicted[p] = true
+			}
+		}
+	}
+	if len(evicted) < 4 {
+		t.Errorf("random replacement only evicted %v", evicted)
+	}
+}
+
+func TestFlushAndStats(t *testing.T) {
+	tl := newTLB(t, cfg(ReplaceLRU), 0)
+	tl.Lookup(0x1000)
+	tl.Lookup(0x1000)
+	st := tl.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	if mr := st.MissRatio(); mr != 0.5 {
+		t.Errorf("miss ratio %v", mr)
+	}
+	tl.Flush()
+	if tl.Probe(0x1000) {
+		t.Error("entry survived flush")
+	}
+	tl.ResetStats()
+	if tl.Stats() != (Stats{}) {
+		t.Error("stats survived reset")
+	}
+	if (Stats{}).MissRatio() != 0 {
+		t.Error("empty ratio != 0")
+	}
+}
+
+func TestWorkingSetWithinCapacityAlwaysHitsSecondPass(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.NewXoroshiro128(seed)
+		tl, err := New(cfg(ReplaceRandom), src)
+		if err != nil {
+			return false
+		}
+		// 64 pages = exactly capacity; second pass must be all hits.
+		for p := uint64(0); p < 64; p++ {
+			tl.Lookup(p << 12)
+		}
+		tl.ResetStats()
+		for p := uint64(0); p < 64; p++ {
+			tl.Lookup(p << 12)
+		}
+		return tl.Stats().Misses == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,116 @@
+// Package trace persists measurement campaigns: execution-time samples
+// with run indices and path identifiers, in CSV (interoperable with
+// spreadsheet/plotting tools) and JSON (self-describing) formats.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Sample is one measurement run.
+type Sample struct {
+	Run    int    `json:"run"`
+	Cycles uint64 `json:"cycles"`
+	Path   string `json:"path,omitempty"`
+}
+
+// Set is a named collection of samples in run order.
+type Set struct {
+	Platform string   `json:"platform"`
+	Workload string   `json:"workload"`
+	Samples  []Sample `json:"samples"`
+}
+
+// ErrBadFormat reports a malformed input file.
+var ErrBadFormat = errors.New("trace: malformed input")
+
+// Times extracts the execution-time series in run order.
+func (s *Set) Times() []float64 {
+	out := make([]float64, len(s.Samples))
+	for i, sm := range s.Samples {
+		out[i] = float64(sm.Cycles)
+	}
+	return out
+}
+
+// TimesByPath groups times by path identifier, preserving order.
+func (s *Set) TimesByPath() map[string][]float64 {
+	out := make(map[string][]float64)
+	for _, sm := range s.Samples {
+		out[sm.Path] = append(out[sm.Path], float64(sm.Cycles))
+	}
+	return out
+}
+
+// WriteCSV emits "run,cycles,path" rows with a header.
+func WriteCSV(w io.Writer, s *Set) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"run", "cycles", "path"}); err != nil {
+		return err
+	}
+	for _, sm := range s.Samples {
+		rec := []string{strconv.Itoa(sm.Run), strconv.FormatUint(sm.Cycles, 10), sm.Path}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses the WriteCSV format. Platform/workload metadata is not
+// stored in CSV; callers set it afterwards if needed.
+func ReadCSV(r io.Reader) (*Set, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("%w: empty file", ErrBadFormat)
+	}
+	if len(recs[0]) < 2 || recs[0][0] != "run" {
+		return nil, fmt.Errorf("%w: missing header", ErrBadFormat)
+	}
+	set := &Set{}
+	for i, rec := range recs[1:] {
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("%w: row %d has %d fields", ErrBadFormat, i+2, len(rec))
+		}
+		run, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("%w: row %d run: %v", ErrBadFormat, i+2, err)
+		}
+		cyc, err := strconv.ParseUint(rec[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: row %d cycles: %v", ErrBadFormat, i+2, err)
+		}
+		sm := Sample{Run: run, Cycles: cyc}
+		if len(rec) >= 3 {
+			sm.Path = rec[2]
+		}
+		set.Samples = append(set.Samples, sm)
+	}
+	return set, nil
+}
+
+// WriteJSON emits the set as indented JSON.
+func WriteJSON(w io.Writer, s *Set) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadJSON parses the WriteJSON format.
+func ReadJSON(r io.Reader) (*Set, error) {
+	var s Set
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	return &s, nil
+}

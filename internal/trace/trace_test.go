@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func sampleSet() *Set {
+	return &Set{
+		Platform: "RAND",
+		Workload: "TVCA",
+		Samples: []Sample{
+			{Run: 0, Cycles: 1234, Path: "a"},
+			{Run: 1, Cycles: 5678, Path: "b"},
+			{Run: 2, Cycles: 910, Path: "a"},
+		},
+	}
+}
+
+func TestTimes(t *testing.T) {
+	s := sampleSet()
+	ts := s.Times()
+	if len(ts) != 3 || ts[0] != 1234 || ts[2] != 910 {
+		t.Errorf("times %v", ts)
+	}
+	byPath := s.TimesByPath()
+	if len(byPath["a"]) != 2 || len(byPath["b"]) != 1 {
+		t.Errorf("by path %v", byPath)
+	}
+	if byPath["a"][0] != 1234 || byPath["a"][1] != 910 {
+		t.Error("order not preserved within path")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sampleSet()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "run,cycles,path\n") {
+		t.Errorf("missing header: %q", buf.String())
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleSet()
+	if len(got.Samples) != len(want.Samples) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range want.Samples {
+		if got.Samples[i] != want.Samples[i] {
+			t.Errorf("sample %d: %+v != %+v", i, got.Samples[i], want.Samples[i])
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sampleSet()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Platform != "RAND" || got.Workload != "TVCA" {
+		t.Errorf("metadata lost: %+v", got)
+	}
+	for i, s := range sampleSet().Samples {
+		if got.Samples[i] != s {
+			t.Errorf("sample %d mismatch", i)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"bogus,header\n1,2",
+		"run,cycles,path\nNaN,2,a",
+		"run,cycles,path\n1,notanumber,a",
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("case %d: err = %v, want ErrBadFormat", i, err)
+		}
+	}
+}
+
+func TestReadCSVWithoutPathColumn(t *testing.T) {
+	in := "run,cycles\n0,42\n1,43\n"
+	s, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Samples) != 2 || s.Samples[0].Cycles != 42 || s.Samples[0].Path != "" {
+		t.Errorf("samples %+v", s.Samples)
+	}
+}
+
+func TestReadJSONError(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("err = %v", err)
+	}
+}

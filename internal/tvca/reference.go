@@ -1,0 +1,140 @@
+package tvca
+
+import (
+	"math"
+
+	"repro/internal/sched"
+)
+
+// RefResult is the host-computed golden output of one TVCA run.
+type RefResult struct {
+	Filtered   []float64
+	OutX, OutY float64
+	Clamp      int
+	SatX, SatY int
+}
+
+// Reference executes the TVCA computation host-side with the exact
+// operation ordering of the generated assembly, so float64 results are
+// bit-identical. Tests compare it against guest execution to prove the
+// code generator is functionally correct.
+func (a *App) Reference(run int) (RefResult, error) {
+	cfg := a.cfg
+	inputs := a.Inputs(run)
+	table, err := sched.ActivationTable(Tasks(), cfg.Frames)
+	if err != nil {
+		return RefResult{}, err
+	}
+
+	coef := make([]float64, cfg.Taps)
+	for t := range coef {
+		coef[t] = firCoef(t, cfg.Taps)
+	}
+	hist := make([][]float64, cfg.Sensors)
+	for ch := range hist {
+		hist[ch] = make([]float64, cfg.Taps)
+	}
+	res := RefResult{Filtered: make([]float64, cfg.Sensors)}
+
+	type axis struct {
+		set, kp, ki, kd float64
+		maxNorm         float64
+		integ, prev     float64
+		a               [stateDim][stateDim]float64
+		b, state        [stateDim]float64
+		out             float64
+		sat             int
+		poly            bool
+	}
+	mkAxis := func(name string, set, kp, ki, kd, maxNorm float64, poly bool) *axis {
+		ax := &axis{set: set, kp: kp, ki: ki, kd: kd, maxNorm: maxNorm, poly: poly}
+		for i := 0; i < stateDim; i++ {
+			for j := 0; j < stateDim; j++ {
+				ax.a[i][j] = plantA(name, i, j)
+			}
+			ax.b[i] = plantB(name, i)
+		}
+		return ax
+	}
+	ax := mkAxis("x", setpointX, kpX, kiX, kdX, maxNormX, false)
+	ay := mkAxis("y", setpointY, kpY, kiY, kdY, maxNormY, true)
+
+	sensor := func(frame int) {
+		for ch := 0; ch < cfg.Sensors; ch++ {
+			sample := inputs[frame][ch]
+			h := hist[ch]
+			for t := cfg.Taps - 1; t >= 1; t-- {
+				h[t] = h[t-1]
+			}
+			h[0] = sample
+			acc := 0.0
+			for t := 0; t < cfg.Taps; t++ {
+				acc += h[t] * coef[t]
+			}
+			if acc > clampLimit {
+				acc = clampLimit
+				res.Clamp++
+			} else if acc < -clampLimit {
+				acc = -clampLimit
+				res.Clamp++
+			}
+			res.Filtered[ch] = acc
+		}
+	}
+
+	actuator := func(x *axis, sensorIx int, sat *int) {
+		errv := x.set - res.Filtered[sensorIx]
+		x.integ += errv
+		der := errv - x.prev
+		x.prev = errv
+		u := x.kp * errv
+		u += x.ki * x.integ
+		u += x.kd * der
+		if x.poly {
+			acc := polyY[4]
+			for k := 3; k >= 0; k-- {
+				acc = acc*errv + polyY[k]
+			}
+			u += acc
+		}
+		var newState [stateDim]float64
+		for i := 0; i < stateDim; i++ {
+			acc := 0.0
+			for j := 0; j < stateDim; j++ {
+				acc += x.a[i][j] * x.state[j]
+			}
+			acc += x.b[i] * u
+			newState[i] = acc
+		}
+		norm2 := 0.0
+		for i := 0; i < stateDim; i++ {
+			x.state[i] = newState[i]
+			norm2 += newState[i] * newState[i]
+		}
+		norm := math.Sqrt(norm2)
+		if norm > x.maxNorm {
+			scale := x.maxNorm / norm
+			for i := 0; i < stateDim; i++ {
+				x.state[i] *= scale
+			}
+			norm = x.maxNorm
+			*sat++
+		}
+		x.out = u / (1.0 + norm)
+	}
+
+	for f := 0; f < cfg.Frames; f++ {
+		for _, ti := range table[f] {
+			switch ti {
+			case 0:
+				sensor(f)
+			case 1:
+				actuator(ax, 0, &res.SatX)
+			case 2:
+				actuator(ay, 1, &res.SatY)
+			}
+		}
+	}
+	res.OutX, res.OutY = ax.out, ay.out
+	return res, nil
+}

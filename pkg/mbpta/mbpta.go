@@ -1,0 +1,317 @@
+// Package mbpta is the public API of the MBPTA reproduction: it
+// re-exports the analyzer (the paper's measurement-based probabilistic
+// timing analysis pipeline), the time-randomized LEON3-class platform
+// simulator, the TVCA case-study workload, the classical MBTA baseline
+// and the trace/report utilities, and adds high-level helpers that
+// cover the common flows:
+//
+//	app, _ := mbpta.NewTVCA(mbpta.DefaultTVCAConfig())
+//	set, _ := mbpta.Collect(mbpta.RANDPlatform(), app, 3000, 42)
+//	res, _ := mbpta.NewAnalyzer(mbpta.Options{}).AnalyzeByPath(set.TimesByPath())
+//	bound, _ := res.PWCET(1e-12)
+//
+// Everything reachable from here is stable API; the internal packages
+// may change layout freely.
+package mbpta
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/evt"
+	"repro/internal/isa"
+	"repro/internal/mbta"
+	"repro/internal/platform"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/tvca"
+)
+
+// Analysis types (the paper's contribution).
+type (
+	// Analyzer runs the MBPTA pipeline: i.i.d. gate, block-maxima
+	// Gumbel fit, tail diagnostics, per-path pWCET.
+	Analyzer = core.Analyzer
+	// Options configures the analyzer; the zero value applies the
+	// paper's defaults (alpha 0.05, block size 50, PWM fit).
+	Options = core.Options
+	// Result is a complete analysis with pWCET query methods.
+	Result = core.Result
+	// PathResult is the per-path portion of a Result.
+	PathResult = core.PathResult
+	// CurvePoint is one point of the Figure-2 pWCET curve.
+	CurvePoint = core.CurvePoint
+	// ConvergencePoint is one step of the campaign-size convergence
+	// trace.
+	ConvergencePoint = core.ConvergencePoint
+	// Gumbel is the extreme-value distribution MBPTA fits.
+	Gumbel = evt.Gumbel
+	// FitMethod selects the Gumbel estimator (PWM, moments, MLE).
+	FitMethod = evt.FitMethod
+	// IIDReport carries the Ljung-Box + Kolmogorov-Smirnov gate
+	// outcome.
+	IIDReport = stats.IIDReport
+	// TestResult is a single statistical test outcome.
+	TestResult = stats.TestResult
+	// TailMethod selects block-maxima (paper default) or
+	// peaks-over-threshold tail estimation.
+	TailMethod = core.TailMethod
+	// CI is a bootstrap confidence interval on a pWCET estimate.
+	CI = core.CI
+	// CVPoint is one point of the MBPTA-CV exponentiality ladder.
+	CVPoint = core.CVPoint
+)
+
+// Tail estimation methods for Options.Method.
+const (
+	MethodBlockMaxima = core.MethodBlockMaxima
+	MethodPoT         = core.MethodPoT
+)
+
+// ExponentialityCV computes the MBPTA-CV coefficient-of-variation
+// ladder over threshold quantiles [startQ, endQ] — a tail-shape
+// diagnostic complementary to the built-in GEV check.
+func ExponentialityCV(times []float64, startQ, endQ float64, steps int) ([]CVPoint, error) {
+	return core.ExponentialityCV(times, startQ, endQ, steps)
+}
+
+// CVVerdict accepts the tail when the final windowFrac of the CV ladder
+// is at or below the exponential acceptance band.
+func CVVerdict(points []CVPoint, windowFrac float64) (bool, error) {
+	return core.CVVerdict(points, windowFrac)
+}
+
+// Analyzer errors, for errors.Is.
+var (
+	ErrIIDRejected  = core.ErrIIDRejected
+	ErrHeavyTail    = core.ErrHeavyTail
+	ErrInsufficient = core.ErrInsufficient
+)
+
+// Fit method names.
+const (
+	MethodPWM     = evt.MethodPWM
+	MethodMoments = evt.MethodMoments
+	MethodMLE     = evt.MethodMLE
+)
+
+// NewAnalyzer returns an analyzer with opts completed by the paper's
+// defaults.
+func NewAnalyzer(opts Options) *Analyzer { return core.NewAnalyzer(opts) }
+
+// CheckIID runs the standalone i.i.d. gate (Ljung-Box + two-sample KS)
+// on an execution-time series at significance alpha.
+func CheckIID(times []float64, alpha float64) (IIDReport, error) {
+	return stats.CheckIID(times, alpha)
+}
+
+// ExtendedIIDReport adds turning-point randomness and Mann-Kendall
+// trend diagnostics to the paper's gate.
+type ExtendedIIDReport = stats.ExtendedIIDReport
+
+// CheckIIDExtended applies the full diagnostic battery (Ljung-Box, KS,
+// turning-point, Mann-Kendall) at level alpha.
+func CheckIIDExtended(times []float64, alpha float64) (ExtendedIIDReport, error) {
+	return stats.CheckIIDExtended(times, alpha)
+}
+
+// Platform types (the hardware-randomized substrate).
+type (
+	// PlatformConfig describes a full processor build.
+	PlatformConfig = platform.Config
+	// Platform is one instantiated board.
+	Platform = platform.Platform
+	// Workload is a program under analysis.
+	Workload = platform.Workload
+	// RunResult is one measurement run.
+	RunResult = platform.RunResult
+	// CampaignResult is an ordered measurement campaign.
+	CampaignResult = platform.CampaignResult
+	// CampaignOptions tunes RunCampaign.
+	CampaignOptions = platform.CampaignOptions
+	// InterferenceConfig attaches synthetic co-runner bus traffic.
+	InterferenceConfig = platform.InterferenceConfig
+	// Multicore co-simulates real co-runner programs on the other
+	// cores, sharing the bus and DRAM with the measured workload.
+	Multicore = platform.Multicore
+	// MulticoreResult is one co-simulated measurement.
+	MulticoreResult = platform.MulticoreResult
+)
+
+// NewMulticore builds a co-simulated multicore platform: the measured
+// workload runs on core 0, the co-runners loop on the remaining cores.
+func NewMulticore(cfg PlatformConfig, coRunners []Workload) (*Multicore, error) {
+	return platform.NewMulticore(cfg, coRunners)
+}
+
+// Per-task measurement types.
+type (
+	// Span names a PC range — one task's body within a program.
+	Span = isa.Span
+	// TaskAware is a Workload exposing its task spans for per-job
+	// execution-time attribution.
+	TaskAware = platform.TaskAware
+	// JobTimes maps task names to per-job cycle counts of one run.
+	JobTimes = platform.JobTimes
+	// SchedTask is one periodic task of a fixed-priority set.
+	SchedTask = sched.Task
+)
+
+// PerTaskCampaign runs a protocol-compliant campaign with per-task
+// attribution: each task maps to its per-job execution times across
+// all runs. Note that consecutive jobs within one run are correlated
+// (shared warm cache state); for per-task MBPTA use
+// PerTaskWorstCampaign instead.
+func PerTaskCampaign(cfg PlatformConfig, w TaskAware, opts CampaignOptions) (map[string][]float64, error) {
+	return platform.PerTaskCampaign(cfg, w, opts)
+}
+
+// PerTaskWorstCampaign maps each task to its per-run worst job time —
+// i.i.d. samples that conservatively cover every activation, the
+// per-task MBPTA input.
+func PerTaskWorstCampaign(cfg PlatformConfig, w TaskAware, opts CampaignOptions) (map[string][]float64, error) {
+	return platform.PerTaskWorstCampaign(cfg, w, opts)
+}
+
+// Adaptive collection (the paper's protocol: measure until the tail
+// fit converges).
+type (
+	// AdaptiveOptions tunes the batch-and-refit collection loop.
+	AdaptiveOptions = platform.AdaptiveOptions
+	// AdaptiveResult is a campaign collected until convergence.
+	AdaptiveResult = platform.AdaptiveResult
+)
+
+// AdaptiveCampaign measures w in batches until the CRPS convergence
+// criterion allows stopping (or MaxRuns is reached).
+func AdaptiveCampaign(cfg PlatformConfig, w Workload, opts AdaptiveOptions) (*AdaptiveResult, error) {
+	return platform.AdaptiveCampaign(cfg, w, opts)
+}
+
+// ResponseTimes computes classical fixed-priority response-time
+// analysis over tasks whose WCET budgets may be pWCET estimates —
+// probabilistic schedulability in the style the MBPTA literature
+// composes with the paper's analysis.
+func ResponseTimes(tasks []SchedTask, frameCycles uint64) ([]uint64, error) {
+	return sched.ResponseTimes(tasks, frameCycles)
+}
+
+// TVCATasks returns the case study's periodic task set (periods in
+// minor frames, priorities: sensor highest).
+func TVCATasks() []SchedTask { return tvca.Tasks() }
+
+// DETPlatform returns the deterministic baseline platform (modulo
+// placement, LRU, operand-dependent FPU) — the platform classical MBTA
+// measures.
+func DETPlatform() PlatformConfig { return platform.DET() }
+
+// RANDPlatform returns the MBPTA-compliant time-randomized platform
+// (random-modulo placement, random replacement, worst-case-fixed
+// FDIV/FSQRT).
+func RANDPlatform() PlatformConfig { return platform.RAND() }
+
+// NewPlatform instantiates a board from cfg.
+func NewPlatform(cfg PlatformConfig) (*Platform, error) { return platform.New(cfg) }
+
+// RunCampaign executes a measurement campaign of w on a platform built
+// from cfg, following the paper's per-run protocol (flush, reset,
+// reload, reseed).
+func RunCampaign(cfg PlatformConfig, w Workload, opts CampaignOptions) (*CampaignResult, error) {
+	return platform.RunCampaign(cfg, w, opts)
+}
+
+// Collect runs a campaign and packages it as a trace.Set ready for
+// persistence or analysis.
+func Collect(cfg PlatformConfig, w Workload, runs int, seed uint64) (*TraceSet, error) {
+	res, err := platform.RunCampaign(cfg, w, platform.CampaignOptions{Runs: runs, BaseSeed: seed})
+	if err != nil {
+		return nil, err
+	}
+	set := &trace.Set{Platform: res.Platform, Workload: res.Workload}
+	for i, r := range res.Results {
+		set.Samples = append(set.Samples, trace.Sample{Run: i, Cycles: r.Cycles, Path: r.Path})
+	}
+	return set, nil
+}
+
+// Workload types.
+type (
+	// TVCAConfig parametrizes the thrust-vector-control case study.
+	TVCAConfig = tvca.Config
+	// TVCA is the generated case-study application.
+	TVCA = tvca.App
+	// Machine is the architectural interpreter state (advanced use:
+	// custom workloads implement Workload in terms of it).
+	Machine = isa.Machine
+	// Memory is the byte-addressable data memory of a Machine.
+	Memory = isa.Memory
+	// Program is an assembled instruction sequence.
+	Program = isa.Program
+	// ProgramBuilder is the structured assembler for custom workloads.
+	ProgramBuilder = isa.Builder
+)
+
+// NewProgramBuilder starts a program named name with its text segment
+// linked at codeBase (4-byte aligned).
+func NewProgramBuilder(name string, codeBase uint64) *ProgramBuilder {
+	return isa.NewBuilder(name, codeBase)
+}
+
+// NewMemory returns an empty sparse data memory.
+func NewMemory() *Memory { return isa.NewMemory() }
+
+// NewMachine binds an assembled program to a memory.
+func NewMachine(prog *Program, mem *Memory) *Machine { return isa.NewMachine(prog, mem) }
+
+// DefaultTVCAConfig returns the reference TVCA parameters.
+func DefaultTVCAConfig() TVCAConfig { return tvca.DefaultConfig() }
+
+// NewTVCA generates the case-study application.
+func NewTVCA(cfg TVCAConfig) (*TVCA, error) { return tvca.New(cfg) }
+
+// Baseline (classical MBTA) types.
+type (
+	// MBTAResult is a high-watermark analysis.
+	MBTAResult = mbta.Result
+)
+
+// AnalyzeMBTA computes the classical high-watermark result.
+func AnalyzeMBTA(times []float64) (MBTAResult, error) { return mbta.Analyze(times) }
+
+// Persistence and reporting.
+type (
+	// TraceSet is a persisted measurement campaign.
+	TraceSet = trace.Set
+	// TraceSample is one persisted run.
+	TraceSample = trace.Sample
+	// ReportSeries is one line of an exceedance plot.
+	ReportSeries = report.Series
+	// ReportBar is one bar of a comparison chart.
+	ReportBar = report.Bar
+)
+
+// RenderBarChart renders labelled horizontal bars (the Figure-3 style
+// comparison) to w.
+func RenderBarChart(w io.Writer, title string, width int, bars []ReportBar) error {
+	return report.BarChart(w, title, width, bars)
+}
+
+// RenderExceedancePlot renders one or more exceedance-probability
+// series on a log-scale Y axis (the Figure-2 style pWCET plot) to w.
+func RenderExceedancePlot(w io.Writer, title string, floor float64, width, height int, series ...ReportSeries) error {
+	return report.ExceedancePlot(w, title, floor, width, height, series...)
+}
+
+// WriteTraceCSV / ReadTraceCSV persist campaigns as CSV.
+func WriteTraceCSV(w io.Writer, s *TraceSet) error { return trace.WriteCSV(w, s) }
+
+// ReadTraceCSV parses the WriteTraceCSV format.
+func ReadTraceCSV(r io.Reader) (*TraceSet, error) { return trace.ReadCSV(r) }
+
+// WriteTraceJSON / ReadTraceJSON persist campaigns as JSON.
+func WriteTraceJSON(w io.Writer, s *TraceSet) error { return trace.WriteJSON(w, s) }
+
+// ReadTraceJSON parses the WriteTraceJSON format.
+func ReadTraceJSON(r io.Reader) (*TraceSet, error) { return trace.ReadJSON(r) }
