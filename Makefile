@@ -2,10 +2,15 @@
 
 GO ?= go
 
-.PHONY: test bench experiments race cover clean
+.PHONY: test check bench experiments race cover clean
 
 test:
 	$(GO) test ./...
+
+# What CI runs: vet plus the full suite under the race detector.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 race:
 	$(GO) test -race ./internal/platform/ ./internal/rng/

@@ -28,12 +28,14 @@ func main() {
 		e8runs   = flag.Int("e8-runs", 500, "runs per co-runner configuration for e8 (co-simulation)")
 		e9runs   = flag.Int("e9-runs", 600, "runs per kernel for e9 (workload generality)")
 		csvDir   = flag.String("csv-dir", "", "directory to export figure data as CSV (optional)")
+		converge = flag.Bool("converge", false, "stream the RAND campaign and stop at pWCET-delta convergence (-runs becomes the budget)")
 	)
 	flag.Parse()
 
 	p := experiments.DefaultParams()
 	p.Runs = *runs
 	p.Parallel = *parallel
+	p.Converge = *converge
 	if *seed != 0 {
 		p.Seed = *seed
 	}
@@ -138,6 +140,14 @@ func main() {
 
 	if !ran {
 		fatal(fmt.Errorf("unknown experiment %q (want all or e1..e9)", *exp))
+	}
+	if ci := env.RANDConvergence(); ci != nil {
+		if ci.Converged {
+			fmt.Printf("\nconvergence: RAND campaign stopped at %d/%d runs (%s) - %d runs saved\n",
+				ci.StopRuns, ci.MaxRuns, ci.Rule, ci.RunsSaved())
+		} else {
+			fmt.Printf("\nconvergence: rule %s unsatisfied within the %d-run budget\n", ci.Rule, ci.MaxRuns)
+		}
 	}
 	if *csvDir != "" {
 		files, err := experiments.WriteAllCSV(*csvDir, e2res, e3res, e5res, e7res)

@@ -7,9 +7,15 @@
 //
 //	mbpta -in traces/tvca_rand.csv -cutoffs 1e-6,1e-9,1e-12,1e-15
 //	mbpta -in campaign.json -format json -per-path=false
+//
+// Exit codes, so scripted pipelines can branch on the gate outcome:
+// 0 = analysis completed, 1 = usage or I/O error, 2 = the i.i.d. gate
+// rejected the campaign and -force was not given. All errors go to
+// stderr only.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,19 +29,29 @@ import (
 	"repro/internal/trace"
 )
 
+// Exit codes.
+const (
+	exitError   = 1 // usage or I/O error
+	exitIIDGate = 2 // i.i.d. gate rejection without -force
+)
+
 func main() {
+	fs := flag.NewFlagSet("mbpta", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
 	var (
-		in      = flag.String("in", "", "input trace file (required)")
-		format  = flag.String("format", "csv", "input format: csv or json")
-		alpha   = flag.Float64("alpha", 0.05, "significance level of the i.i.d. tests")
-		block   = flag.Int("block", 50, "block-maxima block size")
-		fit     = flag.String("fit", "pwm", "Gumbel fit method: pwm, moments, mle")
-		cutoffs = flag.String("cutoffs", "1e-6,1e-9,1e-12,1e-15", "comma-separated exceedance probabilities")
-		perPath = flag.Bool("per-path", true, "analyze per executed path, taking the max across paths")
-		force   = flag.Bool("force", false, "continue even if the i.i.d. gate fails (diagnostic mode)")
-		diag    = flag.Bool("diagnostics", false, "print extended diagnostics (trend tests, MBPTA-CV ladder)")
+		in      = fs.String("in", "", "input trace file (required)")
+		format  = fs.String("format", "csv", "input format: csv or json")
+		alpha   = fs.Float64("alpha", 0.05, "significance level of the i.i.d. tests")
+		block   = fs.Int("block", 50, "block-maxima block size")
+		fit     = fs.String("fit", "pwm", "Gumbel fit method: pwm, moments, mle")
+		cutoffs = fs.String("cutoffs", "1e-6,1e-9,1e-12,1e-15", "comma-separated exceedance probabilities")
+		perPath = fs.Bool("per-path", true, "analyze per executed path, taking the max across paths")
+		force   = fs.Bool("force", false, "continue even if the i.i.d. gate fails (diagnostic mode)")
+		diag    = fs.Bool("diagnostics", false, "print extended diagnostics (trend tests, MBPTA-CV ladder)")
 	)
-	flag.Parse()
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(exitError) // usage already printed to stderr
+	}
 	if *in == "" {
 		fatal(fmt.Errorf("missing -in"))
 	}
@@ -76,7 +92,7 @@ func main() {
 		res, err = an.Analyze(set.Times())
 	}
 	if err != nil {
-		fatal(err)
+		fatalCode(exitCodeFor(err), err)
 	}
 
 	fmt.Printf("campaign: %d samples", len(set.Samples))
@@ -199,7 +215,20 @@ func parseCutoffs(s string) ([]float64, error) {
 	return out, nil
 }
 
+// exitCodeFor classifies an analysis error: an i.i.d. gate rejection
+// maps to the dedicated code so pipelines can branch on it.
+func exitCodeFor(err error) int {
+	if errors.Is(err, core.ErrIIDRejected) {
+		return exitIIDGate
+	}
+	return exitError
+}
+
 func fatal(err error) {
+	fatalCode(exitError, err)
+}
+
+func fatalCode(code int, err error) {
 	fmt.Fprintln(os.Stderr, "mbpta:", err)
-	os.Exit(1)
+	os.Exit(code)
 }

@@ -1,7 +1,10 @@
 package main
 
 import (
+	"fmt"
 	"testing"
+
+	"repro/internal/core"
 )
 
 func TestParseCutoffs(t *testing.T) {
@@ -35,5 +38,22 @@ func TestParseCutoffsErrors(t *testing.T) {
 func TestVerdict(t *testing.T) {
 	if verdict(true) != "pass" || verdict(false) != "REJECTED" {
 		t.Error("verdict strings")
+	}
+}
+
+func TestExitCodeFor(t *testing.T) {
+	// Scripted pipelines branch on the exit code: 2 must single out the
+	// i.i.d. gate rejection, including wrapped forms.
+	if got := exitCodeFor(core.ErrIIDRejected); got != exitIIDGate {
+		t.Errorf("gate rejection -> %d, want %d", got, exitIIDGate)
+	}
+	wrapped := fmt.Errorf("path %q: %w", "p1", core.ErrIIDRejected)
+	if got := exitCodeFor(wrapped); got != exitIIDGate {
+		t.Errorf("wrapped gate rejection -> %d, want %d", got, exitIIDGate)
+	}
+	for _, err := range []error{core.ErrHeavyTail, core.ErrInsufficient, fmt.Errorf("io: boom")} {
+		if got := exitCodeFor(err); got != exitError {
+			t.Errorf("%v -> %d, want %d", err, got, exitError)
+		}
 	}
 }

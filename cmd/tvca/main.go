@@ -28,12 +28,14 @@ func main() {
 		parallel = flag.Int("parallel", 0, "campaign workers (0 = GOMAXPROCS)")
 		saveDir  = flag.String("save-dir", "", "directory to save campaign CSVs (optional)")
 		perTask  = flag.Bool("per-task", false, "additionally derive per-task pWCETs (worst job per run)")
+		converge = flag.Bool("converge", false, "stream the RAND campaign and stop at pWCET-delta convergence (-runs becomes the budget)")
 	)
 	flag.Parse()
 
 	p := experiments.DefaultParams()
 	p.Runs = *runs
 	p.Parallel = *parallel
+	p.Converge = *converge
 	if *seed != 0 {
 		p.Seed = *seed
 	}
@@ -42,12 +44,27 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("TVCA case study: %d runs per campaign, %d minor frames per run\n",
-		p.Runs, p.TVCA.Frames)
+	if *converge {
+		fmt.Printf("TVCA case study: streaming campaign, budget %d runs, %d minor frames per run\n",
+			p.Runs, p.TVCA.Frames)
+	} else {
+		fmt.Printf("TVCA case study: %d runs per campaign, %d minor frames per run\n",
+			p.Runs, p.TVCA.Frames)
+	}
 
 	e1, err := experiments.E1IID(env)
 	if err != nil {
 		fatal(err)
+	}
+	if ci := env.RANDConvergence(); ci != nil {
+		if ci.Converged {
+			fmt.Printf("\nconvergence: RAND campaign stopped at %d/%d runs (%s) - %d runs saved (%.0f%%)\n",
+				ci.StopRuns, ci.MaxRuns, ci.Rule, ci.RunsSaved(),
+				100*float64(ci.RunsSaved())/float64(ci.MaxRuns))
+		} else {
+			fmt.Printf("\nconvergence: rule %s unsatisfied within the %d-run budget\n",
+				ci.Rule, ci.MaxRuns)
+		}
 	}
 	fmt.Println()
 	experiments.RenderE1(os.Stdout, e1)

@@ -1,10 +1,12 @@
 // Quickstart: measure the TVCA case study on the time-randomized
-// platform and derive a probabilistic WCET bound.
+// platform and derive a probabilistic WCET bound with the v2 campaign
+// API.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,30 +23,35 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Collect a measurement campaign on the MBPTA-compliant platform:
+	// Run a measurement campaign on the MBPTA-compliant platform:
 	// every run flushes the caches, resets the board, reloads the
-	// binary and installs a fresh seed.
-	const runs = 1000
-	set, err := mbpta.Collect(mbpta.RANDPlatform(), app, runs, 42)
+	// binary and installs a fresh seed. Campaign also applies the
+	// analysis pipeline: the i.i.d. gate, the per-path block-maxima
+	// Gumbel fit, and pWCET projection.
+	rep, err := mbpta.Campaign(context.Background(), mbpta.RANDPlatform(), app,
+		mbpta.WithRuns(1000),
+		mbpta.WithBaseSeed(42),
+		mbpta.WithProgress(func(p mbpta.Progress) {
+			fmt.Printf("  batch %d: %d runs done\n", p.Batch, p.Runs)
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("collected %d runs of %s on %s\n", runs, set.Workload, set.Platform)
+	set := rep.TraceSet()
+	fmt.Printf("collected %d runs of %s on %s\n",
+		len(set.Samples), set.Workload, set.Platform)
 
-	// The i.i.d. gate must pass before MBPTA applies.
+	// The i.i.d. gate already passed (Campaign would have returned
+	// ErrIIDGateFailed otherwise); print the verdict for the record.
 	gate, err := mbpta.CheckIID(set.Times(), 0.05)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(gate)
 
-	// Fit the extreme-value tail per executed path and query pWCET.
-	res, err := mbpta.NewAnalyzer(mbpta.Options{}).AnalyzeByPath(set.TimesByPath())
-	if err != nil {
-		log.Fatal(err)
-	}
+	// Query the fitted extreme-value tail at the cutoffs of interest.
 	for _, q := range []float64{1e-6, 1e-9, 1e-12, 1e-15} {
-		bound, err := res.PWCET(q)
+		bound, err := rep.Analysis.PWCET(q)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,352 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/evt"
+	"repro/internal/stats"
+)
+
+// ErrNotConverged reports that a campaign exhausted its run budget
+// before its stop rule was satisfied.
+var ErrNotConverged = errors.New("core: campaign did not converge within its run budget")
+
+// Observation is one measurement fed to the online analyzer, in run
+// order.
+type Observation struct {
+	Cycles float64
+	Path   string
+}
+
+// Snapshot is the incremental analysis state after one batch of a
+// streaming campaign: how many runs were observed, the current i.i.d.
+// gate outcome, the pooled tail fit and the pWCET estimate it implies.
+// Stop rules and progress callbacks both consume snapshots.
+type Snapshot struct {
+	// Batch is the 0-based batch index; Runs the total observed so far.
+	Batch int
+	Runs  int
+	// BlockSize is the block-maxima block length of the fit.
+	BlockSize int
+	// Gate is the i.i.d. gate on the pooled series collected so far
+	// (meaningful only when GateChecked; early batches may be too small
+	// to test).
+	Gate        stats.IIDReport
+	GateChecked bool
+	// Fit is the pooled block-maxima Gumbel over everything collected so
+	// far (valid only when Fitted: at least five blocks and a
+	// non-degenerate sample).
+	Fit    evt.Gumbel
+	Fitted bool
+	// Delta is the CRPS distance between this fit and the previous one —
+	// the paper's convergence statistic (NaN until two fits exist).
+	Delta float64
+	// RefProb is the exceedance probability tracked across batches;
+	// PWCET is the pooled estimate at RefProb (0 until Fitted) and
+	// PWCETRelDelta its relative change since the previous snapshot (NaN
+	// until two estimates exist).
+	RefProb       float64
+	PWCET         float64
+	PWCETRelDelta float64
+	// Elapsed is the wall-clock time since the first batch.
+	Elapsed time.Duration
+	// Done records the stop-rule verdict for this snapshot.
+	Done bool
+}
+
+// PWCETAt queries the snapshot's pooled tail at per-run exceedance
+// probability q.
+func (s *Snapshot) PWCETAt(q float64) (float64, error) {
+	if !s.Fitted {
+		return 0, fmt.Errorf("%w: no tail fit yet (%d runs)", ErrInsufficient, s.Runs)
+	}
+	return PerRunTail{Block: s.Fit, B: s.BlockSize}.QuantileSF(q)
+}
+
+// Curve samples the snapshot's current pWCET curve over [start, end]
+// with n points. Only the projected exceedance probability is
+// available incrementally; Observed is left NaN.
+func (s *Snapshot) Curve(start, end float64, n int) ([]CurvePoint, error) {
+	if !s.Fitted {
+		return nil, fmt.Errorf("%w: no tail fit yet (%d runs)", ErrInsufficient, s.Runs)
+	}
+	if n < 2 || !(end > start) {
+		return nil, fmt.Errorf("core: bad curve range [%g,%g] n=%d", start, end, n)
+	}
+	tail := PerRunTail{Block: s.Fit, B: s.BlockSize}
+	out := make([]CurvePoint, n)
+	step := (end - start) / float64(n-1)
+	for i := range out {
+		x := start + float64(i)*step
+		out[i] = CurvePoint{Time: x, Projected: tail.SF(x), Observed: math.NaN()}
+	}
+	return out, nil
+}
+
+// StopRule decides after each batch whether a streaming campaign may
+// stop. Rules may keep state across calls; use a fresh rule per
+// campaign. Done is called exactly once per batch, in batch order.
+type StopRule interface {
+	Name() string
+	Done(s *Snapshot) bool
+}
+
+// FixedRuns stops after n runs — the paper's fixed-size protocol
+// (3,000 runs) expressed as a stop rule.
+func FixedRuns(n int) StopRule { return fixedRunsRule{n: n} }
+
+type fixedRunsRule struct{ n int }
+
+func (r fixedRunsRule) Name() string          { return fmt.Sprintf("fixed-runs(%d)", r.n) }
+func (r fixedRunsRule) Done(s *Snapshot) bool { return s.Runs >= r.n }
+
+// PWCETDelta stops once the pWCET estimate at exceedance probability q
+// has changed by at most relTol (relative) for streak consecutive
+// batches — convergence of the quantity the analysis actually reports.
+// A snapshot whose i.i.d. gate fails resets the streak: a fit over a
+// non-i.i.d. prefix is not evidence of convergence, and collecting
+// further runs can recover the gate. Non-positive or zero arguments
+// select the defaults q=1e-12, relTol=0.01, streak=2.
+func PWCETDelta(q, relTol float64, streak int) StopRule {
+	if q <= 0 {
+		q = 1e-12
+	}
+	if relTol <= 0 {
+		relTol = 0.01
+	}
+	if streak < 1 {
+		streak = 2
+	}
+	return &pwcetDeltaRule{q: q, relTol: relTol, streak: streak}
+}
+
+type pwcetDeltaRule struct {
+	q, relTol float64
+	streak    int
+	prev      float64
+	passes    int
+}
+
+func (r *pwcetDeltaRule) Name() string {
+	return fmt.Sprintf("pwcet-delta(q=%.0e, tol=%g, streak=%d)", r.q, r.relTol, r.streak)
+}
+
+func (r *pwcetDeltaRule) Done(s *Snapshot) bool {
+	if s.GateChecked && !s.Gate.Pass {
+		r.prev, r.passes = 0, 0
+		return false
+	}
+	cur, err := s.PWCETAt(r.q)
+	if err != nil || !(cur > 0) || math.IsInf(cur, 0) || math.IsNaN(cur) {
+		r.prev, r.passes = 0, 0
+		return false
+	}
+	if r.prev > 0 && math.Abs(cur-r.prev)/r.prev <= r.relTol {
+		r.passes++
+	} else if r.prev > 0 {
+		r.passes = 0
+	}
+	r.prev = cur
+	return r.passes >= r.streak
+}
+
+// CRPSConverged stops once the CRPS distance between consecutive tail
+// fits stays below threshold for streak consecutive batches — the
+// criterion the MBPTA collection process prescribes (see
+// evt.ConvergenceCriterion). Like PWCETDelta, a snapshot whose i.i.d.
+// gate fails resets the streak. Zero arguments select the defaults
+// threshold=1e-3, streak=2.
+func CRPSConverged(threshold float64, streak int) StopRule {
+	if threshold <= 0 {
+		threshold = 1e-3
+	}
+	if streak < 1 {
+		streak = 2
+	}
+	return &crpsRule{threshold: threshold, streak: streak}
+}
+
+type crpsRule struct {
+	threshold float64
+	streak    int
+	passes    int
+}
+
+func (r *crpsRule) Name() string {
+	return fmt.Sprintf("crps(threshold=%g, streak=%d)", r.threshold, r.streak)
+}
+
+func (r *crpsRule) Done(s *Snapshot) bool {
+	if s.GateChecked && !s.Gate.Pass {
+		r.passes = 0
+		return false
+	}
+	if math.IsNaN(s.Delta) {
+		return false
+	}
+	if s.Delta < r.threshold {
+		r.passes++
+	} else {
+		r.passes = 0
+	}
+	return r.passes >= r.streak
+}
+
+// MaxWallClock stops once the campaign has been measuring for at least
+// d — a budget guard for interactive or service use, typically combined
+// with a convergence rule via AnyRule.
+func MaxWallClock(d time.Duration) StopRule { return wallClockRule{d: d} }
+
+type wallClockRule struct{ d time.Duration }
+
+func (r wallClockRule) Name() string          { return fmt.Sprintf("max-wall-clock(%s)", r.d) }
+func (r wallClockRule) Done(s *Snapshot) bool { return s.Elapsed >= r.d }
+
+// AnyRule stops as soon as any of its rules does.
+func AnyRule(rules ...StopRule) StopRule { return anyRule(rules) }
+
+type anyRule []StopRule
+
+func (r anyRule) Name() string {
+	name := "any("
+	for i, sub := range r {
+		if i > 0 {
+			name += ", "
+		}
+		name += sub.Name()
+	}
+	return name + ")"
+}
+
+func (r anyRule) Done(s *Snapshot) bool {
+	done := false
+	for _, sub := range r {
+		// Evaluate every rule so stateful ones observe each batch.
+		if sub.Done(s) {
+			done = true
+		}
+	}
+	return done
+}
+
+// OnlineAnalyzer is the incremental half of the streaming campaign
+// engine: it accumulates observations batch by batch, re-runs the
+// i.i.d. gate, refits the pooled Gumbel tail, and evaluates a stop
+// rule. Once the campaign stops, Finalize runs the full per-path
+// analysis on everything collected.
+//
+// The pooled fit mirrors the paper's convergence analysis (experiment
+// E5): convergence is judged on the whole series, while the final
+// result is per-path.
+type OnlineAnalyzer struct {
+	opts    Options
+	rule    StopRule
+	refProb float64
+
+	times   []float64
+	byPath  map[string][]float64
+	prevFit *evt.Gumbel
+	prevPW  float64
+	snaps   []Snapshot
+	started time.Time
+	done    bool
+}
+
+// NewOnlineAnalyzer returns an online analyzer with opts completed by
+// the paper's defaults. A nil rule never stops early (the engine's run
+// budget governs).
+func NewOnlineAnalyzer(opts Options, rule StopRule) *OnlineAnalyzer {
+	return &OnlineAnalyzer{
+		opts:    opts.withDefaults(),
+		rule:    rule,
+		refProb: 1e-12,
+		byPath:  make(map[string][]float64),
+	}
+}
+
+// SetRefProb changes the exceedance probability tracked in snapshots
+// (default 1e-12). Call before the first batch.
+func (o *OnlineAnalyzer) SetRefProb(q float64) {
+	if q > 0 && q < 1 {
+		o.refProb = q
+	}
+}
+
+// ObserveBatch folds one batch of observations (in run order) into the
+// analysis and returns the resulting snapshot, including the stop-rule
+// verdict.
+func (o *OnlineAnalyzer) ObserveBatch(obs []Observation) (Snapshot, error) {
+	if o.started.IsZero() {
+		o.started = time.Now()
+	}
+	for _, ob := range obs {
+		o.times = append(o.times, ob.Cycles)
+		o.byPath[ob.Path] = append(o.byPath[ob.Path], ob.Cycles)
+	}
+	snap := Snapshot{
+		Batch:         len(o.snaps),
+		Runs:          len(o.times),
+		BlockSize:     o.opts.BlockSize,
+		RefProb:       o.refProb,
+		Delta:         math.NaN(),
+		PWCETRelDelta: math.NaN(),
+		Elapsed:       time.Since(o.started),
+	}
+	if len(o.times) >= 8 {
+		if gate, err := stats.CheckIID(o.times, o.opts.Alpha); err == nil {
+			snap.Gate, snap.GateChecked = gate, true
+		}
+	}
+	if len(o.times) >= 5*o.opts.BlockSize {
+		maxima, err := evt.BlockMaxima(o.times, o.opts.BlockSize)
+		if err != nil {
+			return snap, err
+		}
+		// A degenerate (e.g. constant) sample cannot be fitted yet; keep
+		// collecting rather than failing the campaign.
+		if fit, err := evt.FitGumbel(maxima, o.opts.FitMethod); err == nil {
+			snap.Fit, snap.Fitted = fit, true
+			if o.prevFit != nil {
+				if d, err := evt.GumbelCRPS(*o.prevFit, fit); err == nil {
+					snap.Delta = d
+				}
+			}
+			o.prevFit = &fit
+			if pw, err := snap.PWCETAt(o.refProb); err == nil {
+				snap.PWCET = pw
+				if o.prevPW > 0 {
+					snap.PWCETRelDelta = math.Abs(pw-o.prevPW) / o.prevPW
+				}
+				o.prevPW = pw
+			}
+		}
+	}
+	if o.rule != nil {
+		snap.Done = o.rule.Done(&snap)
+		o.done = o.done || snap.Done
+	}
+	o.snaps = append(o.snaps, snap)
+	return snap, nil
+}
+
+// Runs returns the number of observations folded in so far.
+func (o *OnlineAnalyzer) Runs() int { return len(o.times) }
+
+// Done reports whether the stop rule has fired.
+func (o *OnlineAnalyzer) Done() bool { return o.done }
+
+// Snapshots returns a copy of the per-batch snapshot trace.
+func (o *OnlineAnalyzer) Snapshots() []Snapshot {
+	return append([]Snapshot(nil), o.snaps...)
+}
+
+// Finalize runs the full per-path MBPTA pipeline (i.i.d. gate,
+// per-path tail fits, diagnostics) on everything collected. The i.i.d.
+// gate failing surfaces as ErrIIDRejected unless the analyzer options
+// allow it.
+func (o *OnlineAnalyzer) Finalize() (*Result, error) {
+	return NewAnalyzer(o.opts).AnalyzeByPath(o.byPath)
+}

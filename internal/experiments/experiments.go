@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -30,6 +31,15 @@ type Params struct {
 	TVCA tvca.Config
 	// Analyzer options (zero value = paper defaults).
 	Analysis core.Options
+	// Converge switches the RAND campaign to the streaming engine with
+	// a pWCET-delta stop rule: Runs becomes the budget and the campaign
+	// stops as soon as pWCET(1e-12) is stable, instead of always paying
+	// the fixed protocol size. The DET campaign stays fixed-size (it is
+	// a baseline, not an MBPTA input).
+	Converge bool
+	// ConvergeTol is the relative pWCET-delta tolerance of the stop
+	// rule (0 = default 0.01).
+	ConvergeTol float64
 }
 
 // DefaultParams returns the paper's evaluation setup.
@@ -43,11 +53,25 @@ func DefaultParams() Params {
 
 // Env caches the shared campaigns.
 type Env struct {
-	P    Params
-	app  *tvca.App
-	rand *platform.CampaignResult
-	det  *platform.CampaignResult
+	P        Params
+	app      *tvca.App
+	rand     *platform.CampaignResult
+	det      *platform.CampaignResult
+	randConv *ConvergeInfo
 }
+
+// ConvergeInfo summarizes an early-stopped RAND campaign.
+type ConvergeInfo struct {
+	Converged bool
+	StopRuns  int
+	MaxRuns   int
+	Rule      string
+	Snapshots []core.Snapshot
+}
+
+// RunsSaved returns how many of the budgeted runs the stop rule
+// avoided.
+func (ci *ConvergeInfo) RunsSaved() int { return ci.MaxRuns - ci.StopRuns }
 
 // NewEnv validates params and builds the workload.
 func NewEnv(p Params) (*Env, error) {
@@ -65,8 +89,14 @@ func NewEnv(p Params) (*Env, error) {
 func (e *Env) App() *tvca.App { return e.app }
 
 // RAND returns the (cached) campaign on the time-randomized platform.
+// With Params.Converge it streams batches through the online analyzer
+// and stops at pWCET-delta convergence; RANDConvergence then reports
+// where it stopped.
 func (e *Env) RAND() (*platform.CampaignResult, error) {
 	if e.rand == nil {
+		if e.P.Converge {
+			return e.randConverged()
+		}
 		c, err := platform.RunCampaign(platform.RAND(), e.app, platform.CampaignOptions{
 			Runs: e.P.Runs, BaseSeed: e.P.Seed, Parallel: e.P.Parallel,
 		})
@@ -77,6 +107,47 @@ func (e *Env) RAND() (*platform.CampaignResult, error) {
 	}
 	return e.rand, nil
 }
+
+// randConverged collects the RAND campaign through the streaming
+// engine with a pWCET(1e-12)-delta stop rule.
+func (e *Env) randConverged() (*platform.CampaignResult, error) {
+	rule := core.PWCETDelta(1e-12, e.P.ConvergeTol, 2)
+	online := core.NewOnlineAnalyzer(e.P.Analysis, rule)
+	sink := func(b platform.Batch) (bool, error) {
+		obs := make([]core.Observation, len(b.Results))
+		for i, r := range b.Results {
+			obs[i] = core.Observation{Cycles: float64(r.Cycles), Path: r.Path}
+		}
+		snap, err := online.ObserveBatch(obs)
+		if err != nil {
+			return false, err
+		}
+		return snap.Done, nil
+	}
+	c, err := platform.StreamCampaign(context.Background(), platform.RAND(), e.app,
+		platform.StreamOptions{
+			MaxRuns:  e.P.Runs,
+			Parallel: e.P.Parallel,
+			BaseSeed: e.P.Seed,
+		}, sink)
+	if err != nil {
+		return nil, err
+	}
+	e.rand = c
+	e.randConv = &ConvergeInfo{
+		Converged: online.Done(),
+		StopRuns:  len(c.Results),
+		MaxRuns:   e.P.Runs,
+		Rule:      rule.Name(),
+		Snapshots: online.Snapshots(),
+	}
+	return e.rand, nil
+}
+
+// RANDConvergence returns the early-stopping summary of the RAND
+// campaign, or nil when Params.Converge is off (or the campaign has
+// not run yet).
+func (e *Env) RANDConvergence() *ConvergeInfo { return e.randConv }
 
 // DET returns the (cached) campaign on the deterministic platform.
 func (e *Env) DET() (*platform.CampaignResult, error) {

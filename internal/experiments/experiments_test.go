@@ -1,26 +1,39 @@
 package experiments
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/tvca"
 )
 
-// testEnv builds a reduced-but-valid evaluation environment: fewer runs
-// and a shorter major frame than the paper's 3,000x16, sized so tests
-// finish quickly while every statistical stage still has enough data.
+var (
+	sharedEnvOnce sync.Once
+	sharedEnv     *Env
+	sharedEnvErr  error
+)
+
+// testEnv returns a reduced-but-valid evaluation environment: fewer
+// runs and a shorter major frame than the paper's 3,000x16, sized so
+// tests finish quickly while every statistical stage still has enough
+// data. The env is shared across tests — campaigns are cached per env,
+// and the experiment functions only read them — so the TVCA campaigns
+// run once per test binary instead of once per test (which matters
+// under the race detector's ~10x slowdown).
 func testEnv(t *testing.T) *Env {
 	t.Helper()
-	p := DefaultParams()
-	p.Runs = 600
-	cfg := tvca.DefaultConfig()
-	cfg.Frames = 8
-	p.TVCA = cfg
-	e, err := NewEnv(p)
-	if err != nil {
-		t.Fatal(err)
+	sharedEnvOnce.Do(func() {
+		p := DefaultParams()
+		p.Runs = 600
+		cfg := tvca.DefaultConfig()
+		cfg.Frames = 8
+		p.TVCA = cfg
+		sharedEnv, sharedEnvErr = NewEnv(p)
+	})
+	if sharedEnvErr != nil {
+		t.Fatal(sharedEnvErr)
 	}
-	return e
+	return sharedEnv
 }
 
 func TestNewEnvRejectsTinyCampaign(t *testing.T) {
@@ -180,6 +193,12 @@ func TestE8ContentionShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("co-simulation campaign")
 	}
+	if raceEnabled {
+		// The campaign concurrency E8 exercises is race-tested in
+		// internal/platform and pkg/mbpta; the co-simulator itself is
+		// single-goroutine and too slow under the detector.
+		t.Skip("co-simulation campaign too slow under the race detector")
+	}
 	// E8 uses its own small co-simulated campaigns; shrink the workload
 	// further to keep the test fast.
 	p := DefaultParams()
@@ -231,6 +250,9 @@ func TestE8ContentionShape(t *testing.T) {
 }
 
 func TestE9GeneralityShape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("kernel campaigns too slow under the race detector")
+	}
 	e := testEnv(t)
 	r, err := E9Generality(e, 400)
 	if err != nil {

@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the test binary was built with the race
+// detector, so the slowest co-simulation tests can scale down: the
+// detector's ~10x slowdown pushes them past the per-package test
+// timeout when the whole suite runs in parallel.
+const raceEnabled = true

@@ -1,10 +1,6 @@
 package platform
 
-import (
-	"fmt"
-	"runtime"
-	"sync"
-)
+import "context"
 
 // CampaignResult holds the outcome of a measurement campaign: per-run
 // results in run order. Order matters — the Ljung-Box independence test
@@ -48,53 +44,17 @@ type CampaignOptions struct {
 }
 
 // RunCampaign executes a full measurement campaign of w on a platform
-// built from cfg.
+// built from cfg. It is a thin wrapper over StreamCampaign with a
+// single batch and no sink: on the first worker error the remaining
+// workers stop instead of draining the queue, and all distinct worker
+// errors are reported via errors.Join.
 func RunCampaign(cfg Config, w Workload, opts CampaignOptions) (*CampaignResult, error) {
-	if opts.Runs < 1 {
-		return nil, fmt.Errorf("platform: campaign needs >= 1 run, got %d", opts.Runs)
-	}
-	workers := opts.Parallel
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > opts.Runs {
-		workers = opts.Runs
-	}
-	res := &CampaignResult{Platform: cfg.Name, Workload: w.Name(),
-		Results: make([]RunResult, opts.Runs)}
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	next := make(chan int, opts.Runs)
-	for i := 0; i < opts.Runs; i++ {
-		next <- i
-	}
-	close(next)
-	for wk := 0; wk < workers; wk++ {
-		wg.Add(1)
-		go func(wk int) {
-			defer wg.Done()
-			p, err := New(cfg)
-			if err != nil {
-				errs[wk] = err
-				return
-			}
-			for run := range next {
-				r, err := p.Run(w, run, DeriveRunSeed(opts.BaseSeed, run))
-				if err != nil {
-					errs[wk] = err
-					return
-				}
-				res.Results[run] = r
-			}
-		}(wk)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return res, nil
+	return StreamCampaign(context.Background(), cfg, w, StreamOptions{
+		MaxRuns:   opts.Runs,
+		BatchSize: opts.Runs,
+		Parallel:  opts.Parallel,
+		BaseSeed:  opts.BaseSeed,
+	}, nil)
 }
 
 // DeriveRunSeed maps (baseSeed, run) to the per-run PRNG seed installed

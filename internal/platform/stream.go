@@ -1,0 +1,176 @@
+package platform
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ErrCanceled reports that a campaign was interrupted by its context
+// before completing. Errors returned for a canceled campaign match both
+// errors.Is(err, ErrCanceled) and errors.Is(err, ctx.Err()).
+var ErrCanceled = errors.New("platform: campaign canceled")
+
+// StreamOptions tunes StreamCampaign.
+type StreamOptions struct {
+	// MaxRuns is the campaign's run budget (required, >= 1). The
+	// campaign ends after MaxRuns runs unless the sink stops it earlier.
+	MaxRuns int
+	// BatchSize is the number of runs executed between sink calls
+	// (default 250). Batching never changes results: run i always uses
+	// seed DeriveRunSeed(BaseSeed, i) and results are stored by run
+	// index, so the measured series is identical for any batch size —
+	// only the stop decision granularity changes.
+	BatchSize int
+	// Parallel is the number of worker platforms (0 = GOMAXPROCS).
+	// Parallelism does not affect results either: batches are barriers,
+	// so the sink always observes a complete, ordered prefix.
+	Parallel int
+	// BaseSeed derives the per-run seeds; the same BaseSeed reproduces
+	// the campaign bit-for-bit.
+	BaseSeed uint64
+}
+
+func (o StreamOptions) withDefaults() StreamOptions {
+	if o.BatchSize <= 0 {
+		o.BatchSize = 250
+	}
+	if o.BatchSize > o.MaxRuns {
+		o.BatchSize = o.MaxRuns
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = runtime.GOMAXPROCS(0)
+	}
+	if o.Parallel > o.BatchSize {
+		o.Parallel = o.BatchSize
+	}
+	return o
+}
+
+// Batch is one completed, ordered slice of a streaming campaign.
+type Batch struct {
+	// Index is the 0-based batch number.
+	Index int
+	// Start is the run index of Results[0].
+	Start int
+	// Results holds runs Start .. Start+len(Results)-1 in run order. The
+	// slice aliases the campaign's backing array; treat it as read-only.
+	Results []RunResult
+}
+
+// BatchSink consumes a completed batch. Returning stop=true ends the
+// campaign gracefully after this batch; returning an error aborts it.
+// A nil sink streams to nobody (a plain fixed-size campaign).
+type BatchSink func(b Batch) (stop bool, err error)
+
+// StreamCampaign executes a measurement campaign in deterministic
+// batches: workers run a batch in parallel, the batch completes as a
+// barrier, and the sink observes the ordered prefix collected so far —
+// the primitive behind convergence-driven early stopping. The protocol
+// guarantees of RunCampaign carry over: run i always uses
+// DeriveRunSeed(BaseSeed, i), so neither Parallel nor BatchSize can
+// change the measured series.
+//
+// On the first worker error the remaining workers stop at their next
+// run boundary and the error is returned; when several workers fail,
+// all distinct errors are reported via errors.Join. Context
+// cancellation likewise stops the workers promptly and returns an error
+// matching errors.Is(err, ErrCanceled).
+func StreamCampaign(ctx context.Context, cfg Config, w Workload, opts StreamOptions, sink BatchSink) (*CampaignResult, error) {
+	if opts.MaxRuns < 1 {
+		return nil, fmt.Errorf("platform: campaign needs >= 1 run, got %d", opts.MaxRuns)
+	}
+	o := opts.withDefaults()
+
+	// One platform per worker, reused across batches: PrepareRun resets
+	// every stateful resource, so reuse is protocol-compliant.
+	boards := make([]*Platform, o.Parallel)
+	for i := range boards {
+		p, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		boards[i] = p
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	res := &CampaignResult{
+		Platform: cfg.Name,
+		Workload: w.Name(),
+		Results:  make([]RunResult, 0, o.MaxRuns),
+	}
+	for batch := 0; len(res.Results) < o.MaxRuns; batch++ {
+		start := len(res.Results)
+		n := o.BatchSize
+		if start+n > o.MaxRuns {
+			n = o.MaxRuns - start
+		}
+		res.Results = res.Results[:start+n]
+		out := res.Results[start : start+n]
+
+		next := make(chan int, n)
+		for i := 0; i < n; i++ {
+			next <- start + i
+		}
+		close(next)
+
+		errs := make([]error, len(boards))
+		var wg sync.WaitGroup
+		for wk, board := range boards {
+			wg.Add(1)
+			go func(wk int, board *Platform) {
+				defer wg.Done()
+				for run := range next {
+					if runCtx.Err() != nil {
+						return
+					}
+					r, err := board.Run(w, run, DeriveRunSeed(o.BaseSeed, run))
+					if err != nil {
+						errs[wk] = err
+						cancel() // stop the other workers at their next run boundary
+						return
+					}
+					out[run-start] = r
+				}
+			}(wk, board)
+		}
+		wg.Wait()
+
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("%w after %d runs: %w", ErrCanceled, start, err)
+		}
+		if err := joinDistinct(errs); err != nil {
+			return nil, err
+		}
+		if sink != nil {
+			stop, err := sink(Batch{Index: batch, Start: start, Results: out})
+			if err != nil {
+				return nil, err
+			}
+			if stop {
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// joinDistinct combines worker errors, dropping nils and duplicates
+// (several workers often fail identically), so the caller sees every
+// distinct failure exactly once.
+func joinDistinct(errs []error) error {
+	seen := make(map[string]bool, len(errs))
+	var out []error
+	for _, err := range errs {
+		if err == nil || seen[err.Error()] {
+			continue
+		}
+		seen[err.Error()] = true
+		out = append(out, err)
+	}
+	return errors.Join(out...)
+}

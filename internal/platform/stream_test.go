@@ -1,0 +1,215 @@
+package platform
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/isa"
+)
+
+// streamSeries runs a streaming campaign and returns the series.
+func streamSeries(t *testing.T, opts StreamOptions) *CampaignResult {
+	t.Helper()
+	app := smallTVCA(t)
+	c, err := StreamCampaign(context.Background(), RAND(), app, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestStreamDeterministicAcrossParallelismAndBatchSize(t *testing.T) {
+	// The engine's core guarantee: neither the worker count nor the
+	// batch size may change the measured series — run i always uses
+	// DeriveRunSeed(base, i) and batches are barriers.
+	const runs = 30
+	ref := streamSeries(t, StreamOptions{MaxRuns: runs, BatchSize: 250, Parallel: 1, BaseSeed: 7})
+	if len(ref.Results) != runs {
+		t.Fatalf("reference has %d runs", len(ref.Results))
+	}
+	variants := []StreamOptions{
+		{MaxRuns: runs, BatchSize: 1, Parallel: 1, BaseSeed: 7},
+		{MaxRuns: runs, BatchSize: 1, Parallel: 8, BaseSeed: 7},
+		{MaxRuns: runs, BatchSize: 250, Parallel: 8, BaseSeed: 7},
+	}
+	for _, opts := range variants {
+		got := streamSeries(t, opts)
+		if len(got.Results) != runs {
+			t.Fatalf("batch=%d parallel=%d: %d runs", opts.BatchSize, opts.Parallel, len(got.Results))
+		}
+		for i := range ref.Results {
+			if got.Results[i] != ref.Results[i] {
+				t.Fatalf("batch=%d parallel=%d: run %d differs: %+v vs %+v",
+					opts.BatchSize, opts.Parallel, i, got.Results[i], ref.Results[i])
+			}
+		}
+	}
+}
+
+func TestStreamSinkSeesOrderedPrefix(t *testing.T) {
+	app := smallTVCA(t)
+	var batches []Batch
+	c, err := StreamCampaign(context.Background(), RAND(), app,
+		StreamOptions{MaxRuns: 20, BatchSize: 6, Parallel: 4, BaseSeed: 3},
+		func(b Batch) (bool, error) {
+			batches = append(batches, b)
+			return false, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 4 { // 6+6+6+2
+		t.Fatalf("%d batches", len(batches))
+	}
+	next := 0
+	for i, b := range batches {
+		if b.Index != i || b.Start != next {
+			t.Fatalf("batch %d: index=%d start=%d (want start %d)", i, b.Index, b.Start, next)
+		}
+		next += len(b.Results)
+	}
+	if next != len(c.Results) || next != 20 {
+		t.Fatalf("batches cover %d of %d runs", next, len(c.Results))
+	}
+}
+
+func TestStreamSinkEarlyStop(t *testing.T) {
+	app := smallTVCA(t)
+	c, err := StreamCampaign(context.Background(), RAND(), app,
+		StreamOptions{MaxRuns: 1000, BatchSize: 5, Parallel: 2, BaseSeed: 3},
+		func(b Batch) (bool, error) { return b.Index == 2, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Results) != 15 {
+		t.Fatalf("stopped campaign has %d runs, want 15", len(c.Results))
+	}
+}
+
+func TestStreamCancellation(t *testing.T) {
+	app := smallTVCA(t)
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	start := time.Now()
+	_, err := StreamCampaign(ctx, RAND(), app,
+		StreamOptions{MaxRuns: 100000, BatchSize: 10, Parallel: 4, BaseSeed: 1},
+		func(b Batch) (bool, error) {
+			cancel() // cancel mid-campaign, after the first batch
+			return false, nil
+		})
+	if err == nil {
+		t.Fatal("canceled campaign returned nil error")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("errors.Is(err, ErrCanceled) = false: %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("errors.Is(err, context.Canceled) = false: %v", err)
+	}
+	if d := time.Since(start); d > 30*time.Second {
+		t.Errorf("cancellation took %s", d)
+	}
+	// No goroutine leak: the workers must all have exited.
+	for i := 0; ; i++ {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if i >= 50 {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// faultyWorkload fails Prepare for run indices in fail, and counts how
+// many runs were prepared in total.
+type faultyWorkload struct {
+	fail     map[int]string
+	prepared *atomic.Int64
+}
+
+func (f faultyWorkload) Name() string { return "faulty" }
+func (f faultyWorkload) Prepare(run int) (*isa.Machine, error) {
+	f.prepared.Add(1)
+	if msg, ok := f.fail[run]; ok {
+		return nil, errors.New(msg)
+	}
+	b := isa.NewBuilder("faulty", 0)
+	b.Li(1, int32(run)).Halt()
+	p, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return isa.NewMachine(p, isa.NewMemory()), nil
+}
+func (f faultyWorkload) PathOf(*isa.Machine) string { return "" }
+
+func TestStreamStopsOnFirstWorkerError(t *testing.T) {
+	// A failing run must stop the campaign at the next run boundary
+	// instead of draining the whole queue.
+	var prepared atomic.Int64
+	w := faultyWorkload{fail: map[int]string{10: "boom at run 10"}, prepared: &prepared}
+	const maxRuns = 100000
+	_, err := StreamCampaign(context.Background(), DET(), w,
+		StreamOptions{MaxRuns: maxRuns, BatchSize: maxRuns, Parallel: 4, BaseSeed: 1}, nil)
+	if err == nil {
+		t.Fatal("failing campaign returned nil error")
+	}
+	if !strings.Contains(err.Error(), "boom at run 10") {
+		t.Errorf("error %v does not mention the failing run", err)
+	}
+	if n := prepared.Load(); n >= maxRuns/2 {
+		t.Errorf("workers drained %d of %d runs after the error", n, maxRuns)
+	}
+}
+
+func TestStreamJoinsDistinctWorkerErrors(t *testing.T) {
+	var prepared atomic.Int64
+	// Every run fails, alternating between two distinct messages, so
+	// with two workers both distinct errors are observed and joined.
+	fail := make(map[int]string)
+	for i := 0; i < 8; i++ {
+		fail[i] = fmt.Sprintf("boom kind %d", i%2)
+	}
+	w := faultyWorkload{fail: fail, prepared: &prepared}
+	_, err := StreamCampaign(context.Background(), DET(), w,
+		StreamOptions{MaxRuns: 8, BatchSize: 8, Parallel: 2, BaseSeed: 1}, nil)
+	if err == nil {
+		t.Fatal("failing campaign returned nil error")
+	}
+	if !strings.Contains(err.Error(), "boom kind") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	// Duplicate messages must be deduplicated by the join.
+	if n := strings.Count(err.Error(), "boom kind 0"); n > 1 {
+		t.Errorf("error message repeats a worker error %d times:\n%v", n, err)
+	}
+}
+
+func TestJoinDistinct(t *testing.T) {
+	a, b := errors.New("a"), errors.New("b")
+	if err := joinDistinct([]error{nil, nil}); err != nil {
+		t.Errorf("all-nil join = %v", err)
+	}
+	err := joinDistinct([]error{a, nil, errors.New("a"), b})
+	if err == nil || !errors.Is(err, a) || !errors.Is(err, b) {
+		t.Fatalf("join lost errors: %v", err)
+	}
+	if strings.Count(err.Error(), "a") != 1 {
+		t.Errorf("duplicate not removed: %q", err.Error())
+	}
+}
+
+func TestStreamRejectsZeroRuns(t *testing.T) {
+	app := smallTVCA(t)
+	if _, err := StreamCampaign(context.Background(), RAND(), app, StreamOptions{}, nil); err == nil {
+		t.Error("zero-run campaign accepted")
+	}
+}

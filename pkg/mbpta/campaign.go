@@ -1,0 +1,250 @@
+package mbpta
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+// Sentinel errors of the v2 campaign engine, for errors.Is.
+var (
+	// ErrIIDGateFailed reports that the final analysis rejected the
+	// i.i.d. gate (alias of ErrIIDRejected on the v2 surface).
+	ErrIIDGateFailed = core.ErrIIDRejected
+	// ErrNotConverged reports that the stop rule was still unsatisfied
+	// when the run budget ran out; the partial CampaignReport is
+	// returned alongside it.
+	ErrNotConverged = core.ErrNotConverged
+	// ErrCanceled reports that the context canceled the campaign; the
+	// returned error also matches errors.Is(err, ctx.Err()).
+	ErrCanceled = platform.ErrCanceled
+)
+
+// Streaming-campaign types.
+type (
+	// StopRule decides after each batch whether the campaign may stop.
+	StopRule = core.StopRule
+	// Progress is the per-batch snapshot passed to WithProgress
+	// callbacks and recorded in CampaignReport.Snapshots: runs done,
+	// gate p-values, the current tail fit and the pWCET curve it
+	// implies (via its PWCETAt and Curve methods).
+	Progress = core.Snapshot
+	// StreamBatch is one completed, ordered batch of a streaming
+	// campaign (advanced use: platform.StreamCampaign sinks).
+	StreamBatch = platform.Batch
+	// StreamOptions tunes the low-level streaming executor.
+	StreamOptions = platform.StreamOptions
+)
+
+// FixedRuns stops after n runs — the paper's fixed-size protocol.
+func FixedRuns(n int) StopRule { return core.FixedRuns(n) }
+
+// PWCETDelta stops once pWCET(q) has changed by at most relTol for
+// streak consecutive batches (zero arguments: q=1e-12, relTol=0.01,
+// streak=2).
+func PWCETDelta(q, relTol float64, streak int) StopRule {
+	return core.PWCETDelta(q, relTol, streak)
+}
+
+// CRPSConverged stops on the MBPTA CRPS convergence criterion between
+// consecutive tail refits (zero arguments: threshold=1e-3, streak=2).
+func CRPSConverged(threshold float64, streak int) StopRule {
+	return core.CRPSConverged(threshold, streak)
+}
+
+// MaxWallClock stops once the campaign has been measuring for d.
+func MaxWallClock(d time.Duration) StopRule { return core.MaxWallClock(d) }
+
+// AnyRule stops as soon as any of its rules does.
+func AnyRule(rules ...StopRule) StopRule { return core.AnyRule(rules...) }
+
+// campaignConfig is the resolved option set of Campaign.
+type campaignConfig struct {
+	runs        int
+	batch       int
+	parallel    int
+	seed        uint64
+	rule        StopRule
+	progress    func(Progress)
+	analysis    Options
+	measureOnly bool
+}
+
+// CampaignOption configures Campaign.
+type CampaignOption func(*campaignConfig)
+
+// WithRuns sets the campaign's run budget (default 3,000, the paper's
+// protocol). Under a fixed-runs rule this is the exact campaign size;
+// under a convergence rule it is the maximum.
+func WithRuns(n int) CampaignOption {
+	return func(c *campaignConfig) { c.runs = n }
+}
+
+// WithBaseSeed sets the base seed of the per-run seed derivation; the
+// same seed reproduces the campaign bit-for-bit (default 0).
+func WithBaseSeed(seed uint64) CampaignOption {
+	return func(c *campaignConfig) { c.seed = seed }
+}
+
+// WithParallelism sets the number of worker platforms (default
+// GOMAXPROCS). Parallelism never changes results: run i always uses
+// seed DeriveRunSeed(base, i) and batches complete as barriers.
+func WithParallelism(n int) CampaignOption {
+	return func(c *campaignConfig) { c.parallel = n }
+}
+
+// WithBatchSize sets how many runs execute between stop-rule
+// evaluations and progress callbacks (default 250). Batching never
+// changes the measured series, only the stop granularity.
+func WithBatchSize(n int) CampaignOption {
+	return func(c *campaignConfig) { c.batch = n }
+}
+
+// WithStopRule installs the early-stopping rule (default: FixedRuns at
+// the WithRuns budget). Rules may be stateful; use a fresh rule per
+// campaign.
+func WithStopRule(r StopRule) CampaignOption {
+	return func(c *campaignConfig) { c.rule = r }
+}
+
+// WithProgress installs a callback invoked after every batch with the
+// incremental analysis snapshot. The callback runs on the campaign
+// goroutine between batches; keep it fast.
+func WithProgress(fn func(Progress)) CampaignOption {
+	return func(c *campaignConfig) { c.progress = fn }
+}
+
+// WithAnalyzerOptions sets the analyzer options used both for the
+// incremental refits and the final per-path analysis (zero value:
+// paper defaults).
+func WithAnalyzerOptions(o Options) CampaignOption {
+	return func(c *campaignConfig) { c.analysis = o }
+}
+
+// MeasureOnly skips the final per-path analysis: the report carries
+// the measured campaign and snapshots but a nil Analysis. Use it to
+// collect traces for external tooling (or platforms expected to fail
+// the i.i.d. gate, such as DET).
+func MeasureOnly() CampaignOption {
+	return func(c *campaignConfig) { c.measureOnly = true }
+}
+
+// CampaignReport is the outcome of a streaming campaign.
+type CampaignReport struct {
+	// Campaign is the measured series, in run order (exactly the runs
+	// executed before the stop rule fired).
+	Campaign *CampaignResult
+	// Analysis is the final per-path MBPTA analysis (nil under
+	// MeasureOnly, or when the final analysis failed).
+	Analysis *Result
+	// Snapshots is the per-batch incremental analysis trace.
+	Snapshots []Progress
+	// Converged reports whether the stop rule fired before the run
+	// budget ran out; StopRuns is the run count at that point.
+	Converged bool
+	StopRuns  int
+	// Rule names the stop rule that governed the campaign.
+	Rule string
+}
+
+// TraceSet packages the measured campaign for persistence (WriteTraceCSV
+// / WriteTraceJSON) or re-analysis.
+func (r *CampaignReport) TraceSet() *TraceSet {
+	set := &trace.Set{Platform: r.Campaign.Platform, Workload: r.Campaign.Workload}
+	for i, res := range r.Campaign.Results {
+		set.Samples = append(set.Samples, trace.Sample{Run: i, Cycles: res.Cycles, Path: res.Path})
+	}
+	return set
+}
+
+// Campaign executes a streaming measurement campaign of w on a platform
+// built from cfg and analyzes it incrementally — the v2 entry point of
+// this package. Runs execute in deterministic batches (run i always
+// uses seed DeriveRunSeed(base, i), so neither parallelism nor batch
+// size changes results); after each batch the i.i.d. gate is re-run,
+// the pooled Gumbel tail refitted, and the stop rule evaluated, so a
+// converging campaign stops early instead of always paying the paper's
+// fixed 3,000 runs.
+//
+//	rep, err := mbpta.Campaign(ctx, mbpta.RANDPlatform(), app,
+//		mbpta.WithRuns(3000),
+//		mbpta.WithBaseSeed(42),
+//		mbpta.WithStopRule(mbpta.PWCETDelta(1e-12, 0.01, 2)))
+//	bound, _ := rep.Analysis.PWCET(1e-12)
+//
+// Error contract (all match errors.Is):
+//   - ErrCanceled: ctx was canceled mid-campaign; no report.
+//   - ErrNotConverged: the budget ran out before the rule fired; the
+//     full report is still returned so callers may keep the estimate.
+//   - ErrIIDGateFailed: the final analysis rejected the i.i.d. gate;
+//     the report (with nil Analysis) is returned for diagnosis.
+func Campaign(ctx context.Context, cfg PlatformConfig, w Workload, opts ...CampaignOption) (*CampaignReport, error) {
+	c := campaignConfig{runs: 3000, batch: 250}
+	for _, opt := range opts {
+		opt(&c)
+	}
+	if c.rule == nil {
+		c.rule = FixedRuns(c.runs)
+	}
+
+	online := core.NewOnlineAnalyzer(c.analysis, c.rule)
+	sink := func(b StreamBatch) (bool, error) {
+		obs := make([]core.Observation, len(b.Results))
+		for i, r := range b.Results {
+			obs[i] = core.Observation{Cycles: float64(r.Cycles), Path: r.Path}
+		}
+		snap, err := online.ObserveBatch(obs)
+		if err != nil {
+			return false, err
+		}
+		if c.progress != nil {
+			c.progress(snap)
+		}
+		return snap.Done, nil
+	}
+
+	camp, err := platform.StreamCampaign(ctx, cfg, w, platform.StreamOptions{
+		MaxRuns:   c.runs,
+		BatchSize: c.batch,
+		Parallel:  c.parallel,
+		BaseSeed:  c.seed,
+	}, sink)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &CampaignReport{
+		Campaign:  camp,
+		Snapshots: online.Snapshots(),
+		Converged: online.Done(),
+		StopRuns:  len(camp.Results),
+		Rule:      c.rule.Name(),
+	}
+	if !c.measureOnly {
+		res, aerr := online.Finalize()
+		if aerr != nil {
+			return rep, aerr
+		}
+		rep.Analysis = res
+	}
+	if !rep.Converged {
+		return rep, fmt.Errorf("%w: rule %s unsatisfied after %d runs",
+			ErrNotConverged, rep.Rule, rep.StopRuns)
+	}
+	return rep, nil
+}
+
+// StreamCampaign exposes the low-level batch executor for callers that
+// want custom per-batch processing instead of the built-in incremental
+// analysis; see Campaign for the common flow.
+func StreamCampaign(ctx context.Context, cfg PlatformConfig, w Workload, opts StreamOptions, sink func(StreamBatch) (bool, error)) (*CampaignResult, error) {
+	var psink platform.BatchSink
+	if sink != nil {
+		psink = func(b platform.Batch) (bool, error) { return sink(b) }
+	}
+	return platform.StreamCampaign(ctx, cfg, w, opts, psink)
+}

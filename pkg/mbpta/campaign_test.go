@@ -1,0 +1,229 @@
+package mbpta_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/pkg/mbpta"
+)
+
+func TestCampaignFixedRunsReproducesLegacyCollect(t *testing.T) {
+	// The seed pipeline and the streaming engine must measure the exact
+	// same series: run i always uses the same derived seed, whatever
+	// the batch size or parallelism.
+	app := smallApp(t)
+	legacy, err := mbpta.Collect(mbpta.RANDPlatform(), app, 40, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := mbpta.Campaign(context.Background(), mbpta.RANDPlatform(), app,
+		mbpta.WithRuns(40),
+		mbpta.WithBaseSeed(42),
+		mbpta.WithBatchSize(7),
+		mbpta.WithParallelism(3),
+		mbpta.MeasureOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged || rep.StopRuns != 40 {
+		t.Fatalf("fixed-runs campaign: converged=%v stop=%d", rep.Converged, rep.StopRuns)
+	}
+	set := rep.TraceSet()
+	if len(set.Samples) != len(legacy.Samples) {
+		t.Fatalf("%d vs %d samples", len(set.Samples), len(legacy.Samples))
+	}
+	for i := range set.Samples {
+		if set.Samples[i] != legacy.Samples[i] {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, set.Samples[i], legacy.Samples[i])
+		}
+	}
+}
+
+func TestCampaignAnalysisMatchesSeedPipeline(t *testing.T) {
+	// WithStopRule(FixedRuns(n)) must reproduce the seed pipeline's
+	// estimates exactly: same seeds, same series, same fit.
+	app := smallApp(t)
+	const runs = 600
+	rep, err := mbpta.Campaign(context.Background(), mbpta.RANDPlatform(), app,
+		mbpta.WithRuns(runs),
+		mbpta.WithBaseSeed(42),
+		mbpta.WithStopRule(mbpta.FixedRuns(runs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Analysis == nil {
+		t.Fatal("nil analysis")
+	}
+	set, err := mbpta.Collect(mbpta.RANDPlatform(), app, runs, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mbpta.NewAnalyzer(mbpta.Options{}).AnalyzeByPath(set.TimesByPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []float64{1e-6, 1e-12} {
+		got, err := rep.Analysis.PWCET(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := want.PWCET(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ref {
+			t.Errorf("pWCET(%g): streaming %v != seed pipeline %v", q, got, ref)
+		}
+	}
+	if len(rep.Snapshots) == 0 {
+		t.Error("no snapshots recorded")
+	}
+}
+
+func TestCampaignProgressAndSnapshots(t *testing.T) {
+	app := smallApp(t)
+	var calls int
+	rep, err := mbpta.Campaign(context.Background(), mbpta.RANDPlatform(), app,
+		mbpta.WithRuns(30),
+		mbpta.WithBaseSeed(5),
+		mbpta.WithBatchSize(10),
+		mbpta.WithProgress(func(p mbpta.Progress) {
+			if p.Batch != calls {
+				t.Errorf("batch %d delivered out of order (call %d)", p.Batch, calls)
+			}
+			calls++
+		}),
+		mbpta.MeasureOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 || len(rep.Snapshots) != 3 {
+		t.Fatalf("progress calls=%d snapshots=%d, want 3", calls, len(rep.Snapshots))
+	}
+	last := rep.Snapshots[len(rep.Snapshots)-1]
+	if last.Runs != 30 || !last.GateChecked {
+		t.Errorf("last snapshot %+v", last)
+	}
+}
+
+func TestCampaignCanceled(t *testing.T) {
+	app := smallApp(t)
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	_, err := mbpta.Campaign(ctx, mbpta.RANDPlatform(), app,
+		mbpta.WithRuns(100000),
+		mbpta.WithBatchSize(10),
+		mbpta.WithProgress(func(mbpta.Progress) { cancel() }))
+	if !errors.Is(err, mbpta.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v does not match context.Canceled", err)
+	}
+	for i := 0; runtime.NumGoroutine() > before; i++ {
+		if i >= 50 {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestCampaignNotConverged(t *testing.T) {
+	// An unsatisfiable convergence rule must exhaust the budget and
+	// surface ErrNotConverged while still returning the report.
+	app := smallApp(t)
+	rep, err := mbpta.Campaign(context.Background(), mbpta.RANDPlatform(), app,
+		mbpta.WithRuns(20),
+		mbpta.WithBatchSize(10),
+		mbpta.WithStopRule(mbpta.PWCETDelta(1e-12, 1e-9, 50)),
+		mbpta.MeasureOnly())
+	if !errors.Is(err, mbpta.ErrNotConverged) {
+		t.Fatalf("err = %v, want ErrNotConverged", err)
+	}
+	if rep == nil || rep.Converged || len(rep.Campaign.Results) != 20 {
+		t.Fatalf("report %+v", rep)
+	}
+}
+
+// trendingWorkload runs a loop whose iteration count grows with the
+// run index — a blatant trend the identical-distribution test must
+// reject, whatever the platform's jitter.
+type trendingWorkload struct{}
+
+func (trendingWorkload) Name() string { return "trending" }
+func (trendingWorkload) Prepare(run int) (*mbpta.Machine, error) {
+	b := mbpta.NewProgramBuilder("trending", 0x1000)
+	b.Li(1, 0)
+	b.Li(2, int32(10+5*run))
+	b.Label("loop")
+	b.Addi(1, 1, 1)
+	b.Blt(1, 2, "loop")
+	b.Halt()
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return mbpta.NewMachine(prog, mbpta.NewMemory()), nil
+}
+func (trendingWorkload) PathOf(*mbpta.Machine) string { return "" }
+
+func TestCampaignIIDGateFailed(t *testing.T) {
+	// A trending series cannot pass the gate; the campaign must surface
+	// the sentinel and still hand back the measurements.
+	rep, err := mbpta.Campaign(context.Background(), mbpta.RANDPlatform(), trendingWorkload{},
+		mbpta.WithRuns(100),
+		mbpta.WithAnalyzerOptions(mbpta.Options{BlockSize: 10, MinPathRuns: 50}))
+	if !errors.Is(err, mbpta.ErrIIDGateFailed) {
+		t.Fatalf("err = %v, want ErrIIDGateFailed", err)
+	}
+	if !errors.Is(err, mbpta.ErrIIDRejected) {
+		t.Errorf("v2 sentinel must remain compatible with ErrIIDRejected: %v", err)
+	}
+	if rep == nil || rep.Analysis != nil || len(rep.Campaign.Results) != 100 {
+		t.Fatal("gate failure lost the measured campaign")
+	}
+	// MeasureOnly sidesteps the gate for trace collection (e.g. the DET
+	// baseline, which MBPTA cannot analyze).
+	app := smallApp(t)
+	if _, err := mbpta.Collect(mbpta.DETPlatform(), app, 30, 8); err != nil {
+		t.Fatalf("Collect on DET: %v", err)
+	}
+}
+
+func TestCampaignConvergesBeforeBudget(t *testing.T) {
+	// The point of the engine: a TVCA RAND campaign stops before the
+	// budget with a pWCET estimate close to the full-budget value.
+	app := smallApp(t)
+	const budget = 1500
+	rep, err := mbpta.Campaign(context.Background(), mbpta.RANDPlatform(), app,
+		mbpta.WithRuns(budget),
+		mbpta.WithBaseSeed(42),
+		mbpta.WithBatchSize(250),
+		mbpta.WithStopRule(mbpta.PWCETDelta(1e-12, 0.02, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged || rep.StopRuns >= budget {
+		t.Fatalf("no early stop: converged=%v at %d/%d", rep.Converged, rep.StopRuns, budget)
+	}
+	if rep.Analysis == nil {
+		t.Fatal("nil analysis")
+	}
+}
+
+func TestStopRuleConstructorsExported(t *testing.T) {
+	for _, r := range []mbpta.StopRule{
+		mbpta.FixedRuns(10),
+		mbpta.PWCETDelta(0, 0, 0),
+		mbpta.CRPSConverged(0, 0),
+		mbpta.MaxWallClock(time.Second),
+		mbpta.AnyRule(mbpta.FixedRuns(1), mbpta.MaxWallClock(time.Hour)),
+	} {
+		if r.Name() == "" {
+			t.Error("rule with empty name")
+		}
+	}
+}

@@ -2,19 +2,46 @@
 // re-exports the analyzer (the paper's measurement-based probabilistic
 // timing analysis pipeline), the time-randomized LEON3-class platform
 // simulator, the TVCA case-study workload, the classical MBTA baseline
-// and the trace/report utilities, and adds high-level helpers that
-// cover the common flows:
+// and the trace/report utilities.
+//
+// # The v2 campaign engine
+//
+// Campaign is the entry point: it measures, gates and fits
+// incrementally in deterministic batches, and can stop as soon as the
+// pWCET estimate converges instead of always paying the paper's fixed
+// 3,000 runs:
 //
 //	app, _ := mbpta.NewTVCA(mbpta.DefaultTVCAConfig())
-//	set, _ := mbpta.Collect(mbpta.RANDPlatform(), app, 3000, 42)
-//	res, _ := mbpta.NewAnalyzer(mbpta.Options{}).AnalyzeByPath(set.TimesByPath())
-//	bound, _ := res.PWCET(1e-12)
+//	rep, err := mbpta.Campaign(ctx, mbpta.RANDPlatform(), app,
+//		mbpta.WithRuns(3000),                             // run budget
+//		mbpta.WithBaseSeed(42),                           // bit-for-bit reproducible
+//		mbpta.WithStopRule(mbpta.PWCETDelta(1e-12, 0.01, 2)),
+//		mbpta.WithProgress(func(p mbpta.Progress) { /* per batch */ }))
+//	bound, _ := rep.Analysis.PWCET(1e-12)
+//
+// The full option set:
+//
+//   - WithRuns: run budget (exact size under FixedRuns, cap otherwise)
+//   - WithBaseSeed: seed of the per-run seed derivation
+//   - WithParallelism: worker platforms; never changes results
+//   - WithBatchSize: runs between stop-rule evaluations
+//   - WithStopRule: FixedRuns (paper default), PWCETDelta,
+//     CRPSConverged, MaxWallClock, or AnyRule of several
+//   - WithProgress: per-batch Snapshot callback
+//   - WithAnalyzerOptions: analyzer configuration for refits and the
+//     final analysis
+//   - MeasureOnly: collect without the final per-path analysis
+//
+// Campaign's sentinel errors — ErrIIDGateFailed, ErrNotConverged,
+// ErrCanceled — all work with errors.Is. The v1 helpers Collect and
+// RunCampaign remain as thin wrappers over the same engine.
 //
 // Everything reachable from here is stable API; the internal packages
 // may change layout freely.
 package mbpta
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/core"
@@ -62,6 +89,24 @@ type (
 	CI = core.CI
 	// CVPoint is one point of the MBPTA-CV exponentiality ladder.
 	CVPoint = core.CVPoint
+	// Summary is the descriptive-statistics block of a PathResult.
+	Summary = stats.Summary
+	// ECDF is the empirical distribution behind Result.Observed.
+	ECDF = stats.ECDF
+	// SmallPath records a path observed too rarely to fit (kept as an
+	// HWM floor in Result.SmallPaths).
+	SmallPath = core.SmallPath
+	// TailModel answers per-run exceedance queries (PathResult.Tail).
+	TailModel = evt.TailModel
+	// PerRunTail is the per-run projection of a block-maxima Gumbel.
+	PerRunTail = core.PerRunTail
+	// ExceedanceModel is the peaks-over-threshold tail (PathResult.PoT).
+	ExceedanceModel = evt.ExceedanceModel
+	// GPD is the generalized Pareto tail inside an ExceedanceModel.
+	GPD = evt.GPD
+	// GEV is the generalized extreme-value fit behind the tail-shape
+	// diagnostic.
+	GEV = evt.GEV
 )
 
 // Tail estimation methods for Options.Method.
@@ -217,23 +262,27 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) { return platform.New(cf
 
 // RunCampaign executes a measurement campaign of w on a platform built
 // from cfg, following the paper's per-run protocol (flush, reset,
-// reload, reseed).
+// reload, reseed). It is a fixed-size, single-batch wrapper over the
+// streaming engine.
+//
+// Deprecated: use Campaign, which adds context cancellation,
+// convergence-driven early stopping and per-batch progress.
 func RunCampaign(cfg PlatformConfig, w Workload, opts CampaignOptions) (*CampaignResult, error) {
 	return platform.RunCampaign(cfg, w, opts)
 }
 
-// Collect runs a campaign and packages it as a trace.Set ready for
-// persistence or analysis.
+// Collect runs a fixed-size campaign and packages it as a trace.Set
+// ready for persistence or analysis.
+//
+// Deprecated: use Campaign with WithRuns, WithBaseSeed and MeasureOnly,
+// then CampaignReport.TraceSet.
 func Collect(cfg PlatformConfig, w Workload, runs int, seed uint64) (*TraceSet, error) {
-	res, err := platform.RunCampaign(cfg, w, platform.CampaignOptions{Runs: runs, BaseSeed: seed})
+	rep, err := Campaign(context.Background(), cfg, w,
+		WithRuns(runs), WithBaseSeed(seed), MeasureOnly())
 	if err != nil {
 		return nil, err
 	}
-	set := &trace.Set{Platform: res.Platform, Workload: res.Workload}
-	for i, r := range res.Results {
-		set.Samples = append(set.Samples, trace.Sample{Run: i, Cycles: r.Cycles, Path: r.Path})
-	}
-	return set, nil
+	return rep.TraceSet(), nil
 }
 
 // Workload types.
