@@ -1,19 +1,30 @@
 # Convenience targets for the MBPTA reproduction.
 
 GO ?= go
+STATICCHECK := $(shell command -v staticcheck 2>/dev/null)
 
-.PHONY: test check bench experiments race cover clean
+.PHONY: test check staticcheck bench experiments race cover clean
 
 test:
 	$(GO) test ./...
 
-# What CI runs: vet plus the full suite under the race detector.
-check:
+# What CI runs: vet (+ staticcheck when installed) plus the full suite
+# under the race detector.
+check: staticcheck
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
+# staticcheck is optional tooling: run it when present, skip with a
+# notice otherwise (the sandbox image carries only the go toolchain).
+staticcheck:
+ifdef STATICCHECK
+	$(STATICCHECK) ./...
+else
+	@echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"
+endif
+
 race:
-	$(GO) test -race ./internal/platform/ ./internal/rng/
+	$(GO) test -race ./internal/platform/ ./internal/rng/ ./internal/faults/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -5,37 +5,68 @@
 //	experiments -exp e3 -runs 1000 -parallel 8
 //
 // Each experiment prints an ASCII rendition of the corresponding paper
-// artifact plus the key numbers; exit status is non-zero on any error.
+// artifact plus the key numbers.
+//
+// Exit codes, matching cmd/mbpta so scripted pipelines can branch on
+// the gate outcome: 0 = experiments completed, 1 = usage or I/O error,
+// 2 = the i.i.d. gate rejected the measurement campaign. All errors go
+// to stderr only.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faults"
+	"repro/internal/report"
+)
+
+// Exit codes (the cmd/mbpta contract).
+const (
+	exitError   = 1 // usage or I/O error
+	exitIIDGate = 2 // i.i.d. gate rejection
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with the process-global edges (args, stdout, stderr,
+// exit) injected so the exit-code contract is testable.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: all, e1..e9 (e8: multicore contention; e9: workload generality)")
-		runs     = flag.Int("runs", 3000, "measurement runs per campaign (paper: 3000)")
-		seed     = flag.Uint64("seed", 0, "base seed (0 = paper default)")
-		parallel = flag.Int("parallel", 0, "campaign workers (0 = GOMAXPROCS)")
-		frames   = flag.Int("frames", 0, "TVCA minor frames per run (0 = default)")
-		layouts  = flag.Int("layouts", 12, "link-time layouts for e7")
-		e8runs   = flag.Int("e8-runs", 500, "runs per co-runner configuration for e8 (co-simulation)")
-		e9runs   = flag.Int("e9-runs", 600, "runs per kernel for e9 (workload generality)")
-		csvDir   = flag.String("csv-dir", "", "directory to export figure data as CSV (optional)")
-		converge = flag.Bool("converge", false, "stream the RAND campaign and stop at pWCET-delta convergence (-runs becomes the budget)")
+		exp       = fs.String("exp", "all", "experiment to run: all, e1..e9 (e8: multicore contention; e9: workload generality)")
+		runs      = fs.Int("runs", 3000, "measurement runs per campaign (paper: 3000)")
+		seed      = fs.Uint64("seed", 0, "base seed (0 = paper default)")
+		parallel  = fs.Int("parallel", 0, "campaign workers (0 = GOMAXPROCS)")
+		frames    = fs.Int("frames", 0, "TVCA minor frames per run (0 = default)")
+		layouts   = fs.Int("layouts", 12, "link-time layouts for e7")
+		e8runs    = fs.Int("e8-runs", 500, "runs per co-runner configuration for e8 (co-simulation)")
+		e9runs    = fs.Int("e9-runs", 600, "runs per kernel for e9 (workload generality)")
+		csvDir    = fs.String("csv-dir", "", "directory to export figure data as CSV (optional)")
+		converge  = fs.Bool("converge", false, "stream the RAND campaign and stop at pWCET-delta convergence (-runs becomes the budget)")
+		faultsOn  = fs.Bool("faults", false, "inject SEU faults into the RAND campaign (quarantined from the analysis)")
+		faultRate = fs.Float64("fault-rate", 0.25, "expected upsets per run under -faults (Poisson)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return exitError // usage already printed to stderr
+	}
 
 	p := experiments.DefaultParams()
 	p.Runs = *runs
 	p.Parallel = *parallel
 	p.Converge = *converge
+	if *faultsOn {
+		p.FaultRate = *faultRate
+	}
 	if *seed != 0 {
 		p.Seed = *seed
 	}
@@ -44,121 +75,157 @@ func main() {
 	}
 	env, err := experiments.NewEnv(p)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "experiments:", err)
+		return exitError
 	}
 
 	which := strings.ToLower(*exp)
 	all := which == "all"
 	ran := false
+	gateFailed := false
 	var e2res *experiments.E2Result
 	var e3res *experiments.E3Result
 	var e5res *experiments.E5Result
 	var e7res *experiments.E7Result
-	run := func(id string, f func() error) {
+	run := func(id string, f func() error) error {
 		if !all && which != id {
-			return
+			return nil
 		}
 		ran = true
-		fmt.Printf("\n===== %s =====\n", strings.ToUpper(id))
+		fmt.Fprintf(stdout, "\n===== %s =====\n", strings.ToUpper(id))
 		if err := f(); err != nil {
-			fatal(fmt.Errorf("%s: %w", id, err))
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		return nil
+	}
+
+	steps := []struct {
+		id string
+		f  func() error
+	}{
+		{"e1", func() error {
+			r, err := experiments.E1IID(env)
+			if err != nil {
+				return err
+			}
+			experiments.RenderE1(stdout, r)
+			if !r.Pass {
+				gateFailed = true
+			}
+			return nil
+		}},
+		{"e2", func() error {
+			r, err := experiments.E2PWCETCurve(env)
+			if err != nil {
+				return err
+			}
+			e2res = r
+			return experiments.RenderE2(stdout, r)
+		}},
+		{"e3", func() error {
+			r, err := experiments.E3Comparison(env)
+			if err != nil {
+				return err
+			}
+			e3res = r
+			return experiments.RenderE3(stdout, r)
+		}},
+		{"e4", func() error {
+			r, err := experiments.E4AvgPerformance(env)
+			if err != nil {
+				return err
+			}
+			experiments.RenderE4(stdout, r)
+			return nil
+		}},
+		{"e5", func() error {
+			r, err := experiments.E5Convergence(env)
+			if err != nil {
+				return err
+			}
+			e5res = r
+			experiments.RenderE5(stdout, r)
+			return nil
+		}},
+		{"e6", func() error {
+			r, err := experiments.E6FPUJitter(env)
+			if err != nil {
+				return err
+			}
+			experiments.RenderE6(stdout, r)
+			return nil
+		}},
+		{"e7", func() error {
+			r, err := experiments.E7PlacementAblation(env, *layouts)
+			if err != nil {
+				return err
+			}
+			e7res = r
+			return experiments.RenderE7(stdout, r)
+		}},
+		{"e8", func() error {
+			r, err := experiments.E8Contention(env, 3, *e8runs)
+			if err != nil {
+				return err
+			}
+			return experiments.RenderE8(stdout, r)
+		}},
+		{"e9", func() error {
+			r, err := experiments.E9Generality(env, *e9runs)
+			if err != nil {
+				return err
+			}
+			experiments.RenderE9(stdout, r)
+			return nil
+		}},
+	}
+	for _, s := range steps {
+		if err := run(s.id, s.f); err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return exitCodeFor(err)
 		}
 	}
 
-	run("e1", func() error {
-		r, err := experiments.E1IID(env)
-		if err != nil {
-			return err
-		}
-		experiments.RenderE1(os.Stdout, r)
-		return nil
-	})
-	run("e2", func() error {
-		r, err := experiments.E2PWCETCurve(env)
-		if err != nil {
-			return err
-		}
-		e2res = r
-		return experiments.RenderE2(os.Stdout, r)
-	})
-	run("e3", func() error {
-		r, err := experiments.E3Comparison(env)
-		if err != nil {
-			return err
-		}
-		e3res = r
-		return experiments.RenderE3(os.Stdout, r)
-	})
-	run("e4", func() error {
-		r, err := experiments.E4AvgPerformance(env)
-		if err != nil {
-			return err
-		}
-		experiments.RenderE4(os.Stdout, r)
-		return nil
-	})
-	run("e5", func() error {
-		r, err := experiments.E5Convergence(env)
-		if err != nil {
-			return err
-		}
-		e5res = r
-		experiments.RenderE5(os.Stdout, r)
-		return nil
-	})
-	run("e6", func() error {
-		r, err := experiments.E6FPUJitter(env)
-		if err != nil {
-			return err
-		}
-		experiments.RenderE6(os.Stdout, r)
-		return nil
-	})
-	run("e7", func() error {
-		r, err := experiments.E7PlacementAblation(env, *layouts)
-		if err != nil {
-			return err
-		}
-		e7res = r
-		return experiments.RenderE7(os.Stdout, r)
-	})
-	run("e8", func() error {
-		r, err := experiments.E8Contention(env, 3, *e8runs)
-		if err != nil {
-			return err
-		}
-		return experiments.RenderE8(os.Stdout, r)
-	})
-	run("e9", func() error {
-		r, err := experiments.E9Generality(env, *e9runs)
-		if err != nil {
-			return err
-		}
-		experiments.RenderE9(os.Stdout, r)
-		return nil
-	})
-
 	if !ran {
-		fatal(fmt.Errorf("unknown experiment %q (want all or e1..e9)", *exp))
+		fmt.Fprintf(stderr, "experiments: unknown experiment %q (want all or e1..e9)\n", *exp)
+		return exitError
+	}
+	if fsum := env.FaultSummary(); fsum != nil {
+		fmt.Fprintln(stdout)
+		report.OutcomeTable(stdout,
+			fmt.Sprintf("fault injection (rate %g upsets/run): run outcomes", p.FaultRate),
+			fsum.Clean, fsum.ByOutcome, faults.Outcomes())
+		fmt.Fprintf(stdout, "  %d upsets injected; quarantined runs never enter the analysis\n", fsum.Injected)
 	}
 	if ci := env.RANDConvergence(); ci != nil {
 		if ci.Converged {
-			fmt.Printf("\nconvergence: RAND campaign stopped at %d/%d runs (%s) - %d runs saved\n",
+			fmt.Fprintf(stdout, "\nconvergence: RAND campaign stopped at %d/%d runs (%s) - %d runs saved\n",
 				ci.StopRuns, ci.MaxRuns, ci.Rule, ci.RunsSaved())
 		} else {
-			fmt.Printf("\nconvergence: rule %s unsatisfied within the %d-run budget\n", ci.Rule, ci.MaxRuns)
+			fmt.Fprintf(stdout, "\nconvergence: rule %s unsatisfied within the %d-run budget\n", ci.Rule, ci.MaxRuns)
 		}
 	}
 	if *csvDir != "" {
 		files, err := experiments.WriteAllCSV(*csvDir, e2res, e3res, e5res, e7res)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "experiments:", err)
+			return exitError
 		}
-		fmt.Printf("\nCSV data written to %s: %s\n", *csvDir, strings.Join(files, ", "))
+		fmt.Fprintf(stdout, "\nCSV data written to %s: %s\n", *csvDir, strings.Join(files, ", "))
 	}
+	if gateFailed {
+		fmt.Fprintln(stderr, "experiments: i.i.d. gate rejected the campaign; MBPTA not applicable")
+		return exitIIDGate
+	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
+// exitCodeFor classifies an experiment error: an i.i.d. gate rejection
+// maps to the dedicated code so pipelines can branch on it, anything
+// else is a generic failure.
+func exitCodeFor(err error) int {
+	if errors.Is(err, core.ErrIIDRejected) {
+		return exitIIDGate
+	}
+	return exitError
 }

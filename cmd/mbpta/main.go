@@ -110,8 +110,12 @@ func main() {
 			name = "(single path)"
 		}
 		fmt.Println()
+		runsCell := fmt.Sprintf("%d (%d block maxima of %d)", p.N, p.Maxima, res.BlockSize)
+		if p.Discarded > 0 {
+			runsCell += fmt.Sprintf("; %d trailing obs outside blocks", p.Discarded)
+		}
 		report.Table(os.Stdout, fmt.Sprintf("path %s", name), [][2]string{
-			{"runs", fmt.Sprintf("%d (%d block maxima of %d)", p.N, p.Maxima, res.BlockSize)},
+			{"runs", runsCell},
 			{"mean / max", fmt.Sprintf("%.0f / %.0f cycles", p.Summary.Mean, p.Summary.Max)},
 			{"Ljung-Box p-value", fmt.Sprintf("%.4f", p.IID.Independence.PValue)},
 			{"KS p-value", fmt.Sprintf("%.4f", p.IID.IdentDist.PValue)},

@@ -17,7 +17,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/platform"
+	"repro/internal/report"
 	"repro/internal/trace"
 )
 
@@ -27,8 +29,10 @@ func main() {
 		seed     = flag.Uint64("seed", 0, "base seed (0 = default)")
 		parallel = flag.Int("parallel", 0, "campaign workers (0 = GOMAXPROCS)")
 		saveDir  = flag.String("save-dir", "", "directory to save campaign CSVs (optional)")
-		perTask  = flag.Bool("per-task", false, "additionally derive per-task pWCETs (worst job per run)")
-		converge = flag.Bool("converge", false, "stream the RAND campaign and stop at pWCET-delta convergence (-runs becomes the budget)")
+		perTask   = flag.Bool("per-task", false, "additionally derive per-task pWCETs (worst job per run)")
+		converge  = flag.Bool("converge", false, "stream the RAND campaign and stop at pWCET-delta convergence (-runs becomes the budget)")
+		faultsOn  = flag.Bool("faults", false, "inject SEU faults into the RAND campaign (quarantined from the analysis)")
+		faultRate = flag.Float64("fault-rate", 0.25, "expected upsets per run under -faults (Poisson)")
 	)
 	flag.Parse()
 
@@ -36,6 +40,9 @@ func main() {
 	p.Runs = *runs
 	p.Parallel = *parallel
 	p.Converge = *converge
+	if *faultsOn {
+		p.FaultRate = *faultRate
+	}
 	if *seed != 0 {
 		p.Seed = *seed
 	}
@@ -55,6 +62,13 @@ func main() {
 	e1, err := experiments.E1IID(env)
 	if err != nil {
 		fatal(err)
+	}
+	if fs := env.FaultSummary(); fs != nil {
+		fmt.Println()
+		report.OutcomeTable(os.Stdout,
+			fmt.Sprintf("fault injection (rate %g upsets/run): run outcomes", p.FaultRate),
+			fs.Clean, fs.ByOutcome, faults.Outcomes())
+		fmt.Printf("  %d upsets injected; quarantined runs never enter the analysis\n", fs.Injected)
 	}
 	if ci := env.RANDConvergence(); ci != nil {
 		if ci.Converged {
@@ -169,6 +183,9 @@ func saveCampaigns(env *experiments.Env, dir string) error {
 	save := func(name string, c *platform.CampaignResult) error {
 		set := &trace.Set{Platform: c.Platform, Workload: c.Workload}
 		for i, r := range c.Results {
+			if r.Quarantined() {
+				continue // traces carry clean measurements only
+			}
 			set.Samples = append(set.Samples, trace.Sample{Run: i, Cycles: r.Cycles, Path: r.Path})
 		}
 		f, err := os.Create(filepath.Join(dir, name))

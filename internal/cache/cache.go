@@ -332,3 +332,33 @@ func (c *Cache) fill(set int, tag uint64) {
 
 // SetOfForTest exposes the placement function for property tests.
 func (c *Cache) SetOfForTest(addr uint64) int { return c.setOf(addr) }
+
+// InjectTagFault flips bit number bit of the tag stored at (set, way) —
+// a single-event upset in the tag array. A flipped tag of a valid line
+// turns later accesses to the original address into misses and may
+// alias a different address onto stale contents; because the model
+// carries no data, a tag upset can only perturb timing, never
+// architectural results. Coordinates are reduced modulo the geometry so
+// any values are safe.
+func (c *Cache) InjectTagFault(set, way, bit int) {
+	l := c.faultLine(set, way)
+	l.tag ^= 1 << (uint(bit) % 64)
+}
+
+// InjectStateFault flips the valid bit at (set, way) — an upset in the
+// state array. A valid line silently vanishes (spurious miss later) or
+// an invalid frame becomes visible with whatever tag the array held.
+func (c *Cache) InjectStateFault(set, way int) {
+	l := c.faultLine(set, way)
+	l.valid = !l.valid
+}
+
+func (c *Cache) faultLine(set, way int) *line {
+	if set < 0 {
+		set = -set
+	}
+	if way < 0 {
+		way = -way
+	}
+	return &c.sets[set&int(c.setMask)][way%c.cfg.Ways]
+}

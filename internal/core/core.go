@@ -163,7 +163,11 @@ type PathResult struct {
 	Tail   evt.TailModel
 	GEVXi  float64 // shape diagnostic from a GEV fit of the maxima
 	Maxima int     // number of block maxima used (MethodBlockMaxima)
-	Pooled bool    // true if this is the pooled small-paths group
+	// Discarded counts the trailing observations dropped by the partial
+	// final block (N mod BlockSize), so reported sample sizes are exact:
+	// Maxima*BlockSize + Discarded == N.
+	Discarded int
+	Pooled    bool // true if this is the pooled small-paths group
 	// GoF is an Anderson-Darling goodness-of-fit diagnostic of the
 	// block maxima against the fitted Gumbel (MethodBlockMaxima only).
 	// With estimated parameters the case-0 p-value is approximate; it
@@ -285,10 +289,19 @@ func (a *Analyzer) AnalyzeByPath(byPath map[string][]float64) (*Result, error) {
 	if len(byPath) == 0 {
 		return nil, ErrInsufficient
 	}
+	// Iterate paths in name order: the pooled series below is a
+	// concatenation, and block maxima are order-sensitive, so map
+	// iteration order must not leak into the fit (determinism).
+	names := make([]string, 0, len(byPath))
+	for path := range byPath {
+		names = append(names, path)
+	}
+	sort.Strings(names)
 	var pooled []float64
 	groups := make(map[string][]float64)
 	var all []float64
-	for path, ts := range byPath {
+	for _, path := range names {
+		ts := byPath[path]
 		all = append(all, ts...)
 		if len(ts) < a.opts.MinPathRuns {
 			pooled = append(pooled, ts...)
@@ -361,11 +374,12 @@ func (a *Analyzer) analyzeOne(path string, times []float64) (PathResult, error) 
 		return pr, fmt.Errorf("%w:\n%s", ErrIIDRejected, pr.IID)
 	}
 	pr.Method = a.opts.Method
-	maxima, err := evt.BlockMaxima(times, a.opts.BlockSize)
+	maxima, discarded, err := evt.BlockMaxima(times, a.opts.BlockSize)
 	if err != nil {
 		return pr, err
 	}
 	pr.Maxima = len(maxima)
+	pr.Discarded = discarded
 	switch a.opts.Method {
 	case MethodBlockMaxima:
 		if pr.Fit, err = evt.FitGumbel(maxima, a.opts.FitMethod); err != nil {
@@ -425,7 +439,7 @@ func (a *Analyzer) ConvergenceTrace(times []float64, batch int) ([]ConvergencePo
 	var trace []ConvergencePoint
 	stopAt := 0
 	for n := batch; n <= len(times); n += batch {
-		maxima, err := evt.BlockMaxima(times[:n], a.opts.BlockSize)
+		maxima, _, err := evt.BlockMaxima(times[:n], a.opts.BlockSize)
 		if err != nil {
 			return nil, 0, err
 		}

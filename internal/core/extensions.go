@@ -35,7 +35,7 @@ func (a *Analyzer) BootstrapPWCET(times []float64, q float64, resamples int,
 	if level <= 0 || level >= 1 {
 		return CI{}, fmt.Errorf("core: confidence level %v outside (0,1)", level)
 	}
-	maxima, err := evt.BlockMaxima(times, a.opts.BlockSize)
+	maxima, _, err := evt.BlockMaxima(times, a.opts.BlockSize)
 	if err != nil {
 		return CI{}, err
 	}

@@ -19,6 +19,11 @@ var ErrNotConverged = errors.New("core: campaign did not converge within its run
 type Observation struct {
 	Cycles float64
 	Path   string
+	// Outcome is empty for a clean measurement. A non-empty outcome
+	// (set by the fault-injection layer) quarantines the observation:
+	// it is tallied in snapshots but never enters the i.i.d. gate or
+	// the tail fit.
+	Outcome string
 }
 
 // Snapshot is the incremental analysis state after one batch of a
@@ -26,11 +31,20 @@ type Observation struct {
 // gate outcome, the pooled tail fit and the pWCET estimate it implies.
 // Stop rules and progress callbacks both consume snapshots.
 type Snapshot struct {
-	// Batch is the 0-based batch index; Runs the total observed so far.
-	Batch int
-	Runs  int
-	// BlockSize is the block-maxima block length of the fit.
+	// Batch is the 0-based batch index; Runs the clean measurements
+	// observed so far (what the gate and the fit see). TotalRuns also
+	// counts the quarantined runs: Runs + Quarantined == TotalRuns.
+	Batch     int
+	Runs      int
+	TotalRuns int
+	// Quarantined counts the fault-injected runs excluded from the
+	// analysis so far; Outcomes tallies them by class (nil when none).
+	Quarantined int
+	Outcomes    map[string]int
+	// BlockSize is the block-maxima block length of the fit; Discarded
+	// the trailing clean observations outside the last complete block.
 	BlockSize int
+	Discarded int
 	// Gate is the i.i.d. gate on the pooled series collected so far
 	// (meaningful only when GateChecked; early batches may be too small
 	// to test).
@@ -94,14 +108,16 @@ type StopRule interface {
 	Done(s *Snapshot) bool
 }
 
-// FixedRuns stops after n runs — the paper's fixed-size protocol
-// (3,000 runs) expressed as a stop rule.
+// FixedRuns stops after n executed runs — the paper's fixed-size
+// protocol (3,000 runs) expressed as a stop rule. Quarantined runs
+// count: the budget is measurement effort, not clean-sample yield (on a
+// fault-free campaign the two are the same).
 func FixedRuns(n int) StopRule { return fixedRunsRule{n: n} }
 
 type fixedRunsRule struct{ n int }
 
 func (r fixedRunsRule) Name() string          { return fmt.Sprintf("fixed-runs(%d)", r.n) }
-func (r fixedRunsRule) Done(s *Snapshot) bool { return s.Runs >= r.n }
+func (r fixedRunsRule) Done(s *Snapshot) bool { return s.TotalRuns >= r.n }
 
 // PWCETDelta stops once the pWCET estimate at exceedance probability q
 // has changed by at most relTol (relative) for streak consecutive
@@ -246,13 +262,15 @@ type OnlineAnalyzer struct {
 	rule    StopRule
 	refProb float64
 
-	times   []float64
-	byPath  map[string][]float64
-	prevFit *evt.Gumbel
-	prevPW  float64
-	snaps   []Snapshot
-	started time.Time
-	done    bool
+	times    []float64
+	byPath   map[string][]float64
+	total    int
+	outcomes map[string]int
+	prevFit  *evt.Gumbel
+	prevPW   float64
+	snaps    []Snapshot
+	started  time.Time
+	done     bool
 }
 
 // NewOnlineAnalyzer returns an online analyzer with opts completed by
@@ -283,17 +301,34 @@ func (o *OnlineAnalyzer) ObserveBatch(obs []Observation) (Snapshot, error) {
 		o.started = time.Now()
 	}
 	for _, ob := range obs {
+		o.total++
+		if ob.Outcome != "" {
+			// Quarantined: tally it, keep it out of the analysis.
+			if o.outcomes == nil {
+				o.outcomes = make(map[string]int)
+			}
+			o.outcomes[ob.Outcome]++
+			continue
+		}
 		o.times = append(o.times, ob.Cycles)
 		o.byPath[ob.Path] = append(o.byPath[ob.Path], ob.Cycles)
 	}
 	snap := Snapshot{
 		Batch:         len(o.snaps),
 		Runs:          len(o.times),
+		TotalRuns:     o.total,
+		Quarantined:   o.total - len(o.times),
 		BlockSize:     o.opts.BlockSize,
 		RefProb:       o.refProb,
 		Delta:         math.NaN(),
 		PWCETRelDelta: math.NaN(),
 		Elapsed:       time.Since(o.started),
+	}
+	if len(o.outcomes) > 0 {
+		snap.Outcomes = make(map[string]int, len(o.outcomes))
+		for k, v := range o.outcomes {
+			snap.Outcomes[k] = v
+		}
 	}
 	if len(o.times) >= 8 {
 		if gate, err := stats.CheckIID(o.times, o.opts.Alpha); err == nil {
@@ -301,10 +336,11 @@ func (o *OnlineAnalyzer) ObserveBatch(obs []Observation) (Snapshot, error) {
 		}
 	}
 	if len(o.times) >= 5*o.opts.BlockSize {
-		maxima, err := evt.BlockMaxima(o.times, o.opts.BlockSize)
+		maxima, discarded, err := evt.BlockMaxima(o.times, o.opts.BlockSize)
 		if err != nil {
 			return snap, err
 		}
+		snap.Discarded = discarded
 		// A degenerate (e.g. constant) sample cannot be fitted yet; keep
 		// collecting rather than failing the campaign.
 		if fit, err := evt.FitGumbel(maxima, o.opts.FitMethod); err == nil {
@@ -332,8 +368,11 @@ func (o *OnlineAnalyzer) ObserveBatch(obs []Observation) (Snapshot, error) {
 	return snap, nil
 }
 
-// Runs returns the number of observations folded in so far.
+// Runs returns the number of clean observations folded in so far.
 func (o *OnlineAnalyzer) Runs() int { return len(o.times) }
+
+// TotalRuns returns every observation seen, including quarantined ones.
+func (o *OnlineAnalyzer) TotalRuns() int { return o.total }
 
 // Done reports whether the stop rule has fired.
 func (o *OnlineAnalyzer) Done() bool { return o.done }

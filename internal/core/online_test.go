@@ -54,11 +54,15 @@ func feed(t *testing.T, o *OnlineAnalyzer, times []float64, batch int) []Snapsho
 
 func TestFixedRunsRule(t *testing.T) {
 	r := FixedRuns(100)
-	if r.Done(&Snapshot{Runs: 99}) {
+	if r.Done(&Snapshot{Runs: 99, TotalRuns: 99}) {
 		t.Error("fired early")
 	}
-	if !r.Done(&Snapshot{Runs: 100}) || !r.Done(&Snapshot{Runs: 250}) {
+	if !r.Done(&Snapshot{Runs: 100, TotalRuns: 100}) || !r.Done(&Snapshot{Runs: 250, TotalRuns: 250}) {
 		t.Error("did not fire at/after the budget")
+	}
+	// The budget is executed runs: quarantined runs count against it.
+	if !r.Done(&Snapshot{Runs: 60, TotalRuns: 100, Quarantined: 40}) {
+		t.Error("quarantined runs not counted against the budget")
 	}
 	if r.Name() == "" {
 		t.Error("empty name")
@@ -174,7 +178,7 @@ func TestAnyRuleEvaluatesAllRules(t *testing.T) {
 	if !r.Done(s) { // second consecutive CRPS pass fires via the sub-rule
 		t.Error("stateful sub-rule was starved")
 	}
-	if !AnyRule(FixedRuns(5)).Done(&Snapshot{Runs: 10}) {
+	if !AnyRule(FixedRuns(5)).Done(&Snapshot{Runs: 10, TotalRuns: 10}) {
 		t.Error("fixed sub-rule ignored")
 	}
 }

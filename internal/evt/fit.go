@@ -11,13 +11,15 @@ import (
 // BlockMaxima partitions xs into consecutive blocks of size blockSize
 // (in observation order — order matters, so callers pass the raw
 // measurement series) and returns the maximum of each complete block.
-// A trailing partial block is discarded, as in the MBPTA process.
-func BlockMaxima(xs []float64, blockSize int) ([]float64, error) {
+// A trailing partial block is discarded, as in the MBPTA process;
+// discarded reports how many trailing observations were dropped
+// (len(xs) mod blockSize) so reports never over-state the sample size.
+func BlockMaxima(xs []float64, blockSize int) (maxima []float64, discarded int, err error) {
 	if blockSize < 1 {
-		return nil, fmt.Errorf("%w: block size %d", ErrBadParam, blockSize)
+		return nil, 0, fmt.Errorf("%w: block size %d", ErrBadParam, blockSize)
 	}
 	if len(xs) < blockSize {
-		return nil, fmt.Errorf("%w: %d observations < block size %d", ErrBadSample, len(xs), blockSize)
+		return nil, 0, fmt.Errorf("%w: %d observations < block size %d", ErrBadSample, len(xs), blockSize)
 	}
 	n := len(xs) / blockSize
 	out := make([]float64, n)
@@ -30,7 +32,7 @@ func BlockMaxima(xs []float64, blockSize int) ([]float64, error) {
 		}
 		out[b] = m
 	}
-	return out, nil
+	return out, len(xs) - n*blockSize, nil
 }
 
 // FitMethod selects the Gumbel parameter estimator.

@@ -9,13 +9,16 @@ import (
 
 func TestBlockMaxima(t *testing.T) {
 	xs := []float64{1, 5, 2, 8, 3, 4, 9, 7, 6}
-	bm, err := BlockMaxima(xs, 3)
+	bm, discarded, err := BlockMaxima(xs, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := []float64{5, 8, 9}
 	if len(bm) != 3 {
 		t.Fatalf("len = %d", len(bm))
+	}
+	if discarded != 0 {
+		t.Errorf("discarded = %d, want 0 (sample divides evenly)", discarded)
 	}
 	for i := range want {
 		if bm[i] != want[i] {
@@ -26,7 +29,7 @@ func TestBlockMaxima(t *testing.T) {
 
 func TestBlockMaximaPartialBlockDropped(t *testing.T) {
 	xs := []float64{1, 2, 3, 4, 100}
-	bm, err := BlockMaxima(xs, 2)
+	bm, discarded, err := BlockMaxima(xs, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,20 +39,23 @@ func TestBlockMaximaPartialBlockDropped(t *testing.T) {
 	if bm[0] != 2 || bm[1] != 4 {
 		t.Errorf("bm = %v", bm)
 	}
+	if discarded != 1 {
+		t.Errorf("discarded = %d, want 1 (the trailing 100)", discarded)
+	}
 }
 
 func TestBlockMaximaErrors(t *testing.T) {
-	if _, err := BlockMaxima([]float64{1, 2}, 0); err == nil {
+	if _, _, err := BlockMaxima([]float64{1, 2}, 0); err == nil {
 		t.Error("blockSize=0 accepted")
 	}
-	if _, err := BlockMaxima([]float64{1, 2}, 5); err == nil {
+	if _, _, err := BlockMaxima([]float64{1, 2}, 5); err == nil {
 		t.Error("sample shorter than block accepted")
 	}
 }
 
 func TestBlockMaximaBlockOne(t *testing.T) {
 	xs := []float64{3, 1, 4}
-	bm, _ := BlockMaxima(xs, 1)
+	bm, _, _ := BlockMaxima(xs, 1)
 	for i := range xs {
 		if bm[i] != xs[i] {
 			t.Errorf("block size 1 must be identity; got %v", bm)

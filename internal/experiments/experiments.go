@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/fpu"
 	"repro/internal/mbta"
 	"repro/internal/platform"
@@ -40,6 +41,14 @@ type Params struct {
 	// ConvergeTol is the relative pWCET-delta tolerance of the stop
 	// rule (0 = default 0.01).
 	ConvergeTol float64
+	// FaultRate, when positive, attaches the deterministic SEU injector
+	// to the RAND campaign at that expected-upsets-per-run rate: faulted
+	// runs are classified (masked / timing-perturbed / wrong-output /
+	// hung) and quarantined, so every experiment's analysis sees clean
+	// measurements only. The DET campaign stays fault-free — it is the
+	// industrial baseline, not an MBPTA input. FaultSummary reports the
+	// outcome tally after the campaign has run.
+	FaultRate float64
 }
 
 // DefaultParams returns the paper's evaluation setup.
@@ -53,11 +62,12 @@ func DefaultParams() Params {
 
 // Env caches the shared campaigns.
 type Env struct {
-	P        Params
-	app      *tvca.App
-	rand     *platform.CampaignResult
-	det      *platform.CampaignResult
-	randConv *ConvergeInfo
+	P         Params
+	app       *tvca.App
+	rand      *platform.CampaignResult
+	det       *platform.CampaignResult
+	randConv  *ConvergeInfo
+	randFault *faults.Summary
 }
 
 // ConvergeInfo summarizes an early-stopped RAND campaign.
@@ -97,16 +107,50 @@ func (e *Env) RAND() (*platform.CampaignResult, error) {
 		if e.P.Converge {
 			return e.randConverged()
 		}
-		c, err := platform.RunCampaign(platform.RAND(), e.app, platform.CampaignOptions{
-			Runs: e.P.Runs, BaseSeed: e.P.Seed, Parallel: e.P.Parallel,
-		})
+		so, err := e.randStreamOptions()
 		if err != nil {
 			return nil, err
 		}
-		e.rand = c
+		so.BatchSize = e.P.Runs
+		c, err := platform.StreamCampaign(context.Background(), platform.RAND(), e.app, so, nil)
+		if err != nil {
+			return nil, err
+		}
+		e.setRAND(c)
 	}
 	return e.rand, nil
 }
+
+// randStreamOptions assembles the RAND campaign's stream options,
+// attaching the SEU injector when Params.FaultRate asks for it.
+func (e *Env) randStreamOptions() (platform.StreamOptions, error) {
+	so := platform.StreamOptions{
+		MaxRuns:  e.P.Runs,
+		Parallel: e.P.Parallel,
+		BaseSeed: e.P.Seed,
+	}
+	if e.P.FaultRate > 0 {
+		inj, err := faults.New(faults.Config{Rate: e.P.FaultRate})
+		if err != nil {
+			return so, err
+		}
+		so.Runner = inj.Runner()
+	}
+	return so, nil
+}
+
+// setRAND caches the campaign and its fault-outcome tally.
+func (e *Env) setRAND(c *platform.CampaignResult) {
+	e.rand = c
+	if e.P.FaultRate > 0 {
+		s := faults.Summarize(c.Results)
+		e.randFault = &s
+	}
+}
+
+// FaultSummary returns the RAND campaign's run-outcome tally, or nil
+// when fault injection is off (or the campaign has not run yet).
+func (e *Env) FaultSummary() *faults.Summary { return e.randFault }
 
 // randConverged collects the RAND campaign through the streaming
 // engine with a pWCET(1e-12)-delta stop rule.
@@ -116,7 +160,7 @@ func (e *Env) randConverged() (*platform.CampaignResult, error) {
 	sink := func(b platform.Batch) (bool, error) {
 		obs := make([]core.Observation, len(b.Results))
 		for i, r := range b.Results {
-			obs[i] = core.Observation{Cycles: float64(r.Cycles), Path: r.Path}
+			obs[i] = core.Observation{Cycles: float64(r.Cycles), Path: r.Path, Outcome: r.Outcome}
 		}
 		snap, err := online.ObserveBatch(obs)
 		if err != nil {
@@ -124,16 +168,15 @@ func (e *Env) randConverged() (*platform.CampaignResult, error) {
 		}
 		return snap.Done, nil
 	}
-	c, err := platform.StreamCampaign(context.Background(), platform.RAND(), e.app,
-		platform.StreamOptions{
-			MaxRuns:  e.P.Runs,
-			Parallel: e.P.Parallel,
-			BaseSeed: e.P.Seed,
-		}, sink)
+	so, err := e.randStreamOptions()
 	if err != nil {
 		return nil, err
 	}
-	e.rand = c
+	c, err := platform.StreamCampaign(context.Background(), platform.RAND(), e.app, so, sink)
+	if err != nil {
+		return nil, err
+	}
+	e.setRAND(c)
 	e.randConv = &ConvergeInfo{
 		Converged: online.Done(),
 		StopRuns:  len(c.Results),

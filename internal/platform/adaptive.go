@@ -93,7 +93,7 @@ func AdaptiveCampaign(cfg Config, w Workload, opts AdaptiveOptions) (*AdaptiveRe
 		if run < o.MinRuns {
 			continue
 		}
-		maxima, err := evt.BlockMaxima(times, o.BlockSize)
+		maxima, _, err := evt.BlockMaxima(times, o.BlockSize)
 		if err != nil {
 			return nil, err
 		}

@@ -11,21 +11,54 @@ type CampaignResult struct {
 	Results  []RunResult
 }
 
-// Times returns the execution-time series in cycles.
+// Times returns the execution-time series in cycles. Quarantined runs
+// (non-empty Outcome, set by a fault-injection layer) are excluded so
+// the i.i.d. gate and the tail fit only ever see clean measurements;
+// run order among the clean runs is preserved.
 func (c *CampaignResult) Times() []float64 {
-	out := make([]float64, len(c.Results))
-	for i, r := range c.Results {
-		out[i] = float64(r.Cycles)
+	out := make([]float64, 0, len(c.Results))
+	for _, r := range c.Results {
+		if r.Quarantined() {
+			continue
+		}
+		out = append(out, float64(r.Cycles))
 	}
 	return out
 }
 
 // TimesByPath groups the execution times by path identifier, preserving
-// run order within each path — the input to per-path MBPTA.
+// run order within each path — the input to per-path MBPTA. Like Times,
+// it excludes quarantined runs.
 func (c *CampaignResult) TimesByPath() map[string][]float64 {
 	out := make(map[string][]float64)
 	for _, r := range c.Results {
+		if r.Quarantined() {
+			continue
+		}
 		out[r.Path] = append(out[r.Path], float64(r.Cycles))
+	}
+	return out
+}
+
+// Quarantined counts the runs excluded from the measurement series.
+func (c *CampaignResult) Quarantined() int {
+	n := 0
+	for _, r := range c.Results {
+		if r.Quarantined() {
+			n++
+		}
+	}
+	return n
+}
+
+// OutcomeCounts tallies the quarantined runs by outcome class. Clean
+// runs are not included; the map is empty for a fault-free campaign.
+func (c *CampaignResult) OutcomeCounts() map[string]int {
+	out := make(map[string]int)
+	for _, r := range c.Results {
+		if r.Quarantined() {
+			out[r.Outcome]++
+		}
 	}
 	return out
 }

@@ -16,6 +16,7 @@
 package platform
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bus"
@@ -242,7 +243,20 @@ type RunResult struct {
 	Cycles       uint64
 	Instructions uint64
 	Path         string // workload path identifier ("" if single-path)
+	// Outcome is empty for a clean measurement. A fault-injection layer
+	// (see internal/faults) sets it to the run's classification
+	// ("masked", "timing-perturbed", "wrong-output", "hung"); any
+	// non-empty Outcome quarantines the run from the timing analysis —
+	// CampaignResult.Times and TimesByPath skip it.
+	Outcome string
+	// Faults counts the upsets actually injected into this run (0 for a
+	// clean run).
+	Faults int
 }
+
+// Quarantined reports whether the run must be excluded from the
+// measurement series (a fault-injection layer classified it).
+func (r RunResult) Quarantined() bool { return r.Outcome != "" }
 
 // Workload is a program under analysis. Prepare must return a fresh
 // machine for run index run ("reload the executable": new memory image,
@@ -256,9 +270,21 @@ type Workload interface {
 
 // Run performs one protocol-compliant measurement of w.
 func (p *Platform) Run(w Workload, run int, runSeed uint64) (RunResult, error) {
+	return p.RunCtx(context.Background(), w, run, runSeed)
+}
+
+// RunCtx is Run with cooperative cancellation: the guest machine polls
+// ctx between instruction bursts and aborts promptly once it is
+// canceled (e.g. by a per-run timeout). The poll does not interact with
+// the timing model, so for a context that never fires the measured
+// cycles are bit-identical to Run.
+func (p *Platform) RunCtx(ctx context.Context, w Workload, run int, runSeed uint64) (RunResult, error) {
 	m, err := w.Prepare(run)
 	if err != nil {
 		return RunResult{}, fmt.Errorf("platform %s: prepare run %d: %w", p.cfg.Name, run, err)
+	}
+	if ctx != nil && ctx.Done() != nil {
+		m.Cancel = func() bool { return ctx.Err() != nil }
 	}
 	p.PrepareRun(runSeed)
 	cycles, err := p.core.RunProgram(m)

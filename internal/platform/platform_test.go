@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/cache"
@@ -326,5 +327,59 @@ func TestTrivialWorkloadRuns(t *testing.T) {
 	}
 	if r.Path != "" {
 		t.Errorf("path = %q", r.Path)
+	}
+}
+
+func TestDeriveRunSeedBitBalance(t *testing.T) {
+	// Each output bit should be set for roughly half the run indices —
+	// a heavily biased bit would correlate the per-run randomization.
+	const n = 10000
+	var ones [64]int
+	for i := 0; i < n; i++ {
+		s := DeriveRunSeed(42, i)
+		for b := 0; b < 64; b++ {
+			if s>>uint(b)&1 == 1 {
+				ones[b]++
+			}
+		}
+	}
+	for b, c := range ones {
+		// 5000 +- ~5 sigma (sigma = sqrt(n)/2 = 50).
+		if c < 4750 || c > 5250 {
+			t.Errorf("bit %d set in %d/%d seeds", b, c, n)
+		}
+	}
+}
+
+func TestDeriveRunSeedAvalanche(t *testing.T) {
+	// Adjacent run indices must produce uncorrelated seeds: the mean
+	// Hamming distance between seeds of consecutive runs is ~32 bits.
+	const n = 5000
+	total := 0
+	for i := 0; i < n; i++ {
+		d := DeriveRunSeed(7, i) ^ DeriveRunSeed(7, i+1)
+		for ; d != 0; d &= d - 1 {
+			total++
+		}
+	}
+	mean := float64(total) / n
+	if mean < 28 || mean > 36 {
+		t.Errorf("mean Hamming distance %.2f, want ~32", mean)
+	}
+}
+
+func TestDeriveRunSeedNoCollisionsAcrossBases(t *testing.T) {
+	// Campaigns with different base seeds should not share per-run
+	// seeds over realistic campaign sizes.
+	seen := make(map[uint64]string, 40000)
+	for _, base := range []uint64{0, 1, 42, 0xDEADBEEF} {
+		for i := 0; i < 10000; i++ {
+			s := DeriveRunSeed(base, i)
+			key := fmt.Sprintf("base %#x run %d", base, i)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: %s and %s both map to %#x", prev, key, s)
+			}
+			seen[s] = key
+		}
 	}
 }

@@ -6,12 +6,37 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // ErrCanceled reports that a campaign was interrupted by its context
 // before completing. Errors returned for a canceled campaign match both
 // errors.Is(err, ErrCanceled) and errors.Is(err, ctx.Err()).
 var ErrCanceled = errors.New("platform: campaign canceled")
+
+// ErrRunTimeout reports that a single run exceeded StreamOptions.
+// RunTimeout. The run is retried under the campaign's RetryPolicy; the
+// error surfaces only once the attempts are exhausted.
+var ErrRunTimeout = errors.New("platform: run timed out")
+
+// RunFunc executes one measurement run on a worker's platform. It is
+// the per-run extension point of StreamCampaign: the default is
+// (*Platform).RunCtx; a fault-injection layer substitutes its own
+// executor. Implementations must derive all randomness from seed so the
+// campaign stays reproducible, and should return promptly once ctx is
+// canceled.
+type RunFunc func(ctx context.Context, p *Platform, w Workload, run int, seed uint64) (RunResult, error)
+
+// RetryPolicy bounds the re-execution of runs that fail with a genuine
+// error (worker fault, timeout) — not of quarantined runs, which are
+// valid outcomes. The zero value means fail fast (one attempt).
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per run (<= 1 means one).
+	MaxAttempts int
+	// Backoff is the sleep before the first retry; it doubles on each
+	// further retry. Zero retries immediately.
+	Backoff time.Duration
+}
 
 // StreamOptions tunes StreamCampaign.
 type StreamOptions struct {
@@ -31,6 +56,18 @@ type StreamOptions struct {
 	// BaseSeed derives the per-run seeds; the same BaseSeed reproduces
 	// the campaign bit-for-bit.
 	BaseSeed uint64
+	// Runner substitutes the per-run executor (nil = (*Platform).RunCtx,
+	// which it must behave like for a context that never fires). The
+	// fault-injection layer plugs in here.
+	Runner RunFunc
+	// RunTimeout bounds each run attempt's wall-clock time; an attempt
+	// exceeding it fails with an error matching ErrRunTimeout and is
+	// retried under Retry. Zero means no per-run deadline.
+	RunTimeout time.Duration
+	// Retry re-executes failed run attempts. Retries reuse the same
+	// per-run seed, so a retry that succeeds yields the exact result the
+	// first attempt would have.
+	Retry RetryPolicy
 }
 
 func (o StreamOptions) withDefaults() StreamOptions {
@@ -128,7 +165,7 @@ func StreamCampaign(ctx context.Context, cfg Config, w Workload, opts StreamOpti
 					if runCtx.Err() != nil {
 						return
 					}
-					r, err := board.Run(w, run, DeriveRunSeed(o.BaseSeed, run))
+					r, err := runResilient(runCtx, o, board, w, run)
 					if err != nil {
 						errs[wk] = err
 						cancel() // stop the other workers at their next run boundary
@@ -157,6 +194,65 @@ func StreamCampaign(ctx context.Context, cfg Config, w Workload, opts StreamOpti
 		}
 	}
 	return res, nil
+}
+
+// runResilient executes one run through the configured Runner with the
+// campaign's per-run timeout and retry policy. Quarantined runs are
+// successes here — only genuine errors (including timeouts) retry, each
+// attempt reusing the same derived seed.
+func runResilient(ctx context.Context, o StreamOptions, board *Platform, w Workload, run int) (RunResult, error) {
+	seed := DeriveRunSeed(o.BaseSeed, run)
+	runner := o.Runner
+	if runner == nil {
+		runner = func(ctx context.Context, p *Platform, w Workload, run int, seed uint64) (RunResult, error) {
+			return p.RunCtx(ctx, w, run, seed)
+		}
+	}
+	attempts := o.Retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 && o.Retry.Backoff > 0 {
+			// Exponential backoff: Backoff, 2*Backoff, 4*Backoff, ...
+			d := o.Retry.Backoff << (a - 1)
+			if d <= 0 || d > time.Minute {
+				d = time.Minute
+			}
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return RunResult{}, ctx.Err()
+			case <-t.C:
+			}
+		}
+		attemptCtx, cancelAttempt := ctx, context.CancelFunc(nil)
+		if o.RunTimeout > 0 {
+			attemptCtx, cancelAttempt = context.WithTimeout(ctx, o.RunTimeout)
+		}
+		r, err := runner(attemptCtx, board, w, run, seed)
+		timedOut := cancelAttempt != nil && attemptCtx.Err() == context.DeadlineExceeded
+		if cancelAttempt != nil {
+			cancelAttempt()
+		}
+		if err == nil {
+			return r, nil
+		}
+		if ctx.Err() != nil {
+			// The campaign itself was canceled; don't spin on retries.
+			return RunResult{}, err
+		}
+		if timedOut {
+			err = fmt.Errorf("%w: run %d exceeded %s: %v", ErrRunTimeout, run, o.RunTimeout, err)
+		}
+		lastErr = err
+	}
+	if attempts > 1 {
+		return RunResult{}, fmt.Errorf("platform: run %d failed after %d attempts: %w", run, attempts, lastErr)
+	}
+	return RunResult{}, lastErr
 }
 
 // joinDistinct combines worker errors, dropping nils and duplicates

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -211,5 +212,194 @@ func TestStreamRejectsZeroRuns(t *testing.T) {
 	app := smallTVCA(t)
 	if _, err := StreamCampaign(context.Background(), RAND(), app, StreamOptions{}, nil); err == nil {
 		t.Error("zero-run campaign accepted")
+	}
+}
+
+func TestStreamBatchSizeExceedsRemaining(t *testing.T) {
+	// A batch size larger than the budget clamps to it: one batch of
+	// exactly MaxRuns runs, same series as any other batching.
+	app := smallTVCA(t)
+	var batches []Batch
+	c, err := StreamCampaign(context.Background(), RAND(), app,
+		StreamOptions{MaxRuns: 7, BatchSize: 1000, Parallel: 2, BaseSeed: 7},
+		func(b Batch) (bool, error) {
+			batches = append(batches, b)
+			return false, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Results) != 7 {
+		t.Fatalf("%d runs, want 7", len(c.Results))
+	}
+	if len(batches) != 1 || len(batches[0].Results) != 7 {
+		t.Fatalf("batches %+v, want one batch of 7", batches)
+	}
+	ref := streamSeries(t, StreamOptions{MaxRuns: 7, BatchSize: 2, Parallel: 1, BaseSeed: 7})
+	for i := range ref.Results {
+		if c.Results[i] != ref.Results[i] {
+			t.Fatalf("run %d differs from reference batching", i)
+		}
+	}
+}
+
+func TestStreamPartialFinalBatch(t *testing.T) {
+	// MaxRuns not divisible by BatchSize: the final batch carries the
+	// remainder and the series still covers every run exactly once.
+	app := smallTVCA(t)
+	var sizes []int
+	c, err := StreamCampaign(context.Background(), RAND(), app,
+		StreamOptions{MaxRuns: 11, BatchSize: 4, Parallel: 3, BaseSeed: 9},
+		func(b Batch) (bool, error) {
+			sizes = append(sizes, len(b.Results))
+			return false, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Results) != 11 {
+		t.Fatalf("%d runs, want 11", len(c.Results))
+	}
+	want := []int{4, 4, 3}
+	if len(sizes) != len(want) {
+		t.Fatalf("batch sizes %v, want %v", sizes, want)
+	}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("batch sizes %v, want %v", sizes, want)
+		}
+	}
+}
+
+func TestStreamCustomRunnerAndQuarantine(t *testing.T) {
+	// A substituted Runner fully controls the per-run result; runs it
+	// quarantines stay in the series but out of the measurements.
+	runner := func(ctx context.Context, p *Platform, w Workload, run int, seed uint64) (RunResult, error) {
+		r := RunResult{Cycles: uint64(1000 + run), Instructions: 1, Path: "p"}
+		if run%2 == 1 {
+			r.Outcome = "timing-perturbed"
+		}
+		return r, nil
+	}
+	c, err := StreamCampaign(context.Background(), RAND(), smallTVCA(t),
+		StreamOptions{MaxRuns: 10, BatchSize: 4, Parallel: 2, BaseSeed: 1, Runner: runner}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Results) != 10 {
+		t.Fatalf("%d runs", len(c.Results))
+	}
+	if got := len(c.Times()); got != 5 {
+		t.Errorf("Times() has %d clean runs, want 5", got)
+	}
+	if got := c.Quarantined(); got != 5 {
+		t.Errorf("Quarantined() = %d, want 5", got)
+	}
+	if n := c.OutcomeCounts()["timing-perturbed"]; n != 5 {
+		t.Errorf("OutcomeCounts = %v", c.OutcomeCounts())
+	}
+}
+
+func TestRunResilientRetriesTransientFailure(t *testing.T) {
+	// Each run fails once, then succeeds; the retry policy must absorb
+	// the transient failures and reuse the same derived seed.
+	var calls atomic.Int64
+	failed := make(map[int]*atomic.Bool)
+	var mu sync.Mutex
+	runner := func(ctx context.Context, p *Platform, w Workload, run int, seed uint64) (RunResult, error) {
+		calls.Add(1)
+		if want := DeriveRunSeed(5, run); seed != want {
+			t.Errorf("run %d: seed %#x, want %#x", run, seed, want)
+		}
+		mu.Lock()
+		f, ok := failed[run]
+		if !ok {
+			f = &atomic.Bool{}
+			failed[run] = f
+		}
+		mu.Unlock()
+		if f.CompareAndSwap(false, true) {
+			return RunResult{}, errors.New("transient")
+		}
+		return RunResult{Cycles: uint64(run)}, nil
+	}
+	c, err := StreamCampaign(context.Background(), RAND(), smallTVCA(t),
+		StreamOptions{MaxRuns: 6, BatchSize: 6, Parallel: 2, BaseSeed: 5, Runner: runner,
+			Retry: RetryPolicy{MaxAttempts: 3}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range c.Results {
+		if r.Cycles != uint64(i) {
+			t.Errorf("run %d: cycles %d", i, r.Cycles)
+		}
+	}
+	if n := calls.Load(); n != 12 { // 6 runs x (1 failure + 1 success)
+		t.Errorf("%d runner calls, want 12", n)
+	}
+}
+
+func TestRunResilientExhaustsRetries(t *testing.T) {
+	sentinel := errors.New("persistent fault")
+	runner := func(ctx context.Context, p *Platform, w Workload, run int, seed uint64) (RunResult, error) {
+		return RunResult{}, sentinel
+	}
+	_, err := runResilient(context.Background(),
+		StreamOptions{MaxRuns: 1, BaseSeed: 1, Runner: runner, Retry: RetryPolicy{MaxAttempts: 3}}.withDefaults(),
+		nil, nil, 4)
+	if err == nil || !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Errorf("error does not report the attempt count: %v", err)
+	}
+}
+
+func TestRunResilientTimeout(t *testing.T) {
+	// A runner that honors ctx must be cut off by RunTimeout and the
+	// failure classified as ErrRunTimeout after the retries run out.
+	var attempts atomic.Int64
+	runner := func(ctx context.Context, p *Platform, w Workload, run int, seed uint64) (RunResult, error) {
+		attempts.Add(1)
+		<-ctx.Done()
+		return RunResult{}, ctx.Err()
+	}
+	start := time.Now()
+	_, err := runResilient(context.Background(),
+		StreamOptions{MaxRuns: 1, BaseSeed: 1, Runner: runner,
+			RunTimeout: 20 * time.Millisecond, Retry: RetryPolicy{MaxAttempts: 2}}.withDefaults(),
+		nil, nil, 0)
+	if err == nil {
+		t.Fatal("hung runner returned nil error")
+	}
+	if !errors.Is(err, ErrRunTimeout) {
+		t.Errorf("errors.Is(err, ErrRunTimeout) = false: %v", err)
+	}
+	if n := attempts.Load(); n != 2 {
+		t.Errorf("%d attempts, want 2", n)
+	}
+	// The watchdog must not stall the campaign: both attempts bounded.
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("timed-out run took %s", d)
+	}
+}
+
+func TestRunResilientCampaignCancelStopsRetries(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var attempts atomic.Int64
+	runner := func(ctx context.Context, p *Platform, w Workload, run int, seed uint64) (RunResult, error) {
+		attempts.Add(1)
+		cancel() // the campaign dies while this run is in flight
+		return RunResult{}, errors.New("boom")
+	}
+	_, err := runResilient(ctx,
+		StreamOptions{MaxRuns: 1, BaseSeed: 1, Runner: runner,
+			Retry: RetryPolicy{MaxAttempts: 5, Backoff: time.Hour}}.withDefaults(),
+		nil, nil, 0)
+	if err == nil {
+		t.Fatal("canceled run returned nil error")
+	}
+	if n := attempts.Load(); n != 1 {
+		t.Errorf("%d attempts after campaign cancel, want 1 (no backoff spin)", n)
 	}
 }

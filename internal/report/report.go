@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"strings"
 )
 
@@ -147,6 +148,46 @@ func Table(w io.Writer, title string, rows [][2]string) {
 	for _, r := range rows {
 		fmt.Fprintf(w, "  %-*s  %s\n", maxk, r[0], r[1])
 	}
+}
+
+// OutcomeTable renders the run-outcome taxonomy of a fault-injection
+// campaign: clean measurements kept for analysis versus quarantined
+// runs broken down by outcome class, each with its share of the total.
+// order fixes the row order of the outcome classes (e.g. the canonical
+// faults.Outcomes() order); outcome classes absent from counts are
+// skipped, classes present in counts but not in order are appended
+// last in encounter-stable lexical position by the caller's map — pass
+// a complete order to avoid that.
+func OutcomeTable(w io.Writer, title string, clean int, counts map[string]int, order []string) {
+	total := clean
+	for _, n := range counts {
+		total += n
+	}
+	if total == 0 {
+		total = 1 // avoid 0/0; shares render as 0%
+	}
+	share := func(n int) string {
+		return fmt.Sprintf("%d (%.1f%%)", n, 100*float64(n)/float64(total))
+	}
+	rows := [][2]string{{"clean (analyzed)", share(clean)}}
+	seen := map[string]bool{}
+	for _, o := range order {
+		if n, ok := counts[o]; ok {
+			rows = append(rows, [2]string{o, share(n)})
+			seen[o] = true
+		}
+	}
+	var rest []string
+	for o := range counts {
+		if !seen[o] {
+			rest = append(rest, o)
+		}
+	}
+	sort.Strings(rest)
+	for _, o := range rest {
+		rows = append(rows, [2]string{o, share(counts[o])})
+	}
+	Table(w, title, rows)
 }
 
 // CSV writes named columns of equal length as a CSV block (for external

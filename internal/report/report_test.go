@@ -141,3 +141,41 @@ func TestHistogramChart(t *testing.T) {
 		t.Error("all-zero accepted")
 	}
 }
+
+func TestOutcomeTable(t *testing.T) {
+	var b bytes.Buffer
+	OutcomeTable(&b, "run outcomes", 60,
+		map[string]int{"masked": 10, "hung": 5, "zzz-custom": 25},
+		[]string{"masked", "timing-perturbed", "wrong-output", "hung"})
+	out := b.String()
+	for _, want := range []string{
+		"run outcomes",
+		"clean (analyzed)",
+		"60 (60.0%)",
+		"masked",
+		"10 (10.0%)",
+		"hung",
+		"zzz-custom",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Canonical classes keep their order; unknown classes come last.
+	if strings.Index(out, "masked") > strings.Index(out, "hung") ||
+		strings.Index(out, "hung") > strings.Index(out, "zzz-custom") {
+		t.Errorf("row order wrong:\n%s", out)
+	}
+	// Absent classes are skipped entirely.
+	if strings.Contains(out, "timing-perturbed") {
+		t.Errorf("absent class rendered:\n%s", out)
+	}
+}
+
+func TestOutcomeTableEmpty(t *testing.T) {
+	var b bytes.Buffer
+	OutcomeTable(&b, "empty", 0, nil, nil)
+	if !strings.Contains(b.String(), "0 (0.0%)") {
+		t.Errorf("zero-run table: %q", b.String())
+	}
+}

@@ -12,9 +12,21 @@ type TestResult struct {
 	Statistic float64 // the test statistic value
 	PValue    float64 // p-value under the null hypothesis
 	Alpha     float64 // significance level used for the verdict
-	Rejected  bool    // true if the null hypothesis is rejected (p < alpha)
-	DF        int     // degrees of freedom, where meaningful
+	// Rejected is true if the null hypothesis is rejected at level
+	// Alpha, using the convention Reject(PValue, Alpha) — reject iff
+	// p <= alpha. Every test in this package applies it uniformly.
+	Rejected bool
+	DF       int // degrees of freedom, where meaningful
 }
+
+// Reject is the package-wide rejection rule: the null hypothesis is
+// rejected at significance level alpha iff p <= alpha. The boundary
+// case p == alpha rejects, matching the textbook definition under which
+// alpha is exactly the rejection probability of a true null (a p-value
+// is uniform on [0,1] under the null, so P(p <= alpha) = alpha).
+// "Reject at 5% significance" in the reports means this rule with
+// alpha = 0.05.
+func Reject(p, alpha float64) bool { return p <= alpha }
 
 // String renders the result in the form used by the evaluation tables.
 func (t TestResult) String() string {
@@ -60,7 +72,7 @@ func LjungBox(xs []float64, maxLag int, alpha float64) (TestResult, error) {
 		Statistic: q,
 		PValue:    p,
 		Alpha:     alpha,
-		Rejected:  p < alpha,
+		Rejected:  Reject(p, alpha),
 		DF:        maxLag,
 	}, nil
 }
@@ -124,7 +136,7 @@ func KolmogorovSmirnov2(a, b []float64, alpha float64) (TestResult, error) {
 		Statistic: d,
 		PValue:    p,
 		Alpha:     alpha,
-		Rejected:  p < alpha,
+		Rejected:  Reject(p, alpha),
 	}, nil
 }
 
@@ -195,7 +207,7 @@ func AndersonDarling(xs []float64, cdf func(float64) float64, alpha float64) (Te
 		Statistic: a2,
 		PValue:    p,
 		Alpha:     alpha,
-		Rejected:  p < alpha,
+		Rejected:  Reject(p, alpha),
 	}, nil
 }
 
@@ -282,6 +294,6 @@ func RunsTest(xs []float64, alpha float64) (TestResult, error) {
 		Statistic: z,
 		PValue:    p,
 		Alpha:     alpha,
-		Rejected:  p < alpha,
+		Rejected:  Reject(p, alpha),
 	}, nil
 }

@@ -371,3 +371,77 @@ func TestKS2PValueMatchesCriticalValue(t *testing.T) {
 		t.Errorf("p at critical D = %.4f, want ~0.05", p)
 	}
 }
+
+func TestRejectBoundary(t *testing.T) {
+	// The package-wide convention: reject iff p <= alpha. The boundary
+	// case p == alpha must reject — alpha is exactly the rejection
+	// probability of a true null — and the docs/report phrase "reject
+	// at 5% significance" refers to this rule.
+	cases := []struct {
+		p, alpha float64
+		want     bool
+	}{
+		{0.05, 0.05, true},  // boundary: p == alpha rejects
+		{0.0499, 0.05, true},
+		{0.0501, 0.05, false},
+		{0, 0.05, true},
+		{1, 0.05, false},
+		{0.01, 0.01, true}, // boundary at other levels too
+		{0.10, 0.10, true},
+	}
+	for _, c := range cases {
+		if got := Reject(c.p, c.alpha); got != c.want {
+			t.Errorf("Reject(%v, %v) = %v, want %v", c.p, c.alpha, got, c.want)
+		}
+	}
+}
+
+func TestRejectionBoundaryAppliedUniformly(t *testing.T) {
+	// Every TestResult producer must agree with Reject(p, alpha),
+	// including at the exact boundary p == alpha: re-run each test with
+	// alpha set to its own p-value and require rejection.
+	xs := iidSample(7, 400)
+	half := len(xs) / 2
+
+	type run struct {
+		name string
+		mk   func(alpha float64) (TestResult, error)
+	}
+	runs := []run{
+		{"Ljung-Box", func(a float64) (TestResult, error) {
+			return LjungBox(xs, DefaultLjungBoxLags(len(xs)), a)
+		}},
+		{"KS-2", func(a float64) (TestResult, error) {
+			return KolmogorovSmirnov2(xs[:half], xs[half:], a)
+		}},
+		{"runs test", func(a float64) (TestResult, error) {
+			return RunsTest(xs, a)
+		}},
+		{"turning-point", func(a float64) (TestResult, error) {
+			return TurningPointTest(xs, a)
+		}},
+		{"Mann-Kendall", func(a float64) (TestResult, error) {
+			return MannKendall(xs, a)
+		}},
+	}
+	for _, r := range runs {
+		base, err := r.mk(0.05)
+		if err != nil {
+			t.Fatalf("%s: %v", r.name, err)
+		}
+		if base.Rejected != Reject(base.PValue, 0.05) {
+			t.Errorf("%s: Rejected=%v disagrees with Reject(%v, 0.05)",
+				r.name, base.Rejected, base.PValue)
+		}
+		if base.PValue <= 0 || base.PValue >= 1 {
+			continue // boundary re-run is only meaningful for interior p
+		}
+		at, err := r.mk(base.PValue)
+		if err != nil {
+			t.Fatalf("%s at boundary: %v", r.name, err)
+		}
+		if !at.Rejected {
+			t.Errorf("%s: p == alpha == %v must reject", r.name, base.PValue)
+		}
+	}
+}

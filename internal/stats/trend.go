@@ -37,7 +37,7 @@ func TurningPointTest(xs []float64, alpha float64) (TestResult, error) {
 		Statistic: z,
 		PValue:    p,
 		Alpha:     alpha,
-		Rejected:  p < alpha,
+		Rejected:  Reject(p, alpha),
 	}, nil
 }
 
@@ -97,7 +97,7 @@ func MannKendall(xs []float64, alpha float64) (TestResult, error) {
 		Statistic: z,
 		PValue:    p,
 		Alpha:     alpha,
-		Rejected:  p < alpha,
+		Rejected:  Reject(p, alpha),
 	}, nil
 }
 

@@ -159,6 +159,31 @@ func (t *TLB) Lookup(addr uint64) bool {
 	return false
 }
 
+// InjectEntryFault flips bit number bit of the virtual page number
+// stored in entry idx — a single-event upset in the TLB tag array. For
+// a valid entry this both drops the original translation (a later
+// lookup re-walks) and may alias a different page onto the entry. As
+// translation is identity in the model, the upset perturbs timing only.
+// Coordinates are reduced modulo the geometry so any values are safe.
+func (t *TLB) InjectEntryFault(idx, bit int) {
+	e := t.faultEntry(idx)
+	e.vpn ^= 1 << (uint(bit) % 64)
+}
+
+// InjectStateFault flips the valid bit of entry idx — an upset in the
+// state array (a translation vanishes, or a stale frame resurfaces).
+func (t *TLB) InjectStateFault(idx int) {
+	e := t.faultEntry(idx)
+	e.valid = !e.valid
+}
+
+func (t *TLB) faultEntry(idx int) *entry {
+	if idx < 0 {
+		idx = -idx
+	}
+	return &t.entries[idx%len(t.entries)]
+}
+
 // Probe reports residency without side effects.
 func (t *TLB) Probe(addr uint64) bool {
 	vpn := addr >> t.pageShift

@@ -425,6 +425,36 @@ func (a *App) Outputs(m *isa.Machine) (x, y float64) {
 	return x, y
 }
 
+// CheckOutput compares the machine's architectural outputs after run
+// against the host-computed golden reference. Guest and reference share
+// operation ordering, so comparisons are bit-exact. It satisfies the
+// fault-injection layer's OutputChecker, letting injected campaigns
+// separate wrong-output corruption from purely timing upsets.
+func (a *App) CheckOutput(m *isa.Machine, run int) error {
+	ref, err := a.Reference(run)
+	if err != nil {
+		return err
+	}
+	neq := func(a, b float64) bool { return math.Float64bits(a) != math.Float64bits(b) }
+	x, y := a.Outputs(m)
+	if neq(x, ref.OutX) || neq(y, ref.OutY) {
+		return fmt.Errorf("tvca run %d: actuator outputs (%g, %g) != reference (%g, %g)",
+			run, x, y, ref.OutX, ref.OutY)
+	}
+	clamp, satX, satY := a.Counters(m)
+	if int(clamp) != ref.Clamp || int(satX) != ref.SatX || int(satY) != ref.SatY {
+		return fmt.Errorf("tvca run %d: counters (clamp=%d satx=%d saty=%d) != reference (%d %d %d)",
+			run, clamp, satX, satY, ref.Clamp, ref.SatX, ref.SatY)
+	}
+	for ch, v := range a.Filtered(m) {
+		if neq(v, ref.Filtered[ch]) {
+			return fmt.Errorf("tvca run %d: filtered[%d] = %g != reference %g",
+				run, ch, v, ref.Filtered[ch])
+		}
+	}
+	return nil
+}
+
 // TaskSpans exposes the PC ranges of the three task bodies, enabling
 // per-job execution-time attribution (platform.RunPerTask). The
 // generator emits the dispatcher first, then the tasks in fixed order,

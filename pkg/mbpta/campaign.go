@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/platform"
 	"repro/internal/trace"
 )
@@ -22,6 +23,9 @@ var (
 	// ErrCanceled reports that the context canceled the campaign; the
 	// returned error also matches errors.Is(err, ctx.Err()).
 	ErrCanceled = platform.ErrCanceled
+	// ErrRunTimeout reports that a run exceeded WithRunTimeout; it
+	// surfaces once the WithRetry attempts are exhausted.
+	ErrRunTimeout = platform.ErrRunTimeout
 )
 
 // Streaming-campaign types.
@@ -38,6 +42,33 @@ type (
 	StreamBatch = platform.Batch
 	// StreamOptions tunes the low-level streaming executor.
 	StreamOptions = platform.StreamOptions
+	// FaultConfig tunes the SEU injector (see WithFaultInjection): the
+	// expected upsets per run, the targeted arrays, and the watchdog
+	// factor for hung-run detection.
+	FaultConfig = faults.Config
+	// FaultTarget selects a hardware array subject to upsets.
+	FaultTarget = faults.Target
+	// FaultSummary tallies a campaign's run outcomes (clean vs
+	// quarantined by class).
+	FaultSummary = faults.Summary
+	// RetryPolicy bounds per-run retries (see WithRetry).
+	RetryPolicy = platform.RetryPolicy
+)
+
+// Fault-injection run-outcome classes and targets re-exported for
+// option construction and summary inspection.
+const (
+	OutcomeMasked          = faults.OutcomeMasked
+	OutcomeTimingPerturbed = faults.OutcomeTimingPerturbed
+	OutcomeWrongOutput     = faults.OutcomeWrongOutput
+	OutcomeHung            = faults.OutcomeHung
+
+	FaultTargetIL1    = faults.TargetIL1
+	FaultTargetDL1    = faults.TargetDL1
+	FaultTargetITLB   = faults.TargetITLB
+	FaultTargetDTLB   = faults.TargetDTLB
+	FaultTargetIntReg = faults.TargetIntReg
+	FaultTargetFPReg  = faults.TargetFPReg
 )
 
 // FixedRuns stops after n runs — the paper's fixed-size protocol.
@@ -72,6 +103,9 @@ type campaignConfig struct {
 	progress    func(Progress)
 	analysis    Options
 	measureOnly bool
+	faults      *FaultConfig
+	runTimeout  time.Duration
+	retry       RetryPolicy
 }
 
 // CampaignOption configures Campaign.
@@ -125,6 +159,37 @@ func WithAnalyzerOptions(o Options) CampaignOption {
 	return func(c *campaignConfig) { c.analysis = o }
 }
 
+// WithFaultInjection attaches the deterministic SEU injector to the
+// campaign: each run draws Poisson(cfg.Rate) upsets from its own run
+// seed, is classified (masked / timing-perturbed / wrong-output /
+// hung), and — when not clean — is quarantined so the i.i.d. gate and
+// the tail fit only see fault-free measurements. Rate 0 leaves the
+// measured series bit-identical to a campaign without injection. The
+// per-outcome tally appears in Progress snapshots and in
+// CampaignReport.Faults.
+func WithFaultInjection(cfg FaultConfig) CampaignOption {
+	return func(c *campaignConfig) { c.faults = &cfg }
+}
+
+// WithRunTimeout bounds each run attempt's wall-clock duration; an
+// attempt exceeding it fails with an error matching ErrRunTimeout and
+// is retried under WithRetry (default: no per-run deadline).
+func WithRunTimeout(d time.Duration) CampaignOption {
+	return func(c *campaignConfig) { c.runTimeout = d }
+}
+
+// WithRetry re-executes runs failing with a genuine error (worker
+// fault, timeout) up to maxAttempts total attempts, sleeping backoff,
+// 2*backoff, ... between attempts. Retries reuse the same per-run seed,
+// so a retried run yields exactly the result a first-attempt success
+// would have. Quarantined fault outcomes are not errors and never
+// retry.
+func WithRetry(maxAttempts int, backoff time.Duration) CampaignOption {
+	return func(c *campaignConfig) {
+		c.retry = RetryPolicy{MaxAttempts: maxAttempts, Backoff: backoff}
+	}
+}
+
 // MeasureOnly skips the final per-path analysis: the report carries
 // the measured campaign and snapshots but a nil Analysis. Use it to
 // collect traces for external tooling (or platforms expected to fail
@@ -144,18 +209,27 @@ type CampaignReport struct {
 	// Snapshots is the per-batch incremental analysis trace.
 	Snapshots []Progress
 	// Converged reports whether the stop rule fired before the run
-	// budget ran out; StopRuns is the run count at that point.
+	// budget ran out; StopRuns is the run count at that point (clean and
+	// quarantined runs both count against the budget).
 	Converged bool
 	StopRuns  int
 	// Rule names the stop rule that governed the campaign.
 	Rule string
+	// Faults tallies run outcomes. Without WithFaultInjection every run
+	// is clean and the per-outcome map is empty.
+	Faults FaultSummary
 }
 
 // TraceSet packages the measured campaign for persistence (WriteTraceCSV
-// / WriteTraceJSON) or re-analysis.
+// / WriteTraceJSON) or re-analysis. Quarantined runs are excluded: the
+// trace format carries clean measurements only, so re-analyzing an
+// exported trace sees exactly what the campaign's own analysis saw.
 func (r *CampaignReport) TraceSet() *TraceSet {
 	set := &trace.Set{Platform: r.Campaign.Platform, Workload: r.Campaign.Workload}
 	for i, res := range r.Campaign.Results {
+		if res.Quarantined() {
+			continue
+		}
 		set.Samples = append(set.Samples, trace.Sample{Run: i, Cycles: res.Cycles, Path: res.Path})
 	}
 	return set
@@ -195,7 +269,7 @@ func Campaign(ctx context.Context, cfg PlatformConfig, w Workload, opts ...Campa
 	sink := func(b StreamBatch) (bool, error) {
 		obs := make([]core.Observation, len(b.Results))
 		for i, r := range b.Results {
-			obs[i] = core.Observation{Cycles: float64(r.Cycles), Path: r.Path}
+			obs[i] = core.Observation{Cycles: float64(r.Cycles), Path: r.Path, Outcome: r.Outcome}
 		}
 		snap, err := online.ObserveBatch(obs)
 		if err != nil {
@@ -207,12 +281,22 @@ func Campaign(ctx context.Context, cfg PlatformConfig, w Workload, opts ...Campa
 		return snap.Done, nil
 	}
 
-	camp, err := platform.StreamCampaign(ctx, cfg, w, platform.StreamOptions{
-		MaxRuns:   c.runs,
-		BatchSize: c.batch,
-		Parallel:  c.parallel,
-		BaseSeed:  c.seed,
-	}, sink)
+	so := platform.StreamOptions{
+		MaxRuns:    c.runs,
+		BatchSize:  c.batch,
+		Parallel:   c.parallel,
+		BaseSeed:   c.seed,
+		RunTimeout: c.runTimeout,
+		Retry:      c.retry,
+	}
+	if c.faults != nil {
+		inj, ierr := faults.New(*c.faults)
+		if ierr != nil {
+			return nil, ierr
+		}
+		so.Runner = inj.Runner()
+	}
+	camp, err := platform.StreamCampaign(ctx, cfg, w, so, sink)
 	if err != nil {
 		return nil, err
 	}
@@ -223,6 +307,7 @@ func Campaign(ctx context.Context, cfg PlatformConfig, w Workload, opts ...Campa
 		Converged: online.Done(),
 		StopRuns:  len(camp.Results),
 		Rule:      c.rule.Name(),
+		Faults:    faults.Summarize(camp.Results),
 	}
 	if !c.measureOnly {
 		res, aerr := online.Finalize()

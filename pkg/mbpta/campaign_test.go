@@ -227,3 +227,97 @@ func TestStopRuleConstructorsExported(t *testing.T) {
 		}
 	}
 }
+
+func TestCampaignFaultInjectionRateZeroIdentity(t *testing.T) {
+	// WithFaultInjection at rate 0 must not change a single bit of the
+	// measured series.
+	app := smallApp(t)
+	ref, err := mbpta.Campaign(context.Background(), mbpta.RANDPlatform(), app,
+		mbpta.WithRuns(30), mbpta.WithBaseSeed(13), mbpta.MeasureOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := mbpta.Campaign(context.Background(), mbpta.RANDPlatform(), app,
+		mbpta.WithRuns(30), mbpta.WithBaseSeed(13), mbpta.MeasureOnly(),
+		mbpta.WithFaultInjection(mbpta.FaultConfig{Rate: 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := ref.Campaign.Results, rep.Campaign.Results
+	if len(a) != len(b) {
+		t.Fatalf("%d vs %d runs", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if rep.Faults.Quarantined() != 0 || rep.Faults.Injected != 0 {
+		t.Errorf("rate 0 injected something: %+v", rep.Faults)
+	}
+}
+
+func TestCampaignFaultInjectionQuarantines(t *testing.T) {
+	// A faulted campaign still analyzes, but only over clean runs; the
+	// quarantine tally is visible in the report and in every snapshot.
+	app := smallApp(t)
+	const runs = 600
+	var last mbpta.Progress
+	rep, err := mbpta.Campaign(context.Background(), mbpta.RANDPlatform(), app,
+		mbpta.WithRuns(runs), mbpta.WithBaseSeed(42),
+		// The gate verdict itself is not under test (it can be marginal
+		// on a reduced-frames campaign); the quarantine accounting is.
+		mbpta.WithAnalyzerOptions(mbpta.Options{AllowIIDFailure: true}),
+		mbpta.WithFaultInjection(mbpta.FaultConfig{Rate: 0.3}),
+		mbpta.WithProgress(func(p mbpta.Progress) { last = p }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := rep.Faults
+	if fs.Total != runs {
+		t.Fatalf("summary total %d, want %d", fs.Total, runs)
+	}
+	if fs.Quarantined() == 0 {
+		t.Fatal("rate 0.3 over 600 runs quarantined nothing")
+	}
+	// Quarantined runs never reach the gate or the fit.
+	if got := len(rep.Campaign.Times()); got != fs.Clean {
+		t.Errorf("measured series has %d entries, want %d clean", got, fs.Clean)
+	}
+	n := 0
+	for _, p := range rep.Analysis.Paths {
+		n += p.N
+	}
+	for _, sp := range rep.Analysis.SmallPaths {
+		n += sp.N
+	}
+	if n != fs.Clean {
+		t.Errorf("analysis saw %d samples, want %d clean", n, fs.Clean)
+	}
+	// Progress snapshots carry the outcome tally.
+	if last.TotalRuns != runs || last.Quarantined != fs.Quarantined() {
+		t.Errorf("snapshot totals %d/%d, want %d/%d",
+			last.TotalRuns, last.Quarantined, runs, fs.Quarantined())
+	}
+	sum := 0
+	for _, c := range last.Outcomes {
+		sum += c
+	}
+	if sum != fs.Quarantined() {
+		t.Errorf("snapshot outcomes %v sum to %d, want %d", last.Outcomes, sum, fs.Quarantined())
+	}
+	// The exported trace likewise excludes quarantined runs.
+	if got := len(rep.TraceSet().Samples); got != fs.Clean {
+		t.Errorf("trace has %d samples, want %d", got, fs.Clean)
+	}
+}
+
+func TestCampaignFaultConfigValidated(t *testing.T) {
+	app := smallApp(t)
+	_, err := mbpta.Campaign(context.Background(), mbpta.RANDPlatform(), app,
+		mbpta.WithRuns(10), mbpta.MeasureOnly(),
+		mbpta.WithFaultInjection(mbpta.FaultConfig{Rate: -1}))
+	if err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
