@@ -3,7 +3,7 @@
 GO ?= go
 STATICCHECK := $(shell command -v staticcheck 2>/dev/null)
 
-.PHONY: test check staticcheck bench experiments race cover clean
+.PHONY: test check staticcheck bench bench-all experiments race cover clean
 
 test:
 	$(GO) test ./...
@@ -26,7 +26,14 @@ endif
 race:
 	$(GO) test -race ./internal/platform/ ./internal/rng/ ./internal/faults/
 
+# Perf-regression snapshot: runs the simulator throughput benchmarks
+# and writes the results (ns/op, instr/s, allocs/op, git SHA, date) to
+# the next free BENCH_<n>.json for commit-over-commit comparison.
 bench:
+	$(GO) run ./internal/tools/benchjson
+
+# Every benchmark in the repository, human-readable output only.
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Full paper-scale evaluation (3,000 runs per campaign, ~3 min).

@@ -8,6 +8,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cache"
@@ -210,9 +211,8 @@ func BenchmarkAblationPlacement(b *testing.B) {
 			pc.DL1.Placement, pc.DL1.Replacement = c.p, c.r
 			var mean float64
 			for i := 0; i < b.N; i++ {
-				camp, err := platform.RunCampaign(pc, app, platform.CampaignOptions{
-					Runs: 100, BaseSeed: 3,
-				})
+				camp, err := platform.StreamCampaign(context.Background(), pc, app,
+					platform.StreamOptions{MaxRuns: 100, BaseSeed: 3}, nil)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -244,9 +244,8 @@ func BenchmarkAblationReplacement(b *testing.B) {
 			pc.DL1.Replacement = r
 			var mean float64
 			for i := 0; i < b.N; i++ {
-				camp, err := platform.RunCampaign(pc, app, platform.CampaignOptions{
-					Runs: 100, BaseSeed: 5,
-				})
+				camp, err := platform.StreamCampaign(context.Background(), pc, app,
+					platform.StreamOptions{MaxRuns: 100, BaseSeed: 5}, nil)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -277,9 +276,8 @@ func BenchmarkAblationDRAMPolicy(b *testing.B) {
 			pc.DRAM.Policy = pol
 			var spread float64
 			for i := 0; i < b.N; i++ {
-				camp, err := platform.RunCampaign(pc, app, platform.CampaignOptions{
-					Runs: 50, BaseSeed: 7,
-				})
+				camp, err := platform.StreamCampaign(context.Background(), pc, app,
+					platform.StreamOptions{MaxRuns: 50, BaseSeed: 7}, nil)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -313,6 +311,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		b.Fatal(err)
 	}
 	var instr uint64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r, err := p.Run(app, i, uint64(i)+1)
@@ -364,6 +363,7 @@ func BenchmarkMulticoreThroughput(b *testing.B) {
 		b.Fatal(err)
 	}
 	var instr uint64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r, err := mc.Run(app, i, uint64(i)+1)
@@ -412,9 +412,8 @@ func BenchmarkAblationCodeLayout(b *testing.B) {
 			}
 			var cov float64
 			for i := 0; i < b.N; i++ {
-				camp, err := platform.RunCampaign(platform.RAND(), app, platform.CampaignOptions{
-					Runs: 100, BaseSeed: 21,
-				})
+				camp, err := platform.StreamCampaign(context.Background(), platform.RAND(), app,
+					platform.StreamOptions{MaxRuns: 100, BaseSeed: 21}, nil)
 				if err != nil {
 					b.Fatal(err)
 				}

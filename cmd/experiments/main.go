@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/faults"
+	"repro/internal/profiling"
 	"repro/internal/report"
 )
 
@@ -43,22 +44,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp       = fs.String("exp", "all", "experiment to run: all, e1..e9 (e8: multicore contention; e9: workload generality)")
-		runs      = fs.Int("runs", 3000, "measurement runs per campaign (paper: 3000)")
-		seed      = fs.Uint64("seed", 0, "base seed (0 = paper default)")
-		parallel  = fs.Int("parallel", 0, "campaign workers (0 = GOMAXPROCS)")
-		frames    = fs.Int("frames", 0, "TVCA minor frames per run (0 = default)")
-		layouts   = fs.Int("layouts", 12, "link-time layouts for e7")
-		e8runs    = fs.Int("e8-runs", 500, "runs per co-runner configuration for e8 (co-simulation)")
-		e9runs    = fs.Int("e9-runs", 600, "runs per kernel for e9 (workload generality)")
-		csvDir    = fs.String("csv-dir", "", "directory to export figure data as CSV (optional)")
-		converge  = fs.Bool("converge", false, "stream the RAND campaign and stop at pWCET-delta convergence (-runs becomes the budget)")
-		faultsOn  = fs.Bool("faults", false, "inject SEU faults into the RAND campaign (quarantined from the analysis)")
-		faultRate = fs.Float64("fault-rate", 0.25, "expected upsets per run under -faults (Poisson)")
+		exp        = fs.String("exp", "all", "experiment to run: all, e1..e9 (e8: multicore contention; e9: workload generality)")
+		runs       = fs.Int("runs", 3000, "measurement runs per campaign (paper: 3000)")
+		seed       = fs.Uint64("seed", 0, "base seed (0 = paper default)")
+		parallel   = fs.Int("parallel", 0, "campaign workers (0 = GOMAXPROCS)")
+		frames     = fs.Int("frames", 0, "TVCA minor frames per run (0 = default)")
+		layouts    = fs.Int("layouts", 12, "link-time layouts for e7")
+		e8runs     = fs.Int("e8-runs", 500, "runs per co-runner configuration for e8 (co-simulation)")
+		e9runs     = fs.Int("e9-runs", 600, "runs per kernel for e9 (workload generality)")
+		csvDir     = fs.String("csv-dir", "", "directory to export figure data as CSV (optional)")
+		converge   = fs.Bool("converge", false, "stream the RAND campaign and stop at pWCET-delta convergence (-runs becomes the budget)")
+		faultsOn   = fs.Bool("faults", false, "inject SEU faults into the RAND campaign (quarantined from the analysis)")
+		faultRate  = fs.Float64("fault-rate", 0.25, "expected upsets per run under -faults (Poisson)")
+		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitError // usage already printed to stderr
 	}
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(stderr, "experiments:", err)
+		return exitError
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+		}
+	}()
 
 	p := experiments.DefaultParams()
 	p.Runs = *runs

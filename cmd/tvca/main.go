@@ -19,22 +19,32 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/platform"
+	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		runs     = flag.Int("runs", 3000, "measurement runs per campaign")
-		seed     = flag.Uint64("seed", 0, "base seed (0 = default)")
-		parallel = flag.Int("parallel", 0, "campaign workers (0 = GOMAXPROCS)")
-		saveDir  = flag.String("save-dir", "", "directory to save campaign CSVs (optional)")
-		perTask   = flag.Bool("per-task", false, "additionally derive per-task pWCETs (worst job per run)")
-		converge  = flag.Bool("converge", false, "stream the RAND campaign and stop at pWCET-delta convergence (-runs becomes the budget)")
-		faultsOn  = flag.Bool("faults", false, "inject SEU faults into the RAND campaign (quarantined from the analysis)")
-		faultRate = flag.Float64("fault-rate", 0.25, "expected upsets per run under -faults (Poisson)")
+		runs       = flag.Int("runs", 3000, "measurement runs per campaign")
+		seed       = flag.Uint64("seed", 0, "base seed (0 = default)")
+		parallel   = flag.Int("parallel", 0, "campaign workers (0 = GOMAXPROCS)")
+		saveDir    = flag.String("save-dir", "", "directory to save campaign CSVs (optional)")
+		perTask    = flag.Bool("per-task", false, "additionally derive per-task pWCETs (worst job per run)")
+		converge   = flag.Bool("converge", false, "stream the RAND campaign and stop at pWCET-delta convergence (-runs becomes the budget)")
+		faultsOn   = flag.Bool("faults", false, "inject SEU faults into the RAND campaign (quarantined from the analysis)")
+		faultRate  = flag.Float64("fault-rate", 0.25, "expected upsets per run under -faults (Poisson)")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stop, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	stopProfile = stop
+	defer flushProfile()
 
 	p := experiments.DefaultParams()
 	p.Runs = *runs
@@ -84,6 +94,7 @@ func main() {
 	experiments.RenderE1(os.Stdout, e1)
 	if !e1.Pass {
 		fmt.Println("i.i.d. gate failed; MBPTA is not applicable to this campaign")
+		flushProfile()
 		os.Exit(2)
 	}
 
@@ -209,7 +220,22 @@ func saveCampaigns(env *experiments.Env, dir string) error {
 	return save("tvca_det.csv", detc)
 }
 
+// stopProfile finalizes any requested pprof profiles. It is flushed on
+// both the normal and the fatal exit path (os.Exit skips defers).
+var stopProfile func() error
+
+func flushProfile() {
+	if stopProfile == nil {
+		return
+	}
+	if err := stopProfile(); err != nil {
+		fmt.Fprintln(os.Stderr, "tvca:", err)
+	}
+	stopProfile = nil
+}
+
 func fatal(err error) {
+	flushProfile()
 	fmt.Fprintln(os.Stderr, "tvca:", err)
 	os.Exit(1)
 }

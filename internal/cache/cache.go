@@ -16,6 +16,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/rng"
 )
@@ -117,18 +118,57 @@ type line struct {
 	lru uint64
 }
 
+// placeKind is the pre-resolved placement dispatch tag: Access/Write run
+// once per simulated instruction, so the policy switch must be an integer
+// compare, not a string compare on Config.Placement.
+type placeKind uint8
+
+const (
+	placeModulo placeKind = iota
+	placeRandomModulo
+	placeRandomHash
+)
+
+// replKind is the pre-resolved replacement dispatch tag.
+type replKind uint8
+
+const (
+	replLRU replKind = iota
+	replRandom
+	replRoundRobin
+)
+
 // Cache is one level-one cache instance. It is not safe for concurrent
 // use; each core owns its caches, as in the modeled hardware.
+//
+// The line array is a single flat slab indexed by set*ways+way (rather
+// than a per-set slice-of-slices), so a lookup is one bounds-checked
+// slice access with no pointer chase and Flush is one slab-wide clear.
 type Cache struct {
 	cfg       Config
-	sets      [][]line
-	rrCursor  []int // round-robin cursor per set
+	lines     []line // flat slab: lines[set*ways+way]
+	rrCursor  []int  // round-robin cursor per set
 	clock     uint64
 	seed      uint64
 	rnd       rng.Source
 	stats     Stats
 	lineShift uint
 	setMask   uint64
+	ways      int
+	indexBits uint // number of set-index bits (popcount of setMask)
+	place     placeKind
+	repl      replKind
+
+	// Most-recent-line record: the line touched by the last hit or
+	// fill. That line is necessarily still resident when the next
+	// access arrives (no intervening access can have evicted it), so an
+	// access to the same line address short-circuits placement hashing
+	// and the way scan with identical side effects. Tag-array fault
+	// injection can invalidate the "tag matches line address" premise,
+	// so mruOff bypasses the record from the first upset until Flush.
+	lastLA   uint64
+	lastLine int32 // flat index into lines; -1 = no record
+	mruOff   bool
 }
 
 // New builds a cache from cfg, drawing placement/replacement randomness
@@ -145,24 +185,31 @@ func New(cfg Config, src rng.Source) (*Cache, error) {
 	c := &Cache{
 		cfg:      cfg,
 		rnd:      src,
-		sets:     make([][]line, cfg.Sets()),
+		lines:    make([]line, cfg.Sets()*cfg.Ways),
 		rrCursor: make([]int, cfg.Sets()),
+		ways:     cfg.Ways,
+		lastLine: -1,
 	}
-	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Ways)
-	}
-	c.lineShift = uint(trailingZeros(uint64(cfg.LineBytes)))
+	c.lineShift = uint(bits.TrailingZeros64(uint64(cfg.LineBytes)))
 	c.setMask = uint64(cfg.Sets() - 1)
-	return c, nil
-}
-
-func trailingZeros(v uint64) int {
-	n := 0
-	for v&1 == 0 {
-		v >>= 1
-		n++
+	c.indexBits = uint(bits.OnesCount64(c.setMask))
+	switch cfg.Placement {
+	case PlacementModulo:
+		c.place = placeModulo
+	case PlacementRandomModulo:
+		c.place = placeRandomModulo
+	case PlacementRandomHash:
+		c.place = placeRandomHash
 	}
-	return n
+	switch cfg.Replacement {
+	case ReplaceLRU:
+		c.repl = replLRU
+	case ReplaceRandom:
+		c.repl = replRandom
+	case ReplaceRoundRobin:
+		c.repl = replRoundRobin
+	}
+	return c, nil
 }
 
 // Config returns the cache configuration.
@@ -175,20 +222,24 @@ func (c *Cache) Stats() Stats { return c.stats }
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
 // Flush invalidates every line — the paper's protocol flushes caches
-// between measurement runs.
+// between measurement runs. With the flat slab this is two bulk clears
+// (compiled to memclr) instead of a per-set loop nest.
 func (c *Cache) Flush() {
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			c.sets[s][w] = line{}
-		}
-		c.rrCursor[s] = 0
-	}
+	clear(c.lines)
+	clear(c.rrCursor)
+	c.lastLine = -1
+	c.mruOff = false
 }
 
 // Reseed installs the per-run placement seed. Under random modulo this
 // re-rolls the memory layout's cache mapping; under modulo placement it
 // has no effect (kept so callers can treat both platforms uniformly).
-func (c *Cache) Reseed(seed uint64) { c.seed = seed }
+func (c *Cache) Reseed(seed uint64) {
+	c.seed = seed
+	// The record's residency argument assumed a fixed placement mapping;
+	// after a reseed the same line address maps elsewhere.
+	c.lastLine = -1
+}
 
 // lineAddr strips the offset bits.
 func (c *Cache) lineAddr(addr uint64) uint64 { return addr >> c.lineShift }
@@ -204,34 +255,23 @@ func (c *Cache) tagOf(addr uint64) uint64 { return c.lineAddr(addr) }
 func (c *Cache) setOf(addr uint64) int {
 	la := c.lineAddr(addr)
 	index := la & c.setMask
-	switch c.cfg.Placement {
-	case PlacementModulo:
+	switch c.place {
+	case placeModulo:
 		return int(index)
-	case PlacementRandomModulo:
+	case placeRandomModulo:
 		// DAC'16 random modulo: rotate the modulo index by a hash of the
 		// seed and the tag (the bits above the index). Lines sharing a
 		// tag keep their relative order, so a contiguous region up to
 		// Sets()*LineBytes never self-conflicts; distinct tags receive
 		// independent rotations per seed.
-		tag := la >> uint(popcountMask(c.setMask))
+		tag := la >> c.indexBits
 		return int((index + hash64(c.seed, tag)) & c.setMask)
-	case PlacementRandomHash:
+	default:
 		// Pure hash placement: every line lands in an independent
 		// random set; sacrifices the modulo non-conflict property
 		// (provided for the E7 ablation).
 		return int(hash64(c.seed, la) & c.setMask)
-	default:
-		panic("cache: unreachable placement " + c.cfg.Placement)
 	}
-}
-
-func popcountMask(m uint64) int {
-	n := 0
-	for m != 0 {
-		n += int(m & 1)
-		m >>= 1
-	}
-	return n
 }
 
 // hash64 is a strong 64-bit mix of seed and value (splitmix64 finalizer
@@ -246,23 +286,43 @@ func hash64(seed, v uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// setWays returns the slab window of one set.
+func (c *Cache) setWays(set int) []line {
+	base := set * c.ways
+	return c.lines[base : base+c.ways]
+}
+
 // Access performs a read access (instruction fetch or load). It returns
 // true on hit; on miss the line is allocated, evicting per policy.
 func (c *Cache) Access(addr uint64) bool {
-	set := c.setOf(addr)
-	tag := c.tagOf(addr)
-	ways := c.sets[set]
+	la := c.lineAddr(addr)
 	c.clock++
+	if la == c.lastLA && c.lastLine >= 0 && !c.mruOff {
+		// Same line as the previous access: still resident, and (absent
+		// faults) the scan's first match. Skip placement and the way scan.
+		c.lines[c.lastLine].lru = c.clock
+		c.stats.Hits++
+		return true
+	}
+	set := c.setOf(addr)
+	ways := c.setWays(set)
 	for w := range ways {
-		if ways[w].valid && ways[w].tag == tag {
+		if ways[w].valid && ways[w].tag == la {
 			ways[w].lru = c.clock
 			c.stats.Hits++
+			c.note(la, set, w)
 			return true
 		}
 	}
 	c.stats.Misses++
-	c.fill(set, tag)
+	c.note(la, set, c.fill(set, la))
 	return false
+}
+
+// note records the line touched by a hit or fill for the fast path.
+func (c *Cache) note(la uint64, set, way int) {
+	c.lastLA = la
+	c.lastLine = int32(set*c.ways + way)
 }
 
 // Write performs a store access. With write-through no-write-allocate
@@ -270,20 +330,26 @@ func (c *Cache) Access(addr uint64) bool {
 // write miss does not allocate. With WriteAllocate it behaves like a
 // read access for allocation purposes. Returns true on hit.
 func (c *Cache) Write(addr uint64) bool {
-	set := c.setOf(addr)
-	tag := c.tagOf(addr)
-	ways := c.sets[set]
+	la := c.lineAddr(addr)
 	c.clock++
+	if la == c.lastLA && c.lastLine >= 0 && !c.mruOff {
+		c.lines[c.lastLine].lru = c.clock
+		c.stats.WriteHits++
+		return true
+	}
+	set := c.setOf(addr)
+	ways := c.setWays(set)
 	for w := range ways {
-		if ways[w].valid && ways[w].tag == tag {
+		if ways[w].valid && ways[w].tag == la {
 			ways[w].lru = c.clock
 			c.stats.WriteHits++
+			c.note(la, set, w)
 			return true
 		}
 	}
 	c.stats.WriteMisses++
 	if c.cfg.WriteAllocate {
-		c.fill(set, tag)
+		c.note(la, set, c.fill(set, la))
 	}
 	return false
 }
@@ -293,7 +359,7 @@ func (c *Cache) Write(addr uint64) bool {
 func (c *Cache) Probe(addr uint64) bool {
 	set := c.setOf(addr)
 	tag := c.tagOf(addr)
-	for _, l := range c.sets[set] {
+	for _, l := range c.setWays(set) {
 		if l.valid && l.tag == tag {
 			return true
 		}
@@ -301,33 +367,35 @@ func (c *Cache) Probe(addr uint64) bool {
 	return false
 }
 
-// fill allocates tag into set, choosing a victim per policy.
-func (c *Cache) fill(set int, tag uint64) {
-	ways := c.sets[set]
+// fill allocates tag into set, choosing a victim per policy, and
+// returns the way the line landed in.
+func (c *Cache) fill(set int, tag uint64) int {
+	ways := c.setWays(set)
 	// Prefer an invalid way.
 	for w := range ways {
 		if !ways[w].valid {
 			ways[w] = line{valid: true, tag: tag, lru: c.clock}
-			return
+			return w
 		}
 	}
 	var victim int
-	switch c.cfg.Replacement {
-	case ReplaceLRU:
+	switch c.repl {
+	case replLRU:
 		victim = 0
 		for w := 1; w < len(ways); w++ {
 			if ways[w].lru < ways[victim].lru {
 				victim = w
 			}
 		}
-	case ReplaceRandom:
+	case replRandom:
 		victim = rng.Intn(c.rnd, len(ways))
-	case ReplaceRoundRobin:
+	case replRoundRobin:
 		victim = c.rrCursor[set]
 		c.rrCursor[set] = (victim + 1) % len(ways)
 	}
 	c.stats.Evictions++
 	ways[victim] = line{valid: true, tag: tag, lru: c.clock}
+	return victim
 }
 
 // SetOfForTest exposes the placement function for property tests.
@@ -343,6 +411,10 @@ func (c *Cache) SetOfForTest(addr uint64) int { return c.setOf(addr) }
 func (c *Cache) InjectTagFault(set, way, bit int) {
 	l := c.faultLine(set, way)
 	l.tag ^= 1 << (uint(bit) % 64)
+	// A flipped tag can break the record's "tag == line address" premise
+	// and forge duplicate tags where scan order matters; bypass the
+	// fast path until the next Flush.
+	c.mruOff = true
 }
 
 // InjectStateFault flips the valid bit at (set, way) — an upset in the
@@ -351,6 +423,7 @@ func (c *Cache) InjectTagFault(set, way, bit int) {
 func (c *Cache) InjectStateFault(set, way int) {
 	l := c.faultLine(set, way)
 	l.valid = !l.valid
+	c.mruOff = true
 }
 
 func (c *Cache) faultLine(set, way int) *line {
@@ -360,5 +433,5 @@ func (c *Cache) faultLine(set, way int) *line {
 	if way < 0 {
 		way = -way
 	}
-	return &c.sets[set&int(c.setMask)][way%c.cfg.Ways]
+	return &c.lines[(set&int(c.setMask))*c.ways+way%c.ways]
 }

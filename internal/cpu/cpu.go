@@ -124,6 +124,17 @@ type Core struct {
 	cycle      uint64
 	storeSlots []uint64 // completion times of in-flight write-through stores
 	stats      Stats
+
+	// Hot-path constants, resolved once at construction so Consume does
+	// not re-read config structs per retired instruction.
+	itlbWalks   int
+	dtlbWalks   int
+	fpAddExtra  uint64
+	fpMulExtra  uint64
+	intMulExtra uint64
+	intDivExtra uint64
+	branchTaken uint64
+	loadUse     uint64
 }
 
 // NewCore wires a core together. All components must be non-nil.
@@ -139,7 +150,15 @@ func NewCore(id int, params Params, il1, dl1 *cache.Cache, itlb, dtlb *tlb.TLB,
 		ID: id, Params: params,
 		IL1: il1, DL1: dl1, ITLB: itlb, DTLB: dtlb,
 		FPU: f, Bus: b,
-		storeSlots: make([]uint64, params.StoreBufferDepth),
+		storeSlots:  make([]uint64, params.StoreBufferDepth),
+		itlbWalks:   itlb.Config().WalkAccesses,
+		dtlbWalks:   dtlb.Config().WalkAccesses,
+		fpAddExtra:  uint64(f.AddLatency() - 1),
+		fpMulExtra:  uint64(f.MulLatency() - 1),
+		intMulExtra: uint64(params.IntMulExtra),
+		intDivExtra: uint64(params.IntDivExtra),
+		branchTaken: uint64(params.BranchTaken),
+		loadUse:     uint64(params.LoadUseExtra),
 	}, nil
 }
 
@@ -182,7 +201,7 @@ func (c *Core) Consume(ev isa.Event) {
 	// --- Fetch: ITLB, then IL1. ---
 	if !c.ITLB.Lookup(ev.PC) {
 		walk := uint64(0)
-		for i := 0; i < c.ITLB.Config().WalkAccesses; i++ {
+		for i := 0; i < c.itlbWalks; i++ {
 			walk += c.memFill(ev.PC, bus.KindTLBWalk)
 		}
 		c.cycle += walk
@@ -195,24 +214,23 @@ func (c *Core) Consume(ev isa.Event) {
 	}
 	// Base pipelined cost.
 	c.cycle++
-	c.stats.Cycles = c.cycle
 
 	// --- Execute / memory stage, by class. ---
 	switch ev.Class {
 	case isa.ClassNop, isa.ClassIntALU, isa.ClassHalt:
 		// single cycle, fully pipelined
 	case isa.ClassIntMul:
-		c.stall(uint64(c.Params.IntMulExtra), &c.stats.ExecStall)
+		c.stall(c.intMulExtra, &c.stats.ExecStall)
 	case isa.ClassIntDiv:
-		c.stall(uint64(c.Params.IntDivExtra), &c.stats.ExecStall)
+		c.stall(c.intDivExtra, &c.stats.ExecStall)
 	case isa.ClassBranch:
 		if ev.Taken {
-			c.stall(uint64(c.Params.BranchTaken), &c.stats.BranchStall)
+			c.stall(c.branchTaken, &c.stats.BranchStall)
 		}
 	case isa.ClassFPAdd:
-		c.stall(uint64(c.FPU.AddLatency()-1), &c.stats.ExecStall)
+		c.stall(c.fpAddExtra, &c.stats.ExecStall)
 	case isa.ClassFPMul:
-		c.stall(uint64(c.FPU.MulLatency()-1), &c.stats.ExecStall)
+		c.stall(c.fpMulExtra, &c.stats.ExecStall)
 	case isa.ClassFPDiv:
 		c.stall(uint64(c.FPU.DivLatency(ev.FOp1, ev.FOp2)-1), &c.stats.ExecStall)
 	case isa.ClassFPSqrt:
@@ -220,12 +238,11 @@ func (c *Core) Consume(ev isa.Event) {
 	case isa.ClassLoad:
 		c.dtlbCheck(ev.Addr)
 		if c.DL1.Access(ev.Addr) {
-			c.stall(uint64(c.Params.LoadUseExtra), &c.stats.DMemStall)
+			c.stall(c.loadUse, &c.stats.DMemStall)
 		} else {
 			fill := c.memFill(ev.Addr, bus.KindLineFill)
 			c.cycle += fill
 			c.stats.DMemStall += fill
-			c.stats.Cycles = c.cycle
 		}
 	case isa.ClassStore:
 		c.dtlbCheck(ev.Addr)
@@ -245,7 +262,7 @@ func (c *Core) dtlbCheck(addr uint64) {
 		return
 	}
 	walk := uint64(0)
-	for i := 0; i < c.DTLB.Config().WalkAccesses; i++ {
+	for i := 0; i < c.dtlbWalks; i++ {
 		walk += c.memFill(addr, bus.KindTLBWalk)
 	}
 	c.cycle += walk
@@ -275,10 +292,12 @@ func (c *Core) storeDrain(addr uint64) {
 }
 
 // RunProgram executes prog architecturally on machine memory mem32 and
-// charges its timing to the core, returning the consumed cycles.
+// charges its timing to the core, returning the consumed cycles. The
+// core is passed as the machine's EventSink directly — no per-run
+// closure allocation.
 func (c *Core) RunProgram(m *isa.Machine) (uint64, error) {
 	startCycle := c.cycle
-	if _, err := m.Run(c.Consume); err != nil {
+	if _, err := m.RunSink(c); err != nil {
 		return 0, err
 	}
 	return c.cycle - startCycle, nil

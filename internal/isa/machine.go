@@ -20,15 +20,35 @@ type Event struct {
 	Taken bool    // branch outcome
 }
 
+// EventSink consumes the per-retired-instruction event stream. The
+// timing model (cpu.Core) implements it directly; passing the interface
+// instead of a bound-method closure keeps the steady-state run loop
+// allocation-free.
+type EventSink interface {
+	Consume(Event)
+}
+
 // Memory is the byte-addressable data memory shared by architectural
 // execution. It is sparse (4 KiB pages allocated on demand) so programs
 // can scatter data segments across a 32-bit space without cost.
+//
+// A small direct-mapped page-pointer table (indexed by the low bits of
+// the page number) lets accesses skip the map lookup even when a loop
+// alternates between pages (e.g. a coefficient array and a history
+// buffer); the aligned fast paths of the accessors are small enough to
+// inline into the interpreter loop.
 type Memory struct {
 	pages map[uint64]*page
+	tabPN [tabSlots]uint64
+	tabP  [tabSlots]*page // nil until the slot's first resolution
 }
 
 const pageShift = 12
 const pageSize = 1 << pageShift
+
+// tabSlots sizes the page-pointer table; a working set of a few dozen
+// pages direct-maps into 64 slots with few collisions.
+const tabSlots = 64
 
 type page [pageSize]byte
 
@@ -37,20 +57,46 @@ func NewMemory() *Memory {
 	return &Memory{pages: make(map[uint64]*page)}
 }
 
+// errUnaligned builds the unaligned-access error. It lives out of line
+// so the accessors stay within the inlining budget: the hot path never
+// pays for the fmt.Errorf machinery.
+//
+//go:noinline
+func errUnaligned(op string, addr uint64) error {
+	return fmt.Errorf("%w: %s at %#x", ErrUnalignedAddr, op, addr)
+}
+
 func (m *Memory) pageFor(addr uint64, alloc bool) *page {
 	pn := addr >> pageShift
+	h := pn & (tabSlots - 1)
+	if p := m.tabP[h]; p != nil && m.tabPN[h] == pn {
+		return p
+	}
 	p := m.pages[pn]
 	if p == nil && alloc {
 		p = new(page)
 		m.pages[pn] = p
+	}
+	if p != nil {
+		m.tabPN[h], m.tabP[h] = pn, p
 	}
 	return p
 }
 
 // Read32 loads an aligned 32-bit word.
 func (m *Memory) Read32(addr uint64) (uint32, error) {
-	if addr%4 != 0 {
-		return 0, fmt.Errorf("%w: read32 at %#x", ErrUnalignedAddr, addr)
+	pn := addr >> pageShift
+	h := pn & (tabSlots - 1)
+	if p := m.tabP[h]; addr&3 == 0 && p != nil && m.tabPN[h] == pn {
+		off := addr & (pageSize - 1)
+		return binary.LittleEndian.Uint32(p[off : off+4]), nil
+	}
+	return m.read32Slow(addr)
+}
+
+func (m *Memory) read32Slow(addr uint64) (uint32, error) {
+	if addr&3 != 0 {
+		return 0, errUnaligned("read32", addr)
 	}
 	p := m.pageFor(addr, false)
 	if p == nil {
@@ -62,8 +108,19 @@ func (m *Memory) Read32(addr uint64) (uint32, error) {
 
 // Write32 stores an aligned 32-bit word.
 func (m *Memory) Write32(addr uint64, v uint32) error {
-	if addr%4 != 0 {
-		return fmt.Errorf("%w: write32 at %#x", ErrUnalignedAddr, addr)
+	pn := addr >> pageShift
+	h := pn & (tabSlots - 1)
+	if p := m.tabP[h]; addr&3 == 0 && p != nil && m.tabPN[h] == pn {
+		off := addr & (pageSize - 1)
+		binary.LittleEndian.PutUint32(p[off:off+4], v)
+		return nil
+	}
+	return m.write32Slow(addr, v)
+}
+
+func (m *Memory) write32Slow(addr uint64, v uint32) error {
+	if addr&3 != 0 {
+		return errUnaligned("write32", addr)
 	}
 	p := m.pageFor(addr, true)
 	off := addr & (pageSize - 1)
@@ -73,8 +130,18 @@ func (m *Memory) Write32(addr uint64, v uint32) error {
 
 // Read64 loads an aligned 64-bit float.
 func (m *Memory) Read64(addr uint64) (float64, error) {
-	if addr%8 != 0 {
-		return 0, fmt.Errorf("%w: read64 at %#x", ErrUnalignedAddr, addr)
+	pn := addr >> pageShift
+	h := pn & (tabSlots - 1)
+	if p := m.tabP[h]; addr&7 == 0 && p != nil && m.tabPN[h] == pn {
+		off := addr & (pageSize - 1)
+		return math.Float64frombits(binary.LittleEndian.Uint64(p[off : off+8])), nil
+	}
+	return m.read64Slow(addr)
+}
+
+func (m *Memory) read64Slow(addr uint64) (float64, error) {
+	if addr&7 != 0 {
+		return 0, errUnaligned("read64", addr)
 	}
 	p := m.pageFor(addr, false)
 	if p == nil {
@@ -86,8 +153,19 @@ func (m *Memory) Read64(addr uint64) (float64, error) {
 
 // Write64 stores an aligned 64-bit float.
 func (m *Memory) Write64(addr uint64, v float64) error {
-	if addr%8 != 0 {
-		return fmt.Errorf("%w: write64 at %#x", ErrUnalignedAddr, addr)
+	pn := addr >> pageShift
+	h := pn & (tabSlots - 1)
+	if p := m.tabP[h]; addr&7 == 0 && p != nil && m.tabPN[h] == pn {
+		off := addr & (pageSize - 1)
+		binary.LittleEndian.PutUint64(p[off:off+8], math.Float64bits(v))
+		return nil
+	}
+	return m.write64Slow(addr, v)
+}
+
+func (m *Memory) write64Slow(addr uint64, v float64) error {
+	if addr&7 != 0 {
+		return errUnaligned("write64", addr)
 	}
 	p := m.pageFor(addr, true)
 	off := addr & (pageSize - 1)
@@ -95,9 +173,13 @@ func (m *Memory) Write64(addr uint64, v float64) error {
 	return nil
 }
 
-// Reset drops all pages.
+// Reset zeroes the memory. Allocated pages are cleared in place and kept
+// for reuse — observable contents are identical to a fresh Memory (all
+// zeroes), but a reloaded run does not re-pay the page allocations.
 func (m *Memory) Reset() {
-	m.pages = make(map[uint64]*page)
+	for _, p := range m.pages {
+		*p = page{}
+	}
 }
 
 // Machine executes a Program architecturally. A fresh Machine (or Reset)
@@ -112,6 +194,11 @@ type Machine struct {
 	pc    int32
 	steps uint64
 
+	// classes caches ClassOf per instruction index (decode-once): the
+	// interpreter loop indexes it instead of re-dispatching the opcode
+	// switch for every retired instruction.
+	classes []Class
+
 	// StepLimit guards against runaway loops in workload code; 0 means
 	// the default of 100M instructions.
 	StepLimit uint64
@@ -124,7 +211,11 @@ type Machine struct {
 
 // NewMachine binds a program to a memory.
 func NewMachine(prog *Program, mem *Memory) *Machine {
-	return &Machine{Prog: prog, Mem: mem}
+	classes := make([]Class, len(prog.Code))
+	for i := range prog.Code {
+		classes[i] = ClassOf(prog.Code[i].Op)
+	}
+	return &Machine{Prog: prog, Mem: mem, classes: classes}
 }
 
 // Reset clears registers and rewinds the PC; memory is left untouched
@@ -156,36 +247,70 @@ func (m *Machine) SetFReg(f FReg, v float64) { m.fregs[f] = v }
 // Steps returns the number of retired instructions since Reset.
 func (m *Machine) Steps() uint64 { return m.steps }
 
+// funcSink adapts a plain function to EventSink for the legacy Run
+// signature.
+type funcSink struct{ f func(Event) }
+
+func (s funcSink) Consume(ev Event) { s.f(ev) }
+
 // Run executes until Halt, feeding one Event per retired instruction to
 // sink. sink may be nil for pure architectural runs. Returns the number
 // of retired instructions.
 func (m *Machine) Run(sink func(Event)) (uint64, error) {
+	if sink == nil {
+		return m.RunSink(nil)
+	}
+	return m.RunSink(funcSink{sink})
+}
+
+// RunSink is Run with an interface sink: the steady-state path used by
+// the timing model, free of the per-run closure allocation.
+func (m *Machine) RunSink(sink EventSink) (uint64, error) {
 	limit := m.StepLimit
 	if limit == 0 {
 		limit = 100_000_000
 	}
 	code := m.Prog.Code
+	classes := m.classes
+	if len(classes) != len(code) {
+		// The machine was constructed as a literal (tests); decode now.
+		classes = make([]Class, len(code))
+		for i := range code {
+			classes[i] = ClassOf(code[i].Op)
+		}
+		m.classes = classes
+	}
+	classes = classes[:len(code)] // bounds hint: classes[pc] is in range iff code[pc] is
+	base := m.Prog.CodeBase
 	n := int32(len(code))
+	// pc lives in a local for the duration of the loop; m.pc is synced at
+	// every exit. m.steps stays a field — fault-injection sinks read
+	// Steps() between Consume calls.
+	pc := m.pc
 	for {
-		if m.pc < 0 || m.pc >= n {
-			return m.steps, fmt.Errorf("%w: pc=%d len=%d", ErrPCOutOfRange, m.pc, n)
+		if pc < 0 || pc >= n {
+			m.pc = pc
+			return m.steps, fmt.Errorf("%w: pc=%d len=%d", ErrPCOutOfRange, pc, n)
 		}
 		if m.steps >= limit {
+			m.pc = pc
 			return m.steps, fmt.Errorf("%w: %d", ErrStepLimit, limit)
 		}
 		if m.Cancel != nil && m.steps&1023 == 0 && m.Cancel() {
+			m.pc = pc
 			return m.steps, ErrCancelled
 		}
-		ins := &code[m.pc]
-		ev := Event{PC: m.Prog.PCOf(int(m.pc)), Class: ClassOf(ins.Op)}
-		next := m.pc + 1
+		ins := &code[pc]
+		ev := Event{PC: base + uint64(pc)*InstrBytes, Class: classes[pc]}
+		next := pc + 1
 		switch ins.Op {
 		case OpNop:
 		case OpHalt:
 			m.steps++
 			if sink != nil {
-				sink(ev)
+				sink.Consume(ev)
 			}
+			m.pc = pc
 			return m.steps, nil
 		case OpAdd:
 			m.SetReg(ins.Rd, m.regs[ins.Rs1]+m.regs[ins.Rs2])
@@ -215,35 +340,40 @@ func (m *Machine) Run(sink func(Event)) (uint64, error) {
 			m.SetReg(ins.Rd, m.regs[ins.Rs1]*m.regs[ins.Rs2])
 		case OpDiv:
 			if m.regs[ins.Rs2] == 0 {
-				return m.steps, fmt.Errorf("%w at pc=%d", ErrDivideByZero, m.pc)
+				m.pc = pc
+				return m.steps, fmt.Errorf("%w at pc=%d", ErrDivideByZero, pc)
 			}
 			m.SetReg(ins.Rd, m.regs[ins.Rs1]/m.regs[ins.Rs2])
 		case OpLd:
 			addr := uint64(uint32(m.regs[ins.Rs1] + ins.Imm))
 			v, err := m.Mem.Read32(addr)
 			if err != nil {
-				return m.steps, fmt.Errorf("pc=%d: %w", m.pc, err)
+				m.pc = pc
+				return m.steps, fmt.Errorf("pc=%d: %w", pc, err)
 			}
 			m.SetReg(ins.Rd, int32(v))
 			ev.Addr, ev.Size = addr, 4
 		case OpSt:
 			addr := uint64(uint32(m.regs[ins.Rs1] + ins.Imm))
 			if err := m.Mem.Write32(addr, uint32(m.regs[ins.Rs2])); err != nil {
-				return m.steps, fmt.Errorf("pc=%d: %w", m.pc, err)
+				m.pc = pc
+				return m.steps, fmt.Errorf("pc=%d: %w", pc, err)
 			}
 			ev.Addr, ev.Size = addr, 4
 		case OpFld:
 			addr := uint64(uint32(m.regs[ins.Rs1] + ins.Imm))
 			v, err := m.Mem.Read64(addr)
 			if err != nil {
-				return m.steps, fmt.Errorf("pc=%d: %w", m.pc, err)
+				m.pc = pc
+				return m.steps, fmt.Errorf("pc=%d: %w", pc, err)
 			}
 			m.fregs[ins.Fd] = v
 			ev.Addr, ev.Size = addr, 8
 		case OpFst:
 			addr := uint64(uint32(m.regs[ins.Rs1] + ins.Imm))
 			if err := m.Mem.Write64(addr, m.fregs[ins.Fs2]); err != nil {
-				return m.steps, fmt.Errorf("pc=%d: %w", m.pc, err)
+				m.pc = pc
+				return m.steps, fmt.Errorf("pc=%d: %w", pc, err)
 			}
 			ev.Addr, ev.Size = addr, 8
 		case OpBeq:
@@ -265,7 +395,7 @@ func (m *Machine) Run(sink func(Event)) (uint64, error) {
 		case OpJmp:
 			next, ev.Taken = ins.Target, true
 		case OpCall:
-			m.SetReg(ins.Rd, m.pc+1)
+			m.SetReg(ins.Rd, pc+1)
 			next, ev.Taken = ins.Target, true
 		case OpRet:
 			next, ev.Taken = m.regs[ins.Rs1], true
@@ -298,12 +428,13 @@ func (m *Machine) Run(sink func(Event)) (uint64, error) {
 		case OpFtoi:
 			m.SetReg(ins.Rd, int32(m.fregs[ins.Fs1]))
 		default:
-			return m.steps, fmt.Errorf("%w: %v at pc=%d", ErrUnknownOpcode, ins.Op, m.pc)
+			m.pc = pc
+			return m.steps, fmt.Errorf("%w: %v at pc=%d", ErrUnknownOpcode, ins.Op, pc)
 		}
 		m.steps++
 		if sink != nil {
-			sink(ev)
+			sink.Consume(ev)
 		}
-		m.pc = next
+		pc = next
 	}
 }

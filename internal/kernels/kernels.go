@@ -119,6 +119,17 @@ func (k MatMul) Prepare(run int) (*isa.Machine, error) {
 // PathOf: single-path kernel.
 func (k MatMul) PathOf(*isa.Machine) string { return "" }
 
+// TraceStable implements platform.TraceStable: the loop bounds, branch
+// outcomes and effective addresses are all fixed by N, and the kernel
+// has no FDIV/FSQRT (whose operand-dependent latency would make the
+// event stream input-dependent), so the retired-instruction stream is
+// identical for every run index — only the data values differ, and the
+// timing model never sees them. The platform may therefore record the
+// stream once and replay it. The other kernels are input-dependent
+// (CRC32's table addresses, InsertionSort's branches, VecNorm's
+// FDIV/FSQRT operands) and deliberately do not declare stability.
+func (k MatMul) TraceStable() bool { return true }
+
 // Reference computes C host-side with the generated code's operation
 // order (row-major accumulate), bit-exact.
 func (k MatMul) Reference(run int) [][]float64 {

@@ -171,6 +171,21 @@ type Platform struct {
 	rsrc  *rng.Xoroshiro128 // hardware randomness (replacement policies)
 	seedr *rng.SplitMix64   // derives per-resource seeds from the run seed
 	icx   *interferingBus
+
+	// Machine reuse: the last machine a Reloader workload prepared, so
+	// the steady-state campaign loop re-initializes it in place instead
+	// of allocating a fresh memory image every run.
+	lastW Workload
+	lastM *isa.Machine
+
+	// Decode-once trace replay (see TraceStable): the event stream
+	// recorded on the first run of a trace-stable workload, replayed
+	// through the timing model on subsequent runs.
+	replayOff bool
+	paranoid  bool
+	trace     []isa.Event
+	traceW    Workload
+	tracePath string
 }
 
 // New instantiates a platform from cfg.
@@ -262,10 +277,42 @@ func (r RunResult) Quarantined() bool { return r.Outcome != "" }
 // machine for run index run ("reload the executable": new memory image,
 // per-run input vector). PathOf classifies the executed path after the
 // run for per-path analysis; return "" for single-path programs.
+//
+// Workload values used with a Platform should be comparable (structs of
+// scalars or pointers): the platform compares them to decide whether a
+// cached machine or recorded trace belongs to the workload at hand.
 type Workload interface {
 	Name() string
 	Prepare(run int) (*isa.Machine, error)
 	PathOf(m *isa.Machine) string
+}
+
+// Reloader is an optional Workload extension: a workload that can
+// re-initialize a previously prepared machine in place, with observable
+// state identical to a fresh Prepare. The platform then reuses one
+// machine across the campaign's runs, keeping the steady-state run loop
+// allocation-free. Workloads whose Prepare is cheap or that cannot
+// guarantee in-place equivalence simply do not implement it.
+type Reloader interface {
+	Reload(m *isa.Machine, run int) error
+}
+
+// TraceStable is an optional Workload extension declaring whether the
+// workload's retired-instruction event stream — PCs, classes, data
+// addresses, FPU operands and branch outcomes — is identical for every
+// run index. For such workloads the platform records the stream once
+// (decode-once) and replays it through the timing model on subsequent
+// runs, skipping architectural re-execution entirely; the per-run
+// timing randomness (placement, replacement, FPU mode) still applies,
+// so the measured cycles are bit-identical to full execution.
+//
+// Declare true only when control flow, memory addressing and FDIV/FSQRT
+// operand values are all input-independent (e.g. a fixed-size matrix
+// multiply). Workloads with data-dependent control flow (TVCA's clamp
+// and saturation paths, sorting, table-driven CRC) must not implement
+// this, and fall back to full execution.
+type TraceStable interface {
+	TraceStable() bool
 }
 
 // Run performs one protocol-compliant measurement of w.
@@ -279,15 +326,24 @@ func (p *Platform) Run(w Workload, run int, runSeed uint64) (RunResult, error) {
 // the timing model, so for a context that never fires the measured
 // cycles are bit-identical to Run.
 func (p *Platform) RunCtx(ctx context.Context, w Workload, run int, runSeed uint64) (RunResult, error) {
-	m, err := w.Prepare(run)
+	if p.trace != nil && !p.replayOff && w == p.traceW {
+		return p.runReplay(ctx, w, run, runSeed)
+	}
+	m, err := p.machineFor(w, run)
 	if err != nil {
 		return RunResult{}, fmt.Errorf("platform %s: prepare run %d: %w", p.cfg.Name, run, err)
 	}
+	m.Cancel = nil // a reused machine may carry a previous run's closure
 	if ctx != nil && ctx.Done() != nil {
 		m.Cancel = func() bool { return ctx.Err() != nil }
 	}
 	p.PrepareRun(runSeed)
-	cycles, err := p.core.RunProgram(m)
+	var cycles uint64
+	if ts, ok := w.(TraceStable); ok && ts.TraceStable() && !p.replayOff {
+		cycles, err = p.recordTrace(w, m)
+	} else {
+		cycles, err = p.core.RunProgram(m)
+	}
 	if err != nil {
 		return RunResult{}, fmt.Errorf("platform %s: run %d: %w", p.cfg.Name, run, err)
 	}
@@ -297,6 +353,121 @@ func (p *Platform) RunCtx(ctx context.Context, w Workload, run int, runSeed uint
 		Path:         w.PathOf(m),
 	}, nil
 }
+
+// machineFor returns the machine for one run: a Reloader workload's
+// cached machine re-initialized in place, or a fresh Prepare.
+func (p *Platform) machineFor(w Workload, run int) (*isa.Machine, error) {
+	if r, ok := w.(Reloader); ok && p.lastM != nil && w == p.lastW {
+		if err := r.Reload(p.lastM, run); err != nil {
+			return nil, err
+		}
+		return p.lastM, nil
+	}
+	m, err := w.Prepare(run)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := w.(Reloader); ok {
+		p.lastW, p.lastM = w, m
+	}
+	return m, nil
+}
+
+// recordSink forwards every event to the timing core and captures it
+// for later replay. The recording run's timing is untouched: the core
+// consumes exactly the stream it would have consumed.
+type recordSink struct {
+	core *cpu.Core
+	buf  []isa.Event
+}
+
+func (r *recordSink) Consume(ev isa.Event) {
+	r.core.Consume(ev)
+	r.buf = append(r.buf, ev)
+}
+
+// recordTrace runs m fully while capturing its event stream, then
+// stores the trace (and the run's path classification, which for a
+// trace-stable workload is the same every run) for replay.
+func (p *Platform) recordTrace(w Workload, m *isa.Machine) (uint64, error) {
+	rs := recordSink{core: p.core, buf: make([]isa.Event, 0, 1<<16)}
+	start := p.core.Cycle()
+	if _, err := m.RunSink(&rs); err != nil {
+		return 0, err
+	}
+	p.trace, p.traceW, p.tracePath = rs.buf, w, w.PathOf(m)
+	return p.core.Cycle() - start, nil
+}
+
+// runReplay performs one measurement by replaying the recorded event
+// stream through the timing model: the per-run protocol (flush, reset,
+// reseed) still applies, so placement/replacement/FPU randomness is
+// exactly as in full execution, and the measured cycles are
+// bit-identical. In paranoia mode every replayed run is cross-checked
+// against a full execution with the same seed.
+func (p *Platform) runReplay(ctx context.Context, w Workload, run int, runSeed uint64) (RunResult, error) {
+	p.PrepareRun(runSeed)
+	poll := ctx != nil && ctx.Done() != nil
+	for i := range p.trace {
+		if poll && i&1023 == 0 && ctx.Err() != nil {
+			return RunResult{}, fmt.Errorf("platform %s: replay run %d: %w",
+				p.cfg.Name, run, isa.ErrCancelled)
+		}
+		p.core.Consume(p.trace[i])
+	}
+	res := RunResult{
+		Cycles:       p.core.Cycle(),
+		Instructions: p.core.Stats().Instructions,
+		Path:         p.tracePath,
+	}
+	if p.paranoid {
+		if err := p.crossCheck(ctx, w, run, runSeed, res); err != nil {
+			return RunResult{}, err
+		}
+	}
+	return res, nil
+}
+
+// crossCheck re-executes the run fully (fresh machine, same seed) and
+// compares cycles, instruction count and path against the replay.
+func (p *Platform) crossCheck(ctx context.Context, w Workload, run int, runSeed uint64, got RunResult) error {
+	m, err := w.Prepare(run)
+	if err != nil {
+		return fmt.Errorf("platform %s: paranoia prepare run %d: %w", p.cfg.Name, run, err)
+	}
+	if ctx != nil && ctx.Done() != nil {
+		m.Cancel = func() bool { return ctx.Err() != nil }
+	}
+	p.PrepareRun(runSeed)
+	cycles, err := p.core.RunProgram(m)
+	if err != nil {
+		return fmt.Errorf("platform %s: paranoia run %d: %w", p.cfg.Name, run, err)
+	}
+	want := RunResult{
+		Cycles:       cycles,
+		Instructions: p.core.Stats().Instructions,
+		Path:         w.PathOf(m),
+	}
+	if got != want {
+		return fmt.Errorf("platform %s: replay diverged from full execution on run %d: replay=%+v full=%+v",
+			p.cfg.Name, run, got, want)
+	}
+	return nil
+}
+
+// SetReplay enables or disables the decode-once trace-replay fast path
+// (enabled by default). Disabling also drops any recorded trace.
+func (p *Platform) SetReplay(on bool) {
+	p.replayOff = !on
+	if !on {
+		p.trace, p.traceW, p.tracePath = nil, nil, ""
+	}
+}
+
+// SetReplayParanoia toggles cross-checking of every replayed run
+// against a full execution with the same seed (testing aid; doubles the
+// cost of replayed runs).
+func (p *Platform) SetReplayParanoia(on bool) { p.paranoid = on }
 
 // interferingBus wraps the shared bus, injecting co-runner transactions
 // with timestamps interleaved against the measured core's requests.

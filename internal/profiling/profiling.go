@@ -1,0 +1,56 @@
+// Package profiling wires the standard runtime/pprof CPU and heap
+// profiles into the command-line tools, so hot-path regressions in the
+// simulator can be diagnosed on the real campaign workloads rather
+// than only on micro-benchmarks:
+//
+//	experiments -exp e2 -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling as requested and returns a stop function that
+// must run before the process exits. An empty path disables the
+// corresponding profile; Start with both paths empty returns a no-op
+// stop. The CPU profile streams from Start until stop; the heap
+// profile is captured at stop time after a garbage collection, so it
+// reflects live steady-state allocations rather than transient
+// start-up garbage.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: close cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize the live heap before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("profiling: write heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -119,8 +119,10 @@ func NewXoroshiro128(seed uint64) *Xoroshiro128 {
 }
 
 // Seed re-initializes the state from seed, guaranteeing a non-zero state.
+// The seeding SplitMix64 is a stack value so reseeding allocates nothing
+// (platforms reseed every run).
 func (x *Xoroshiro128) Seed(seed uint64) {
-	sm := NewSplitMix64(seed)
+	sm := SplitMix64{state: seed}
 	x.s0 = sm.Uint64()
 	x.s1 = sm.Uint64()
 	if x.s0 == 0 && x.s1 == 0 {
@@ -139,6 +141,34 @@ func (x *Xoroshiro128) Uint64() uint64 {
 	x.s0 = rotl(s0, 24) ^ s1 ^ (s1 << 16)
 	x.s1 = rotl(s1, 37)
 	return result
+}
+
+// Float64 is the concrete-receiver variant of the package-level helper:
+// callers holding a stack-allocated Xoroshiro128 avoid the interface
+// conversion (and the resulting heap escape) in allocation-free paths.
+// Must stay in lockstep with Float64(Source).
+func (x *Xoroshiro128) Float64() float64 {
+	return float64(x.Uint64()>>11) / (1 << 53)
+}
+
+// Intn is the concrete-receiver variant of Intn(Source, int): same
+// algorithm, same draw sequence, no interface escape. Must stay in
+// lockstep with Intn(Source, int).
+func (x *Xoroshiro128) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	un := uint64(n)
+	if un&(un-1) == 0 {
+		return int(x.Uint64() & (un - 1))
+	}
+	for {
+		v := x.Uint64()
+		hi, lo := mul64(v, un)
+		if lo >= un || lo >= (-un)%un {
+			return int(hi)
+		}
+	}
 }
 
 // MWC is a multiply-with-carry generator. MWC designs are popular for
@@ -162,7 +192,7 @@ func NewMWC(seed uint64) *MWC {
 // Seed re-initializes the state from seed, avoiding the degenerate
 // all-zero and all-ones states.
 func (m *MWC) Seed(seed uint64) {
-	sm := NewSplitMix64(seed)
+	sm := SplitMix64{state: seed}
 	m.x = sm.Uint64()
 	m.c = sm.Uint64() % (mwcA - 1)
 	if m.x == 0 && m.c == 0 {

@@ -75,6 +75,22 @@ type entry struct {
 	stamp uint64 // recency (LRU) or insertion order (FIFO)
 }
 
+// replKind is the pre-resolved replacement dispatch tag, so the per-
+// instruction Lookup path compares integers instead of policy strings.
+type replKind uint8
+
+const (
+	replLRU replKind = iota
+	replRandom
+	replFIFO
+)
+
+// mruSlots sizes the direct-mapped translation micro-cache (vpn ->
+// entry index). It is a pure software acceleration: every slot is
+// verified against the backing entry before use, so a hit through the
+// micro-cache is exactly a hit the associative scan would have found.
+const mruSlots = 16
+
 // TLB is one translation buffer. Not safe for concurrent use; each core
 // owns its TLBs.
 type TLB struct {
@@ -84,6 +100,30 @@ type TLB struct {
 	rnd       rng.Source
 	stats     Stats
 	pageShift uint
+	repl      replKind
+
+	// Translation micro-cache: maps vpn (direct-mapped on its low bits)
+	// to the entry index where it was last found. Entries are verified
+	// on use, so stale slots cost nothing but a fallback scan. The
+	// associative scan always finds the FIRST matching entry, and absent
+	// fault injection valid vpns are unique, so replaying the recorded
+	// index is behaviourally identical to the scan. Fault injection can
+	// forge duplicate vpns (a flipped tag aliasing another page), where
+	// first-match order matters for LRU stamping — mruOff disables the
+	// micro-cache from the first injected upset until the next Flush.
+	mruVPN [mruSlots]uint64
+	mruIdx [mruSlots]int32
+	mruOff bool
+
+	// Single-entry record of the immediately preceding lookup. If the
+	// current vpn equals it, the previous Lookup hit or filled this very
+	// vpn and nothing has run since that could evict it, so this lookup
+	// is a hit at the recorded index with no verification load needed
+	// (vpns are unique absent faults; mruOff covers faults). Instruction
+	// fetch streams stay on one 4 KiB page for ~1k instructions, making
+	// this the dominant path.
+	lastVPN uint64
+	lastIdx int32 // -1 = no record
 }
 
 // New builds a TLB. src is required for random replacement.
@@ -98,7 +138,24 @@ func New(cfg Config, src rng.Source) (*TLB, error) {
 	for p := cfg.PageBytes; p > 1; p >>= 1 {
 		shift++
 	}
-	return &TLB{cfg: cfg, entries: make([]entry, cfg.Entries), rnd: src, pageShift: shift}, nil
+	t := &TLB{cfg: cfg, entries: make([]entry, cfg.Entries), rnd: src, pageShift: shift, lastIdx: -1}
+	switch cfg.Replacement {
+	case ReplaceRandom:
+		t.repl = replRandom
+	case ReplaceFIFO:
+		t.repl = replFIFO
+	default:
+		t.repl = replLRU
+	}
+	t.clearMRU()
+	return t, nil
+}
+
+func (t *TLB) clearMRU() {
+	for i := range t.mruIdx {
+		t.mruIdx[i] = -1
+	}
+	t.lastIdx = -1
 }
 
 // Config returns the TLB configuration.
@@ -112,9 +169,9 @@ func (t *TLB) ResetStats() { t.stats = Stats{} }
 
 // Flush invalidates all entries (per-run protocol).
 func (t *TLB) Flush() {
-	for i := range t.entries {
-		t.entries[i] = entry{}
-	}
+	clear(t.entries)
+	t.clearMRU()
+	t.mruOff = false
 }
 
 // Lookup translates addr, returning true on hit. On a miss the entry is
@@ -123,14 +180,41 @@ func (t *TLB) Flush() {
 func (t *TLB) Lookup(addr uint64) bool {
 	vpn := addr >> t.pageShift
 	t.clock++
+	// Fastest path: same page as the immediately preceding lookup — a
+	// guaranteed hit at the recorded index (see the lastVPN invariant).
+	if vpn == t.lastVPN && t.lastIdx >= 0 && !t.mruOff {
+		if t.repl == replLRU {
+			t.entries[t.lastIdx].stamp = t.clock
+		}
+		t.stats.Hits++
+		return true
+	}
+	// Fast path: the micro-cache remembers where this vpn was last
+	// found. The slot is verified against the live entry, so a hit here
+	// is exactly the hit the scan below would return.
+	if !t.mruOff {
+		h := int(vpn) & (mruSlots - 1)
+		if idx := t.mruIdx[h]; idx >= 0 && t.mruVPN[h] == vpn {
+			e := &t.entries[idx]
+			if e.valid && e.vpn == vpn {
+				if t.repl == replLRU {
+					e.stamp = t.clock
+				}
+				t.stats.Hits++
+				t.noteMRU(vpn, idx)
+				return true
+			}
+		}
+	}
 	free := -1
 	for i := range t.entries {
 		e := &t.entries[i]
 		if e.valid && e.vpn == vpn {
-			if t.cfg.Replacement == ReplaceLRU {
+			if t.repl == replLRU {
 				e.stamp = t.clock
 			}
 			t.stats.Hits++
+			t.noteMRU(vpn, int32(i))
 			return true
 		}
 		if !e.valid && free < 0 {
@@ -140,11 +224,12 @@ func (t *TLB) Lookup(addr uint64) bool {
 	t.stats.Misses++
 	if free >= 0 {
 		t.entries[free] = entry{valid: true, vpn: vpn, stamp: t.clock}
+		t.noteMRU(vpn, int32(free))
 		return false
 	}
 	var victim int
-	switch t.cfg.Replacement {
-	case ReplaceRandom:
+	switch t.repl {
+	case replRandom:
 		victim = rng.Intn(t.rnd, len(t.entries))
 	default: // LRU and FIFO both evict the oldest stamp; they differ in
 		// whether Lookup refreshes it (LRU does, FIFO does not).
@@ -156,7 +241,21 @@ func (t *TLB) Lookup(addr uint64) bool {
 		}
 	}
 	t.entries[victim] = entry{valid: true, vpn: vpn, stamp: t.clock}
+	t.noteMRU(vpn, int32(victim))
 	return false
+}
+
+// noteMRU records where vpn lives, in both the direct-mapped slot table
+// and the single-entry last-lookup record (which every lookup must
+// refresh for its invariant to hold). The scan finds first matches, and
+// a fill only ever happens when no valid entry holds vpn, so the
+// recorded index is always the first (and only) match while faults are
+// absent.
+func (t *TLB) noteMRU(vpn uint64, idx int32) {
+	h := int(vpn) & (mruSlots - 1)
+	t.mruVPN[h] = vpn
+	t.mruIdx[h] = idx
+	t.lastVPN, t.lastIdx = vpn, idx
 }
 
 // InjectEntryFault flips bit number bit of the virtual page number
@@ -168,6 +267,9 @@ func (t *TLB) Lookup(addr uint64) bool {
 func (t *TLB) InjectEntryFault(idx, bit int) {
 	e := t.faultEntry(idx)
 	e.vpn ^= 1 << (uint(bit) % 64)
+	// A flipped tag can alias an existing vpn; duplicate matches must
+	// resolve in scan order, so bypass the micro-cache until re-flushed.
+	t.mruOff = true
 }
 
 // InjectStateFault flips the valid bit of entry idx — an upset in the
@@ -175,6 +277,7 @@ func (t *TLB) InjectEntryFault(idx, bit int) {
 func (t *TLB) InjectStateFault(idx int) {
 	e := t.faultEntry(idx)
 	e.valid = !e.valid
+	t.mruOff = true
 }
 
 func (t *TLB) faultEntry(idx int) *entry {

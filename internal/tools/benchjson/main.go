@@ -1,0 +1,186 @@
+// Command benchjson runs the simulator throughput benchmarks and
+// writes a machine-readable snapshot BENCH_<n>.json at the repository
+// root (n = first unused index), so performance can be tracked across
+// commits by diffing small JSON files instead of re-reading benchmark
+// logs. `make bench` is the intended entry point.
+//
+//	benchjson                              # throughput benchmarks -> BENCH_<n>.json
+//	benchjson -bench 'E[0-9]' -out b.json  # custom selection and destination
+//
+// Each snapshot records, per benchmark: ns/op, the instr/s custom
+// metric (the headline simulator throughput), B/op and allocs/op,
+// plus the git commit and timestamp the numbers were taken at.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Snapshot is the file format: one benchmark invocation at one commit.
+type Snapshot struct {
+	Schema     string      `json:"schema"` // "repro/bench@1"
+	GitSHA     string      `json:"git_sha"`
+	Date       string      `json:"date"` // RFC 3339, UTC
+	GoVersion  string      `json:"go_version"`
+	BenchFlags string      `json:"bench_flags"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string  `json:"name"` // without the -GOMAXPROCS suffix
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	InstrPerSec float64 `json:"instr_per_sec,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Extra captures any other custom ReportMetric units verbatim.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+func main() {
+	var (
+		bench     = flag.String("bench", "Throughput", "benchmark regexp passed to go test -bench")
+		benchtime = flag.String("benchtime", "2s", "go test -benchtime value")
+		out       = flag.String("out", "", "output path (default: next free BENCH_<n>.json)")
+		dir       = flag.String("dir", ".", "repository root (module with the benchmarks)")
+	)
+	flag.Parse()
+
+	if err := run(*bench, *benchtime, *out, *dir); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, benchtime, out, dir string) error {
+	args := []string{"test", "-run", "^$", "-bench", bench, "-benchtime", benchtime, "-benchmem", "."}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	fmt.Fprintf(os.Stderr, "benchjson: go %s\n", strings.Join(args, " "))
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go test -bench: %w", err)
+	}
+	os.Stderr.Write(buf.Bytes()) // keep the human-readable log visible
+
+	benches, err := parse(&buf)
+	if err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark results matched %q", bench)
+	}
+
+	snap := Snapshot{
+		Schema:     "repro/bench@1",
+		GitSHA:     gitSHA(dir),
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		BenchFlags: fmt.Sprintf("-bench %s -benchtime %s -benchmem", bench, benchtime),
+		Benchmarks: benches,
+	}
+	if out == "" {
+		out, err = nextSnapshotPath(dir)
+		if err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchjson: wrote %s (%d benchmarks, commit %s)\n", out, len(benches), snap.GitSHA)
+	return nil
+}
+
+// parse extracts result lines of the form
+//
+//	BenchmarkName-8   626  1911584 ns/op  37070908 instr/s  0 B/op  0 allocs/op
+//
+// Unmatched lines (headers, PASS, metrics printed by the benchmarks
+// themselves) are ignored.
+func parse(buf *bytes.Buffer) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue // not a result line
+		}
+		name := f[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+		b := Benchmark{Name: name, Iterations: iters}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parse %q: bad value %q", f[0], f[i])
+			}
+			switch unit := f[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+			case "instr/s":
+				b.InstrPerSec = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			default:
+				if b.Extra == nil {
+					b.Extra = map[string]float64{}
+				}
+				b.Extra[unit] = v
+			}
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}
+
+// nextSnapshotPath returns BENCH_<n>.json for the smallest n >= 1 with
+// no existing file, so successive `make bench` runs never overwrite a
+// committed snapshot.
+func nextSnapshotPath(dir string) (string, error) {
+	for n := 1; n < 10000; n++ {
+		p := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n))
+		if _, err := os.Stat(p); os.IsNotExist(err) {
+			return p, nil
+		} else if err != nil {
+			return "", err
+		}
+	}
+	return "", fmt.Errorf("no free BENCH_<n>.json slot")
+}
+
+func gitSHA(dir string) string {
+	cmd := exec.Command("git", "rev-parse", "HEAD")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}

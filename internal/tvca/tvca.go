@@ -251,8 +251,9 @@ func Tasks() []sched.Task {
 // concurrent use by multiple campaign workers: Prepare only reads the
 // immutable program and writes a fresh Memory.
 type App struct {
-	cfg  Config
-	prog *isa.Program
+	cfg   Config
+	prog  *isa.Program
+	slots []int32 // per-channel history-slot offsets (fixed per binary)
 }
 
 // New validates cfg and generates the TVCA program.
@@ -264,7 +265,7 @@ func New(cfg Config) (*App, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &App{cfg: cfg, prog: prog}, nil
+	return &App{cfg: cfg, prog: prog, slots: histSlots(cfg)}, nil
 }
 
 // Name identifies the workload in campaign results.
@@ -290,6 +291,34 @@ func (a *App) Prepare(run int) (*isa.Machine, error) {
 	return isa.NewMachine(a.prog, m), nil
 }
 
+// Reload implements platform.Reloader: it re-initializes a machine
+// previously returned by Prepare in place (registers cleared, memory
+// zeroed page-wise, data segments rewritten) so the steady-state
+// campaign loop reuses the platform-owned machine without allocating.
+// The observable machine state is identical to a fresh Prepare.
+func (a *App) Reload(m *isa.Machine, run int) error {
+	m.Reset()
+	m.Mem.Reset()
+	if err := a.initData(m.Mem); err != nil {
+		return err
+	}
+	return a.writeInputs(m.Mem, run)
+}
+
+// scalarConsts lists the controller constants and their data-segment
+// offsets. A fixed table (not a map) so initData writes in a fixed order
+// with no per-call allocation; the final memory image is identical
+// either way since the offsets are distinct.
+var scalarConsts = [...]struct {
+	off int
+	v   float64
+}{
+	{offLimit, clampLimit}, {offNegLimit, -clampLimit},
+	{offOne, 1.0}, {offMaxNormX, maxNormX}, {offMaxNormY, maxNormY},
+	{offSetX, setpointX}, {offKpX, kpX}, {offKiX, kiX}, {offKdX, kdX},
+	{offSetY, setpointY}, {offKpY, kpY}, {offKiY, kiY}, {offKdY, kdY},
+}
+
 // initData writes the constant segments (coefficients, gains, plant).
 func (a *App) initData(m *isa.Memory) error {
 	d := a.cfg.DataBase
@@ -299,14 +328,8 @@ func (a *App) initData(m *isa.Memory) error {
 			return err
 		}
 	}
-	consts := map[int]float64{
-		offLimit: clampLimit, offNegLimit: -clampLimit,
-		offOne: 1.0, offMaxNormX: maxNormX, offMaxNormY: maxNormY,
-		offSetX: setpointX, offKpX: kpX, offKiX: kiX, offKdX: kdX,
-		offSetY: setpointY, offKpY: kpY, offKiY: kiY, offKdY: kdY,
-	}
-	for off, v := range consts {
-		if err := w(off, v); err != nil {
+	for _, c := range scalarConsts {
+		if err := w(c.off, c.v); err != nil {
 			return err
 		}
 	}
@@ -315,7 +338,7 @@ func (a *App) initData(m *isa.Memory) error {
 			return err
 		}
 	}
-	for ch, slot := range histSlots(a.cfg) {
+	for ch, slot := range a.slots {
 		if err := m.Write32(d+uint64(offSlotTab+4*ch), uint32(slot)); err != nil {
 			return err
 		}
@@ -363,10 +386,24 @@ func (a *App) Inputs(run int) [][]float64 {
 	return out
 }
 
-// writeInputs stores the run's sensor samples into the data segment.
+// writeInputs stores the run's sensor samples into the data segment. It
+// generates the samples in place with a stack-allocated generator and
+// the concrete-receiver draw helpers — the exact draw sequence of
+// Inputs, without materializing the [][]float64 (the steady-state run
+// loop must not allocate).
 func (a *App) writeInputs(m *isa.Memory, run int) error {
-	for f, frame := range a.Inputs(run) {
-		for ch, v := range frame {
+	var src rng.Xoroshiro128
+	src.Seed(inputSeed(a.cfg.InputSeed, run))
+	extreme := src.Float64() < a.cfg.ExtremeProb
+	extremeFrame := src.Intn(a.cfg.Frames)
+	extremeCh := src.Intn(a.cfg.Sensors)
+	for f := 0; f < a.cfg.Frames; f++ {
+		for ch := 0; ch < a.cfg.Sensors; ch++ {
+			phase := 2 * math.Pi * (float64(f)/float64(a.cfg.Frames) + float64(ch)/float64(a.cfg.Sensors))
+			v := 1.2*math.Sin(phase) + 0.4*(src.Float64()-0.5)
+			if extreme && f == extremeFrame && ch == extremeCh {
+				v *= 40 // transient spike
+			}
 			addr := a.cfg.DataBase + uint64(offRaw+8*(f*a.cfg.Sensors+ch))
 			if err := m.Write64(addr, v); err != nil {
 				return err
@@ -389,15 +426,23 @@ func inputSeed(base uint64, run int) uint64 {
 // the paper's per-path analysis takes the maximum of the per-path
 // pWCETs.
 func (a *App) PathOf(m *isa.Machine) string {
-	flag := func(off int) byte {
+	flag := func(off int) int {
 		v, err := m.Mem.Read32(a.cfg.DataBase + uint64(off))
 		if err != nil || v == 0 {
-			return '0'
+			return 0
 		}
-		return '1'
+		return 1
 	}
-	return fmt.Sprintf("clamp%c-satx%c-saty%c",
-		flag(offClampCnt), flag(offSatX), flag(offSatY))
+	return pathNames[flag(offClampCnt)<<2|flag(offSatX)<<1|flag(offSatY)]
+}
+
+// pathNames interns the 8 possible path strings (index bits:
+// clamp<<2 | satX<<1 | satY) so path classification never allocates.
+var pathNames = [8]string{
+	"clamp0-satx0-saty0", "clamp0-satx0-saty1",
+	"clamp0-satx1-saty0", "clamp0-satx1-saty1",
+	"clamp1-satx0-saty0", "clamp1-satx0-saty1",
+	"clamp1-satx1-saty0", "clamp1-satx1-saty1",
 }
 
 // Counters returns the raw path counters after a run (tests/debug).
