@@ -3,7 +3,7 @@
 GO ?= go
 STATICCHECK := $(shell command -v staticcheck 2>/dev/null)
 
-.PHONY: test check staticcheck bench bench-all experiments race cover clean
+.PHONY: test check staticcheck bench bench-all experiments race cover fuzz clean
 
 test:
 	$(GO) test ./...
@@ -23,8 +23,11 @@ else
 	@echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"
 endif
 
+# The platform package includes telemetry-enabled parallel campaigns
+# (TestStreamTelemetryHarvest), so the harvest path is race-checked too.
 race:
-	$(GO) test -race ./internal/platform/ ./internal/rng/ ./internal/faults/
+	$(GO) test -race ./internal/platform/ ./internal/rng/ ./internal/faults/ ./internal/telemetry/
+	$(GO) test -race -run 'Telemetry' ./pkg/mbpta/
 
 # Perf-regression snapshot: runs the simulator throughput benchmarks
 # and writes the results (ns/op, instr/s, allocs/op, git SHA, date) to
@@ -40,8 +43,26 @@ bench-all:
 experiments:
 	$(GO) run ./cmd/experiments -exp all -runs 3000
 
+# Coverage with a 70% floor on the statistics and observability
+# packages that the rest of the pipeline's guarantees rest on.
+COVER_FLOOR_PKGS := ./internal/telemetry/ ./internal/stats/ ./internal/evt/
+
 cover:
+	@for pkg in $(COVER_FLOOR_PKGS); do \
+		pct=$$($(GO) test -cover $$pkg | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+		echo "$$pkg coverage: $$pct%"; \
+		ok=$$(awk -v p="$$pct" 'BEGIN { print (p+0 >= 70) ? 1 : 0 }'); \
+		if [ "$$ok" != 1 ]; then echo "FAIL: $$pkg coverage $$pct% below the 70% floor"; exit 1; fi; \
+	done
 	$(GO) test -cover ./internal/... ./pkg/...
+
+# Native fuzzing, 30s per target: the ISA interpreter against arbitrary
+# instruction streams and the telemetry event codec in both directions.
+# Seed corpora live under the packages' testdata/fuzz/ directories.
+fuzz:
+	$(GO) test ./internal/isa/ -run '^$$' -fuzz '^FuzzInterpreter$$' -fuzztime 30s
+	$(GO) test ./internal/telemetry/ -run '^$$' -fuzz '^FuzzEventRoundTrip$$' -fuzztime 30s
+	$(GO) test ./internal/telemetry/ -run '^$$' -fuzz '^FuzzReadEvents$$' -fuzztime 30s
 
 clean:
 	$(GO) clean -testcache

@@ -18,6 +18,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/platform"
 	"repro/internal/rng"
+	"repro/internal/telemetry"
 	"repro/internal/tvca"
 )
 
@@ -321,6 +322,43 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		instr += r.Instructions
 	}
 	b.ReportMetric(float64(instr)/b.Elapsed().Seconds(), "instr/s")
+}
+
+// BenchmarkTelemetryCampaignThroughput measures the observability
+// layer's overhead on the campaign path, the configuration it is
+// actually wired into: a streaming campaign with telemetry disabled
+// (nil registry — the default everywhere) versus enabled with an
+// attached ring sink. The acceptance bound is <3% on instr/s.
+func BenchmarkTelemetryCampaignThroughput(b *testing.B) {
+	cfg := tvca.DefaultConfig()
+	cfg.Frames = 8
+	app, err := tvca.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, reg *telemetry.Registry) {
+		var instr uint64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			camp, err := platform.StreamCampaign(context.Background(), platform.RAND(), app,
+				platform.StreamOptions{MaxRuns: 64, BatchSize: 16, Parallel: 1,
+					BaseSeed: 42, Telemetry: reg}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, r := range camp.Results {
+				instr += r.Instructions
+			}
+		}
+		b.ReportMetric(float64(instr)/b.Elapsed().Seconds(), "instr/s")
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, nil) })
+	b.Run("enabled", func(b *testing.B) {
+		reg := telemetry.New()
+		reg.Attach(telemetry.NewRingSink(1024))
+		run(b, reg)
+	})
 }
 
 // BenchmarkE8Contention regenerates the multicore-contention extension

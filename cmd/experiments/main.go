@@ -26,6 +26,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/profiling"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 )
 
 // Exit codes (the cmd/mbpta contract).
@@ -58,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		faultRate  = fs.Float64("fault-rate", 0.25, "expected upsets per run under -faults (Poisson)")
 		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		teleAddr   = fs.String("telemetry-addr", "", "serve live campaign metrics on this address (/metrics Prometheus text, /metrics.json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitError // usage already printed to stderr
@@ -86,6 +88,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *frames != 0 {
 		p.TVCA.Frames = *frames
+	}
+	var reg *telemetry.Registry
+	if *teleAddr != "" {
+		reg = telemetry.New()
+		p.Telemetry = reg
+		srv, serr := telemetry.Serve(*teleAddr, reg)
+		if serr != nil {
+			fmt.Fprintln(stderr, "experiments:", serr)
+			return exitError
+		}
+		defer srv.Close()
+		fmt.Fprintf(stdout, "telemetry: serving %s/metrics\n", srv.URL())
 	}
 	env, err := experiments.NewEnv(p)
 	if err != nil {
@@ -226,6 +240,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return exitError
 		}
 		fmt.Fprintf(stdout, "\nCSV data written to %s: %s\n", *csvDir, strings.Join(files, ", "))
+	}
+	if reg != nil {
+		fmt.Fprintln(stdout)
+		report.TelemetryTable(stdout, "telemetry summary", reg.Snapshot())
 	}
 	if gateFailed {
 		fmt.Fprintln(stderr, "experiments: i.i.d. gate rejected the campaign; MBPTA not applicable")

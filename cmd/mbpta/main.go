@@ -18,6 +18,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/evt"
 	"repro/internal/report"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -39,15 +41,16 @@ func main() {
 	fs := flag.NewFlagSet("mbpta", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
 	var (
-		in      = fs.String("in", "", "input trace file (required)")
-		format  = fs.String("format", "csv", "input format: csv or json")
-		alpha   = fs.Float64("alpha", 0.05, "significance level of the i.i.d. tests")
-		block   = fs.Int("block", 50, "block-maxima block size")
-		fit     = fs.String("fit", "pwm", "Gumbel fit method: pwm, moments, mle")
-		cutoffs = fs.String("cutoffs", "1e-6,1e-9,1e-12,1e-15", "comma-separated exceedance probabilities")
-		perPath = fs.Bool("per-path", true, "analyze per executed path, taking the max across paths")
-		force   = fs.Bool("force", false, "continue even if the i.i.d. gate fails (diagnostic mode)")
-		diag    = fs.Bool("diagnostics", false, "print extended diagnostics (trend tests, MBPTA-CV ladder)")
+		in       = fs.String("in", "", "input trace file (required)")
+		format   = fs.String("format", "csv", "input format: csv or json")
+		alpha    = fs.Float64("alpha", 0.05, "significance level of the i.i.d. tests")
+		block    = fs.Int("block", 50, "block-maxima block size")
+		fit      = fs.String("fit", "pwm", "Gumbel fit method: pwm, moments, mle")
+		cutoffs  = fs.String("cutoffs", "1e-6,1e-9,1e-12,1e-15", "comma-separated exceedance probabilities")
+		perPath  = fs.Bool("per-path", true, "analyze per executed path, taking the max across paths")
+		force    = fs.Bool("force", false, "continue even if the i.i.d. gate fails (diagnostic mode)")
+		diag     = fs.Bool("diagnostics", false, "print extended diagnostics (trend tests, MBPTA-CV ladder)")
+		teleAddr = fs.String("telemetry-addr", "", "serve the analysis metrics on this address until exit (/metrics Prometheus text)")
 	)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(exitError) // usage already printed to stderr
@@ -146,6 +149,53 @@ func main() {
 
 	if *diag {
 		printDiagnostics(set.Times(), *alpha)
+	}
+
+	if *teleAddr != "" {
+		reg := telemetry.New()
+		publishAnalysis(reg, set, res, qs)
+		srv, serr := telemetry.Serve(*teleAddr, reg)
+		if serr != nil {
+			fatal(serr)
+		}
+		defer srv.Close()
+		fmt.Println()
+		report.TelemetryTable(os.Stdout, fmt.Sprintf("telemetry (served at %s/metrics)", srv.URL()), reg.Snapshot())
+	}
+}
+
+// publishAnalysis mirrors a completed file analysis into telemetry
+// gauges: sample counts, the worst (smallest) gate p-values across
+// paths, the summed block-maxima discards and the deepest-cutoff pWCET
+// — the same instrument names a live campaign publishes, so dashboards
+// work for both.
+func publishAnalysis(reg *telemetry.Registry, set *trace.Set, res *core.Result, qs []float64) {
+	reg.Gauge("analysis_runs").Set(float64(len(set.Samples)))
+	discarded := 0
+	lbP, ksP := math.Inf(1), math.Inf(1)
+	pass := 1.0
+	for _, p := range res.Paths {
+		discarded += p.Discarded
+		lbP = math.Min(lbP, p.IID.Independence.PValue)
+		ksP = math.Min(ksP, p.IID.IdentDist.PValue)
+		if !p.IID.Pass {
+			pass = 0
+		}
+	}
+	reg.Gauge("analysis_block_discarded").Set(float64(discarded))
+	if len(res.Paths) > 0 {
+		reg.Gauge("analysis_gate_ljungbox_p").Set(lbP)
+		reg.Gauge("analysis_gate_ks_p").Set(ksP)
+		reg.Gauge("analysis_gate_pass").Set(pass)
+	}
+	deepest := qs[0]
+	for _, q := range qs {
+		if q < deepest {
+			deepest = q
+		}
+	}
+	if v, err := res.PWCET(deepest); err == nil {
+		reg.Gauge("analysis_pwcet").Set(v)
 	}
 }
 

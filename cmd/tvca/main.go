@@ -21,6 +21,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/profiling"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -36,6 +37,7 @@ func main() {
 		faultRate  = flag.Float64("fault-rate", 0.25, "expected upsets per run under -faults (Poisson)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		teleAddr   = flag.String("telemetry-addr", "", "serve live campaign metrics on this address (/metrics Prometheus text, /metrics.json)")
 	)
 	flag.Parse()
 
@@ -55,6 +57,17 @@ func main() {
 	}
 	if *seed != 0 {
 		p.Seed = *seed
+	}
+	var reg *telemetry.Registry
+	if *teleAddr != "" {
+		reg = telemetry.New()
+		p.Telemetry = reg
+		srv, serr := telemetry.Serve(*teleAddr, reg)
+		if serr != nil {
+			fatal(serr)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: serving %s/metrics\n", srv.URL())
 	}
 	env, err := experiments.NewEnv(p)
 	if err != nil {
@@ -138,6 +151,11 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("\ncampaign traces written to %s\n", *saveDir)
+	}
+
+	if reg != nil {
+		fmt.Println()
+		report.TelemetryTable(os.Stdout, "telemetry summary", reg.Snapshot())
 	}
 }
 

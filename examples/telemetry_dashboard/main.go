@@ -1,0 +1,136 @@
+// Telemetry dashboard: run a TVCA campaign with the observability
+// layer enabled and watch it from the outside, the way a long fault
+// campaign would be monitored in practice.
+//
+// The example wires all three exposition paths at once:
+//
+//   - an HTTP endpoint (/metrics Prometheus text, /metrics.json) that
+//     a scraper or a plain curl can poll while the campaign runs;
+//   - a ring sink retaining the most recent structured events
+//     (campaign_start, per-run, batch, analysis, campaign_end);
+//   - the per-batch Progress callback, which now carries the gate
+//     p-values and the discarded block-maxima count mid-stream.
+//
+// Telemetry is disabled by default everywhere in the library: a nil
+// registry costs nothing and leaves campaigns bit-identical. Enabling
+// it, as here, costs <3% (see BENCH_2.json).
+//
+//	go run ./examples/telemetry_dashboard
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/pkg/mbpta"
+)
+
+const (
+	runs     = 1500
+	baseSeed = 42
+)
+
+func main() {
+	cfg := mbpta.DefaultTVCAConfig()
+	cfg.Frames = 8
+	app, err := mbpta.NewTVCA(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One registry serves metrics and events alike. The ring keeps the
+	// last 64 events in memory; a JSONL sink writing to a file would
+	// capture the full deterministic event log instead.
+	reg := mbpta.NewTelemetry()
+	ring := mbpta.NewTelemetryRing(64)
+	reg.Attach(ring)
+
+	srv, err := mbpta.ServeTelemetry("127.0.0.1:0", reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("serving %s/metrics while the campaign runs\n\n", srv.URL())
+
+	report, err := mbpta.Campaign(context.Background(), mbpta.RANDPlatform(), app,
+		mbpta.WithRuns(runs),
+		mbpta.WithBaseSeed(baseSeed),
+		mbpta.WithBatchSize(250),
+		mbpta.WithTelemetry(reg),
+		mbpta.WithProgress(func(p mbpta.Progress) {
+			if !p.GateChecked {
+				return
+			}
+			fmt.Printf("batch %2d: %4d runs, gate p=(LB %.3f, KS %.3f), %d obs outside blocks\n",
+				p.Batch, p.Runs, p.Gate.Independence.PValue, p.Gate.IdentDist.PValue, p.Discarded)
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Scrape our own endpoint, exactly as Prometheus would.
+	fmt.Println("\nscraping /metrics:")
+	resp, err := http.Get(srv.URL() + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "sim_ipc") ||
+			strings.HasPrefix(line, "sim_dl1_hit_ratio") ||
+			strings.HasPrefix(line, "campaign_runs_total") ||
+			strings.HasPrefix(line, "analysis_gate_") ||
+			strings.HasPrefix(line, "analysis_pwcet") {
+			fmt.Println("  " + line)
+		}
+	}
+
+	bound, err := report.Analysis.PWCET(1e-12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npWCET(1e-12) = %.0f cycles over %d runs\n", bound, len(report.Campaign.Results))
+
+	// The ring holds the tail of the structured event stream.
+	events := ring.Events()
+	tail := events[max(0, len(events)-5):]
+	fmt.Printf("\nlast %d events (of a deterministic stream — same seed, same log):\n", len(tail))
+	for _, ev := range tail {
+		line, err := ev.MarshalJSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("  " + string(line))
+	}
+
+	fmt.Println()
+	mbpta.TelemetryTable(os.Stdout, "registry snapshot (excerpt)", excerpt(reg.Snapshot()))
+}
+
+// excerpt trims the full snapshot to the headline instruments so the
+// closing table stays readable.
+func excerpt(snap map[string]float64) map[string]float64 {
+	out := make(map[string]float64)
+	for name, v := range snap {
+		switch {
+		case strings.HasSuffix(name, "_hit_ratio"),
+			strings.HasPrefix(name, "campaign_") && strings.HasSuffix(name, "_total"),
+			name == "sim_ipc",
+			name == "campaign_runs_per_sec",
+			strings.HasPrefix(name, "analysis_gate_"),
+			name == "analysis_pwcet",
+			name == "analysis_block_discarded":
+			out[name] = v
+		}
+	}
+	return out
+}

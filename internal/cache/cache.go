@@ -94,6 +94,7 @@ type Stats struct {
 	Evictions   uint64
 	WriteHits   uint64 // write-through stores that hit
 	WriteMisses uint64 // write-through stores that missed (no allocate)
+	MRUHits     uint64 // hits (read or write) served by the same-line fast path
 }
 
 // Accesses returns total demand accesses.
@@ -302,6 +303,7 @@ func (c *Cache) Access(addr uint64) bool {
 		// faults) the scan's first match. Skip placement and the way scan.
 		c.lines[c.lastLine].lru = c.clock
 		c.stats.Hits++
+		c.stats.MRUHits++
 		return true
 	}
 	set := c.setOf(addr)
@@ -335,6 +337,7 @@ func (c *Cache) Write(addr uint64) bool {
 	if la == c.lastLA && c.lastLine >= 0 && !c.mruOff {
 		c.lines[c.lastLine].lru = c.clock
 		c.stats.WriteHits++
+		c.stats.MRUHits++
 		return true
 	}
 	set := c.setOf(addr)

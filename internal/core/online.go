@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/evt"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // ErrNotConverged reports that a campaign exhausted its run budget
@@ -271,6 +272,7 @@ type OnlineAnalyzer struct {
 	snaps    []Snapshot
 	started  time.Time
 	done     bool
+	tele     *telemetry.Registry
 }
 
 // NewOnlineAnalyzer returns an online analyzer with opts completed by
@@ -291,6 +293,67 @@ func (o *OnlineAnalyzer) SetRefProb(q float64) {
 	if q > 0 && q < 1 {
 		o.refProb = q
 	}
+}
+
+// SetTelemetry publishes each snapshot to reg: gauges for the gate
+// p-values, discarded block-maxima count, fit parameters and pWCET
+// trajectory, plus one "analysis" event per batch. A nil reg (the
+// default) disables publication.
+func (o *OnlineAnalyzer) SetTelemetry(reg *telemetry.Registry) { o.tele = reg }
+
+// publish mirrors a snapshot into the telemetry registry. Wall-clock
+// fields (Elapsed) are deliberately not exported so the analysis
+// instruments stay deterministic for a fixed seed.
+func (o *OnlineAnalyzer) publish(snap *Snapshot) {
+	reg := o.tele
+	if reg == nil {
+		return
+	}
+	reg.Counter("analysis_batches_total").Inc()
+	reg.Gauge("analysis_runs").Set(float64(snap.Runs))
+	reg.Gauge("analysis_total_runs").Set(float64(snap.TotalRuns))
+	reg.Gauge("analysis_quarantined").Set(float64(snap.Quarantined))
+	reg.Gauge("analysis_block_discarded").Set(float64(snap.Discarded))
+	fields := []telemetry.Field{
+		telemetry.Num("batch", float64(snap.Batch)),
+		telemetry.Num("runs", float64(snap.Runs)),
+		telemetry.Num("quarantined", float64(snap.Quarantined)),
+		telemetry.Num("discarded", float64(snap.Discarded)),
+	}
+	if snap.GateChecked {
+		pass := 0.0
+		if snap.Gate.Pass {
+			pass = 1
+		}
+		reg.Gauge("analysis_gate_ljungbox_p").Set(snap.Gate.Independence.PValue)
+		reg.Gauge("analysis_gate_ks_p").Set(snap.Gate.IdentDist.PValue)
+		reg.Gauge("analysis_gate_pass").Set(pass)
+		fields = append(fields,
+			telemetry.Num("lb_p", snap.Gate.Independence.PValue),
+			telemetry.Num("ks_p", snap.Gate.IdentDist.PValue),
+			telemetry.Num("gate_pass", pass))
+	}
+	if snap.Fitted {
+		reg.Gauge("analysis_fit_mu").Set(snap.Fit.Mu)
+		reg.Gauge("analysis_fit_beta").Set(snap.Fit.Beta)
+		reg.Gauge("analysis_pwcet").Set(snap.PWCET)
+		fields = append(fields,
+			telemetry.Num("mu", snap.Fit.Mu),
+			telemetry.Num("beta", snap.Fit.Beta),
+			telemetry.Num("pwcet", snap.PWCET))
+		if !math.IsNaN(snap.Delta) {
+			reg.Gauge("analysis_crps_delta").Set(snap.Delta)
+			fields = append(fields, telemetry.Num("crps_delta", snap.Delta))
+		}
+		if !math.IsNaN(snap.PWCETRelDelta) {
+			reg.Gauge("analysis_pwcet_rel_delta").Set(snap.PWCETRelDelta)
+			fields = append(fields, telemetry.Num("pwcet_rel_delta", snap.PWCETRelDelta))
+		}
+	}
+	if snap.Done {
+		fields = append(fields, telemetry.Num("done", 1))
+	}
+	reg.Emit("analysis", -1, fields...)
 }
 
 // ObserveBatch folds one batch of observations (in run order) into the
@@ -330,6 +393,15 @@ func (o *OnlineAnalyzer) ObserveBatch(obs []Observation) (Snapshot, error) {
 			snap.Outcomes[k] = v
 		}
 	}
+	// The discarded count is meaningful from the very first batch — it
+	// is the clean observations a block-maxima fit over the current
+	// series would leave out — not only once a fit exists, so Progress
+	// consumers can watch it mid-stream.
+	if len(o.times) >= o.opts.BlockSize {
+		snap.Discarded = len(o.times) % o.opts.BlockSize
+	} else {
+		snap.Discarded = len(o.times)
+	}
 	if len(o.times) >= 8 {
 		if gate, err := stats.CheckIID(o.times, o.opts.Alpha); err == nil {
 			snap.Gate, snap.GateChecked = gate, true
@@ -364,6 +436,7 @@ func (o *OnlineAnalyzer) ObserveBatch(obs []Observation) (Snapshot, error) {
 		snap.Done = o.rule.Done(&snap)
 		o.done = o.done || snap.Done
 	}
+	o.publish(&snap)
 	o.snaps = append(o.snaps, snap)
 	return snap, nil
 }

@@ -114,7 +114,7 @@ func TestConvergenceRulesRequirePassingGate(t *testing.T) {
 	mk := func(g stats.IIDReport) *Snapshot {
 		return &Snapshot{
 			Runs: 500, BlockSize: 50, Fitted: true,
-			Fit: evt.Gumbel{Mu: 10000, Beta: 100},
+			Fit:  evt.Gumbel{Mu: 10000, Beta: 100},
 			Gate: g, GateChecked: true,
 		}
 	}

@@ -79,6 +79,15 @@ func (s Stats) CPI() float64 {
 	return float64(s.Cycles) / float64(s.Instructions)
 }
 
+// IPC returns instructions per cycle — the throughput form the
+// telemetry layer reports.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
 // Interconnect is the memory-system contract the core needs: FCFS bus
 // grants on a global timeline, the DRAM access latency behind each
 // transaction, and the per-transaction bus occupancy. BusMem couples

@@ -17,6 +17,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/rng"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/tvca"
 )
 
@@ -49,6 +50,13 @@ type Params struct {
 	// industrial baseline, not an MBPTA input. FaultSummary reports the
 	// outcome tally after the campaign has run.
 	FaultRate float64
+	// Telemetry, when non-nil, attaches the observability layer to the
+	// RAND campaign: simulator and campaign instruments are harvested
+	// at batch barriers, the i.i.d. gate publishes its p-values, and
+	// the streaming analyzer (Converge mode) publishes the pWCET
+	// trajectory. Nil keeps every campaign untelemetered and
+	// bit-identical to earlier revisions.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultParams returns the paper's evaluation setup.
@@ -125,12 +133,13 @@ func (e *Env) RAND() (*platform.CampaignResult, error) {
 // attaching the SEU injector when Params.FaultRate asks for it.
 func (e *Env) randStreamOptions() (platform.StreamOptions, error) {
 	so := platform.StreamOptions{
-		MaxRuns:  e.P.Runs,
-		Parallel: e.P.Parallel,
-		BaseSeed: e.P.Seed,
+		MaxRuns:   e.P.Runs,
+		Parallel:  e.P.Parallel,
+		BaseSeed:  e.P.Seed,
+		Telemetry: e.P.Telemetry,
 	}
 	if e.P.FaultRate > 0 {
-		inj, err := faults.New(faults.Config{Rate: e.P.FaultRate})
+		inj, err := faults.New(faults.Config{Rate: e.P.FaultRate, Telemetry: e.P.Telemetry})
 		if err != nil {
 			return so, err
 		}
@@ -157,6 +166,7 @@ func (e *Env) FaultSummary() *faults.Summary { return e.randFault }
 func (e *Env) randConverged() (*platform.CampaignResult, error) {
 	rule := core.PWCETDelta(1e-12, e.P.ConvergeTol, 2)
 	online := core.NewOnlineAnalyzer(e.P.Analysis, rule)
+	online.SetTelemetry(e.P.Telemetry)
 	sink := func(b platform.Batch) (bool, error) {
 		obs := make([]core.Observation, len(b.Results))
 		for i, r := range b.Results {
@@ -234,6 +244,13 @@ func E1IID(e *Env) (*E1Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	pass := 0.0
+	if rep.Pass {
+		pass = 1
+	}
+	e.P.Telemetry.Gauge("analysis_gate_ljungbox_p").Set(rep.Independence.PValue)
+	e.P.Telemetry.Gauge("analysis_gate_ks_p").Set(rep.IdentDist.PValue)
+	e.P.Telemetry.Gauge("analysis_gate_pass").Set(pass)
 	return &E1Result{Independence: rep.Independence, IdentDist: rep.IdentDist, Pass: rep.Pass}, nil
 }
 

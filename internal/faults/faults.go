@@ -41,6 +41,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/platform"
 	"repro/internal/rng"
+	"repro/internal/telemetry"
 )
 
 // Run outcome classes, stored in platform.RunResult.Outcome. A clean
@@ -101,6 +102,11 @@ type Config struct {
 	// platform's randomized resources; campaigns differing only in Salt
 	// inject independent schedules. Zero selects a fixed default.
 	Salt uint64
+	// Telemetry, when non-nil, counts injected upsets per target array
+	// (faults_upsets_<target>_total). Injection schedules are seed-
+	// derived, so the totals are deterministic for a fixed base seed
+	// even though workers update them concurrently.
+	Telemetry *telemetry.Registry
 }
 
 // faultStream separates the injector's PRNG stream from every other
@@ -121,6 +127,9 @@ const watchdogSlack = 4096
 type Injector struct {
 	cfg     Config
 	targets []Target
+	// upsets holds the pre-resolved per-target telemetry counters (nil
+	// Counter values are no-ops when telemetry is disabled).
+	upsets map[Target]*telemetry.Counter
 }
 
 // New validates cfg and returns an injector.
@@ -150,7 +159,11 @@ func New(cfg Config) (*Injector, error) {
 			return nil, fmt.Errorf("faults: unknown target %q", t)
 		}
 	}
-	return &Injector{cfg: cfg, targets: targets}, nil
+	upsets := make(map[Target]*telemetry.Counter, len(targets))
+	for _, t := range targets {
+		upsets[t] = cfg.Telemetry.Counter("faults_upsets_" + telemetry.SanitizeName(string(t)) + "_total")
+	}
+	return &Injector{cfg: cfg, targets: targets, upsets: upsets}, nil
 }
 
 // Rate returns the configured expected upsets per run.
@@ -294,6 +307,7 @@ func (in *Injector) faultedRun(ctx context.Context, p *platform.Platform, w plat
 
 // apply flips the addressed bit.
 func (in *Injector) apply(f Fault, m *isa.Machine, c *cpu.Core) {
+	in.upsets[f.Target].Inc()
 	switch f.Target {
 	case TargetIL1, TargetDL1:
 		cc := c.IL1

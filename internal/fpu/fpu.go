@@ -61,10 +61,19 @@ func (l Latencies) Validate() error {
 	return nil
 }
 
+// Stats counts analysis-mode worst-case latency substitutions — the
+// mechanism that makes the MBPTA build's FDIV/FSQRT jitterless. On the
+// operation-mode (DET) build both counts stay zero.
+type Stats struct {
+	DivWorstCase  uint64 // FDIVs charged DivMax regardless of operands
+	SqrtWorstCase uint64 // FSQRTs charged SqrtMax regardless of the operand
+}
+
 // FPU is the latency model instance.
 type FPU struct {
-	lat  Latencies
-	mode Mode
+	lat   Latencies
+	mode  Mode
+	stats Stats
 }
 
 // New builds an FPU model.
@@ -83,6 +92,12 @@ func New(lat Latencies, mode Mode) (*FPU, error) {
 // Mode returns the configured mode.
 func (f *FPU) Mode() Mode { return f.mode }
 
+// Stats returns the substitution counters accumulated so far.
+func (f *FPU) Stats() Stats { return f.stats }
+
+// ResetStats zeroes the substitution counters.
+func (f *FPU) ResetStats() { f.stats = Stats{} }
+
 // Latencies returns the latency table.
 func (f *FPU) Latencies() Latencies { return f.lat }
 
@@ -96,6 +111,7 @@ func (f *FPU) MulLatency() int { return f.lat.Mul }
 // analysis mode it is the worst case regardless of operands.
 func (f *FPU) DivLatency(dividend, divisor float64) int {
 	if f.mode == ModeAnalysis {
+		f.stats.DivWorstCase++
 		return f.lat.DivMax
 	}
 	return scaleLatency(f.lat.DivMin, f.lat.DivMax, divOperandWork(dividend, divisor))
@@ -105,6 +121,7 @@ func (f *FPU) DivLatency(dividend, divisor float64) int {
 // is the worst case regardless of the operand.
 func (f *FPU) SqrtLatency(x float64) int {
 	if f.mode == ModeAnalysis {
+		f.stats.SqrtWorstCase++
 		return f.lat.SqrtMax
 	}
 	return scaleLatency(f.lat.SqrtMin, f.lat.SqrtMax, sqrtOperandWork(x))

@@ -168,9 +168,16 @@ type Platform struct {
 	dl1   *cache.Cache
 	itlb  *tlb.TLB
 	dtlb  *tlb.TLB
+	fpu   *fpu.FPU
 	rsrc  *rng.Xoroshiro128 // hardware randomness (replacement policies)
 	seedr *rng.SplitMix64   // derives per-resource seeds from the run seed
 	icx   *interferingBus
+
+	// Cumulative run-kind tallies for the telemetry harvest (see
+	// BoardStats): how many measurements went through the trace-replay
+	// fast path versus full interpretation.
+	replayRuns    uint64
+	interpretRuns uint64
 
 	// Machine reuse: the last machine a Reloader workload prepared, so
 	// the steady-state campaign loop re-initializes it in place instead
@@ -213,6 +220,7 @@ func New(cfg Config) (*Platform, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.fpu = f
 	if p.bus, err = bus.New(cfg.Bus); err != nil {
 		return nil, err
 	}
@@ -347,6 +355,7 @@ func (p *Platform) RunCtx(ctx context.Context, w Workload, run int, runSeed uint
 	if err != nil {
 		return RunResult{}, fmt.Errorf("platform %s: run %d: %w", p.cfg.Name, run, err)
 	}
+	p.interpretRuns++
 	return RunResult{
 		Cycles:       cycles,
 		Instructions: p.core.Stats().Instructions,
@@ -425,6 +434,7 @@ func (p *Platform) runReplay(ctx context.Context, w Workload, run int, runSeed u
 			return RunResult{}, err
 		}
 	}
+	p.replayRuns++
 	return res, nil
 }
 

@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // ErrCanceled reports that a campaign was interrupted by its context
@@ -68,6 +70,13 @@ type StreamOptions struct {
 	// per-run seed, so a retry that succeeds yields the exact result the
 	// first attempt would have.
 	Retry RetryPolicy
+	// Telemetry attaches a metrics/event registry to the campaign. Nil
+	// disables telemetry entirely: the run loop is bit-identical and
+	// allocation-identical to an untelemetered campaign. When set, the
+	// engine harvests simulator and campaign instruments at each batch
+	// barrier and emits the structured event stream (campaign_start,
+	// run, batch, campaign_end) in deterministic order.
+	Telemetry *telemetry.Registry
 }
 
 func (o StreamOptions) withDefaults() StreamOptions {
@@ -135,13 +144,20 @@ func StreamCampaign(ctx context.Context, cfg Config, w Workload, opts StreamOpti
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	var tele *streamTele
+	if o.Telemetry != nil {
+		tele = newStreamTele(o.Telemetry, boards, o, w.Name())
+	}
+
 	res := &CampaignResult{
 		Platform: cfg.Name,
 		Workload: w.Name(),
 		Results:  make([]RunResult, 0, o.MaxRuns),
 	}
+	stopped := false
 	for batch := 0; len(res.Results) < o.MaxRuns; batch++ {
 		start := len(res.Results)
+		batchStart := time.Now()
 		n := o.BatchSize
 		if start+n > o.MaxRuns {
 			n = o.MaxRuns - start
@@ -183,15 +199,23 @@ func StreamCampaign(ctx context.Context, cfg Config, w Workload, opts StreamOpti
 		if err := joinDistinct(errs); err != nil {
 			return nil, err
 		}
+		b := Batch{Index: batch, Start: start, Results: out}
+		if tele != nil {
+			tele.observeBatch(b, boards, time.Since(batchStart))
+		}
 		if sink != nil {
-			stop, err := sink(Batch{Index: batch, Start: start, Results: out})
+			stop, err := sink(b)
 			if err != nil {
 				return nil, err
 			}
 			if stop {
+				stopped = true
 				break
 			}
 		}
+	}
+	if tele != nil {
+		tele.finish(len(res.Results), stopped)
 	}
 	return res, nil
 }
@@ -246,6 +270,10 @@ func runResilient(ctx context.Context, o StreamOptions, board *Platform, w Workl
 		}
 		if timedOut {
 			err = fmt.Errorf("%w: run %d exceeded %s: %v", ErrRunTimeout, run, o.RunTimeout, err)
+			o.Telemetry.Counter("campaign_run_timeouts_total").Inc()
+		}
+		if a+1 < attempts {
+			o.Telemetry.Counter("campaign_run_retries_total").Inc()
 		}
 		lastErr = err
 	}

@@ -1,0 +1,249 @@
+// Telemetry harvest for the campaign engine. The simulator's hot loop
+// carries no telemetry calls: the substrate models keep plain struct
+// counters (cache/TLB/FPU stats, run-kind tallies), and this file
+// collects them into a telemetry.Registry at batch barriers — the one
+// point in a streaming campaign where a single goroutine observes a
+// complete, ordered prefix of the run series.
+//
+// Determinism: every instrument harvested from per-run state (cache,
+// TLB, FPU, cycle, instruction and outcome counters; run/batch events)
+// is reproducible for a fixed BaseSeed regardless of Parallel, because
+// per-run deltas depend only on (workload, run index, seed) and sums
+// commute. The exceptions, excluded from the parallelism-invariance
+// test and documented in DESIGN.md §11, are the wall-clock instruments
+// (campaign_runs_per_sec, campaign_batch_seconds), the retry/timeout
+// tallies, and sim_replay_runs_total/sim_interpret_runs_total for
+// trace-stable workloads (each worker board records its own trace on
+// its first run).
+package platform
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/fpu"
+	"repro/internal/telemetry"
+	"repro/internal/tlb"
+)
+
+// BoardStats is the cumulative per-board counter snapshot the
+// telemetry harvest diffs between batches.
+type BoardStats struct {
+	IL1, DL1      cache.Stats
+	ITLB, DTLB    tlb.Stats
+	FPU           fpu.Stats
+	ReplayRuns    uint64
+	InterpretRuns uint64
+}
+
+// BoardStats returns the platform's cumulative substrate counters.
+func (p *Platform) BoardStats() BoardStats {
+	return BoardStats{
+		IL1:           p.il1.Stats(),
+		DL1:           p.dl1.Stats(),
+		ITLB:          p.itlb.Stats(),
+		DTLB:          p.dtlb.Stats(),
+		FPU:           p.fpu.Stats(),
+		ReplayRuns:    p.replayRuns,
+		InterpretRuns: p.interpretRuns,
+	}
+}
+
+// Sub returns the counter delta b - prev (prev must be an earlier
+// snapshot of the same board).
+func (b BoardStats) Sub(prev BoardStats) BoardStats {
+	return BoardStats{
+		IL1:           subCache(b.IL1, prev.IL1),
+		DL1:           subCache(b.DL1, prev.DL1),
+		ITLB:          subTLB(b.ITLB, prev.ITLB),
+		DTLB:          subTLB(b.DTLB, prev.DTLB),
+		FPU:           fpu.Stats{DivWorstCase: b.FPU.DivWorstCase - prev.FPU.DivWorstCase, SqrtWorstCase: b.FPU.SqrtWorstCase - prev.FPU.SqrtWorstCase},
+		ReplayRuns:    b.ReplayRuns - prev.ReplayRuns,
+		InterpretRuns: b.InterpretRuns - prev.InterpretRuns,
+	}
+}
+
+func subCache(a, b cache.Stats) cache.Stats {
+	return cache.Stats{
+		Hits:        a.Hits - b.Hits,
+		Misses:      a.Misses - b.Misses,
+		Evictions:   a.Evictions - b.Evictions,
+		WriteHits:   a.WriteHits - b.WriteHits,
+		WriteMisses: a.WriteMisses - b.WriteMisses,
+		MRUHits:     a.MRUHits - b.MRUHits,
+	}
+}
+
+func subTLB(a, b tlb.Stats) tlb.Stats {
+	return tlb.Stats{Hits: a.Hits - b.Hits, Misses: a.Misses - b.Misses, MRUHits: a.MRUHits - b.MRUHits}
+}
+
+// streamTele aggregates one campaign's telemetry: pre-resolved
+// instruments plus the per-board snapshots the barrier harvest diffs
+// against. All methods run on the campaign goroutine.
+type streamTele struct {
+	reg     *telemetry.Registry
+	prev    []BoardStats
+	started time.Time
+
+	runs, clean, quarantined, faults, batches *telemetry.Counter
+	cycles, instructions                      *telemetry.Counter
+	batchSec                                  *telemetry.Histogram
+	runsPerSec, ipc                           *telemetry.Gauge
+}
+
+// batchSecondsBounds spans sub-millisecond micro-batches to multi-
+// minute fault campaigns.
+var batchSecondsBounds = []float64{0.001, 0.005, 0.02, 0.1, 0.5, 2, 10, 60, 300}
+
+func newStreamTele(reg *telemetry.Registry, boards []*Platform, o StreamOptions, workload string) *streamTele {
+	t := &streamTele{
+		reg:          reg,
+		prev:         make([]BoardStats, len(boards)),
+		started:      time.Now(),
+		runs:         reg.Counter("campaign_runs_total"),
+		clean:        reg.Counter("campaign_clean_runs_total"),
+		quarantined:  reg.Counter("campaign_quarantined_total"),
+		faults:       reg.Counter("campaign_faults_injected_total"),
+		batches:      reg.Counter("campaign_batches_total"),
+		cycles:       reg.Counter("sim_cycles_total"),
+		instructions: reg.Counter("sim_instructions_total"),
+		batchSec:     reg.Histogram("campaign_batch_seconds", batchSecondsBounds),
+		runsPerSec:   reg.Gauge("campaign_runs_per_sec"),
+		ipc:          reg.Gauge("sim_ipc"),
+	}
+	for i, b := range boards {
+		t.prev[i] = b.BoardStats()
+	}
+	reg.Emit("campaign_start", -1,
+		telemetry.Str("platform", boards[0].Config().Name),
+		telemetry.Str("workload", workload),
+		telemetry.Num("max_runs", float64(o.MaxRuns)),
+		telemetry.Num("batch_size", float64(o.BatchSize)),
+		telemetry.Str("base_seed", strconv.FormatUint(o.BaseSeed, 10)),
+	)
+	return t
+}
+
+// observeBatch folds one completed batch into the registry: result-
+// derived counters and per-run events (in run order), then the summed
+// substrate deltas of every worker board, then the derived gauges.
+func (t *streamTele) observeBatch(b Batch, boards []*Platform, elapsed time.Duration) {
+	var cycles, instructions, faults uint64
+	var quarantined int
+	for _, r := range b.Results {
+		cycles += r.Cycles
+		instructions += r.Instructions
+		faults += uint64(r.Faults)
+		if r.Quarantined() {
+			quarantined++
+			t.reg.Counter("campaign_outcome_" + telemetry.SanitizeName(r.Outcome) + "_total").Inc()
+		}
+	}
+	for i, r := range b.Results {
+		fields := []telemetry.Field{
+			telemetry.Num("cycles", float64(r.Cycles)),
+			telemetry.Num("instructions", float64(r.Instructions)),
+		}
+		if r.Path != "" {
+			fields = append(fields, telemetry.Str("path", r.Path))
+		}
+		if r.Quarantined() {
+			fields = append(fields, telemetry.Str("outcome", r.Outcome),
+				telemetry.Num("faults", float64(r.Faults)))
+		}
+		t.reg.Emit("run", b.Start+i, fields...)
+	}
+
+	t.runs.Add(uint64(len(b.Results)))
+	t.clean.Add(uint64(len(b.Results) - quarantined))
+	t.quarantined.Add(uint64(quarantined))
+	t.faults.Add(faults)
+	t.batches.Inc()
+	t.cycles.Add(cycles)
+	t.instructions.Add(instructions)
+
+	for i, board := range boards {
+		cur := board.BoardStats()
+		delta := cur.Sub(t.prev[i])
+		t.prev[i] = cur
+		t.addCache("il1", delta.IL1)
+		t.addCache("dl1", delta.DL1)
+		t.addTLB("itlb", delta.ITLB)
+		t.addTLB("dtlb", delta.DTLB)
+		t.reg.Counter("sim_fpu_div_worstcase_total").Add(delta.FPU.DivWorstCase)
+		t.reg.Counter("sim_fpu_sqrt_worstcase_total").Add(delta.FPU.SqrtWorstCase)
+		t.reg.Counter("sim_replay_runs_total").Add(delta.ReplayRuns)
+		t.reg.Counter("sim_interpret_runs_total").Add(delta.InterpretRuns)
+	}
+	t.setRatios()
+
+	if cyc := t.cycles.Value(); cyc > 0 {
+		t.ipc.Set(float64(t.instructions.Value()) / float64(cyc))
+	}
+	t.batchSec.Observe(elapsed.Seconds())
+	if wall := time.Since(t.started).Seconds(); wall > 0 {
+		t.runsPerSec.Set(float64(t.runs.Value()) / wall)
+	}
+
+	t.reg.Emit("batch", -1,
+		telemetry.Num("batch", float64(b.Index)),
+		telemetry.Num("start", float64(b.Start)),
+		telemetry.Num("runs", float64(len(b.Results))),
+		telemetry.Num("cycles", float64(cycles)),
+		telemetry.Num("quarantined", float64(quarantined)),
+	)
+}
+
+func (t *streamTele) addCache(level string, s cache.Stats) {
+	t.reg.Counter("sim_" + level + "_hits_total").Add(s.Hits)
+	t.reg.Counter("sim_" + level + "_misses_total").Add(s.Misses)
+	t.reg.Counter("sim_" + level + "_evictions_total").Add(s.Evictions)
+	t.reg.Counter("sim_" + level + "_write_hits_total").Add(s.WriteHits)
+	t.reg.Counter("sim_" + level + "_write_misses_total").Add(s.WriteMisses)
+	t.reg.Counter("sim_" + level + "_mru_hits_total").Add(s.MRUHits)
+}
+
+func (t *streamTele) addTLB(level string, s tlb.Stats) {
+	t.reg.Counter("sim_" + level + "_hits_total").Add(s.Hits)
+	t.reg.Counter("sim_" + level + "_misses_total").Add(s.Misses)
+	t.reg.Counter("sim_" + level + "_mru_hits_total").Add(s.MRUHits)
+}
+
+// setRatios refreshes the derived hit-rate gauges from the campaign's
+// cumulative counters.
+func (t *streamTele) setRatios() {
+	for _, level := range [...]string{"il1", "dl1"} {
+		hits := t.reg.Counter("sim_"+level+"_hits_total").Value() +
+			t.reg.Counter("sim_"+level+"_write_hits_total").Value()
+		total := hits + t.reg.Counter("sim_"+level+"_misses_total").Value() +
+			t.reg.Counter("sim_"+level+"_write_misses_total").Value()
+		if total > 0 {
+			t.reg.Gauge("sim_" + level + "_hit_ratio").Set(float64(hits) / float64(total))
+			t.reg.Gauge("sim_" + level + "_mru_hit_ratio").Set(
+				float64(t.reg.Counter("sim_"+level+"_mru_hits_total").Value()) / float64(total))
+		}
+	}
+	for _, level := range [...]string{"itlb", "dtlb"} {
+		hits := t.reg.Counter("sim_" + level + "_hits_total").Value()
+		total := hits + t.reg.Counter("sim_"+level+"_misses_total").Value()
+		if total > 0 {
+			t.reg.Gauge("sim_" + level + "_hit_ratio").Set(float64(hits) / float64(total))
+			t.reg.Gauge("sim_" + level + "_mru_hit_ratio").Set(
+				float64(t.reg.Counter("sim_"+level+"_mru_hits_total").Value()) / float64(total))
+		}
+	}
+}
+
+// finish emits the campaign_end event.
+func (t *streamTele) finish(totalRuns int, stopped bool) {
+	early := 0.0
+	if stopped {
+		early = 1
+	}
+	t.reg.Emit("campaign_end", -1,
+		telemetry.Num("runs", float64(totalRuns)),
+		telemetry.Num("stopped_early", early),
+	)
+}

@@ -150,6 +150,30 @@ func Table(w io.Writer, title string, rows [][2]string) {
 	}
 }
 
+// TelemetryTable renders a telemetry snapshot (the flat name→value map
+// of telemetry.Registry.Snapshot) as an aligned table, instruments
+// sorted by name. Integral values print without a fraction; everything
+// else with six significant digits.
+func TelemetryTable(w io.Writer, title string, snap map[string]float64) {
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	rows := make([][2]string, 0, len(names))
+	for _, n := range names {
+		v := snap[n]
+		var s string
+		if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+			s = fmt.Sprintf("%.0f", v)
+		} else {
+			s = fmt.Sprintf("%.6g", v)
+		}
+		rows = append(rows, [2]string{n, s})
+	}
+	Table(w, title, rows)
+}
+
 // OutcomeTable renders the run-outcome taxonomy of a fault-injection
 // campaign: clean measurements kept for analysis versus quarantined
 // runs broken down by outcome class, each with its share of the total.

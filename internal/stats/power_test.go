@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// Statistical-power tests for the i.i.d. gate: the gate is only as
+// good as its ability to actually reject the failure modes MBPTA cares
+// about. Each test runs many independent trials on synthetic series
+// with a known defect (AR(1) autocorrelation, a linear trend) or none,
+// and checks the empirical rejection rate. Seeds are fixed, so the
+// rates are exact repo constants, but the asserted bands leave room
+// for the usual binomial noise should the generators ever change.
+
+const (
+	powerTrials = 200
+	powerN      = 400 // observations per trial, a realistic campaign slice
+	powerAlpha  = 0.05
+)
+
+// uniform returns a mean-centered uniform(-0.5, 0.5) draw.
+func uniform(src rng.Source) float64 { return rng.Float64(src) - 0.5 }
+
+// TestLjungBoxPowerAR1: an AR(1) series with phi=0.5 is exactly the
+// "platform retains state between runs" failure mode. The Ljung-Box
+// test at the gate's default lags must reject it nearly always.
+func TestLjungBoxPowerAR1(t *testing.T) {
+	src := rng.NewXoroshiro128(0xA51)
+	const phi = 0.5
+	rejected := 0
+	for trial := 0; trial < powerTrials; trial++ {
+		xs := make([]float64, powerN)
+		x := 0.0
+		for i := range xs {
+			x = phi*x + uniform(src)
+			xs[i] = x
+		}
+		res, err := LjungBox(xs, DefaultLjungBoxLags(powerN), powerAlpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rejected {
+			rejected++
+		}
+	}
+	power := float64(rejected) / powerTrials
+	if power < 0.9 {
+		t.Errorf("Ljung-Box power against AR(1) phi=%.1f = %.3f, want > 0.9", phi, power)
+	}
+}
+
+// TestKSPowerLinearTrend: a linear drift across the campaign (thermal
+// ramp, resource leak) makes the two halves draw from shifted
+// distributions; the two-sample KS test on halves must reject.
+func TestKSPowerLinearTrend(t *testing.T) {
+	src := rng.NewXoroshiro128(0xB52)
+	// uniform(-0.5,0.5) has sigma ~ 0.2887; a total drift of ~3 sigma
+	// across the series is a subtle but real trend.
+	const drift = 3 * 0.2887
+	rejected := 0
+	for trial := 0; trial < powerTrials; trial++ {
+		xs := make([]float64, powerN)
+		for i := range xs {
+			xs[i] = uniform(src) + drift*float64(i)/float64(powerN)
+		}
+		res, err := KolmogorovSmirnov2(xs[:powerN/2], xs[powerN/2:], powerAlpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rejected {
+			rejected++
+		}
+	}
+	power := float64(rejected) / powerTrials
+	if power < 0.9 {
+		t.Errorf("KS power against a %.1f-sigma linear trend = %.3f, want > 0.9", 3.0, power)
+	}
+}
+
+// TestGateFalsePositiveRate: on genuinely i.i.d. series both tests
+// must reject at about their nominal alpha — a gate that cries wolf
+// would discard valid time-randomized campaigns.
+func TestGateFalsePositiveRate(t *testing.T) {
+	src := rng.NewXoroshiro128(0xC53)
+	lbRejected, ksRejected := 0, 0
+	for trial := 0; trial < powerTrials; trial++ {
+		xs := make([]float64, powerN)
+		for i := range xs {
+			xs[i] = uniform(src)
+		}
+		lb, err := LjungBox(xs, DefaultLjungBoxLags(powerN), powerAlpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ks, err := KolmogorovSmirnov2(xs[:powerN/2], xs[powerN/2:], powerAlpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lb.Rejected {
+			lbRejected++
+		}
+		if ks.Rejected {
+			ksRejected++
+		}
+	}
+	// 200 Bernoulli(0.05) trials: mean 10, sd ~3.1. [0, 0.10] is ~3 sd
+	// above nominal — failing this means miscalibration, not bad luck.
+	lbRate := float64(lbRejected) / powerTrials
+	ksRate := float64(ksRejected) / powerTrials
+	if lbRate > 0.10 {
+		t.Errorf("Ljung-Box false-positive rate on i.i.d. data = %.3f, want <= 0.10 (alpha %.2f)", lbRate, powerAlpha)
+	}
+	if ksRate > 0.10 {
+		t.Errorf("KS false-positive rate on i.i.d. data = %.3f, want <= 0.10 (alpha %.2f)", ksRate, powerAlpha)
+	}
+}

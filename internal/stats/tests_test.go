@@ -381,7 +381,7 @@ func TestRejectBoundary(t *testing.T) {
 		p, alpha float64
 		want     bool
 	}{
-		{0.05, 0.05, true},  // boundary: p == alpha rejects
+		{0.05, 0.05, true}, // boundary: p == alpha rejects
 		{0.0499, 0.05, true},
 		{0.0501, 0.05, false},
 		{0, 0.05, true},

@@ -1,0 +1,290 @@
+// Structured event stream: a compact, ordered record of what a
+// campaign did — campaign_start, one event per run, one per batch, one
+// per analysis snapshot, campaign_end. Events are emitted only from
+// single-threaded code (the campaign batch barrier), so for a fixed
+// seed the stream is byte-identical regardless of worker parallelism;
+// the JSON-lines form is the replayable on-disk artifact.
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+// Event is one structured telemetry record.
+type Event struct {
+	// Seq is the registry-assigned emission sequence number (1-based).
+	Seq uint64
+	// Kind classifies the event ("campaign_start", "run", "batch",
+	// "analysis", "campaign_end").
+	Kind string
+	// Run is the run index the event refers to, or -1 when the event is
+	// not about a single run.
+	Run int
+	// Fields carries the event payload in emission order.
+	Fields []Field
+}
+
+// Field is one key→value pair of an event payload: either a number or
+// a string. Fields keep their emission order through JSON round-trips.
+type Field struct {
+	Key   string
+	Num   float64
+	Str   string
+	IsStr bool
+}
+
+// Num builds a numeric field.
+func Num(key string, v float64) Field { return Field{Key: key, Num: v} }
+
+// Str builds a string field.
+func Str(key, v string) Field { return Field{Key: key, Str: v, IsStr: true} }
+
+// Equal compares fields treating NaN numeric values as equal (the
+// codec round-trips non-finite values exactly).
+func (f Field) Equal(g Field) bool {
+	if f.Key != g.Key || f.IsStr != g.IsStr {
+		return false
+	}
+	if f.IsStr {
+		return f.Str == g.Str
+	}
+	return f.Num == g.Num || (math.IsNaN(f.Num) && math.IsNaN(g.Num))
+}
+
+// jsonField is the wire form. Exactly one of N, S, V is set: a finite
+// number, a string, or a spelled-out non-finite number ("NaN", "+Inf",
+// "-Inf") — encoding/json rejects non-finite floats, and gate p-values
+// and CRPS deltas are NaN until computable.
+type jsonField struct {
+	K string   `json:"k"`
+	N *float64 `json:"n,omitempty"`
+	S *string  `json:"s,omitempty"`
+	V *string  `json:"v,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (f Field) MarshalJSON() ([]byte, error) {
+	jf := jsonField{K: f.Key}
+	switch {
+	case f.IsStr:
+		jf.S = &f.Str
+	case math.IsNaN(f.Num):
+		s := "NaN"
+		jf.V = &s
+	case math.IsInf(f.Num, 1):
+		s := "+Inf"
+		jf.V = &s
+	case math.IsInf(f.Num, -1):
+		s := "-Inf"
+		jf.V = &s
+	default:
+		jf.N = &f.Num
+	}
+	return json.Marshal(jf)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *Field) UnmarshalJSON(data []byte) error {
+	var jf jsonField
+	if err := json.Unmarshal(data, &jf); err != nil {
+		return err
+	}
+	*f = Field{Key: jf.K}
+	switch {
+	case jf.S != nil:
+		f.Str, f.IsStr = *jf.S, true
+	case jf.V != nil:
+		switch *jf.V {
+		case "NaN":
+			f.Num = math.NaN()
+		case "+Inf":
+			f.Num = math.Inf(1)
+		case "-Inf":
+			f.Num = math.Inf(-1)
+		default:
+			return fmt.Errorf("telemetry: bad non-finite field value %q", *jf.V)
+		}
+	case jf.N != nil:
+		f.Num = *jf.N
+	}
+	return nil
+}
+
+type jsonEvent struct {
+	Seq    uint64  `json:"seq"`
+	Kind   string  `json:"kind"`
+	Run    int     `json:"run"`
+	Fields []Field `json:"fields,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (e Event) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonEvent{Seq: e.Seq, Kind: e.Kind, Run: e.Run, Fields: e.Fields})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var je jsonEvent
+	if err := json.Unmarshal(data, &je); err != nil {
+		return err
+	}
+	*e = Event(je)
+	return nil
+}
+
+// Equal compares events field by field (NaN-tolerant).
+func (e Event) Equal(o Event) bool {
+	if e.Seq != o.Seq || e.Kind != o.Kind || e.Run != o.Run || len(e.Fields) != len(o.Fields) {
+		return false
+	}
+	for i := range e.Fields {
+		if !e.Fields[i].Equal(o.Fields[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EventSink consumes emitted events. Consume is always called from the
+// emitting goroutine; sinks that need concurrency safety (all the ones
+// here) lock internally.
+type EventSink interface {
+	Consume(Event)
+}
+
+// RingSink keeps the most recent events in a fixed-capacity ring —
+// the cheap always-on sink for dashboards and tests.
+type RingSink struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int
+	full bool
+}
+
+// NewRingSink returns a ring keeping the last capacity events
+// (capacity < 1 selects 256).
+func NewRingSink(capacity int) *RingSink {
+	if capacity < 1 {
+		capacity = 256
+	}
+	return &RingSink{buf: make([]Event, capacity)}
+}
+
+// Consume implements EventSink.
+func (s *RingSink) Consume(ev Event) {
+	s.mu.Lock()
+	s.buf[s.next] = ev
+	s.next++
+	if s.next == len(s.buf) {
+		s.next, s.full = 0, true
+	}
+	s.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (s *RingSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.full {
+		return append([]Event(nil), s.buf[:s.next]...)
+	}
+	out := make([]Event, 0, len(s.buf))
+	out = append(out, s.buf[s.next:]...)
+	return append(out, s.buf[:s.next]...)
+}
+
+// Len returns the number of retained events.
+func (s *RingSink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.full {
+		return len(s.buf)
+	}
+	return s.next
+}
+
+// JSONLSink writes each event as one JSON line. Write errors stick:
+// the first one is retained (see Err) and later events are dropped.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	err error
+}
+
+// NewJSONLSink wraps w in a buffered JSON-lines sink. Call Flush when
+// the campaign ends.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriter(w)}
+}
+
+// Consume implements EventSink.
+func (s *JSONLSink) Consume(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	data, err := json.Marshal(ev)
+	if err == nil {
+		_, err = s.w.Write(append(data, '\n'))
+	}
+	s.err = err
+}
+
+// Flush drains the buffer and returns the sink's sticky error.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	s.err = s.w.Flush()
+	return s.err
+}
+
+// Err returns the first write or encode error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// WriteEvents writes evs as JSON lines to w.
+func WriteEvents(w io.Writer, evs []Event) error {
+	s := NewJSONLSink(w)
+	for _, ev := range evs {
+		s.Consume(ev)
+	}
+	return s.Flush()
+}
+
+// ReadEvents parses a JSON-lines event stream (blank lines allowed)
+// back into events — the inverse of JSONLSink/WriteEvents.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		text := bytes.TrimSpace(sc.Bytes())
+		if len(text) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(text, &ev); err != nil {
+			return nil, fmt.Errorf("telemetry: event line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzEventRoundTrip checks that any event built from fuzzer-chosen
+// values survives the JSON-lines codec semantically intact (NaN and
+// the infinities included — they take the spelled-out "v" wire form).
+func FuzzEventRoundTrip(f *testing.F) {
+	f.Add(uint64(1), "run", 0, "cycles", 284511.0, "path", "clamp0-satx0", true)
+	f.Add(uint64(2), "analysis", -1, "lb_p", math.NaN(), "outcome", "timing-perturbed", false)
+	f.Add(uint64(3), "batch", 12, "delta", math.Inf(1), "", "", true)
+	f.Add(uint64(0), "", -99, "k", -0.0, "\"quoted\"\nkey", "line\nbreak", true)
+
+	f.Fuzz(func(t *testing.T, seq uint64, kind string, run int,
+		numKey string, num float64, strKey, strVal string, both bool) {
+		// encoding/json replaces invalid UTF-8 with U+FFFD; that is a
+		// documented lossy path, not a codec bug.
+		for _, s := range []string{kind, numKey, strKey, strVal} {
+			if !utf8.ValidString(s) {
+				t.Skip("invalid UTF-8 input")
+			}
+		}
+		ev := Event{Seq: seq, Kind: kind, Run: run,
+			Fields: []Field{Num(numKey, num)}}
+		if both {
+			ev.Fields = append(ev.Fields, Str(strKey, strVal))
+		}
+
+		data, err := ev.MarshalJSON()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var back Event
+		if err := back.UnmarshalJSON(data); err != nil {
+			t.Fatalf("unmarshal of own output: %v\n%s", err, data)
+		}
+		if !ev.Equal(back) {
+			t.Fatalf("round trip changed the event:\n in  %+v\n out %+v\n wire %s", ev, back, data)
+		}
+
+		// The JSON-lines stream form must agree with the single-event
+		// codec.
+		var buf bytes.Buffer
+		if err := WriteEvents(&buf, []Event{ev}); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		evs, err := ReadEvents(&buf)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if len(evs) != 1 || !ev.Equal(evs[0]) {
+			t.Fatalf("stream round trip changed the event: %+v", evs)
+		}
+	})
+}
+
+// FuzzReadEvents feeds arbitrary bytes to the JSON-lines parser: it
+// must never panic, and whenever it accepts an input, re-marshalling
+// and re-parsing must reproduce the same events (the parse is a
+// fixpoint).
+func FuzzReadEvents(f *testing.F) {
+	f.Add([]byte(`{"seq":1,"kind":"run","run":0,"fields":[{"k":"cycles","n":1}]}` + "\n"))
+	f.Add([]byte(`{"seq":2,"kind":"analysis","run":-1,"fields":[{"k":"p","v":"NaN"}]}`))
+	f.Add([]byte("\n\n{\"seq\":3,\"kind\":\"x\",\"run\":5}\n{bad"))
+	f.Add([]byte(`{"seq":4,"kind":"s","run":0,"fields":[{"k":"a","s":"b"},{"k":"i","v":"+Inf"}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, err := ReadEvents(bytes.NewReader(data))
+		if err != nil {
+			if !strings.Contains(err.Error(), "telemetry:") && !strings.Contains(err.Error(), "token") {
+				// Scanner errors (too-long lines) are also acceptable.
+				if !strings.Contains(err.Error(), "bufio") {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteEvents(&buf, evs); err != nil {
+			t.Fatalf("re-marshal of accepted input: %v", err)
+		}
+		again, err := ReadEvents(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of own output: %v", err)
+		}
+		if len(again) != len(evs) {
+			t.Fatalf("fixpoint lost events: %d != %d", len(again), len(evs))
+		}
+		for i := range evs {
+			if !evs[i].Equal(again[i]) {
+				t.Fatalf("fixpoint changed event %d:\n %+v\n %+v", i, evs[i], again[i])
+			}
+		}
+	})
+}

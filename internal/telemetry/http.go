@@ -1,0 +1,53 @@
+// HTTP exposition: a tiny stdlib-only server publishing a registry at
+// /metrics (Prometheus text format, scrapeable by any Prometheus or
+// curl) and /metrics.json (the flat Snapshot map, expvar-style). Wired
+// behind the -telemetry-addr flag on cmd/tvca, cmd/experiments and
+// cmd/mbpta.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server is a running exposition endpoint.
+type Server struct {
+	// Addr is the bound listen address (useful with ":0").
+	Addr string
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// Serve starts an exposition server for reg on addr ("host:port";
+// ":0" picks a free port). The server runs until Close.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteProm(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(reg.Snapshot())
+	})
+	s := &Server{
+		Addr: ln.Addr().String(),
+		ln:   ln,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go func() { _ = s.srv.Serve(ln) }() // Serve returns on Close
+	return s, nil
+}
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr }
+
+// Close shuts the listener down.
+func (s *Server) Close() error { return s.srv.Close() }

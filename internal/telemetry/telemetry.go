@@ -1,0 +1,355 @@
+// Package telemetry is the repo's zero-dependency observability layer:
+// cheap atomic instruments (counters, gauges, fixed-bucket histograms)
+// plus a structured event stream, with Prometheus-text and JSON
+// exposition. It exists so a running campaign can be inspected from the
+// outside — cache hit rates, runs/s, i.i.d. gate p-values, pWCET
+// trajectory — without perturbing the measurement.
+//
+// The design constraint is the simulator's performance contract:
+// telemetry is disabled by default (a nil *Registry), every method is
+// nil-safe, and the hot simulator loop carries no telemetry calls at
+// all — the platform layer harvests the substrate models' plain stat
+// counters at campaign batch barriers instead. A campaign without a
+// registry is therefore bit-identical, allocation-identical and (to
+// well under a percent) time-identical to one built before this
+// package existed.
+//
+// Determinism: instruments updated only at batch barriers from per-run
+// state are reproducible for a fixed seed regardless of parallelism.
+// The exceptions are the wall-clock instruments (campaign_runs_per_sec,
+// campaign_batch_seconds) and the retry/timeout tallies, which measure
+// the host, not the simulated platform.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds a process's instruments and event sinks. The zero
+// value is ready to use; a nil *Registry is a valid "telemetry
+// disabled" handle whose every method is a cheap no-op.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	sinks    []EventSink
+	seq      atomic.Uint64
+}
+
+// New returns an empty registry.
+func New() *Registry { return &Registry{} }
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil (a no-op instrument) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		if r.counters == nil {
+			r.counters = make(map[string]*Counter)
+		}
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil
+// (a no-op instrument) on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		if r.gauges == nil {
+			r.gauges = make(map[string]*Gauge)
+		}
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds (strictly increasing; a +Inf bucket is implicit)
+// on first use. Later calls ignore bounds. Returns nil on a nil
+// registry.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		if r.hists == nil {
+			r.hists = make(map[string]*Histogram)
+		}
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing uint64, safe for concurrent
+// use. The nil Counter ignores updates and reads as 0.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can go up and down, safe for concurrent use.
+// The nil Gauge ignores updates and reads as 0.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the last stored value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets (cumulative
+// le-style, Prometheus semantics), tracking the running sum. The nil
+// Histogram ignores observations.
+type Histogram struct {
+	bounds []float64 // upper bounds, strictly increasing; +Inf implicit
+	counts []atomic.Uint64
+	total  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs))}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.total.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations; Sum their total.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Snapshot returns every instrument's current value as a flat
+// name→value map: counters and gauges under their own names,
+// histograms as <name>_count and <name>_sum. Nil registries return an
+// empty map.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64)
+	if r == nil {
+		return out
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		out[name] = float64(c.Value())
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		out[name+"_count"] = float64(h.Count())
+		out[name+"_sum"] = h.Sum()
+	}
+	return out
+}
+
+// WriteProm writes the registry in the Prometheus text exposition
+// format (version 0.0.4), instruments sorted by name.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		var err error
+		switch {
+		case r.counters[n] != nil:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, r.counters[n].Value())
+		case r.gauges[n] != nil:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(r.gauges[n].Value()))
+		default:
+			err = writePromHistogram(w, n, r.hists[n])
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, name string, h *Histogram) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(b), cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+		name, h.Count(), name, promFloat(h.Sum()), name, h.Count())
+	return err
+}
+
+// promFloat renders a float the way the Prometheus text format expects
+// (NaN/+Inf/-Inf spelled out, no exponent unless needed).
+func promFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.6f", v), "0"), ".")
+}
+
+// SanitizeName maps an arbitrary string onto the Prometheus metric-name
+// alphabet [a-zA-Z0-9_:], replacing every other rune with '_' (e.g. the
+// fault outcome "timing-perturbed" becomes "timing_perturbed").
+func SanitizeName(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// Attach registers an event sink; every subsequent Emit is forwarded to
+// it. No-op on a nil registry.
+func (r *Registry) Attach(s EventSink) {
+	if r == nil || s == nil {
+		return
+	}
+	r.mu.Lock()
+	r.sinks = append(r.sinks, s)
+	r.mu.Unlock()
+}
+
+// Emit assigns the next sequence number and forwards the event to every
+// attached sink. Emission order is the caller's responsibility: the
+// campaign engine emits only from its single-threaded barrier path, so
+// sequence numbers are deterministic for a fixed seed. No-op on a nil
+// registry.
+func (r *Registry) Emit(kind string, run int, fields ...Field) {
+	if r == nil {
+		return
+	}
+	r.mu.RLock()
+	sinks := r.sinks
+	r.mu.RUnlock()
+	if len(sinks) == 0 {
+		return
+	}
+	ev := Event{Seq: r.seq.Add(1), Kind: kind, Run: run, Fields: fields}
+	for _, s := range sinks {
+		s.Consume(ev)
+	}
+}

@@ -1,0 +1,350 @@
+package telemetry
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("c") != c {
+		t.Error("second Counter lookup returned a different instrument")
+	}
+
+	g := r.Gauge("g")
+	g.Set(2.5)
+	g.Set(-1.25)
+	if got := g.Value(); got != -1.25 {
+		t.Errorf("gauge = %g, want -1.25", got)
+	}
+	if r.Gauge("g") != g {
+		t.Error("second Gauge lookup returned a different instrument")
+	}
+
+	h := r.Histogram("h", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 50, 500, math.NaN()} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 4 {
+		t.Errorf("histogram count = %d, want 4 (NaN dropped)", got)
+	}
+	if got := h.Sum(); got != 555.5 {
+		t.Errorf("histogram sum = %g, want 555.5", got)
+	}
+	// Later lookups must ignore the bounds argument.
+	if r.Histogram("h", nil) != h {
+		t.Error("second Histogram lookup returned a different instrument")
+	}
+}
+
+func TestNilRegistryAndInstrumentsAreNoOps(t *testing.T) {
+	var r *Registry
+	// Every chained call must be safe and read as zero.
+	r.Counter("c").Inc()
+	r.Counter("c").Add(7)
+	if got := r.Counter("c").Value(); got != 0 {
+		t.Errorf("nil counter = %d, want 0", got)
+	}
+	r.Gauge("g").Set(3)
+	if got := r.Gauge("g").Value(); got != 0 {
+		t.Errorf("nil gauge = %g, want 0", got)
+	}
+	h := r.Histogram("h", []float64{1})
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram recorded an observation")
+	}
+	if snap := r.Snapshot(); len(snap) != 0 {
+		t.Errorf("nil snapshot = %v, want empty", snap)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("nil WriteProm wrote %q, err %v", buf.String(), err)
+	}
+	r.Attach(NewRingSink(4))
+	r.Emit("kind", 0, Num("x", 1))
+}
+
+func TestSnapshot(t *testing.T) {
+	r := New()
+	r.Counter("runs_total").Add(3)
+	r.Gauge("ipc").Set(0.5)
+	h := r.Histogram("lat", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	snap := r.Snapshot()
+	want := map[string]float64{
+		"runs_total": 3,
+		"ipc":        0.5,
+		"lat_count":  2,
+		"lat_sum":    2,
+	}
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot = %v, want %v", snap, want)
+	}
+	for k, v := range want {
+		if snap[k] != v {
+			t.Errorf("snapshot[%q] = %g, want %g", k, snap[k], v)
+		}
+	}
+}
+
+func TestWriteProm(t *testing.T) {
+	r := New()
+	r.Counter("b_total").Add(2)
+	r.Gauge("a_ratio").Set(0.25)
+	h := r.Histogram("c_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# TYPE a_ratio gauge",
+		"a_ratio 0.25",
+		"# TYPE b_total counter",
+		"b_total 2",
+		"# TYPE c_seconds histogram",
+		`c_seconds_bucket{le="0.1"} 1`,
+		`c_seconds_bucket{le="1"} 2`,
+		`c_seconds_bucket{le="+Inf"} 3`,
+		"c_seconds_sum 5.55",
+		"c_seconds_count 3",
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Errorf("WriteProm:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestPromFloat(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{math.NaN(), "NaN"},
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+		{0, "0"},
+		{1.5, "1.5"},
+		{-2, "-2"},
+		{0.333333333, "0.333333"},
+	}
+	for _, c := range cases {
+		if got := promFloat(c.v); got != c.want {
+			t.Errorf("promFloat(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"timing-perturbed", "timing_perturbed"},
+		{"wrong output", "wrong_output"},
+		{"ok_name:sub", "ok_name:sub"},
+		{"9lives", "_lives"}, // leading digit is not a valid first rune
+		{"l1", "l1"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := SanitizeName(c.in); got != c.want {
+			t.Errorf("SanitizeName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEmitSequencingAndSinks(t *testing.T) {
+	r := New()
+	// Without sinks, Emit must not consume sequence numbers.
+	r.Emit("dropped", 0)
+	ring := NewRingSink(2)
+	r.Attach(ring)
+	r.Emit("a", 0)
+	r.Emit("b", 1)
+	r.Emit("c", 2)
+	evs := ring.Events()
+	if len(evs) != 2 || evs[0].Kind != "b" || evs[1].Kind != "c" {
+		t.Fatalf("ring events = %+v, want kinds b,c", evs)
+	}
+	if evs[0].Seq != 2 || evs[1].Seq != 3 {
+		t.Errorf("seqs = %d,%d, want 2,3 (sink-less emit must not burn a seq)", evs[0].Seq, evs[1].Seq)
+	}
+	if ring.Len() != 2 {
+		t.Errorf("ring len = %d, want 2", ring.Len())
+	}
+}
+
+func TestRingSinkPartial(t *testing.T) {
+	ring := NewRingSink(0) // selects the 256 default
+	ring.Consume(Event{Seq: 1, Kind: "x"})
+	if ring.Len() != 1 {
+		t.Fatalf("len = %d, want 1", ring.Len())
+	}
+	evs := ring.Events()
+	if len(evs) != 1 || evs[0].Kind != "x" {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestConcurrentInstrumentUpdates(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Histogram("h", []float64{0.5}).Observe(1)
+				r.Gauge("g").Set(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h", nil).Sum(); got != 8000 {
+		t.Errorf("hist sum = %g, want 8000", got)
+	}
+}
+
+func TestEventJSONRoundTrip(t *testing.T) {
+	evs := []Event{
+		{Seq: 1, Kind: "campaign_start", Run: -1, Fields: []Field{
+			Str("platform", "LEON3-RAND"),
+			Num("max_runs", 3000),
+		}},
+		{Seq: 2, Kind: "run", Run: 0, Fields: []Field{
+			Num("cycles", 284511),
+			Str("path", "clamp0"),
+		}},
+		{Seq: 3, Kind: "analysis", Run: -1, Fields: []Field{
+			Num("lb_p", math.NaN()),
+			Num("hi", math.Inf(1)),
+			Num("lo", math.Inf(-1)),
+		}},
+		{Seq: 4, Kind: "campaign_end", Run: -1}, // no fields at all
+	}
+	var buf bytes.Buffer
+	if err := WriteEvents(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != len(evs) {
+		t.Fatalf("wrote %d lines, want %d", n, len(evs))
+	}
+	back, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(evs) {
+		t.Fatalf("read %d events, want %d", len(back), len(evs))
+	}
+	for i := range evs {
+		if !evs[i].Equal(back[i]) {
+			t.Errorf("event %d: %+v != %+v", i, evs[i], back[i])
+		}
+	}
+}
+
+func TestReadEventsTolerance(t *testing.T) {
+	in := "\n" + `{"seq":1,"kind":"a","run":-1}` + "\n\n" + `{"seq":2,"kind":"b","run":0}` + "\n"
+	evs, err := ReadEvents(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 || evs[0].Kind != "a" || evs[1].Kind != "b" {
+		t.Fatalf("events = %+v", evs)
+	}
+
+	if _, err := ReadEvents(strings.NewReader("{bad json}\n")); err == nil {
+		t.Error("malformed line: want error")
+	} else if !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("error %q does not name the line", err)
+	}
+	if _, err := ReadEvents(strings.NewReader(`{"seq":1,"kind":"a","run":0,"fields":[{"k":"x","v":"bogus"}]}`)); err == nil {
+		t.Error("bad non-finite marker: want error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestJSONLSinkStickyError(t *testing.T) {
+	s := NewJSONLSink(failWriter{}) // fails on first flush
+	s.Consume(Event{Seq: 1, Kind: "a", Run: -1})
+	if err := s.Flush(); err == nil {
+		t.Fatal("want flush error")
+	}
+	s.Consume(Event{Seq: 2, Kind: "b", Run: -1}) // dropped, no panic
+	if s.Err() == nil {
+		t.Error("sticky error lost")
+	}
+	if err := s.Flush(); err == nil {
+		t.Error("second flush must return the sticky error")
+	}
+}
+
+func TestServe(t *testing.T) {
+	reg := New()
+	reg.Counter("campaign_runs_total").Add(12)
+	reg.Gauge("sim_ipc").Set(0.25)
+
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want the 0.0.4 text format", ct)
+	}
+	text := string(body)
+	for _, want := range []string{"campaign_runs_total 12", "sim_ipc 0.25", "# TYPE sim_ipc gauge"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+
+	resp, err = http.Get(srv.URL() + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `"campaign_runs_total":12`) {
+		t.Errorf("/metrics.json = %s", body)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}

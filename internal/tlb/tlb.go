@@ -56,8 +56,9 @@ func (c Config) Validate() error {
 
 // Stats counts TLB events.
 type Stats struct {
-	Hits   uint64
-	Misses uint64
+	Hits    uint64
+	Misses  uint64
+	MRUHits uint64 // hits served by the last-page or micro-cache fast paths
 }
 
 // MissRatio returns misses / total.
@@ -187,6 +188,7 @@ func (t *TLB) Lookup(addr uint64) bool {
 			t.entries[t.lastIdx].stamp = t.clock
 		}
 		t.stats.Hits++
+		t.stats.MRUHits++
 		return true
 	}
 	// Fast path: the micro-cache remembers where this vpn was last
@@ -201,6 +203,7 @@ func (t *TLB) Lookup(addr uint64) bool {
 					e.stamp = t.clock
 				}
 				t.stats.Hits++
+				t.stats.MRUHits++
 				t.noteMRU(vpn, idx)
 				return true
 			}

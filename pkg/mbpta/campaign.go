@@ -106,6 +106,7 @@ type campaignConfig struct {
 	faults      *FaultConfig
 	runTimeout  time.Duration
 	retry       RetryPolicy
+	telemetry   *Telemetry
 }
 
 // CampaignOption configures Campaign.
@@ -190,6 +191,19 @@ func WithRetry(maxAttempts int, backoff time.Duration) CampaignOption {
 	}
 }
 
+// WithTelemetry attaches a telemetry registry to the campaign: the
+// engine harvests simulator and campaign instruments (cache/TLB hit
+// rates, IPC, runs/s, fault tallies) at each batch barrier, the
+// incremental analyzer publishes gate p-values, block-maxima discards
+// and the pWCET trajectory, and the structured event stream
+// (campaign_start, run, batch, analysis, campaign_end) flows to every
+// sink attached to reg. A nil reg — or omitting the option — disables
+// telemetry entirely; the campaign is then bit-identical and
+// allocation-identical to one without it.
+func WithTelemetry(reg *Telemetry) CampaignOption {
+	return func(c *campaignConfig) { c.telemetry = reg }
+}
+
 // MeasureOnly skips the final per-path analysis: the report carries
 // the measured campaign and snapshots but a nil Analysis. Use it to
 // collect traces for external tooling (or platforms expected to fail
@@ -266,6 +280,7 @@ func Campaign(ctx context.Context, cfg PlatformConfig, w Workload, opts ...Campa
 	}
 
 	online := core.NewOnlineAnalyzer(c.analysis, c.rule)
+	online.SetTelemetry(c.telemetry)
 	sink := func(b StreamBatch) (bool, error) {
 		obs := make([]core.Observation, len(b.Results))
 		for i, r := range b.Results {
@@ -288,8 +303,12 @@ func Campaign(ctx context.Context, cfg PlatformConfig, w Workload, opts ...Campa
 		BaseSeed:   c.seed,
 		RunTimeout: c.runTimeout,
 		Retry:      c.retry,
+		Telemetry:  c.telemetry,
 	}
 	if c.faults != nil {
+		if c.faults.Telemetry == nil {
+			c.faults.Telemetry = c.telemetry
+		}
 		inj, ierr := faults.New(*c.faults)
 		if ierr != nil {
 			return nil, ierr
