@@ -3,16 +3,23 @@
 GO ?= go
 STATICCHECK := $(shell command -v staticcheck 2>/dev/null)
 
-.PHONY: test check staticcheck bench bench-all experiments race cover fuzz clean
+.PHONY: test check staticcheck bench bench-all experiments race cover fuzz resume-check clean
 
 test:
 	$(GO) test ./...
 
 # What CI runs: vet (+ staticcheck when installed) plus the full suite
-# under the race detector.
+# under the race detector, then the end-to-end kill-and-resume gate.
 check: staticcheck
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) resume-check
+
+# End-to-end durability gate: journal a campaign, kill it mid-flight,
+# tear the journal tail, resume, and require a bit-identical report
+# (exits non-zero on any fingerprint mismatch).
+resume-check:
+	$(GO) run ./examples/resumable_campaign
 
 # staticcheck is optional tooling: run it when present, skip with a
 # notice otherwise (the sandbox image carries only the go toolchain).
@@ -57,12 +64,16 @@ cover:
 	$(GO) test -cover ./internal/... ./pkg/...
 
 # Native fuzzing, 30s per target: the ISA interpreter against arbitrary
-# instruction streams and the telemetry event codec in both directions.
-# Seed corpora live under the packages' testdata/fuzz/ directories.
+# instruction streams, the telemetry event codec in both directions, and
+# the campaign-journal (WAL) codec and recovery scan. Seed corpora live
+# under the packages' testdata/fuzz/ directories.
 fuzz:
 	$(GO) test ./internal/isa/ -run '^$$' -fuzz '^FuzzInterpreter$$' -fuzztime 30s
 	$(GO) test ./internal/telemetry/ -run '^$$' -fuzz '^FuzzEventRoundTrip$$' -fuzztime 30s
 	$(GO) test ./internal/telemetry/ -run '^$$' -fuzz '^FuzzReadEvents$$' -fuzztime 30s
+	$(GO) test ./internal/wal/ -run '^$$' -fuzz '^FuzzRecover$$' -fuzztime 30s
+	$(GO) test ./internal/wal/ -run '^$$' -fuzz '^FuzzRunRecordCodec$$' -fuzztime 30s
+	$(GO) test ./internal/wal/ -run '^$$' -fuzz '^FuzzDecodePayloads$$' -fuzztime 30s
 
 clean:
 	$(GO) clean -testcache

@@ -60,9 +60,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
 		teleAddr   = fs.String("telemetry-addr", "", "serve live campaign metrics on this address (/metrics Prometheus text, /metrics.json)")
+		journal    = fs.String("journal", "", "journal the RAND campaign to this write-ahead log for crash-safe resume")
+		resume     = fs.Bool("resume", false, "resume the RAND campaign from the -journal file instead of starting fresh")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitError // usage already printed to stderr
+	}
+	if *resume && *journal == "" {
+		fmt.Fprintln(stderr, "experiments: -resume requires -journal")
+		return exitError
 	}
 
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
@@ -89,10 +95,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *frames != 0 {
 		p.TVCA.Frames = *frames
 	}
+	p.Journal = *journal
+	p.Resume = *resume
 	var reg *telemetry.Registry
-	if *teleAddr != "" {
+	if *teleAddr != "" || *journal != "" {
+		// Journaling always instruments the durability counters, even
+		// when no metrics endpoint was requested.
 		reg = telemetry.New()
 		p.Telemetry = reg
+	}
+	if *teleAddr != "" {
 		srv, serr := telemetry.Serve(*teleAddr, reg)
 		if serr != nil {
 			fmt.Fprintln(stderr, "experiments:", serr)
@@ -241,7 +253,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "\nCSV data written to %s: %s\n", *csvDir, strings.Join(files, ", "))
 	}
-	if reg != nil {
+	if *journal != "" {
+		fmt.Fprintln(stdout)
+		report.MetricsTable(stdout, "durability", reg.Snapshot(),
+			"wal_records_total", "wal_fsyncs_total", "campaign_resumes_total",
+			"worker_restarts_total", "campaign_degraded")
+	}
+	if *teleAddr != "" {
 		fmt.Fprintln(stdout)
 		report.TelemetryTable(stdout, "telemetry summary", reg.Snapshot())
 	}

@@ -7,6 +7,12 @@
 //
 //	mbpta -in traces/tvca_rand.csv -cutoffs 1e-6,1e-9,1e-12,1e-15
 //	mbpta -in campaign.json -format json -per-path=false
+//	mbpta -journal campaign.wal
+//
+// With -journal the input is a campaign write-ahead log (see
+// internal/wal): the longest valid prefix is recovered and its clean
+// runs analyzed — useful for inspecting a crashed campaign before
+// resuming it.
 //
 // Exit codes, so scripted pipelines can branch on the gate outcome:
 // 0 = analysis completed, 1 = usage or I/O error, 2 = the i.i.d. gate
@@ -29,6 +35,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // Exit codes.
@@ -41,7 +48,8 @@ func main() {
 	fs := flag.NewFlagSet("mbpta", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
 	var (
-		in       = fs.String("in", "", "input trace file (required)")
+		in       = fs.String("in", "", "input trace file (required unless -journal is given)")
+		journal  = fs.String("journal", "", "analyze the clean runs recorded in a campaign journal (WAL) instead of a trace file")
 		format   = fs.String("format", "csv", "input format: csv or json")
 		alpha    = fs.Float64("alpha", 0.05, "significance level of the i.i.d. tests")
 		block    = fs.Int("block", 50, "block-maxima block size")
@@ -55,26 +63,37 @@ func main() {
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(exitError) // usage already printed to stderr
 	}
-	if *in == "" {
-		fatal(fmt.Errorf("missing -in"))
+	if *in == "" && *journal == "" {
+		fatal(fmt.Errorf("missing -in (or -journal)"))
+	}
+	if *in != "" && *journal != "" {
+		fatal(fmt.Errorf("-in and -journal are mutually exclusive"))
 	}
 
-	f, err := os.Open(*in)
-	if err != nil {
-		fatal(err)
-	}
-	defer f.Close()
 	var set *trace.Set
-	switch *format {
-	case "csv":
-		set, err = trace.ReadCSV(f)
-	case "json":
-		set, err = trace.ReadJSON(f)
-	default:
-		err = fmt.Errorf("unknown format %q", *format)
-	}
-	if err != nil {
-		fatal(err)
+	if *journal != "" {
+		var err error
+		set, err = journalTrace(*journal)
+		if err != nil {
+			fatal(err) // CorruptError text names the bad byte offset
+		}
+	} else {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		switch *format {
+		case "csv":
+			set, err = trace.ReadCSV(f)
+		case "json":
+			set, err = trace.ReadJSON(f)
+		default:
+			err = fmt.Errorf("unknown format %q", *format)
+		}
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	qs, err := parseCutoffs(*cutoffs)
@@ -162,6 +181,34 @@ func main() {
 		fmt.Println()
 		report.TelemetryTable(os.Stdout, fmt.Sprintf("telemetry (served at %s/metrics)", srv.URL()), reg.Snapshot())
 	}
+}
+
+// journalTrace recovers a campaign journal's longest valid prefix and
+// converts its clean (non-quarantined) run records into a trace set, so
+// a crashed or in-flight campaign's measurements can be analyzed
+// without resuming it. A truncated tail is reported on stderr but does
+// not fail the analysis; only a journal with no usable campaign
+// identity does.
+func journalTrace(path string) (*trace.Set, error) {
+	rec, err := wal.Recover(path)
+	if err != nil {
+		return nil, err
+	}
+	if rec.Truncated {
+		fmt.Fprintf(os.Stderr, "mbpta: %s: corrupt tail at offset %d discarded; analyzing the %d-run valid prefix\n",
+			path, rec.CorruptOffset, len(rec.Runs))
+	}
+	set := &trace.Set{Platform: rec.Meta.Platform, Workload: rec.Meta.Workload}
+	for _, r := range rec.Runs {
+		if r.Outcome != "" {
+			continue // quarantined by fault injection; never analyzed
+		}
+		set.Samples = append(set.Samples, trace.Sample{Run: r.Run, Cycles: r.Cycles, Path: r.Path})
+	}
+	if len(set.Samples) == 0 {
+		return nil, fmt.Errorf("journal %s holds no clean runs to analyze", path)
+	}
+	return set, nil
 }
 
 // publishAnalysis mirrors a completed file analysis into telemetry

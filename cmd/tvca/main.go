@@ -38,8 +38,13 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 		teleAddr   = flag.String("telemetry-addr", "", "serve live campaign metrics on this address (/metrics Prometheus text, /metrics.json)")
+		journal    = flag.String("journal", "", "journal the RAND campaign to this write-ahead log for crash-safe resume")
+		resume     = flag.Bool("resume", false, "resume the RAND campaign from the -journal file instead of starting fresh")
 	)
 	flag.Parse()
+	if *resume && *journal == "" {
+		fatal(fmt.Errorf("-resume requires -journal"))
+	}
 
 	stop, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -58,10 +63,16 @@ func main() {
 	if *seed != 0 {
 		p.Seed = *seed
 	}
+	p.Journal = *journal
+	p.Resume = *resume
 	var reg *telemetry.Registry
-	if *teleAddr != "" {
+	if *teleAddr != "" || *journal != "" {
+		// Journaling always instruments the durability counters, even
+		// when no metrics endpoint was requested.
 		reg = telemetry.New()
 		p.Telemetry = reg
+	}
+	if *teleAddr != "" {
 		srv, serr := telemetry.Serve(*teleAddr, reg)
 		if serr != nil {
 			fatal(serr)
@@ -153,7 +164,13 @@ func main() {
 		fmt.Printf("\ncampaign traces written to %s\n", *saveDir)
 	}
 
-	if reg != nil {
+	if *journal != "" {
+		fmt.Println()
+		report.MetricsTable(os.Stdout, "durability", reg.Snapshot(),
+			"wal_records_total", "wal_fsyncs_total", "campaign_resumes_total",
+			"worker_restarts_total", "campaign_degraded")
+	}
+	if *teleAddr != "" {
 		fmt.Println()
 		report.TelemetryTable(os.Stdout, "telemetry summary", reg.Snapshot())
 	}

@@ -18,7 +18,7 @@ import (
 )
 
 const (
-	budget   = 3000  // the paper's fixed campaign size
+	budget   = 3000 // the paper's fixed campaign size
 	baseSeed = 42
 	refProb  = 1e-12 // exceedance probability of interest
 )

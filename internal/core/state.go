@@ -1,0 +1,289 @@
+// Analyzer state snapshot/restore: the serialization half of the
+// campaign durability layer (internal/wal). MarshalState captures an
+// OnlineAnalyzer's incremental state at a batch barrier; restoring it
+// and continuing the campaign is bit-identical to never having
+// stopped, which is the property MBPTA's protocol demands of crash
+// recovery — the analyzed sample must be exactly the uninterrupted
+// sample.
+//
+// Stop-rule state is not serialized: rules are arbitrary caller
+// interfaces. Instead, RestoreOnlineAnalyzer replays the recorded
+// snapshot trace through the fresh rule's Done method (once per batch,
+// in batch order — exactly the live contract), which deterministically
+// rebuilds any streak/previous-value state the rule keeps.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/evt"
+	"repro/internal/stats"
+)
+
+// jf is a JSON-safe float64: encoding/json rejects non-finite values,
+// but snapshot deltas are NaN until two fits exist, so non-finite
+// values are spelled out as strings. Finite values round-trip exactly
+// (Go emits the shortest representation that parses back bit-equal).
+type jf float64
+
+func (v jf) MarshalJSON() ([]byte, error) {
+	f := float64(v)
+	switch {
+	case math.IsNaN(f):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(f, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(f, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return json.Marshal(f)
+}
+
+func (v *jf) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '"' {
+		var s string
+		if err := json.Unmarshal(data, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "NaN":
+			*v = jf(math.NaN())
+		case "+Inf":
+			*v = jf(math.Inf(1))
+		case "-Inf":
+			*v = jf(math.Inf(-1))
+		default:
+			return fmt.Errorf("core: bad non-finite float %q", s)
+		}
+		return nil
+	}
+	var f float64
+	if err := json.Unmarshal(data, &f); err != nil {
+		return err
+	}
+	*v = jf(f)
+	return nil
+}
+
+// stateVersion guards the serialized layout.
+const stateVersion = 1
+
+type stateTest struct {
+	Name      string `json:"name"`
+	Statistic jf     `json:"stat"`
+	PValue    jf     `json:"p"`
+	Alpha     jf     `json:"alpha"`
+	Rejected  bool   `json:"rejected"`
+	DF        int    `json:"df"`
+}
+
+func toStateTest(t stats.TestResult) stateTest {
+	return stateTest{Name: t.Name, Statistic: jf(t.Statistic), PValue: jf(t.PValue),
+		Alpha: jf(t.Alpha), Rejected: t.Rejected, DF: t.DF}
+}
+
+func (t stateTest) test() stats.TestResult {
+	return stats.TestResult{Name: t.Name, Statistic: float64(t.Statistic), PValue: float64(t.PValue),
+		Alpha: float64(t.Alpha), Rejected: t.Rejected, DF: t.DF}
+}
+
+type stateSnap struct {
+	Batch        int            `json:"batch"`
+	Runs         int            `json:"runs"`
+	TotalRuns    int            `json:"total_runs"`
+	Quarantined  int            `json:"quarantined"`
+	Outcomes     map[string]int `json:"outcomes,omitempty"`
+	BlockSize    int            `json:"block_size"`
+	Discarded    int            `json:"discarded"`
+	Independence *stateTest     `json:"lb,omitempty"`
+	IdentDist    *stateTest     `json:"ks,omitempty"`
+	GatePass     bool           `json:"gate_pass"`
+	GateChecked  bool           `json:"gate_checked"`
+	FitMu        jf             `json:"mu"`
+	FitBeta      jf             `json:"beta"`
+	Fitted       bool           `json:"fitted"`
+	Delta        jf             `json:"delta"`
+	RefProb      jf             `json:"ref_prob"`
+	PWCET        jf             `json:"pwcet"`
+	PWCETRel     jf             `json:"pwcet_rel_delta"`
+	ElapsedNs    int64          `json:"elapsed_ns"`
+	Done         bool           `json:"done"`
+}
+
+func toStateSnap(s Snapshot) stateSnap {
+	out := stateSnap{
+		Batch: s.Batch, Runs: s.Runs, TotalRuns: s.TotalRuns, Quarantined: s.Quarantined,
+		BlockSize: s.BlockSize, Discarded: s.Discarded,
+		GatePass: s.Gate.Pass, GateChecked: s.GateChecked,
+		FitMu: jf(s.Fit.Mu), FitBeta: jf(s.Fit.Beta), Fitted: s.Fitted,
+		Delta: jf(s.Delta), RefProb: jf(s.RefProb), PWCET: jf(s.PWCET), PWCETRel: jf(s.PWCETRelDelta),
+		ElapsedNs: int64(s.Elapsed), Done: s.Done,
+	}
+	if len(s.Outcomes) > 0 {
+		out.Outcomes = make(map[string]int, len(s.Outcomes))
+		for k, v := range s.Outcomes {
+			out.Outcomes[k] = v
+		}
+	}
+	if s.GateChecked {
+		lb, ks := toStateTest(s.Gate.Independence), toStateTest(s.Gate.IdentDist)
+		out.Independence, out.IdentDist = &lb, &ks
+	}
+	return out
+}
+
+func (s stateSnap) snapshot() Snapshot {
+	out := Snapshot{
+		Batch: s.Batch, Runs: s.Runs, TotalRuns: s.TotalRuns, Quarantined: s.Quarantined,
+		BlockSize: s.BlockSize, Discarded: s.Discarded,
+		GateChecked: s.GateChecked,
+		Fit:         evt.Gumbel{Mu: float64(s.FitMu), Beta: float64(s.FitBeta)}, Fitted: s.Fitted,
+		Delta: float64(s.Delta), RefProb: float64(s.RefProb),
+		PWCET: float64(s.PWCET), PWCETRelDelta: float64(s.PWCETRel),
+		Elapsed: time.Duration(s.ElapsedNs), Done: s.Done,
+	}
+	if len(s.Outcomes) > 0 {
+		out.Outcomes = make(map[string]int, len(s.Outcomes))
+		for k, v := range s.Outcomes {
+			out.Outcomes[k] = v
+		}
+	}
+	out.Gate.Pass = s.GatePass
+	if s.Independence != nil {
+		out.Gate.Independence = s.Independence.test()
+	}
+	if s.IdentDist != nil {
+		out.Gate.IdentDist = s.IdentDist.test()
+	}
+	return out
+}
+
+type pathSeries struct {
+	Path  string    `json:"path"`
+	Times []float64 `json:"times"`
+}
+
+type gumbelState struct {
+	Mu   jf `json:"mu"`
+	Beta jf `json:"beta"`
+}
+
+type analyzerState struct {
+	Version  int            `json:"version"`
+	RefProb  float64        `json:"ref_prob"`
+	Total    int            `json:"total"`
+	Times    []float64      `json:"times"`
+	Paths    []pathSeries   `json:"paths"`
+	Outcomes map[string]int `json:"outcomes,omitempty"`
+	PrevFit  *gumbelState   `json:"prev_fit,omitempty"`
+	PrevPW   jf             `json:"prev_pwcet"`
+	Done     bool           `json:"done"`
+	Snaps    []stateSnap    `json:"snaps"`
+}
+
+// MarshalState serializes the analyzer's incremental state — the
+// payload of a WAL checkpoint record. Call it only at batch barriers
+// (between ObserveBatch calls): mid-batch there is no consistent state
+// to capture. The encoding is deterministic (sorted path keys) and
+// NaN-safe; execution times round-trip bit-exactly.
+func (o *OnlineAnalyzer) MarshalState() ([]byte, error) {
+	st := analyzerState{
+		Version: stateVersion,
+		RefProb: o.refProb,
+		Total:   o.total,
+		Times:   o.times,
+		PrevPW:  jf(o.prevPW),
+		Done:    o.done,
+	}
+	paths := make([]string, 0, len(o.byPath))
+	for p := range o.byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		st.Paths = append(st.Paths, pathSeries{Path: p, Times: o.byPath[p]})
+	}
+	if len(o.outcomes) > 0 {
+		st.Outcomes = make(map[string]int, len(o.outcomes))
+		for k, v := range o.outcomes {
+			st.Outcomes[k] = v
+		}
+	}
+	if o.prevFit != nil {
+		st.PrevFit = &gumbelState{Mu: jf(o.prevFit.Mu), Beta: jf(o.prevFit.Beta)}
+	}
+	st.Snaps = make([]stateSnap, len(o.snaps))
+	for i, s := range o.snaps {
+		st.Snaps[i] = toStateSnap(s)
+	}
+	return json.Marshal(st)
+}
+
+// RestoreOnlineAnalyzer rebuilds an analyzer from a MarshalState
+// payload, attaching a fresh stop rule. The recorded snapshot trace is
+// replayed through rule.Done (once per batch, in batch order) so
+// stateful rules — convergence streaks, previous pWCET estimates —
+// resume exactly where the checkpointed campaign left them.
+//
+// opts must equal the options of the checkpointed campaign; a
+// different block size or fit method would break the bit-identity
+// guarantee (the mismatch surfaces as a differing report, not an
+// error — the journal does not record analyzer options).
+func RestoreOnlineAnalyzer(opts Options, rule StopRule, data []byte) (*OnlineAnalyzer, error) {
+	var st analyzerState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("core: bad analyzer state: %w", err)
+	}
+	if st.Version != stateVersion {
+		return nil, fmt.Errorf("core: analyzer state version %d unsupported (want %d)", st.Version, stateVersion)
+	}
+	o := NewOnlineAnalyzer(opts, rule)
+	o.SetRefProb(st.RefProb)
+	o.total = st.Total
+	o.times = st.Times
+	for _, ps := range st.Paths {
+		o.byPath[ps.Path] = ps.Times
+	}
+	if len(st.Outcomes) > 0 {
+		o.outcomes = make(map[string]int, len(st.Outcomes))
+		for k, v := range st.Outcomes {
+			o.outcomes[k] = v
+		}
+	}
+	if st.PrevFit != nil {
+		o.prevFit = &evt.Gumbel{Mu: float64(st.PrevFit.Mu), Beta: float64(st.PrevFit.Beta)}
+	}
+	o.prevPW = float64(st.PrevPW)
+	o.done = st.Done
+	o.snaps = make([]Snapshot, len(st.Snaps))
+	for i, ss := range st.Snaps {
+		o.snaps[i] = ss.snapshot()
+	}
+	if rule != nil {
+		for i := range o.snaps {
+			s := o.snaps[i] // replay on a copy; the recorded verdict stands
+			rule.Done(&s)
+		}
+	}
+	if n := len(o.snaps); n > 0 {
+		// Keep wall-clock budgets (MaxWallClock) monotone across the
+		// restore: credit the time the checkpointed campaign had spent.
+		o.started = time.Now().Add(-o.snaps[n-1].Elapsed)
+	}
+	return o, nil
+}
+
+// PublishSnapshot re-emits the i-th recorded snapshot to the attached
+// telemetry registry — the resume path uses it to replay the analysis
+// event stream of already-journaled batches so a resumed campaign's
+// telemetry is indistinguishable from an uninterrupted one.
+func (o *OnlineAnalyzer) PublishSnapshot(i int) {
+	if i < 0 || i >= len(o.snaps) {
+		return
+	}
+	o.publish(&o.snaps[i])
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// stateTestBatches builds a deterministic observation stream with
+// enough variation to engage the i.i.d. gate and the tail fit, plus
+// occasional quarantined runs and a second path class.
+func stateTestBatches(nBatches, batchSize int) [][]Observation {
+	rng := rand.New(rand.NewSource(0xC0FFEE))
+	out := make([][]Observation, nBatches)
+	run := 0
+	for b := range out {
+		batch := make([]Observation, batchSize)
+		for i := range batch {
+			// Gumbel-distributed latencies: the shape the per-path
+			// soundness diagnostic expects from a time-randomized platform.
+			u := rng.Float64()
+			cycles := 10_000 - 400*math.Log(-math.Log(u))
+			path := "loop-a"
+			if run%3 == 0 {
+				path = "loop-b"
+			}
+			ob := Observation{Cycles: cycles, Path: path}
+			if run%41 == 7 {
+				ob.Outcome = "masked"
+			}
+			batch[i] = ob
+			run++
+		}
+		out[b] = batch
+	}
+	return out
+}
+
+// deepEqualNaN is reflect.DeepEqual with NaN == NaN: snapshot deltas
+// and diagnostics are legitimately NaN, and bit-identity must treat two
+// NaNs in the same field as identical.
+func deepEqualNaN(a, b reflect.Value) bool {
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	switch a.Kind() {
+	case reflect.Float32, reflect.Float64:
+		fa, fb := a.Float(), b.Float()
+		return fa == fb || (math.IsNaN(fa) && math.IsNaN(fb))
+	case reflect.Ptr, reflect.Interface:
+		if a.IsNil() || b.IsNil() {
+			return a.IsNil() == b.IsNil()
+		}
+		if a.Kind() == reflect.Interface && a.Elem().Type() != b.Elem().Type() {
+			return false
+		}
+		return deepEqualNaN(a.Elem(), b.Elem())
+	case reflect.Struct:
+		if a.Type() != b.Type() {
+			return false
+		}
+		for i := 0; i < a.NumField(); i++ {
+			if !deepEqualNaN(a.Field(i), b.Field(i)) {
+				return false
+			}
+		}
+		return true
+	case reflect.Slice, reflect.Array:
+		if a.Kind() == reflect.Slice && (a.IsNil() != b.IsNil()) {
+			return false
+		}
+		if a.Len() != b.Len() {
+			return false
+		}
+		for i := 0; i < a.Len(); i++ {
+			if !deepEqualNaN(a.Index(i), b.Index(i)) {
+				return false
+			}
+		}
+		return true
+	case reflect.Map:
+		if a.IsNil() != b.IsNil() || a.Len() != b.Len() {
+			return false
+		}
+		iter := a.MapRange()
+		for iter.Next() {
+			bv := b.MapIndex(iter.Key())
+			if !bv.IsValid() || !deepEqualNaN(iter.Value(), bv) {
+				return false
+			}
+		}
+		return true
+	case reflect.String:
+		return a.String() == b.String()
+	case reflect.Bool:
+		return a.Bool() == b.Bool()
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return a.Int() == b.Int()
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		return a.Uint() == b.Uint()
+	default:
+		return a.IsNil() && b.IsNil()
+	}
+}
+
+func equalNaN(a, b interface{}) bool {
+	return deepEqualNaN(reflect.ValueOf(a), reflect.ValueOf(b))
+}
+
+// snapsEqualModuloElapsed compares snapshot traces ignoring the one
+// wall-clock field, which is nondeterministic even between two
+// uninterrupted campaigns.
+func snapsEqualModuloElapsed(t *testing.T, got, want []Snapshot, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d snapshots, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		a, b := got[i], want[i]
+		a.Elapsed, b.Elapsed = 0, 0
+		if !equalNaN(a, b) {
+			t.Fatalf("%s: snapshot %d differs:\n got %+v\nwant %+v", label, i, a, b)
+		}
+	}
+}
+
+// TestStateRoundTripAtEveryBatch checkpoints a campaign after every
+// batch, restores from the serialized state, continues, and requires
+// the resumed snapshot trace (and stop-rule verdicts) to be identical
+// to the uninterrupted campaign — the analyzer half of the journal's
+// bit-identical-resume invariant.
+func TestStateRoundTripAtEveryBatch(t *testing.T) {
+	const nBatches, batchSize = 12, 25
+	batches := stateTestBatches(nBatches, batchSize)
+	opts := Options{BlockSize: 10}
+	newRule := func() StopRule { return PWCETDelta(1e-12, 0.02, 2) }
+
+	ref := NewOnlineAnalyzer(opts, newRule())
+	for _, b := range batches {
+		if _, err := ref.ObserveBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refSnaps := ref.Snapshots()
+
+	for split := 1; split < nBatches; split++ {
+		head := NewOnlineAnalyzer(opts, newRule())
+		for _, b := range batches[:split] {
+			if _, err := head.ObserveBatch(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		state, err := head.MarshalState()
+		if err != nil {
+			t.Fatalf("split %d: MarshalState: %v", split, err)
+		}
+		state2, err := head.MarshalState()
+		if err != nil || !bytes.Equal(state, state2) {
+			t.Fatalf("split %d: MarshalState is not deterministic", split)
+		}
+		resumed, err := RestoreOnlineAnalyzer(opts, newRule(), state)
+		if err != nil {
+			t.Fatalf("split %d: restore: %v", split, err)
+		}
+		if resumed.Runs() != head.Runs() || resumed.TotalRuns() != head.TotalRuns() || resumed.Done() != head.Done() {
+			t.Fatalf("split %d: restored counters diverge: runs %d/%d total %d/%d done %v/%v",
+				split, resumed.Runs(), head.Runs(), resumed.TotalRuns(), head.TotalRuns(), resumed.Done(), head.Done())
+		}
+		for _, b := range batches[split:] {
+			if _, err := resumed.ObserveBatch(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		snapsEqualModuloElapsed(t, resumed.Snapshots(), refSnaps, "resumed trace")
+
+		refFinal, err := ref.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotFinal, err := resumed.Finalize()
+		if err != nil {
+			t.Fatalf("split %d: resumed Finalize: %v", split, err)
+		}
+		if !equalNaN(gotFinal, refFinal) {
+			t.Fatalf("split %d: final per-path analysis diverges after resume", split)
+		}
+	}
+}
+
+// TestStateRuleStreakSurvivesRestore checkpoints one batch before a
+// convergence rule fires: the restored rule must fire exactly where the
+// uninterrupted one does, proving the Done-replay rebuilt the streak.
+func TestStateRuleStreakSurvivesRestore(t *testing.T) {
+	const nBatches, batchSize = 14, 25
+	batches := stateTestBatches(nBatches, batchSize)
+	opts := Options{BlockSize: 10}
+	newRule := func() StopRule { return CRPSConverged(1e3, 3) } // generous threshold: fires on streak length alone
+
+	ref := NewOnlineAnalyzer(opts, newRule())
+	fireAt := -1
+	for i, b := range batches {
+		snap, err := ref.ObserveBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Done && fireAt < 0 {
+			fireAt = i
+		}
+	}
+	if fireAt < 1 {
+		t.Fatalf("rule fired at batch %d; test needs a mid-campaign firing", fireAt)
+	}
+
+	head := NewOnlineAnalyzer(opts, newRule())
+	for _, b := range batches[:fireAt] {
+		if _, err := head.ObserveBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if head.Done() {
+		t.Fatal("head campaign already done before the split")
+	}
+	state, err := head.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := RestoreOnlineAnalyzer(opts, newRule(), state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := resumed.ObserveBatch(batches[fireAt])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Done {
+		t.Fatalf("restored rule did not fire at batch %d: streak state lost in restore", fireAt)
+	}
+}
+
+// TestStateNaNRoundTrip exercises the non-finite snapshot fields the
+// standard JSON encoder rejects.
+func TestStateNaNRoundTrip(t *testing.T) {
+	opts := Options{BlockSize: 10}
+	o := NewOnlineAnalyzer(opts, nil)
+	// One small batch: no gate, no fit, Delta and PWCETRelDelta are NaN.
+	if _, err := o.ObserveBatch([]Observation{{Cycles: 100, Path: "p"}, {Cycles: 101, Path: "p"}}); err != nil {
+		t.Fatal(err)
+	}
+	state, err := o.MarshalState()
+	if err != nil {
+		t.Fatalf("MarshalState with NaN snapshot fields: %v", err)
+	}
+	restored, err := RestoreOnlineAnalyzer(opts, nil, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := restored.Snapshots()
+	if len(snaps) != 1 {
+		t.Fatalf("restored %d snapshots, want 1", len(snaps))
+	}
+	if !math.IsNaN(snaps[0].Delta) || !math.IsNaN(snaps[0].PWCETRelDelta) {
+		t.Errorf("NaN fields did not survive: delta=%v rel=%v", snaps[0].Delta, snaps[0].PWCETRelDelta)
+	}
+}
+
+func TestStateRejectsGarbage(t *testing.T) {
+	if _, err := RestoreOnlineAnalyzer(Options{}, nil, []byte("not json")); err == nil {
+		t.Error("garbage state accepted")
+	}
+	if _, err := RestoreOnlineAnalyzer(Options{}, nil, []byte(`{"version":999}`)); err == nil {
+		t.Error("future state version accepted")
+	}
+}
+
+// TestPublishSnapshot re-emits a recorded snapshot and checks the
+// replayed analysis event matches a live one field for field.
+func TestPublishSnapshot(t *testing.T) {
+	const nBatches, batchSize = 6, 25
+	batches := stateTestBatches(nBatches, batchSize)
+	opts := Options{BlockSize: 10}
+
+	live := telemetry.New()
+	sink := telemetry.NewRingSink(1024)
+	live.Attach(sink)
+	o := NewOnlineAnalyzer(opts, nil)
+	o.SetTelemetry(live)
+	for _, b := range batches {
+		if _, err := o.ObserveBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	liveEvents := sink.Events()
+
+	replay := telemetry.New()
+	replaySink := telemetry.NewRingSink(1024)
+	replay.Attach(replaySink)
+	o.SetTelemetry(replay)
+	for i := 0; i < nBatches; i++ {
+		o.PublishSnapshot(i)
+	}
+	replayEvents := replaySink.Events()
+
+	if len(replayEvents) != len(liveEvents) {
+		t.Fatalf("replayed %d events, live emitted %d", len(replayEvents), len(liveEvents))
+	}
+	for i := range liveEvents {
+		if !liveEvents[i].Equal(replayEvents[i]) {
+			t.Errorf("event %d differs: live %+v replay %+v", i, liveEvents[i], replayEvents[i])
+		}
+	}
+
+	// Out-of-range indices are ignored, not panics.
+	o.PublishSnapshot(-1)
+	o.PublishSnapshot(nBatches)
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 	"repro/internal/tvca"
+	"repro/internal/wal"
 )
 
 // Params configures a full evaluation run.
@@ -57,6 +58,16 @@ type Params struct {
 	// trajectory. Nil keeps every campaign untelemetered and
 	// bit-identical to earlier revisions.
 	Telemetry *telemetry.Registry
+	// Journal, when set, makes the RAND campaign crash-safe: every
+	// completed run and a per-batch checkpoint are written to an
+	// append-only checksummed WAL at this path, fsynced once per batch.
+	// The empty string (default) does no durability work at all.
+	Journal string
+	// Resume continues the campaign journaled at Journal instead of
+	// starting over: already-journaled runs are not re-executed, and the
+	// completed campaign is bit-identical to an uninterrupted one. The
+	// journal's identity record must match the configured campaign.
+	Resume bool
 }
 
 // DefaultParams returns the paper's evaluation setup.
@@ -119,7 +130,18 @@ func (e *Env) RAND() (*platform.CampaignResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		// One barrier at the end, as in earlier revisions — except when
+		// journaling, where the engine default granularity (250) bounds
+		// the re-execution window after a crash.
 		so.BatchSize = e.P.Runs
+		if e.P.Journal != "" {
+			so.BatchSize = 0
+			cleanup, err := e.wireJournal(&so, nil, nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			defer cleanup()
+		}
 		c, err := platform.StreamCampaign(context.Background(), platform.RAND(), e.app, so, nil)
 		if err != nil {
 			return nil, err
@@ -127,6 +149,78 @@ func (e *Env) RAND() (*platform.CampaignResult, error) {
 		e.setRAND(c)
 	}
 	return e.rand, nil
+}
+
+// wireJournal attaches the WAL durability layer to so: Create for a
+// fresh campaign, recover-and-resume under Params.Resume. state
+// provides the per-barrier checkpoint payload (nil journals runs
+// without analyzer state); onResume runs after recovery with the plan
+// and the mutable resume state (to restore analyzer state); publish
+// re-emits the analysis event of one replayed batch (nil when the
+// campaign has no online analyzer). The returned func closes the
+// journal.
+func (e *Env) wireJournal(so *platform.StreamOptions, state func() ([]byte, error), onResume func(*wal.ResumePlan, *platform.ResumeState) error, publish func(batch int)) (func() error, error) {
+	// Normalize the batch size the same way the engine will, so the
+	// journaled identity record holds the effective value.
+	if so.BatchSize <= 0 {
+		so.BatchSize = 250
+	}
+	if so.BatchSize > so.MaxRuns {
+		so.BatchSize = so.MaxRuns
+	}
+	meta := wal.Meta{
+		Platform:  platform.RAND().Name,
+		Workload:  e.app.Name(),
+		BaseSeed:  so.BaseSeed,
+		MaxRuns:   so.MaxRuns,
+		BatchSize: so.BatchSize,
+	}
+	if !e.P.Resume {
+		jw, err := wal.Create(e.P.Journal, meta, e.P.Telemetry)
+		if err != nil {
+			return nil, err
+		}
+		j := wal.NewCampaignJournal(jw, state)
+		so.Journal = j
+		return j.Close, nil
+	}
+	plan, err := wal.PrepareResume(e.P.Journal, e.P.Telemetry)
+	if err != nil {
+		return nil, err
+	}
+	if err := plan.Meta.Validate(meta); err != nil {
+		plan.Writer.Close()
+		return nil, err
+	}
+	j := wal.NewCampaignJournal(plan.Writer, state)
+	rs := plan.Resume
+	if onResume != nil {
+		if err := onResume(plan, &rs); err != nil {
+			plan.Writer.Close()
+			return nil, err
+		}
+	}
+	so.Journal = j
+	so.Resume = &rs
+	if e.P.Telemetry != nil {
+		// Re-emit the journaled batches' event stream so a resumed
+		// campaign's telemetry matches an uninterrupted one.
+		reg, rsCopy, batch := e.P.Telemetry, rs, so.BatchSize
+		so.Replay = func() {
+			for i := 0; i < rsCopy.StartBatch; i++ {
+				start := i * batch
+				end := start + batch
+				if end > rsCopy.Delivered {
+					end = rsCopy.Delivered
+				}
+				platform.ReplayBatch(reg, platform.Batch{Index: i, Start: start, Results: rsCopy.Prefix[start:end]})
+				if publish != nil {
+					publish(i)
+				}
+			}
+		}
+	}
+	return j.Close, nil
 }
 
 // randStreamOptions assembles the RAND campaign's stream options,
@@ -165,7 +259,32 @@ func (e *Env) FaultSummary() *faults.Summary { return e.randFault }
 // engine with a pWCET(1e-12)-delta stop rule.
 func (e *Env) randConverged() (*platform.CampaignResult, error) {
 	rule := core.PWCETDelta(1e-12, e.P.ConvergeTol, 2)
+	so, err := e.randStreamOptions()
+	if err != nil {
+		return nil, err
+	}
 	online := core.NewOnlineAnalyzer(e.P.Analysis, rule)
+	if e.P.Journal != "" {
+		cleanup, jerr := e.wireJournal(&so,
+			func() ([]byte, error) { return online.MarshalState() },
+			func(plan *wal.ResumePlan, rs *platform.ResumeState) error {
+				if plan.State == nil {
+					return nil
+				}
+				restored, rerr := core.RestoreOnlineAnalyzer(e.P.Analysis, rule, plan.State)
+				if rerr != nil {
+					return fmt.Errorf("experiments: restore analyzer state from %s: %w", e.P.Journal, rerr)
+				}
+				online = restored
+				rs.Stopped = online.Done()
+				return nil
+			},
+			func(batch int) { online.PublishSnapshot(batch) })
+		if jerr != nil {
+			return nil, jerr
+		}
+		defer cleanup()
+	}
 	online.SetTelemetry(e.P.Telemetry)
 	sink := func(b platform.Batch) (bool, error) {
 		obs := make([]core.Observation, len(b.Results))
@@ -177,10 +296,6 @@ func (e *Env) randConverged() (*platform.CampaignResult, error) {
 			return false, err
 		}
 		return snap.Done, nil
-	}
-	so, err := e.randStreamOptions()
-	if err != nil {
-		return nil, err
 	}
 	c, err := platform.StreamCampaign(context.Background(), platform.RAND(), e.app, so, sink)
 	if err != nil {

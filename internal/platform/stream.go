@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/telemetry"
@@ -20,6 +21,21 @@ var ErrCanceled = errors.New("platform: campaign canceled")
 // RunTimeout. The run is retried under the campaign's RetryPolicy; the
 // error surfaces only once the attempts are exhausted.
 var ErrRunTimeout = errors.New("platform: run timed out")
+
+// ErrWorkerPanic reports that a worker panicked while executing a run.
+// The panic is recovered at the run boundary and — like a timeout —
+// handled by the supervision policy: the worker restarts on a fresh
+// board and the run is re-queued seed-preserved.
+var ErrWorkerPanic = errors.New("platform: worker panicked")
+
+// ErrDegraded reports that a campaign gave up on its workers: the
+// consecutive-restart budget (SupervisionPolicy.MaxRestarts) was
+// exhausted without a successful run in between. A degraded campaign is
+// not a crash — the engine flushes every completed run to the journal
+// and returns the partial (statistically clean) sample alongside an
+// error matching errors.Is(err, ErrDegraded) that wraps the restart
+// causes via errors.Join.
+var ErrDegraded = errors.New("platform: campaign degraded, worker restart budget exhausted")
 
 // RunFunc executes one measurement run on a worker's platform. It is
 // the per-run extension point of StreamCampaign: the default is
@@ -38,6 +54,81 @@ type RetryPolicy struct {
 	// Backoff is the sleep before the first retry; it doubles on each
 	// further retry. Zero retries immediately.
 	Backoff time.Duration
+}
+
+// SupervisionPolicy bounds worker restarts. A worker is restarted (on a
+// fresh board, with backoff, the in-flight run re-queued under its
+// original seed) when a run panics or times out past its retry budget;
+// other errors still fail the campaign immediately. The zero value
+// selects the defaults: 8 consecutive restarts, 10ms initial backoff.
+// MaxRestarts < 0 disables restarts entirely — a panic or exhausted
+// timeout then aborts the campaign like any other worker error.
+type SupervisionPolicy struct {
+	// MaxRestarts is the number of consecutive restarts (across all
+	// workers, reset by any successful run) tolerated before the
+	// campaign degrades with ErrDegraded. 0 selects 8; < 0 disables
+	// restarts.
+	MaxRestarts int
+	// Backoff is the sleep before the first restart; it doubles on each
+	// consecutive restart, capped at 1s. 0 selects 10ms.
+	Backoff time.Duration
+}
+
+func (p SupervisionPolicy) withDefaults() SupervisionPolicy {
+	if p.MaxRestarts == 0 {
+		p.MaxRestarts = 8
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = 10 * time.Millisecond
+	}
+	return p
+}
+
+// Journal persists a campaign's progress for crash recovery. The engine
+// drives it single-threaded from the batch barrier: LogRun for each
+// newly completed run in run order, then Barrier after the sink has
+// observed the batch (the implementation checkpoints derived state and
+// makes everything durable). Flush is called instead of Barrier when
+// the campaign ends mid-batch — cancellation or degradation — so
+// completed runs are durable even without a new checkpoint.
+type Journal interface {
+	LogRun(run int, seed uint64, r RunResult) error
+	Barrier(b Batch) error
+	Flush() error
+}
+
+// ResumeState primes StreamCampaign with the journaled progress of an
+// interrupted campaign. Prefix holds every journaled result (a
+// contiguous run prefix); Delivered counts the runs the sink had
+// already observed before the crash (the last checkpoint). Runs between
+// Delivered and len(Prefix) — a cancellation-flushed partial batch —
+// are not re-executed: they fill the head of batch StartBatch, and the
+// engine executes only the missing seeds.
+type ResumeState struct {
+	StartBatch int
+	Delivered  int
+	Prefix     []RunResult
+	// Stopped marks a journal whose campaign had already ended at the
+	// last barrier (its stop rule fired). No further runs execute: the
+	// campaign returns the journaled prefix, emitting only the
+	// campaign-end telemetry.
+	Stopped bool
+}
+
+func (rs *ResumeState) validate(o StreamOptions) error {
+	switch {
+	case rs.Delivered < 0 || rs.Delivered > o.MaxRuns:
+		return fmt.Errorf("platform: resume state delivered %d outside [0,%d]", rs.Delivered, o.MaxRuns)
+	case len(rs.Prefix) < rs.Delivered || len(rs.Prefix) > o.MaxRuns:
+		return fmt.Errorf("platform: resume prefix %d runs, delivered %d, budget %d", len(rs.Prefix), rs.Delivered, o.MaxRuns)
+	case len(rs.Prefix)-rs.Delivered > o.BatchSize:
+		return fmt.Errorf("platform: resume tail %d runs exceeds batch size %d", len(rs.Prefix)-rs.Delivered, o.BatchSize)
+	case rs.Delivered < o.MaxRuns && rs.Delivered != rs.StartBatch*o.BatchSize:
+		return fmt.Errorf("platform: resume state inconsistent: %d delivered runs at batch %d (batch size %d)", rs.Delivered, rs.StartBatch, o.BatchSize)
+	case rs.Stopped && len(rs.Prefix) != rs.Delivered:
+		return fmt.Errorf("platform: stopped resume state carries %d undelivered runs", len(rs.Prefix)-rs.Delivered)
+	}
+	return nil
 }
 
 // StreamOptions tunes StreamCampaign.
@@ -70,6 +161,24 @@ type StreamOptions struct {
 	// per-run seed, so a retry that succeeds yields the exact result the
 	// first attempt would have.
 	Retry RetryPolicy
+	// Supervise bounds worker restarts after panics and exhausted
+	// timeouts (see SupervisionPolicy; the zero value enables the
+	// defaults).
+	Supervise SupervisionPolicy
+	// Journal, when non-nil, receives every completed run and a barrier
+	// call per batch, making the campaign crash-recoverable. Nil (the
+	// default) keeps the engine free of durability work: the run loop is
+	// bit-identical and allocation-identical to an unjournaled campaign.
+	Journal Journal
+	// Resume primes the campaign with journaled progress; see
+	// ResumeState. Nil starts from run 0.
+	Resume *ResumeState
+	// Replay, when non-nil, runs right after the campaign_start event is
+	// emitted and before any run executes — the resume path uses it to
+	// re-emit the telemetry event stream of already-journaled batches so
+	// a resumed campaign's JSONL is byte-identical to an uninterrupted
+	// one.
+	Replay func()
 	// Telemetry attaches a metrics/event registry to the campaign. Nil
 	// disables telemetry entirely: the run loop is bit-identical and
 	// allocation-identical to an untelemetered campaign. When set, the
@@ -111,6 +220,93 @@ type Batch struct {
 // A nil sink streams to nobody (a plain fixed-size campaign).
 type BatchSink func(b Batch) (stop bool, err error)
 
+// supervisor tracks the consecutive-restart budget shared by all
+// workers of one campaign.
+type supervisor struct {
+	policy SupervisionPolicy
+	tele   *telemetry.Registry
+
+	consec atomic.Int64
+	mu     sync.Mutex
+	causes []error
+}
+
+func newSupervisor(p SupervisionPolicy, reg *telemetry.Registry) *supervisor {
+	return &supervisor{policy: p.withDefaults(), tele: reg}
+}
+
+// noteSuccess resets the consecutive-restart budget after any
+// successful run. The fast path (no restarts pending) is a single
+// atomic load.
+func (s *supervisor) noteSuccess() {
+	if s.consec.Load() == 0 {
+		return
+	}
+	s.consec.Store(0)
+	s.mu.Lock()
+	s.causes = nil
+	s.mu.Unlock()
+}
+
+// restartable reports whether a run failure is a supervision matter
+// (panic or exhausted timeout) rather than a campaign-fatal error.
+func (s *supervisor) restartable(err error) bool {
+	if s.policy.MaxRestarts < 0 {
+		return false
+	}
+	return errors.Is(err, ErrWorkerPanic) || errors.Is(err, ErrRunTimeout)
+}
+
+// allowRestart records the failure and charges the restart budget.
+// Returning false means the budget is exhausted: the campaign degrades.
+func (s *supervisor) allowRestart(wk, run int, err error) bool {
+	s.mu.Lock()
+	s.causes = append(s.causes, fmt.Errorf("worker %d, run %d: %w", wk, run, err))
+	s.mu.Unlock()
+	n := s.consec.Add(1)
+	if n > int64(s.policy.MaxRestarts) {
+		s.tele.Gauge("campaign_degraded").Set(1)
+		return false
+	}
+	s.tele.Counter("worker_restarts_total").Inc()
+	return true
+}
+
+// degradedCauses returns the recorded failures when the budget was
+// exhausted, nil otherwise.
+func (s *supervisor) degradedCauses() []error {
+	if s.consec.Load() <= int64(s.policy.MaxRestarts) {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]error(nil), s.causes...)
+}
+
+// backoff sleeps before a restart (doubling per consecutive restart,
+// capped at 1s); returns false if ctx fires first.
+func (s *supervisor) backoff(ctx context.Context) bool {
+	d := s.policy.Backoff
+	if n := s.consec.Load(); n > 1 {
+		shift := n - 1
+		if shift > 10 {
+			shift = 10
+		}
+		d <<= shift
+	}
+	if d > time.Second {
+		d = time.Second
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
 // StreamCampaign executes a measurement campaign in deterministic
 // batches: workers run a batch in parallel, the batch completes as a
 // barrier, and the sink observes the ordered prefix collected so far —
@@ -121,17 +317,35 @@ type BatchSink func(b Batch) (stop bool, err error)
 //
 // On the first worker error the remaining workers stop at their next
 // run boundary and the error is returned; when several workers fail,
-// all distinct errors are reported via errors.Join. Context
-// cancellation likewise stops the workers promptly and returns an error
-// matching errors.Is(err, ErrCanceled).
+// all distinct errors are reported via errors.Join. Panics and
+// exhausted timeouts are supervision matters instead (see
+// SupervisionPolicy): the worker restarts on a fresh board and the run
+// re-executes under its original seed, so a recovered hiccup leaves no
+// trace in the measured series. Context cancellation stops the workers
+// promptly; the completed contiguous run prefix of the current batch is
+// flushed to the journal and returned as a partial result alongside an
+// error matching errors.Is(err, ErrCanceled). A campaign that exhausts
+// its restart budget ends the same way with ErrDegraded.
 func StreamCampaign(ctx context.Context, cfg Config, w Workload, opts StreamOptions, sink BatchSink) (*CampaignResult, error) {
 	if opts.MaxRuns < 1 {
 		return nil, fmt.Errorf("platform: campaign needs >= 1 run, got %d", opts.MaxRuns)
 	}
 	o := opts.withDefaults()
 
+	executed, delivered, batch0 := 0, 0, 0
+	if o.Resume != nil {
+		if err := o.Resume.validate(o); err != nil {
+			return nil, err
+		}
+		executed = len(o.Resume.Prefix)
+		delivered = o.Resume.Delivered
+		batch0 = o.Resume.StartBatch
+		o.Telemetry.Counter("campaign_resumes_total").Inc()
+	}
+
 	// One platform per worker, reused across batches: PrepareRun resets
-	// every stateful resource, so reuse is protocol-compliant.
+	// every stateful resource, so reuse is protocol-compliant. A
+	// supervised restart swaps in a fresh board.
 	boards := make([]*Platform, o.Parallel)
 	for i := range boards {
 		p, err := New(cfg)
@@ -143,10 +357,14 @@ func StreamCampaign(ctx context.Context, cfg Config, w Workload, opts StreamOpti
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	sup := newSupervisor(o.Supervise, o.Telemetry)
 
 	var tele *streamTele
 	if o.Telemetry != nil {
 		tele = newStreamTele(o.Telemetry, boards, o, w.Name())
+	}
+	if o.Replay != nil {
+		o.Replay()
 	}
 
 	res := &CampaignResult{
@@ -154,50 +372,149 @@ func StreamCampaign(ctx context.Context, cfg Config, w Workload, opts StreamOpti
 		Workload: w.Name(),
 		Results:  make([]RunResult, 0, o.MaxRuns),
 	}
-	stopped := false
-	for batch := 0; len(res.Results) < o.MaxRuns; batch++ {
-		start := len(res.Results)
+	if o.Resume != nil {
+		res.Results = append(res.Results, o.Resume.Prefix...)
+	}
+
+	// finishPartial journals and returns the contiguous completed prefix
+	// when the campaign ends mid-batch (cancellation or degradation).
+	finishPartial := func(total, journaledFrom int) error {
+		res.Results = res.Results[:total]
+		if o.Journal == nil {
+			return nil
+		}
+		for run := journaledFrom; run < total; run++ {
+			if err := o.Journal.LogRun(run, DeriveRunSeed(o.BaseSeed, run), res.Results[run]); err != nil {
+				return fmt.Errorf("platform: journal: %w", err)
+			}
+		}
+		if err := o.Journal.Flush(); err != nil {
+			return fmt.Errorf("platform: journal: %w", err)
+		}
+		return nil
+	}
+
+	stopped := o.Resume != nil && o.Resume.Stopped
+	for batch := batch0; delivered < o.MaxRuns && !stopped; batch++ {
+		start := delivered
 		batchStart := time.Now()
 		n := o.BatchSize
 		if start+n > o.MaxRuns {
 			n = o.MaxRuns - start
 		}
-		res.Results = res.Results[:start+n]
-		out := res.Results[start : start+n]
+		end := start + n
+		if len(res.Results) < end {
+			res.Results = res.Results[:end]
+		}
+		out := res.Results[start:end]
+		// filled counts results this batch inherits from the resume
+		// prefix (a cancellation-flushed tail): they are not re-executed.
+		filled := executed - start
+		if filled < 0 {
+			filled = 0
+		}
+		if filled > n {
+			filled = n
+		}
+		done := make([]bool, n)
+		for i := 0; i < filled; i++ {
+			done[i] = true
+		}
 
-		next := make(chan int, n)
-		for i := 0; i < n; i++ {
+		next := make(chan int, n-filled)
+		for i := filled; i < n; i++ {
 			next <- start + i
 		}
 		close(next)
 
 		errs := make([]error, len(boards))
 		var wg sync.WaitGroup
-		for wk, board := range boards {
+		for wk := range boards {
 			wg.Add(1)
-			go func(wk int, board *Platform) {
+			go func(wk int) {
 				defer wg.Done()
-				for run := range next {
+				pending := -1 // re-queued run after a supervised restart
+				for {
+					run := pending
+					pending = -1
+					if run < 0 {
+						r, ok := <-next
+						if !ok {
+							return
+						}
+						run = r
+					}
 					if runCtx.Err() != nil {
 						return
 					}
-					r, err := runResilient(runCtx, o, board, w, run)
-					if err != nil {
+					r, err := safeRun(runCtx, o, boards[wk], w, run)
+					if err == nil {
+						out[run-start] = r
+						done[run-start] = true
+						sup.noteSuccess()
+						continue
+					}
+					if runCtx.Err() != nil {
+						return // campaign is already ending
+					}
+					if !sup.restartable(err) {
 						errs[wk] = err
 						cancel() // stop the other workers at their next run boundary
 						return
 					}
-					out[run-start] = r
+					if !sup.allowRestart(wk, run, err) {
+						cancel() // degraded: end the campaign at the barrier
+						return
+					}
+					if !sup.backoff(runCtx) {
+						return
+					}
+					fresh, err := New(cfg)
+					if err != nil {
+						errs[wk] = fmt.Errorf("platform: worker %d restart: %w", wk, err)
+						cancel()
+						return
+					}
+					boards[wk] = fresh
+					pending = run // re-queue seed-preserved
 				}
-			}(wk, board)
+			}(wk)
 		}
 		wg.Wait()
 
+		// k is the contiguous completed prefix of this batch — the only
+		// part that is usable (and journalable) if the campaign ends here.
+		k := 0
+		for k < n && done[k] {
+			k++
+		}
+		journaledFrom := start + filled
+
 		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("%w after %d runs: %w", ErrCanceled, start, err)
+			if ferr := finishPartial(start+k, journaledFrom); ferr != nil {
+				return nil, ferr
+			}
+			return res, fmt.Errorf("%w after %d runs: %w", ErrCanceled, start+k, err)
+		}
+		if causes := sup.degradedCauses(); causes != nil {
+			if ferr := finishPartial(start+k, journaledFrom); ferr != nil {
+				return nil, ferr
+			}
+			return res, fmt.Errorf("%w after %d runs: %w", ErrDegraded, start+k, errors.Join(causes...))
 		}
 		if err := joinDistinct(errs); err != nil {
 			return nil, err
+		}
+
+		if executed < end {
+			executed = end
+		}
+		if o.Journal != nil {
+			for run := journaledFrom; run < end; run++ {
+				if err := o.Journal.LogRun(run, DeriveRunSeed(o.BaseSeed, run), out[run-start]); err != nil {
+					return nil, fmt.Errorf("platform: journal: %w", err)
+				}
+			}
 		}
 		b := Batch{Index: batch, Start: start, Results: out}
 		if tele != nil {
@@ -208,16 +525,31 @@ func StreamCampaign(ctx context.Context, cfg Config, w Workload, opts StreamOpti
 			if err != nil {
 				return nil, err
 			}
-			if stop {
-				stopped = true
-				break
+			stopped = stop
+		}
+		if o.Journal != nil {
+			if err := o.Journal.Barrier(b); err != nil {
+				return nil, fmt.Errorf("platform: journal: %w", err)
 			}
 		}
+		delivered = end
 	}
 	if tele != nil {
 		tele.finish(len(res.Results), stopped)
 	}
 	return res, nil
+}
+
+// safeRun executes one run, converting a worker panic into an error
+// matching ErrWorkerPanic so the supervision policy can handle it at
+// the run boundary instead of crashing the process.
+func safeRun(ctx context.Context, o StreamOptions, board *Platform, w Workload, run int) (r RunResult, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			r, err = RunResult{}, fmt.Errorf("%w: run %d: %v", ErrWorkerPanic, run, p)
+		}
+	}()
+	return runResilient(ctx, o, board, w, run)
 }
 
 // runResilient executes one run through the configured Runner with the

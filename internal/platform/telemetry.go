@@ -85,6 +85,7 @@ func subTLB(a, b tlb.Stats) tlb.Stats {
 type streamTele struct {
 	reg     *telemetry.Registry
 	prev    []BoardStats
+	seen    []*Platform // which board produced prev[i]
 	started time.Time
 
 	runs, clean, quarantined, faults, batches *telemetry.Counter
@@ -101,6 +102,7 @@ func newStreamTele(reg *telemetry.Registry, boards []*Platform, o StreamOptions,
 	t := &streamTele{
 		reg:          reg,
 		prev:         make([]BoardStats, len(boards)),
+		seen:         make([]*Platform, len(boards)),
 		started:      time.Now(),
 		runs:         reg.Counter("campaign_runs_total"),
 		clean:        reg.Counter("campaign_clean_runs_total"),
@@ -115,6 +117,7 @@ func newStreamTele(reg *telemetry.Registry, boards []*Platform, o StreamOptions,
 	}
 	for i, b := range boards {
 		t.prev[i] = b.BoardStats()
+		t.seen[i] = b
 	}
 	reg.Emit("campaign_start", -1,
 		telemetry.Str("platform", boards[0].Config().Name),
@@ -126,10 +129,13 @@ func newStreamTele(reg *telemetry.Registry, boards []*Platform, o StreamOptions,
 	return t
 }
 
-// observeBatch folds one completed batch into the registry: result-
-// derived counters and per-run events (in run order), then the summed
-// substrate deltas of every worker board, then the derived gauges.
-func (t *streamTele) observeBatch(b Batch, boards []*Platform, elapsed time.Duration) {
+// emitBatchResults publishes everything about a batch that is derivable
+// from its results alone — outcome counters, per-run events (in run
+// order), campaign counters, and the batch event. It is shared between
+// the live barrier harvest and the resume replay, which re-emits
+// journaled batches so the event stream of a resumed campaign is
+// byte-identical to an uninterrupted one.
+func emitBatchResults(reg *telemetry.Registry, b Batch) {
 	var cycles, instructions, faults uint64
 	var quarantined int
 	for _, r := range b.Results {
@@ -138,7 +144,7 @@ func (t *streamTele) observeBatch(b Batch, boards []*Platform, elapsed time.Dura
 		faults += uint64(r.Faults)
 		if r.Quarantined() {
 			quarantined++
-			t.reg.Counter("campaign_outcome_" + telemetry.SanitizeName(r.Outcome) + "_total").Inc()
+			reg.Counter("campaign_outcome_" + telemetry.SanitizeName(r.Outcome) + "_total").Inc()
 		}
 	}
 	for i, r := range b.Results {
@@ -153,19 +159,55 @@ func (t *streamTele) observeBatch(b Batch, boards []*Platform, elapsed time.Dura
 			fields = append(fields, telemetry.Str("outcome", r.Outcome),
 				telemetry.Num("faults", float64(r.Faults)))
 		}
-		t.reg.Emit("run", b.Start+i, fields...)
+		reg.Emit("run", b.Start+i, fields...)
 	}
 
-	t.runs.Add(uint64(len(b.Results)))
-	t.clean.Add(uint64(len(b.Results) - quarantined))
-	t.quarantined.Add(uint64(quarantined))
-	t.faults.Add(faults)
-	t.batches.Inc()
-	t.cycles.Add(cycles)
-	t.instructions.Add(instructions)
+	reg.Counter("campaign_runs_total").Add(uint64(len(b.Results)))
+	reg.Counter("campaign_clean_runs_total").Add(uint64(len(b.Results) - quarantined))
+	reg.Counter("campaign_quarantined_total").Add(uint64(quarantined))
+	reg.Counter("campaign_faults_injected_total").Add(faults)
+	reg.Counter("campaign_batches_total").Inc()
+	reg.Counter("sim_cycles_total").Add(cycles)
+	reg.Counter("sim_instructions_total").Add(instructions)
+
+	reg.Emit("batch", -1,
+		telemetry.Num("batch", float64(b.Index)),
+		telemetry.Num("start", float64(b.Start)),
+		telemetry.Num("runs", float64(len(b.Results))),
+		telemetry.Num("cycles", float64(cycles)),
+		telemetry.Num("quarantined", float64(quarantined)),
+	)
+}
+
+// ReplayBatch re-emits a journaled batch's result-derived telemetry —
+// the resume path's half of the event stream (the analysis events are
+// replayed by the analyzer). Board-level substrate counters (cache,
+// TLB, FPU) and the wall-clock instruments cannot be reconstructed from
+// run records and are documented resume exclusions, like the existing
+// parallelism exclusions of DESIGN.md §11.
+func ReplayBatch(reg *telemetry.Registry, b Batch) {
+	if reg == nil {
+		return
+	}
+	emitBatchResults(reg, b)
+}
+
+// observeBatch folds one completed batch into the registry: result-
+// derived counters and per-run events (in run order), then the summed
+// substrate deltas of every worker board, then the derived gauges.
+func (t *streamTele) observeBatch(b Batch, boards []*Platform, elapsed time.Duration) {
+	emitBatchResults(t.reg, b)
 
 	for i, board := range boards {
 		cur := board.BoardStats()
+		if t.seen[i] != board {
+			// The board was replaced by a supervised restart: its
+			// predecessor's unharvested work is gone, so restart the
+			// delta baseline rather than underflowing the counters.
+			t.seen[i] = board
+			t.prev[i] = cur
+			continue
+		}
 		delta := cur.Sub(t.prev[i])
 		t.prev[i] = cur
 		t.addCache("il1", delta.IL1)
@@ -186,14 +228,6 @@ func (t *streamTele) observeBatch(b Batch, boards []*Platform, elapsed time.Dura
 	if wall := time.Since(t.started).Seconds(); wall > 0 {
 		t.runsPerSec.Set(float64(t.runs.Value()) / wall)
 	}
-
-	t.reg.Emit("batch", -1,
-		telemetry.Num("batch", float64(b.Index)),
-		telemetry.Num("start", float64(b.Start)),
-		telemetry.Num("runs", float64(len(b.Results))),
-		telemetry.Num("cycles", float64(cycles)),
-		telemetry.Num("quarantined", float64(quarantined)),
-	)
 }
 
 func (t *streamTele) addCache(level string, s cache.Stats) {

@@ -174,6 +174,29 @@ func TelemetryTable(w io.Writer, title string, snap map[string]float64) {
 	Table(w, title, rows)
 }
 
+// MetricsTable renders a named subset of a telemetry snapshot as an
+// aligned table in the caller's order — used for focused summaries such
+// as the durability counters (wal_records_total, worker_restarts_total,
+// ...) without dumping the whole registry. Names absent from the
+// snapshot render as "-" so a fixed layout stays fixed even when an
+// instrument was never touched.
+func MetricsTable(w io.Writer, title string, snap map[string]float64, names ...string) {
+	rows := make([][2]string, 0, len(names))
+	for _, n := range names {
+		v, ok := snap[n]
+		s := "-"
+		if ok {
+			if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+				s = fmt.Sprintf("%.0f", v)
+			} else {
+				s = fmt.Sprintf("%.6g", v)
+			}
+		}
+		rows = append(rows, [2]string{n, s})
+	}
+	Table(w, title, rows)
+}
+
 // OutcomeTable renders the run-outcome taxonomy of a fault-injection
 // campaign: clean measurements kept for analysis versus quarantined
 // runs broken down by outcome class, each with its share of the total.

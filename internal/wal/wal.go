@@ -1,0 +1,200 @@
+// Package wal implements the crash-safe durability layer of the
+// measurement-campaign engine: an append-only, checksummed write-ahead
+// log of per-run records plus periodic checkpoint records carrying the
+// incremental analyzer state. A campaign that journals every completed
+// batch can be killed at any instant — power loss, OOM kill, ctrl-C —
+// and resumed to produce bit-identical results to an uninterrupted
+// campaign, which is what MBPTA's statistical protocol demands: the
+// analyzed sample must be exactly the sample that would have been
+// collected without the interruption.
+//
+// # File format
+//
+// A journal is a fixed header followed by length-prefixed records:
+//
+//	header  := magic[8]="MBPTAWAL" | version u32
+//	record  := kind u8 | len u32 | payload[len] | crc u32
+//
+// All integers are little-endian. The CRC is IEEE CRC-32 over kind,
+// len and payload, so a torn tail (partial write at the crash point)
+// or a flipped bit is detected record-by-record. Record kinds:
+//
+//	meta (1)       — campaign identity (platform, workload, base seed,
+//	                 run budget, batch size); always the first record.
+//	run (2)        — one completed measurement run: index, derived
+//	                 seed, cycles, instructions, fault outcome.
+//	checkpoint (3) — a batch barrier: batch index, runs journaled so
+//	                 far, and an opaque serialized analyzer state.
+//
+// # Write discipline
+//
+// Records are buffered and flushed with one fsync per batch barrier
+// (fsync-on-batch): run records of the batch, then the checkpoint,
+// then Sync. A crash therefore leaves either a fully valid prefix
+// ending in a checkpoint, a valid prefix plus some complete run
+// records (a cancellation flush), or a torn tail — Recover handles
+// all three, truncating to the last valid checkpoint when it finds
+// corruption rather than failing.
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+)
+
+// Format constants.
+const (
+	magic   = "MBPTAWAL"
+	version = uint32(1)
+
+	kindMeta       = byte(1)
+	kindRun        = byte(2)
+	kindCheckpoint = byte(3)
+
+	headerSize = 12 // magic + version
+	frameSize  = 9  // kind + len + crc
+	// maxPayload bounds a single record (the analyzer state of a
+	// paper-scale campaign is well under a megabyte; anything larger
+	// than this is corruption, not data).
+	maxPayload = 1 << 26
+)
+
+// Meta identifies the campaign a journal belongs to. Resume validates
+// it against the caller's configuration: replaying a journal against a
+// different platform, workload or seed would silently break the
+// bit-identity guarantee, so a mismatch is an error.
+type Meta struct {
+	Platform  string `json:"platform"`
+	Workload  string `json:"workload"`
+	BaseSeed  uint64 `json:"base_seed"`
+	MaxRuns   int    `json:"max_runs"`
+	BatchSize int    `json:"batch_size"`
+}
+
+// Validate reports whether m describes the same campaign as other.
+func (m Meta) Validate(other Meta) error {
+	if m != other {
+		return fmt.Errorf("wal: journal belongs to a different campaign: journal %+v, caller %+v", m, other)
+	}
+	return nil
+}
+
+// RunRecord is one completed measurement run as journaled.
+type RunRecord struct {
+	Run          int
+	Seed         uint64
+	Cycles       uint64
+	Instructions uint64
+	Faults       int
+	Path         string
+	Outcome      string
+}
+
+// Checkpoint is one batch-barrier record: how many runs precede it and
+// the serialized incremental-analyzer state at that barrier (empty for
+// campaigns journaled without an online analyzer).
+type Checkpoint struct {
+	Batch int
+	Runs  int
+	State []byte
+}
+
+// encodeFrame appends a complete record frame (kind, length, payload,
+// CRC) to dst.
+func encodeFrame(dst []byte, kind byte, payload []byte) []byte {
+	start := len(dst)
+	dst = append(dst, kind)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	crc := crc32.ChecksumIEEE(dst[start:])
+	return binary.LittleEndian.AppendUint32(dst, crc)
+}
+
+// encodeMeta serializes a meta payload.
+func encodeMeta(m Meta) ([]byte, error) { return json.Marshal(m) }
+
+func decodeMeta(payload []byte) (Meta, error) {
+	var m Meta
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return Meta{}, fmt.Errorf("wal: bad meta payload: %w", err)
+	}
+	return m, nil
+}
+
+// encodeRun serializes a run payload:
+//
+//	run u32 | seed u64 | cycles u64 | instructions u64 | faults u32 |
+//	pathLen u16 | path | outcomeLen u16 | outcome
+func encodeRun(dst []byte, r RunRecord) ([]byte, error) {
+	if r.Run < 0 || r.Faults < 0 {
+		return nil, fmt.Errorf("wal: negative run fields (run %d, faults %d)", r.Run, r.Faults)
+	}
+	if len(r.Path) > 0xFFFF || len(r.Outcome) > 0xFFFF {
+		return nil, fmt.Errorf("wal: run %d path/outcome too long", r.Run)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(r.Run))
+	dst = binary.LittleEndian.AppendUint64(dst, r.Seed)
+	dst = binary.LittleEndian.AppendUint64(dst, r.Cycles)
+	dst = binary.LittleEndian.AppendUint64(dst, r.Instructions)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(r.Faults))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(r.Path)))
+	dst = append(dst, r.Path...)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(r.Outcome)))
+	dst = append(dst, r.Outcome...)
+	return dst, nil
+}
+
+func decodeRun(payload []byte) (RunRecord, error) {
+	const fixed = 4 + 8 + 8 + 8 + 4 + 2
+	var r RunRecord
+	if len(payload) < fixed {
+		return r, fmt.Errorf("wal: run payload too short (%d bytes)", len(payload))
+	}
+	r.Run = int(binary.LittleEndian.Uint32(payload))
+	r.Seed = binary.LittleEndian.Uint64(payload[4:])
+	r.Cycles = binary.LittleEndian.Uint64(payload[12:])
+	r.Instructions = binary.LittleEndian.Uint64(payload[20:])
+	r.Faults = int(binary.LittleEndian.Uint32(payload[28:]))
+	rest := payload[32:]
+	n := int(binary.LittleEndian.Uint16(rest))
+	rest = rest[2:]
+	if len(rest) < n+2 {
+		return r, fmt.Errorf("wal: run payload truncated inside path")
+	}
+	r.Path = string(rest[:n])
+	rest = rest[n:]
+	n = int(binary.LittleEndian.Uint16(rest))
+	rest = rest[2:]
+	if len(rest) != n {
+		return r, fmt.Errorf("wal: run payload length mismatch (outcome wants %d, has %d)", n, len(rest))
+	}
+	r.Outcome = string(rest)
+	return r, nil
+}
+
+// encodeCheckpoint serializes a checkpoint payload:
+//
+//	batch u32 | runs u32 | state...
+func encodeCheckpoint(dst []byte, c Checkpoint) ([]byte, error) {
+	if c.Batch < 0 || c.Runs < 0 {
+		return nil, fmt.Errorf("wal: negative checkpoint fields (batch %d, runs %d)", c.Batch, c.Runs)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(c.Batch))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(c.Runs))
+	return append(dst, c.State...), nil
+}
+
+func decodeCheckpoint(payload []byte) (Checkpoint, error) {
+	var c Checkpoint
+	if len(payload) < 8 {
+		return c, fmt.Errorf("wal: checkpoint payload too short (%d bytes)", len(payload))
+	}
+	c.Batch = int(binary.LittleEndian.Uint32(payload))
+	c.Runs = int(binary.LittleEndian.Uint32(payload[4:]))
+	if len(payload) > 8 {
+		c.State = append([]byte(nil), payload[8:]...)
+	}
+	return c, nil
+}

@@ -2,6 +2,7 @@ package mbpta
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/platform"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // Sentinel errors of the v2 campaign engine, for errors.Is.
@@ -26,7 +28,19 @@ var (
 	// ErrRunTimeout reports that a run exceeded WithRunTimeout; it
 	// surfaces once the WithRetry attempts are exhausted.
 	ErrRunTimeout = platform.ErrRunTimeout
+	// ErrDegraded reports that the campaign exhausted its worker-restart
+	// budget (see WithSupervision): the partial report over the runs
+	// completed before degradation is returned alongside it, and the
+	// error wraps every restart cause via errors.Join.
+	ErrDegraded = platform.ErrDegraded
 )
+
+// IsJournalCorrupt reports whether err is unrecoverable journal
+// corruption (damaged header or campaign-identity record); the error
+// text names the journal path and the first bad byte offset. Torn
+// tails and mid-file corruption never produce it — Resume repairs
+// those by truncating to the last valid checkpoint.
+func IsJournalCorrupt(err error) bool { return wal.IsCorrupt(err) }
 
 // Streaming-campaign types.
 type (
@@ -106,6 +120,8 @@ type campaignConfig struct {
 	faults      *FaultConfig
 	runTimeout  time.Duration
 	retry       RetryPolicy
+	supervise   platform.SupervisionPolicy
+	journal     string
 	telemetry   *Telemetry
 }
 
@@ -191,6 +207,34 @@ func WithRetry(maxAttempts int, backoff time.Duration) CampaignOption {
 	}
 }
 
+// WithSupervision bounds worker restarts. A worker whose run panics or
+// times out past its retry budget is restarted on a fresh simulated
+// board with exponential backoff, the interrupted run re-queued under
+// its original seed — a recovered hiccup leaves no trace in the
+// measured series. After maxRestarts consecutive restarts with no
+// successful run in between the campaign degrades: completed runs are
+// flushed to the journal and the partial report is returned with an
+// error matching ErrDegraded. maxRestarts 0 selects the default budget
+// of 8; negative disables restarts (a panic then aborts the campaign
+// like any worker error). backoff 0 selects 10ms.
+func WithSupervision(maxRestarts int, backoff time.Duration) CampaignOption {
+	return func(c *campaignConfig) {
+		c.supervise = platform.SupervisionPolicy{MaxRestarts: maxRestarts, Backoff: backoff}
+	}
+}
+
+// WithJournal makes the campaign crash-safe: every completed run and a
+// per-batch checkpoint of the incremental analyzer state are written to
+// an append-only, checksummed write-ahead log at path (created or
+// truncated), fsynced once per batch. A campaign killed at any instant
+// can be continued with Resume, producing results bit-identical to an
+// uninterrupted campaign. Without this option the campaign does no
+// durability work at all — the run loop is bit-identical and
+// allocation-identical to pre-journal behavior.
+func WithJournal(path string) CampaignOption {
+	return func(c *campaignConfig) { c.journal = path }
+}
+
 // WithTelemetry attaches a telemetry registry to the campaign: the
 // engine harvests simulator and campaign instruments (cache/TLB hit
 // rates, IPC, runs/s, fault tallies) at each batch barrier, the
@@ -265,22 +309,150 @@ func (r *CampaignReport) TraceSet() *TraceSet {
 //	bound, _ := rep.Analysis.PWCET(1e-12)
 //
 // Error contract (all match errors.Is):
-//   - ErrCanceled: ctx was canceled mid-campaign; no report.
+//   - ErrCanceled: ctx was canceled mid-campaign. With WithJournal the
+//     completed-run prefix is flushed and the partial report returned;
+//     otherwise the report is nil.
+//   - ErrDegraded: the worker-restart budget ran out (see
+//     WithSupervision); the partial report over the runs completed
+//     before degradation is returned.
 //   - ErrNotConverged: the budget ran out before the rule fired; the
 //     full report is still returned so callers may keep the estimate.
 //   - ErrIIDGateFailed: the final analysis rejected the i.i.d. gate;
 //     the report (with nil Analysis) is returned for diagnosis.
 func Campaign(ctx context.Context, cfg PlatformConfig, w Workload, opts ...CampaignOption) (*CampaignReport, error) {
-	c := campaignConfig{runs: 3000, batch: 250}
+	c := resolveCampaignConfig(opts)
+	online := core.NewOnlineAnalyzer(c.analysis, c.rule)
+	online.SetTelemetry(c.telemetry)
+	so := c.streamOptions()
+	if c.journal != "" {
+		jw, err := wal.Create(c.journal, c.meta(cfg, w), c.telemetry)
+		if err != nil {
+			return nil, err
+		}
+		journal := wal.NewCampaignJournal(jw, online.MarshalState)
+		defer journal.Close()
+		so.Journal = journal
+	}
+	return c.execute(ctx, cfg, w, online, so)
+}
+
+// Resume continues the journaled campaign at journalPath after a crash
+// or cancellation. opts must reproduce the original campaign's
+// configuration: the journal's identity record (platform, workload,
+// base seed, run budget, batch size) is validated against it and a
+// mismatch is an error, because replaying a journal into a different
+// campaign would silently break bit-identity. The incremental analyzer
+// is restored from the last checkpoint, already-journaled runs are not
+// re-executed (a cancellation-flushed partial batch fills the head of
+// its batch and only the missing seeds run), and the journal keeps
+// extending in place, so a campaign can crash and resume any number of
+// times. The resulting report — measured series, snapshot trace,
+// convergence verdict, final analysis — is bit-identical to that of an
+// uninterrupted campaign, as is the telemetry event stream when
+// WithTelemetry is set (already-journaled batches are re-emitted before
+// execution continues; simulator-level counters of the crashed process
+// are the one exclusion, as they live and die with its boards).
+//
+// A torn tail or corrupted record truncates the journal to its last
+// valid checkpoint and resumes from there; only a damaged header or
+// identity record fails, with IsJournalCorrupt(err) true and the bad
+// byte offset in the message. Resuming a journal whose campaign had
+// already finished re-derives the report without executing any runs.
+// The error contract is Campaign's.
+func Resume(ctx context.Context, cfg PlatformConfig, w Workload, journalPath string, opts ...CampaignOption) (*CampaignReport, error) {
+	c := resolveCampaignConfig(opts)
+	plan, err := wal.PrepareResume(journalPath, c.telemetry)
+	if err != nil {
+		return nil, err
+	}
+	if err := plan.Meta.Validate(c.meta(cfg, w)); err != nil {
+		plan.Writer.Close()
+		return nil, err
+	}
+	var online *core.OnlineAnalyzer
+	if plan.State != nil {
+		online, err = core.RestoreOnlineAnalyzer(c.analysis, c.rule, plan.State)
+		if err != nil {
+			plan.Writer.Close()
+			return nil, fmt.Errorf("mbpta: restore analyzer state from %s: %w", journalPath, err)
+		}
+	} else {
+		online = core.NewOnlineAnalyzer(c.analysis, c.rule)
+	}
+	online.SetTelemetry(c.telemetry)
+
+	so := c.streamOptions()
+	journal := wal.NewCampaignJournal(plan.Writer, online.MarshalState)
+	defer journal.Close()
+	so.Journal = journal
+	rs := plan.Resume
+	rs.Stopped = online.Done()
+	so.Resume = &rs
+	if c.telemetry != nil {
+		// Re-emit the event stream of the journaled batches so a resumed
+		// campaign's telemetry is byte-identical to an uninterrupted one.
+		// Interleaving matches the live engine: per-batch run and batch
+		// events, then that batch's analysis event.
+		batchSize := so.BatchSize
+		if batchSize > so.MaxRuns {
+			batchSize = so.MaxRuns
+		}
+		so.Replay = func() {
+			for i := 0; i < rs.StartBatch; i++ {
+				start := i * batchSize
+				end := start + batchSize
+				if end > rs.Delivered {
+					end = rs.Delivered
+				}
+				platform.ReplayBatch(c.telemetry, platform.Batch{Index: i, Start: start, Results: rs.Prefix[start:end]})
+				online.PublishSnapshot(i)
+			}
+		}
+	}
+	return c.execute(ctx, cfg, w, online, so)
+}
+
+// resolveCampaignConfig applies opts over the defaults.
+func resolveCampaignConfig(opts []CampaignOption) *campaignConfig {
+	c := &campaignConfig{runs: 3000, batch: 250}
 	for _, opt := range opts {
-		opt(&c)
+		opt(c)
 	}
 	if c.rule == nil {
 		c.rule = FixedRuns(c.runs)
 	}
+	return c
+}
 
-	online := core.NewOnlineAnalyzer(c.analysis, c.rule)
-	online.SetTelemetry(c.telemetry)
+// meta is the campaign-identity record journaled at creation and
+// validated on resume.
+func (c *campaignConfig) meta(cfg PlatformConfig, w Workload) wal.Meta {
+	return wal.Meta{
+		Platform:  cfg.Name,
+		Workload:  w.Name(),
+		BaseSeed:  c.seed,
+		MaxRuns:   c.runs,
+		BatchSize: c.batch,
+	}
+}
+
+func (c *campaignConfig) streamOptions() platform.StreamOptions {
+	return platform.StreamOptions{
+		MaxRuns:    c.runs,
+		BatchSize:  c.batch,
+		Parallel:   c.parallel,
+		BaseSeed:   c.seed,
+		RunTimeout: c.runTimeout,
+		Retry:      c.retry,
+		Supervise:  c.supervise,
+		Telemetry:  c.telemetry,
+	}
+}
+
+// execute runs the streaming engine with the incremental analyzer as
+// sink and assembles the report — the shared tail of Campaign and
+// Resume.
+func (c *campaignConfig) execute(ctx context.Context, cfg PlatformConfig, w Workload, online *core.OnlineAnalyzer, so platform.StreamOptions) (*CampaignReport, error) {
 	sink := func(b StreamBatch) (bool, error) {
 		obs := make([]core.Observation, len(b.Results))
 		for i, r := range b.Results {
@@ -295,16 +467,6 @@ func Campaign(ctx context.Context, cfg PlatformConfig, w Workload, opts ...Campa
 		}
 		return snap.Done, nil
 	}
-
-	so := platform.StreamOptions{
-		MaxRuns:    c.runs,
-		BatchSize:  c.batch,
-		Parallel:   c.parallel,
-		BaseSeed:   c.seed,
-		RunTimeout: c.runTimeout,
-		Retry:      c.retry,
-		Telemetry:  c.telemetry,
-	}
 	if c.faults != nil {
 		if c.faults.Telemetry == nil {
 			c.faults.Telemetry = c.telemetry
@@ -317,17 +479,24 @@ func Campaign(ctx context.Context, cfg PlatformConfig, w Workload, opts ...Campa
 	}
 	camp, err := platform.StreamCampaign(ctx, cfg, w, so, sink)
 	if err != nil {
-		return nil, err
+		if camp == nil || !(errors.Is(err, ErrCanceled) || errors.Is(err, ErrDegraded)) {
+			return nil, err
+		}
+		// Interrupted mid-campaign with the completed prefix intact:
+		// report what was measured. The analyzer has observed only the
+		// complete batches, so its snapshots and final analysis cover a
+		// statistically clean (barrier-aligned) sample; the interruption
+		// error stays primary, so a failed final fit is not reported.
+		rep := c.report(camp, online)
+		if !c.measureOnly {
+			if res, aerr := online.Finalize(); aerr == nil {
+				rep.Analysis = res
+			}
+		}
+		return rep, err
 	}
 
-	rep := &CampaignReport{
-		Campaign:  camp,
-		Snapshots: online.Snapshots(),
-		Converged: online.Done(),
-		StopRuns:  len(camp.Results),
-		Rule:      c.rule.Name(),
-		Faults:    faults.Summarize(camp.Results),
-	}
+	rep := c.report(camp, online)
 	if !c.measureOnly {
 		res, aerr := online.Finalize()
 		if aerr != nil {
@@ -340,6 +509,17 @@ func Campaign(ctx context.Context, cfg PlatformConfig, w Workload, opts ...Campa
 			ErrNotConverged, rep.Rule, rep.StopRuns)
 	}
 	return rep, nil
+}
+
+func (c *campaignConfig) report(camp *CampaignResult, online *core.OnlineAnalyzer) *CampaignReport {
+	return &CampaignReport{
+		Campaign:  camp,
+		Snapshots: online.Snapshots(),
+		Converged: online.Done(),
+		StopRuns:  len(camp.Results),
+		Rule:      c.rule.Name(),
+		Faults:    faults.Summarize(camp.Results),
+	}
 }
 
 // StreamCampaign exposes the low-level batch executor for callers that

@@ -1,0 +1,80 @@
+package mbpta
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Fingerprint returns a canonical SHA-256 digest of the report: the
+// measured series, the per-batch snapshot trace, the convergence
+// verdict, the fault tally, and the final per-path analysis parameters.
+// Wall-clock fields (Snapshot.Elapsed) are excluded — they differ even
+// between two uninterrupted executions of the same campaign. Floats are
+// hashed by their IEEE-754 bit pattern, so the digest detects any
+// change in any measured or derived value: two reports share a
+// fingerprint exactly when they are bit-identical modulo wall clock.
+// This is the invariant the durability layer is tested against — a
+// campaign killed at any point and resumed from its journal must
+// fingerprint identically to an uninterrupted one.
+func (r *CampaignReport) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "campaign|%s|%s|%d|%s|%v|%d\n",
+		r.Campaign.Platform, r.Campaign.Workload, len(r.Campaign.Results), r.Rule, r.Converged, r.StopRuns)
+	for i, res := range r.Campaign.Results {
+		fmt.Fprintf(h, "run|%d|%d|%d|%q|%q|%d\n",
+			i, res.Cycles, res.Instructions, res.Path, res.Outcome, res.Faults)
+	}
+	for _, s := range r.Snapshots {
+		fmt.Fprintf(h, "snap|%d|%d|%d|%d|%d|%d|%v|%v|%v|%016x|%016x|%016x|%016x|%016x|%016x\n",
+			s.Batch, s.Runs, s.TotalRuns, s.Quarantined, s.BlockSize, s.Discarded,
+			s.GateChecked, s.Fitted, s.Done,
+			fbits(s.Fit.Mu), fbits(s.Fit.Beta), fbits(s.Delta),
+			fbits(s.RefProb), fbits(s.PWCET), fbits(s.PWCETRelDelta))
+		if s.GateChecked {
+			hashTest(h, s.Gate.Independence)
+			hashTest(h, s.Gate.IdentDist)
+			fmt.Fprintf(h, "gate|%v\n", s.Gate.Pass)
+		}
+		hashOutcomes(h, s.Outcomes)
+	}
+	fmt.Fprintf(h, "faults|%d|%d|%d\n", r.Faults.Total, r.Faults.Clean, r.Faults.Injected)
+	hashOutcomes(h, r.Faults.ByOutcome)
+	if r.Analysis != nil {
+		fmt.Fprintf(h, "analysis|%d|%d|%d\n", r.Analysis.BlockSize, len(r.Analysis.Paths), len(r.Analysis.SmallPaths))
+		for _, p := range r.Analysis.Paths {
+			fmt.Fprintf(h, "path|%q|%d|%s|%016x|%016x|%016x|%d|%d|%v\n",
+				p.Path, p.N, p.Method, fbits(p.Fit.Mu), fbits(p.Fit.Beta),
+				fbits(p.GEVXi), p.Maxima, p.Discarded, p.Pooled)
+		}
+		for _, sp := range r.Analysis.SmallPaths {
+			fmt.Fprintf(h, "small|%q|%d|%016x\n", sp.Path, sp.N, fbits(sp.HWM))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// fbits hashes a float by bit pattern; NaN payloads produced by this
+// codebase are the single canonical quiet NaN, so bit-hashing is stable.
+func fbits(x float64) uint64 { return math.Float64bits(x) }
+
+func hashTest(w io.Writer, t stats.TestResult) {
+	fmt.Fprintf(w, "test|%q|%016x|%016x|%016x|%v|%d\n",
+		t.Name, fbits(t.Statistic), fbits(t.PValue), fbits(t.Alpha), t.Rejected, t.DF)
+}
+
+func hashOutcomes(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "outcome|%q|%d\n", k, m[k])
+	}
+}
