@@ -3,7 +3,7 @@
 GO ?= go
 STATICCHECK := $(shell command -v staticcheck 2>/dev/null)
 
-.PHONY: test check staticcheck bench bench-all experiments race cover fuzz resume-check clean
+.PHONY: test check staticcheck bench bench-all experiments race cover fuzz resume-check service-check clean
 
 test:
 	$(GO) test ./...
@@ -13,7 +13,17 @@ test:
 check: staticcheck
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) service-check
 	$(MAKE) resume-check
+
+# Service-layer gate: the campaign fabric's bit-identity proofs
+# (single-process == N-executor fabric, including a killed-and-
+# re-leased executor, == journal-resumed), the pWCET service HTTP API,
+# the daemon's serve/join/shutdown cycle, and the 120-concurrent-
+# campaign stress test (fair scheduling + admission backpressure).
+service-check:
+	$(GO) test ./internal/fabric/ ./internal/pwcetd/ ./cmd/pwcetd/
+	$(GO) test -run 'TestFingerprintParityAcrossExecutionModes' ./pkg/mbpta/
 
 # End-to-end durability gate: journal a campaign, kill it mid-flight,
 # tear the journal tail, resume, and require a bit-identical report
@@ -34,7 +44,8 @@ endif
 # (TestStreamTelemetryHarvest), so the harvest path is race-checked too.
 race:
 	$(GO) test -race ./internal/platform/ ./internal/rng/ ./internal/faults/ ./internal/telemetry/
-	$(GO) test -race -run 'Telemetry' ./pkg/mbpta/
+	$(GO) test -race ./internal/fabric/ ./internal/pwcetd/
+	$(GO) test -race -run 'Telemetry|Fingerprint' ./pkg/mbpta/
 
 # Perf-regression snapshot: runs the simulator throughput benchmarks
 # and writes the results (ns/op, instr/s, allocs/op, git SHA, date) to

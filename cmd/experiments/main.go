@@ -14,25 +14,22 @@
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
-	"repro/internal/core"
+	"repro/internal/cliflags"
 	"repro/internal/experiments"
 	"repro/internal/faults"
-	"repro/internal/profiling"
 	"repro/internal/report"
-	"repro/internal/telemetry"
 )
 
-// Exit codes (the cmd/mbpta contract).
+// Exit codes (the shared cliflags contract).
 const (
-	exitError   = 1 // usage or I/O error
-	exitIIDGate = 2 // i.i.d. gate rejection
+	exitError   = cliflags.ExitError
+	exitIIDGate = cliflags.ExitIIDGate
 )
 
 func main() {
@@ -44,34 +41,24 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	c := cliflags.AddCampaign(fs)
 	var (
-		exp        = fs.String("exp", "all", "experiment to run: all, e1..e9 (e8: multicore contention; e9: workload generality)")
-		runs       = fs.Int("runs", 3000, "measurement runs per campaign (paper: 3000)")
-		seed       = fs.Uint64("seed", 0, "base seed (0 = paper default)")
-		parallel   = fs.Int("parallel", 0, "campaign workers (0 = GOMAXPROCS)")
-		frames     = fs.Int("frames", 0, "TVCA minor frames per run (0 = default)")
-		layouts    = fs.Int("layouts", 12, "link-time layouts for e7")
-		e8runs     = fs.Int("e8-runs", 500, "runs per co-runner configuration for e8 (co-simulation)")
-		e9runs     = fs.Int("e9-runs", 600, "runs per kernel for e9 (workload generality)")
-		csvDir     = fs.String("csv-dir", "", "directory to export figure data as CSV (optional)")
-		converge   = fs.Bool("converge", false, "stream the RAND campaign and stop at pWCET-delta convergence (-runs becomes the budget)")
-		faultsOn   = fs.Bool("faults", false, "inject SEU faults into the RAND campaign (quarantined from the analysis)")
-		faultRate  = fs.Float64("fault-rate", 0.25, "expected upsets per run under -faults (Poisson)")
-		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memprofile = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
-		teleAddr   = fs.String("telemetry-addr", "", "serve live campaign metrics on this address (/metrics Prometheus text, /metrics.json)")
-		journal    = fs.String("journal", "", "journal the RAND campaign to this write-ahead log for crash-safe resume")
-		resume     = fs.Bool("resume", false, "resume the RAND campaign from the -journal file instead of starting fresh")
+		exp     = fs.String("exp", "all", "experiment to run: all, e1..e9 (e8: multicore contention; e9: workload generality)")
+		frames  = fs.Int("frames", 0, "TVCA minor frames per run (0 = default)")
+		layouts = fs.Int("layouts", 12, "link-time layouts for e7")
+		e8runs  = fs.Int("e8-runs", 500, "runs per co-runner configuration for e8 (co-simulation)")
+		e9runs  = fs.Int("e9-runs", 600, "runs per kernel for e9 (workload generality)")
+		csvDir  = fs.String("csv-dir", "", "directory to export figure data as CSV (optional)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitError // usage already printed to stderr
 	}
-	if *resume && *journal == "" {
-		fmt.Fprintln(stderr, "experiments: -resume requires -journal")
+	if err := c.Validate(); err != nil {
+		fmt.Fprintln(stderr, "experiments:", err)
 		return exitError
 	}
 
-	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	stopProf, err := c.StartProfiling()
 	if err != nil {
 		fmt.Fprintln(stderr, "experiments:", err)
 		return exitError
@@ -82,37 +69,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}()
 
-	p := experiments.DefaultParams()
-	p.Runs = *runs
-	p.Parallel = *parallel
-	p.Converge = *converge
-	if *faultsOn {
-		p.FaultRate = *faultRate
-	}
-	if *seed != 0 {
-		p.Seed = *seed
-	}
+	p, reg := c.Params()
 	if *frames != 0 {
 		p.TVCA.Frames = *frames
 	}
-	p.Journal = *journal
-	p.Resume = *resume
-	var reg *telemetry.Registry
-	if *teleAddr != "" || *journal != "" {
-		// Journaling always instruments the durability counters, even
-		// when no metrics endpoint was requested.
-		reg = telemetry.New()
-		p.Telemetry = reg
+	closeTele, err := c.ServeTelemetry(reg, stdout)
+	if err != nil {
+		fmt.Fprintln(stderr, "experiments:", err)
+		return exitError
 	}
-	if *teleAddr != "" {
-		srv, serr := telemetry.Serve(*teleAddr, reg)
-		if serr != nil {
-			fmt.Fprintln(stderr, "experiments:", serr)
-			return exitError
-		}
-		defer srv.Close()
-		fmt.Fprintf(stdout, "telemetry: serving %s/metrics\n", srv.URL())
-	}
+	defer closeTele()
 	env, err := experiments.NewEnv(p)
 	if err != nil {
 		fmt.Fprintln(stderr, "experiments:", err)
@@ -222,7 +188,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for _, s := range steps {
 		if err := run(s.id, s.f); err != nil {
 			fmt.Fprintln(stderr, "experiments:", err)
-			return exitCodeFor(err)
+			return cliflags.ExitCodeFor(err)
 		}
 	}
 
@@ -253,13 +219,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "\nCSV data written to %s: %s\n", *csvDir, strings.Join(files, ", "))
 	}
-	if *journal != "" {
+	if c.Journal != "" {
 		fmt.Fprintln(stdout)
 		report.MetricsTable(stdout, "durability", reg.Snapshot(),
 			"wal_records_total", "wal_fsyncs_total", "campaign_resumes_total",
 			"worker_restarts_total", "campaign_degraded")
 	}
-	if *teleAddr != "" {
+	if c.TelemetryAddr != "" {
 		fmt.Fprintln(stdout)
 		report.TelemetryTable(stdout, "telemetry summary", reg.Snapshot())
 	}
@@ -268,14 +234,4 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitIIDGate
 	}
 	return 0
-}
-
-// exitCodeFor classifies an experiment error: an i.i.d. gate rejection
-// maps to the dedicated code so pipelines can branch on it, anything
-// else is a generic failure.
-func exitCodeFor(err error) int {
-	if errors.Is(err, core.ErrIIDRejected) {
-		return exitIIDGate
-	}
-	return exitError
 }

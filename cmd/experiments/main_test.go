@@ -2,29 +2,9 @@ package main
 
 import (
 	"bytes"
-	"fmt"
 	"strings"
 	"testing"
-
-	"repro/internal/core"
 )
-
-func TestExitCodeFor(t *testing.T) {
-	// The exit-code contract is shared with cmd/mbpta: 2 must single
-	// out the i.i.d. gate rejection, including wrapped forms.
-	if got := exitCodeFor(core.ErrIIDRejected); got != exitIIDGate {
-		t.Errorf("gate rejection -> %d, want %d", got, exitIIDGate)
-	}
-	wrapped := fmt.Errorf("e2: %w", core.ErrIIDRejected)
-	if got := exitCodeFor(wrapped); got != exitIIDGate {
-		t.Errorf("wrapped gate rejection -> %d, want %d", got, exitIIDGate)
-	}
-	for _, err := range []error{core.ErrHeavyTail, core.ErrInsufficient, fmt.Errorf("io: boom")} {
-		if got := exitCodeFor(err); got != exitError {
-			t.Errorf("%v -> %d, want %d", err, got, exitError)
-		}
-	}
-}
 
 func TestRunUsageErrorsToStderrOnly(t *testing.T) {
 	for _, args := range [][]string{

@@ -21,7 +21,6 @@
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -29,6 +28,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/evt"
 	"repro/internal/report"
@@ -38,28 +38,31 @@ import (
 	"repro/internal/wal"
 )
 
-// Exit codes.
+// Exit codes (the shared cliflags contract; 2 fires on a gate
+// rejection without -force).
 const (
-	exitError   = 1 // usage or I/O error
-	exitIIDGate = 2 // i.i.d. gate rejection without -force
+	exitError   = cliflags.ExitError
+	exitIIDGate = cliflags.ExitIIDGate
 )
 
 func main() {
 	fs := flag.NewFlagSet("mbpta", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
 	var (
-		in       = fs.String("in", "", "input trace file (required unless -journal is given)")
-		journal  = fs.String("journal", "", "analyze the clean runs recorded in a campaign journal (WAL) instead of a trace file")
-		format   = fs.String("format", "csv", "input format: csv or json")
-		alpha    = fs.Float64("alpha", 0.05, "significance level of the i.i.d. tests")
-		block    = fs.Int("block", 50, "block-maxima block size")
-		fit      = fs.String("fit", "pwm", "Gumbel fit method: pwm, moments, mle")
-		cutoffs  = fs.String("cutoffs", "1e-6,1e-9,1e-12,1e-15", "comma-separated exceedance probabilities")
-		perPath  = fs.Bool("per-path", true, "analyze per executed path, taking the max across paths")
-		force    = fs.Bool("force", false, "continue even if the i.i.d. gate fails (diagnostic mode)")
-		diag     = fs.Bool("diagnostics", false, "print extended diagnostics (trend tests, MBPTA-CV ladder)")
-		teleAddr = fs.String("telemetry-addr", "", "serve the analysis metrics on this address until exit (/metrics Prometheus text)")
+		in      = fs.String("in", "", "input trace file (required unless -journal is given)")
+		journal = fs.String("journal", "", "analyze the clean runs recorded in a campaign journal (WAL) instead of a trace file")
+		format  = fs.String("format", "csv", "input format: csv or json")
+		alpha   = fs.Float64("alpha", 0.05, "significance level of the i.i.d. tests")
+		block   = fs.Int("block", 50, "block-maxima block size")
+		fit     = fs.String("fit", "pwm", "Gumbel fit method: pwm, moments, mle")
+		cutoffs = fs.String("cutoffs", "1e-6,1e-9,1e-12,1e-15", "comma-separated exceedance probabilities")
+		perPath = fs.Bool("per-path", true, "analyze per executed path, taking the max across paths")
+		force   = fs.Bool("force", false, "continue even if the i.i.d. gate fails (diagnostic mode)")
+		diag    = fs.Bool("diagnostics", false, "print extended diagnostics (trend tests, MBPTA-CV ladder)")
 	)
+	var teleAddrVal string
+	cliflags.AddTelemetryAddr(fs, &teleAddrVal)
+	teleAddr := &teleAddrVal
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(exitError) // usage already printed to stderr
 	}
@@ -114,7 +117,7 @@ func main() {
 		res, err = an.Analyze(set.Times())
 	}
 	if err != nil {
-		fatalCode(exitCodeFor(err), err)
+		fatalCode(cliflags.ExitCodeFor(err), err)
 	}
 
 	fmt.Printf("campaign: %d samples", len(set.Samples))
@@ -314,15 +317,6 @@ func parseCutoffs(s string) ([]float64, error) {
 		return nil, fmt.Errorf("no cutoffs given")
 	}
 	return out, nil
-}
-
-// exitCodeFor classifies an analysis error: an i.i.d. gate rejection
-// maps to the dedicated code so pipelines can branch on it.
-func exitCodeFor(err error) int {
-	if errors.Is(err, core.ErrIIDRejected) {
-		return exitIIDGate
-	}
-	return exitError
 }
 
 func fatal(err error) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/cliflags"
 	"repro/internal/core"
 )
 
@@ -44,15 +45,15 @@ func TestVerdict(t *testing.T) {
 func TestExitCodeFor(t *testing.T) {
 	// Scripted pipelines branch on the exit code: 2 must single out the
 	// i.i.d. gate rejection, including wrapped forms.
-	if got := exitCodeFor(core.ErrIIDRejected); got != exitIIDGate {
+	if got := cliflags.ExitCodeFor(core.ErrIIDRejected); got != exitIIDGate {
 		t.Errorf("gate rejection -> %d, want %d", got, exitIIDGate)
 	}
 	wrapped := fmt.Errorf("path %q: %w", "p1", core.ErrIIDRejected)
-	if got := exitCodeFor(wrapped); got != exitIIDGate {
+	if got := cliflags.ExitCodeFor(wrapped); got != exitIIDGate {
 		t.Errorf("wrapped gate rejection -> %d, want %d", got, exitIIDGate)
 	}
 	for _, err := range []error{core.ErrHeavyTail, core.ErrInsufficient, fmt.Errorf("io: boom")} {
-		if got := exitCodeFor(err); got != exitError {
+		if got := cliflags.ExitCodeFor(err); got != exitError {
 			t.Errorf("%v -> %d, want %d", err, got, exitError)
 		}
 	}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cliflags"
+	"repro/pkg/mbpta"
+)
+
+// syncBuffer lets the test read stdout while run() is still writing it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestRunUsageErrorsToStderrOnly(t *testing.T) {
+	for _, args := range [][]string{
+		{"-no-such-flag"},
+		{"-addr", "not-an-address"},
+		{"-join", "127.0.0.1:1"}, // nothing listens on the reserved port
+	} {
+		var stdout, stderr syncBuffer
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		code := run(ctx, args, &stdout, &stderr)
+		cancel()
+		if code != cliflags.ExitError {
+			t.Errorf("%v: exit %d, want %d", args, code, cliflags.ExitError)
+		}
+		if stderr.String() == "" {
+			t.Errorf("%v: nothing on stderr", args)
+		}
+	}
+}
+
+// TestRunServesAndShutsDown boots the daemon on ephemeral ports,
+// drives one campaign end to end over its HTTP API (with a remote
+// executor joined via a second run() in executor mode), then cancels
+// the context and expects a clean exit on both.
+func TestRunServesAndShutsDown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a measurement campaign")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	srvCtx, srvCancel := context.WithCancel(ctx)
+
+	var stdout, stderr syncBuffer
+	srvDone := make(chan int, 1)
+	go func() {
+		srvDone <- run(srvCtx, []string{"-addr", "127.0.0.1:0", "-executor-listen", "127.0.0.1:0"}, &stdout, &stderr)
+	}()
+
+	baseURL, execAddr := waitForAddrs(t, ctx, &stdout)
+
+	// Join a remote executor (the -join mode of the same binary).
+	execCtx, execCancel := context.WithCancel(ctx)
+	var execOut, execErr syncBuffer
+	execDone := make(chan int, 1)
+	go func() {
+		execDone <- run(execCtx, []string{"-join", execAddr}, &execOut, &execErr)
+	}()
+
+	c := mbpta.NewServiceClient(baseURL, nil)
+	id, err := c.Submit(ctx, mbpta.CampaignSpec{
+		Workload:    mbpta.WorkloadSpec{Kind: "crc32"},
+		Runs:        60,
+		Batch:       20,
+		MeasureOnly: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Wait(ctx, id, 25*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" || st.Fingerprint == "" {
+		t.Fatalf("campaign state %q fingerprint %q (error %q)", st.State, st.Fingerprint, st.Error)
+	}
+
+	execCancel()
+	if code := <-execDone; code != cliflags.ExitOK {
+		t.Errorf("executor exit %d, stderr: %s", code, execErr.String())
+	}
+	srvCancel()
+	if code := <-srvDone; code != cliflags.ExitOK {
+		t.Errorf("daemon exit %d, stderr: %s", code, stderr.String())
+	}
+}
+
+// waitForAddrs polls the daemon's stdout banner lines for the bound
+// API and executor-listener addresses.
+func waitForAddrs(t *testing.T, ctx context.Context, stdout *syncBuffer) (baseURL, execAddr string) {
+	t.Helper()
+	deadline := time.After(10 * time.Second)
+	for {
+		out := stdout.String()
+		for _, line := range strings.Split(out, "\n") {
+			if rest, ok := strings.CutPrefix(line, "pwcetd: serving pWCET analysis API on "); ok {
+				baseURL = strings.TrimSpace(rest)
+			}
+			if rest, ok := strings.CutPrefix(line, "pwcetd: accepting remote executors on "); ok {
+				execAddr = strings.TrimSpace(rest)
+			}
+		}
+		if baseURL != "" && execAddr != "" {
+			return baseURL, execAddr
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("daemon banner not seen; stdout:\n%s", out)
+		case <-ctx.Done():
+			t.Fatal(ctx.Err())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}

@@ -6,185 +6,183 @@
 // external tooling.
 //
 //	tvca -runs 3000 -save-dir ./traces
+//
+// Exit codes, matching cmd/experiments and cmd/mbpta so scripted
+// pipelines can branch on the gate outcome: 0 = case study completed,
+// 1 = usage or I/O error, 2 = the i.i.d. gate rejected the campaign.
+// All errors go to stderr only.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/platform"
-	"repro/internal/profiling"
 	"repro/internal/report"
-	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
+// Exit codes (the shared cliflags contract).
+const (
+	exitError   = cliflags.ExitError
+	exitIIDGate = cliflags.ExitIIDGate
+)
+
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with the process-global edges (args, stdout, stderr,
+// exit) injected so the exit-code contract is testable.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tvca", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	c := cliflags.AddCampaign(fs)
 	var (
-		runs       = flag.Int("runs", 3000, "measurement runs per campaign")
-		seed       = flag.Uint64("seed", 0, "base seed (0 = default)")
-		parallel   = flag.Int("parallel", 0, "campaign workers (0 = GOMAXPROCS)")
-		saveDir    = flag.String("save-dir", "", "directory to save campaign CSVs (optional)")
-		perTask    = flag.Bool("per-task", false, "additionally derive per-task pWCETs (worst job per run)")
-		converge   = flag.Bool("converge", false, "stream the RAND campaign and stop at pWCET-delta convergence (-runs becomes the budget)")
-		faultsOn   = flag.Bool("faults", false, "inject SEU faults into the RAND campaign (quarantined from the analysis)")
-		faultRate  = flag.Float64("fault-rate", 0.25, "expected upsets per run under -faults (Poisson)")
-		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
-		teleAddr   = flag.String("telemetry-addr", "", "serve live campaign metrics on this address (/metrics Prometheus text, /metrics.json)")
-		journal    = flag.String("journal", "", "journal the RAND campaign to this write-ahead log for crash-safe resume")
-		resume     = flag.Bool("resume", false, "resume the RAND campaign from the -journal file instead of starting fresh")
+		saveDir = fs.String("save-dir", "", "directory to save campaign CSVs (optional)")
+		perTask = fs.Bool("per-task", false, "additionally derive per-task pWCETs (worst job per run)")
 	)
-	flag.Parse()
-	if *resume && *journal == "" {
-		fatal(fmt.Errorf("-resume requires -journal"))
+	if err := fs.Parse(args); err != nil {
+		return exitError // usage already printed to stderr
+	}
+	if err := c.Validate(); err != nil {
+		fmt.Fprintln(stderr, "tvca:", err)
+		return exitError
 	}
 
-	stop, err := profiling.Start(*cpuprofile, *memprofile)
+	stopProf, err := c.StartProfiling()
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "tvca:", err)
+		return exitError
 	}
-	stopProfile = stop
-	defer flushProfile()
-
-	p := experiments.DefaultParams()
-	p.Runs = *runs
-	p.Parallel = *parallel
-	p.Converge = *converge
-	if *faultsOn {
-		p.FaultRate = *faultRate
-	}
-	if *seed != 0 {
-		p.Seed = *seed
-	}
-	p.Journal = *journal
-	p.Resume = *resume
-	var reg *telemetry.Registry
-	if *teleAddr != "" || *journal != "" {
-		// Journaling always instruments the durability counters, even
-		// when no metrics endpoint was requested.
-		reg = telemetry.New()
-		p.Telemetry = reg
-	}
-	if *teleAddr != "" {
-		srv, serr := telemetry.Serve(*teleAddr, reg)
-		if serr != nil {
-			fatal(serr)
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(stderr, "tvca:", err)
 		}
-		defer srv.Close()
-		fmt.Printf("telemetry: serving %s/metrics\n", srv.URL())
+	}()
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "tvca:", err)
+		return cliflags.ExitCodeFor(err)
 	}
+
+	p, reg := c.Params()
+	closeTele, err := c.ServeTelemetry(reg, stdout)
+	if err != nil {
+		return fail(err)
+	}
+	defer closeTele()
 	env, err := experiments.NewEnv(p)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
-	if *converge {
-		fmt.Printf("TVCA case study: streaming campaign, budget %d runs, %d minor frames per run\n",
+	if c.Converge {
+		fmt.Fprintf(stdout, "TVCA case study: streaming campaign, budget %d runs, %d minor frames per run\n",
 			p.Runs, p.TVCA.Frames)
 	} else {
-		fmt.Printf("TVCA case study: %d runs per campaign, %d minor frames per run\n",
+		fmt.Fprintf(stdout, "TVCA case study: %d runs per campaign, %d minor frames per run\n",
 			p.Runs, p.TVCA.Frames)
 	}
 
 	e1, err := experiments.E1IID(env)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	if fs := env.FaultSummary(); fs != nil {
-		fmt.Println()
-		report.OutcomeTable(os.Stdout,
+	if fsum := env.FaultSummary(); fsum != nil {
+		fmt.Fprintln(stdout)
+		report.OutcomeTable(stdout,
 			fmt.Sprintf("fault injection (rate %g upsets/run): run outcomes", p.FaultRate),
-			fs.Clean, fs.ByOutcome, faults.Outcomes())
-		fmt.Printf("  %d upsets injected; quarantined runs never enter the analysis\n", fs.Injected)
+			fsum.Clean, fsum.ByOutcome, faults.Outcomes())
+		fmt.Fprintf(stdout, "  %d upsets injected; quarantined runs never enter the analysis\n", fsum.Injected)
 	}
 	if ci := env.RANDConvergence(); ci != nil {
 		if ci.Converged {
-			fmt.Printf("\nconvergence: RAND campaign stopped at %d/%d runs (%s) - %d runs saved (%.0f%%)\n",
+			fmt.Fprintf(stdout, "\nconvergence: RAND campaign stopped at %d/%d runs (%s) - %d runs saved (%.0f%%)\n",
 				ci.StopRuns, ci.MaxRuns, ci.Rule, ci.RunsSaved(),
 				100*float64(ci.RunsSaved())/float64(ci.MaxRuns))
 		} else {
-			fmt.Printf("\nconvergence: rule %s unsatisfied within the %d-run budget\n",
+			fmt.Fprintf(stdout, "\nconvergence: rule %s unsatisfied within the %d-run budget\n",
 				ci.Rule, ci.MaxRuns)
 		}
 	}
-	fmt.Println()
-	experiments.RenderE1(os.Stdout, e1)
+	fmt.Fprintln(stdout)
+	experiments.RenderE1(stdout, e1)
 	if !e1.Pass {
-		fmt.Println("i.i.d. gate failed; MBPTA is not applicable to this campaign")
-		flushProfile()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "tvca: i.i.d. gate failed; MBPTA is not applicable to this campaign")
+		return exitIIDGate
 	}
 
 	e2, err := experiments.E2PWCETCurve(env)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	fmt.Println()
-	if err := experiments.RenderE2(os.Stdout, e2); err != nil {
-		fatal(err)
+	fmt.Fprintln(stdout)
+	if err := experiments.RenderE2(stdout, e2); err != nil {
+		return fail(err)
 	}
 
 	e3, err := experiments.E3Comparison(env)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	fmt.Println()
-	if err := experiments.RenderE3(os.Stdout, e3); err != nil {
-		fatal(err)
+	fmt.Fprintln(stdout)
+	if err := experiments.RenderE3(stdout, e3); err != nil {
+		return fail(err)
 	}
 
 	e4, err := experiments.E4AvgPerformance(env)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	fmt.Println()
-	experiments.RenderE4(os.Stdout, e4)
-	fmt.Println()
-	if err := experiments.RenderDistributions(os.Stdout, env, 12); err != nil {
-		fatal(err)
+	fmt.Fprintln(stdout)
+	experiments.RenderE4(stdout, e4)
+	fmt.Fprintln(stdout)
+	if err := experiments.RenderDistributions(stdout, env, 12); err != nil {
+		return fail(err)
 	}
 
 	if *perTask {
-		if err := perTaskReport(env, p.Runs/4); err != nil {
-			fatal(err)
+		if err := perTaskReport(stdout, env, p.Runs/4); err != nil {
+			return fail(err)
 		}
 	}
 
 	if *saveDir != "" {
 		if err := saveCampaigns(env, *saveDir); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Printf("\ncampaign traces written to %s\n", *saveDir)
+		fmt.Fprintf(stdout, "\ncampaign traces written to %s\n", *saveDir)
 	}
 
-	if *journal != "" {
-		fmt.Println()
-		report.MetricsTable(os.Stdout, "durability", reg.Snapshot(),
+	if c.Journal != "" {
+		fmt.Fprintln(stdout)
+		report.MetricsTable(stdout, "durability", reg.Snapshot(),
 			"wal_records_total", "wal_fsyncs_total", "campaign_resumes_total",
 			"worker_restarts_total", "campaign_degraded")
 	}
-	if *teleAddr != "" {
-		fmt.Println()
-		report.TelemetryTable(os.Stdout, "telemetry summary", reg.Snapshot())
+	if c.TelemetryAddr != "" {
+		fmt.Fprintln(stdout)
+		report.TelemetryTable(stdout, "telemetry summary", reg.Snapshot())
 	}
+	return cliflags.ExitOK
 }
 
 // perTaskReport derives per-task pWCET budgets from worst-job-per-run
 // campaigns (a reduced campaign suffices: each run yields one sample
 // per task).
-func perTaskReport(env *experiments.Env, runs int) error {
+func perTaskReport(stdout io.Writer, env *experiments.Env, runs int) error {
 	if runs < 500 {
 		runs = 500
 	}
-	byTask, err := platform.PerTaskWorstCampaign(platform.RAND(), env.App(),
-		platform.CampaignOptions{Runs: runs, BaseSeed: 99})
+	byTask, err := platform.PerTaskWorstCampaign(platform.RAND(), env.App(), runs, 99)
 	if err != nil {
 		return err
 	}
@@ -193,7 +191,7 @@ func perTaskReport(env *experiments.Env, runs int) error {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	fmt.Printf("\nper-task pWCET (worst job per run, %d runs):\n", runs)
+	fmt.Fprintf(stdout, "\nper-task pWCET (worst job per run, %d runs):\n", runs)
 	for _, name := range names {
 		times := byTask[name]
 		lo, hi := times[0], times[0]
@@ -206,7 +204,7 @@ func perTaskReport(env *experiments.Env, runs int) error {
 			}
 		}
 		if lo == hi {
-			fmt.Printf("  %-12s jitterless: exact WCET %.0f cycles\n", name, hi)
+			fmt.Fprintf(stdout, "  %-12s jitterless: exact WCET %.0f cycles\n", name, hi)
 			continue
 		}
 		res, err := core.NewAnalyzer(core.Options{BlockSize: 25}).Analyze(times)
@@ -217,7 +215,7 @@ func perTaskReport(env *experiments.Env, runs int) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  %-12s HWM %.0f, pWCET(1e-12) %.0f cycles\n", name, hi, bound)
+		fmt.Fprintf(stdout, "  %-12s HWM %.0f, pWCET(1e-12) %.0f cycles\n", name, hi, bound)
 	}
 	return nil
 }
@@ -253,24 +251,4 @@ func saveCampaigns(env *experiments.Env, dir string) error {
 		return err
 	}
 	return save("tvca_det.csv", detc)
-}
-
-// stopProfile finalizes any requested pprof profiles. It is flushed on
-// both the normal and the fatal exit path (os.Exit skips defers).
-var stopProfile func() error
-
-func flushProfile() {
-	if stopProfile == nil {
-		return
-	}
-	if err := stopProfile(); err != nil {
-		fmt.Fprintln(os.Stderr, "tvca:", err)
-	}
-	stopProfile = nil
-}
-
-func fatal(err error) {
-	flushProfile()
-	fmt.Fprintln(os.Stderr, "tvca:", err)
-	os.Exit(1)
 }

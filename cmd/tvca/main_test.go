@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunUsageErrorsToStderrOnly(t *testing.T) {
+	for _, args := range [][]string{
+		{"-no-such-flag"},
+		{"-resume"}, // -resume requires -journal
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != exitError {
+			t.Errorf("%v: exit %d, want %d", args, code, exitError)
+		}
+		if stderr.Len() == 0 {
+			t.Errorf("%v: nothing on stderr", args)
+		}
+		if strings.Contains(stdout.String(), "tvca:") {
+			t.Errorf("%v: error text leaked to stdout:\n%s", args, stdout.String())
+		}
+	}
+}
+
+func TestRunSmallCaseStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs measurement campaigns")
+	}
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-runs", "600", "-save-dir", dir}, &stdout, &stderr)
+	switch code {
+	case 0:
+		if stderr.Len() != 0 {
+			t.Errorf("exit 0 but stderr non-empty: %s", stderr.String())
+		}
+	case exitIIDGate:
+		if !strings.Contains(stderr.String(), "i.i.d. gate") {
+			t.Errorf("exit 2 without gate message on stderr: %s", stderr.String())
+		}
+		return // gate rejection ends the pipeline before CSV export
+	default:
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "TVCA case study: 600 runs per campaign") {
+		t.Errorf("banner missing:\n%s", out)
+	}
+	for _, f := range []string{"tvca_rand.csv", "tvca_det.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("campaign CSV %s not written: %v", f, err)
+		}
+	}
+}
+
+func TestRunJournalAndResumeFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs measurement campaigns")
+	}
+	journal := filepath.Join(t.TempDir(), "tvca.wal")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-runs", "600", "-journal", journal}, &stdout, &stderr)
+	if code != 0 && code != exitIIDGate {
+		t.Fatalf("journaled run: exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "durability") {
+		t.Errorf("durability table missing:\n%s", stdout.String())
+	}
+	if _, err := os.Stat(journal); err != nil {
+		t.Fatalf("journal not written: %v", err)
+	}
+	// Resuming the completed journal re-derives the campaign without
+	// re-executing it and must exit under the same contract.
+	stdout.Reset()
+	stderr.Reset()
+	code = run([]string{"-runs", "600", "-journal", journal, "-resume"}, &stdout, &stderr)
+	if code != 0 && code != exitIIDGate {
+		t.Fatalf("resumed run: exit %d, stderr: %s", code, stderr.String())
+	}
+}

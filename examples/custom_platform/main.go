@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -114,10 +115,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	set, err := mbpta.Collect(cfg, w, 800, 5)
+	rep, err := mbpta.Campaign(context.Background(), cfg, w,
+		mbpta.WithRuns(800), mbpta.WithBaseSeed(5), mbpta.MeasureOnly())
 	if err != nil {
 		log.Fatal(err)
 	}
+	set := rep.TraceSet()
 	gate, err := mbpta.CheckIID(set.Times(), 0.05)
 	if err != nil {
 		log.Fatal(err)

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -33,10 +34,12 @@ func main() {
 	}
 
 	// --- Correct protocol: per-run flush + reset + reload + reseed. ---
-	set, err := mbpta.Collect(mbpta.RANDPlatform(), app, runs, 99)
+	rep, err := mbpta.Campaign(context.Background(), mbpta.RANDPlatform(), app,
+		mbpta.WithRuns(runs), mbpta.WithBaseSeed(99), mbpta.MeasureOnly())
 	if err != nil {
 		log.Fatal(err)
 	}
+	set := rep.TraceSet()
 	gate, err := mbpta.CheckIID(set.Times(), 0.05)
 	if err != nil {
 		log.Fatal(err)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -58,19 +59,13 @@ func main() {
 		for i := range co {
 			co[i] = streamer{}
 		}
-		mc, err := mbpta.NewMulticore(mbpta.RANDPlatform(), co)
+		rep, err := mbpta.Campaign(context.Background(), mbpta.RANDPlatform(), app,
+			mbpta.WithRuns(runs), mbpta.WithBaseSeed(1),
+			mbpta.WithCoRunners(co...), mbpta.MeasureOnly())
 		if err != nil {
 			return nil, err
 		}
-		times := make([]float64, runs)
-		for run := 0; run < runs; run++ {
-			r, err := mc.Run(app, run, uint64(run)*2654435761+1)
-			if err != nil {
-				return nil, err
-			}
-			times[run] = float64(r.Measured.Cycles)
-		}
-		return times, nil
+		return rep.TraceSet().Times(), nil
 	}
 
 	solo, err := collect(0)

@@ -36,7 +36,7 @@ func main() {
 	// warmed cache state; per-run worst-case samples are i.i.d. and
 	// conservatively cover all activations.)
 	byTask, err := mbpta.PerTaskWorstCampaign(mbpta.RANDPlatform(), app,
-		mbpta.CampaignOptions{Runs: runs, BaseSeed: 31})
+		mbpta.WithRuns(runs), mbpta.WithBaseSeed(31))
 	if err != nil {
 		log.Fatal(err)
 	}

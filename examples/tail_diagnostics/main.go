@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,11 +25,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	set, err := mbpta.Collect(mbpta.RANDPlatform(), app, runs, 2024)
+	rep, err := mbpta.Campaign(context.Background(), mbpta.RANDPlatform(), app,
+		mbpta.WithRuns(runs), mbpta.WithBaseSeed(2024), mbpta.MeasureOnly())
 	if err != nil {
 		log.Fatal(err)
 	}
-	times := set.Times()
+	times := rep.TraceSet().Times()
 
 	// Two tail estimators over the same campaign.
 	for _, method := range []mbpta.TailMethod{mbpta.MethodBlockMaxima, mbpta.MethodPoT} {

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -25,15 +26,19 @@ func main() {
 	}
 
 	// Campaign on the MBPTA-compliant (time-randomized) platform.
-	randSet, err := mbpta.Collect(mbpta.RANDPlatform(), app, runs, 7)
+	randRep, err := mbpta.Campaign(context.Background(), mbpta.RANDPlatform(), app,
+		mbpta.WithRuns(runs), mbpta.WithBaseSeed(7), mbpta.MeasureOnly())
 	if err != nil {
 		log.Fatal(err)
 	}
+	randSet := randRep.TraceSet()
 	// Campaign on the deterministic baseline, as industrial MBTA does.
-	detSet, err := mbpta.Collect(mbpta.DETPlatform(), app, runs, 8)
+	detRep, err := mbpta.Campaign(context.Background(), mbpta.DETPlatform(), app,
+		mbpta.WithRuns(runs), mbpta.WithBaseSeed(8), mbpta.MeasureOnly())
 	if err != nil {
 		log.Fatal(err)
 	}
+	detSet := detRep.TraceSet()
 
 	// MBPTA on the randomized campaign (per-path, max across paths).
 	res, err := mbpta.NewAnalyzer(mbpta.Options{}).AnalyzeByPath(randSet.TimesByPath())

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -21,14 +22,18 @@ func TestLibraryEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	randSet, err := mbpta.Collect(mbpta.RANDPlatform(), app, 600, 5)
+	randRep, err := mbpta.Campaign(context.Background(), mbpta.RANDPlatform(), app,
+		mbpta.WithRuns(600), mbpta.WithBaseSeed(5), mbpta.MeasureOnly())
 	if err != nil {
 		t.Fatal(err)
 	}
-	detSet, err := mbpta.Collect(mbpta.DETPlatform(), app, 600, 6)
+	randSet := randRep.TraceSet()
+	detRep, err := mbpta.Campaign(context.Background(), mbpta.DETPlatform(), app,
+		mbpta.WithRuns(600), mbpta.WithBaseSeed(6), mbpta.MeasureOnly())
 	if err != nil {
 		t.Fatal(err)
 	}
+	detSet := detRep.TraceSet()
 
 	gate, err := mbpta.CheckIID(randSet.Times(), 0.05)
 	if err != nil {

@@ -1,0 +1,134 @@
+// Package cliflags declares the campaign flags and the exit-code
+// contract shared by this repository's CLIs (cmd/tvca,
+// cmd/experiments, cmd/mbpta, cmd/pwcetd) in one place, so the flag
+// names, defaults and help strings — and the 0/1/2 exit semantics
+// scripted pipelines branch on — cannot drift between binaries.
+package cliflags
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/profiling"
+	"repro/internal/telemetry"
+)
+
+// The shared exit-code contract: 0 = success, 1 = usage or I/O error,
+// 2 = the i.i.d. gate rejected the campaign. All errors go to stderr
+// only.
+const (
+	ExitOK      = 0
+	ExitError   = 1
+	ExitIIDGate = 2
+)
+
+// ExitCodeFor classifies err under the shared contract: an i.i.d. gate
+// rejection (wrapped or not) maps to ExitIIDGate so pipelines can
+// branch on it; anything else is a generic failure.
+func ExitCodeFor(err error) int {
+	if errors.Is(err, core.ErrIIDRejected) {
+		return ExitIIDGate
+	}
+	return ExitError
+}
+
+// Campaign holds the campaign flags common to the campaign-executing
+// CLIs. Fields are populated by fs.Parse after AddCampaign.
+type Campaign struct {
+	Runs          int
+	Seed          uint64
+	Parallel      int
+	Converge      bool
+	Faults        bool
+	FaultRate     float64
+	Journal       string
+	Resume        bool
+	TelemetryAddr string
+	CPUProfile    string
+	MemProfile    string
+}
+
+// AddCampaign declares the shared campaign flags on fs and returns the
+// struct their values land in.
+func AddCampaign(fs *flag.FlagSet) *Campaign {
+	c := &Campaign{}
+	fs.IntVar(&c.Runs, "runs", 3000, "measurement runs per campaign (paper: 3000)")
+	fs.Uint64Var(&c.Seed, "seed", 0, "base seed (0 = paper default)")
+	fs.IntVar(&c.Parallel, "parallel", 0, "campaign workers (0 = GOMAXPROCS)")
+	fs.BoolVar(&c.Converge, "converge", false, "stream the RAND campaign and stop at pWCET-delta convergence (-runs becomes the budget)")
+	fs.BoolVar(&c.Faults, "faults", false, "inject SEU faults into the RAND campaign (quarantined from the analysis)")
+	fs.Float64Var(&c.FaultRate, "fault-rate", 0.25, "expected upsets per run under -faults (Poisson)")
+	fs.StringVar(&c.Journal, "journal", "", "journal the RAND campaign to this write-ahead log for crash-safe resume")
+	fs.BoolVar(&c.Resume, "resume", false, "resume the RAND campaign from the -journal file instead of starting fresh")
+	AddTelemetryAddr(fs, &c.TelemetryAddr)
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write a pprof heap profile to this file at exit")
+	return c
+}
+
+// AddTelemetryAddr declares the -telemetry-addr flag into dst — split
+// out because every CLI serves metrics, including ones (cmd/mbpta,
+// cmd/pwcetd) that take none of the other campaign flags.
+func AddTelemetryAddr(fs *flag.FlagSet, dst *string) {
+	fs.StringVar(dst, "telemetry-addr", "", "serve live metrics on this address (/metrics Prometheus text, /metrics.json)")
+}
+
+// Validate rejects inconsistent flag combinations.
+func (c *Campaign) Validate() error {
+	if c.Resume && c.Journal == "" {
+		return errors.New("-resume requires -journal")
+	}
+	return nil
+}
+
+// Params builds the experiment parameters from the parsed flags. The
+// returned registry is non-nil when journaling or a metrics endpoint
+// needs one (journaling always instruments the durability counters,
+// even with no endpoint requested) and is already wired into the
+// params.
+func (c *Campaign) Params() (experiments.Params, *telemetry.Registry) {
+	p := experiments.DefaultParams()
+	p.Runs = c.Runs
+	p.Parallel = c.Parallel
+	p.Converge = c.Converge
+	if c.Faults {
+		p.FaultRate = c.FaultRate
+	}
+	if c.Seed != 0 {
+		p.Seed = c.Seed
+	}
+	p.Journal = c.Journal
+	p.Resume = c.Resume
+	var reg *telemetry.Registry
+	if c.TelemetryAddr != "" || c.Journal != "" {
+		reg = telemetry.New()
+		p.Telemetry = reg
+	}
+	return p, reg
+}
+
+// StartProfiling starts any requested pprof profiles; the returned stop
+// finalizes them and must run on every exit path (including the fatal
+// one — os.Exit skips defers).
+func (c *Campaign) StartProfiling() (stop func() error, err error) {
+	return profiling.Start(c.CPUProfile, c.MemProfile)
+}
+
+// ServeTelemetry starts the live metrics endpoint when -telemetry-addr
+// was given, announcing the URL on stdout. The returned close function
+// is never nil.
+func (c *Campaign) ServeTelemetry(reg *telemetry.Registry, stdout io.Writer) (func(), error) {
+	if c.TelemetryAddr == "" {
+		return func() {}, nil
+	}
+	srv, err := telemetry.Serve(c.TelemetryAddr, reg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(stdout, "telemetry: serving %s/metrics\n", srv.URL())
+	return func() { srv.Close() }, nil
+}

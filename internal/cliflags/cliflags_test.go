@@ -1,0 +1,89 @@
+package cliflags
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestExitCodeFor(t *testing.T) {
+	// Exit 2 must single out the i.i.d. gate rejection, wrapped or not.
+	if got := ExitCodeFor(core.ErrIIDRejected); got != ExitIIDGate {
+		t.Errorf("gate rejection -> %d, want %d", got, ExitIIDGate)
+	}
+	wrapped := fmt.Errorf("e2: %w", core.ErrIIDRejected)
+	if got := ExitCodeFor(wrapped); got != ExitIIDGate {
+		t.Errorf("wrapped gate rejection -> %d, want %d", got, ExitIIDGate)
+	}
+	for _, err := range []error{core.ErrHeavyTail, core.ErrInsufficient, fmt.Errorf("io: boom")} {
+		if got := ExitCodeFor(err); got != ExitError {
+			t.Errorf("%v -> %d, want %d", err, got, ExitError)
+		}
+	}
+}
+
+func TestAddCampaignDefaultsAndParse(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	c := AddCampaign(fs)
+	if err := fs.Parse([]string{"-runs", "42", "-seed", "7", "-converge", "-faults", "-fault-rate", "0.5"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Runs != 42 || c.Seed != 7 || !c.Converge || !c.Faults || c.FaultRate != 0.5 {
+		t.Errorf("parsed %+v", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("valid flags rejected: %v", err)
+	}
+}
+
+func TestValidateResumeRequiresJournal(t *testing.T) {
+	c := &Campaign{Resume: true}
+	if err := c.Validate(); err == nil {
+		t.Error("-resume without -journal accepted")
+	}
+	c.Journal = "x.wal"
+	if err := c.Validate(); err != nil {
+		t.Errorf("resume with journal rejected: %v", err)
+	}
+}
+
+func TestParamsWiring(t *testing.T) {
+	c := &Campaign{Runs: 100, Seed: 9, Parallel: 2, Converge: true, Faults: true, FaultRate: 0.3}
+	p, reg := c.Params()
+	if p.Runs != 100 || p.Seed != 9 || p.Parallel != 2 || !p.Converge || p.FaultRate != 0.3 {
+		t.Errorf("params %+v", p)
+	}
+	if reg != nil {
+		t.Error("registry created without journal or endpoint")
+	}
+	// Seed 0 keeps the paper default.
+	c2 := &Campaign{Runs: 10}
+	p2, _ := c2.Params()
+	if p2.Seed == 0 {
+		t.Error("seed 0 should keep the paper default, got 0")
+	}
+	// Journaling forces a registry even without an endpoint.
+	c3 := &Campaign{Runs: 10, Journal: "x.wal"}
+	p3, reg3 := c3.Params()
+	if reg3 == nil || p3.Telemetry != reg3 {
+		t.Error("journaling did not wire a telemetry registry")
+	}
+}
+
+func TestServeTelemetryDisabled(t *testing.T) {
+	c := &Campaign{}
+	var buf bytes.Buffer
+	closeFn, err := c.ServeTelemetry(nil, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeFn()
+	if buf.Len() != 0 {
+		t.Errorf("announced an endpoint that was never requested: %s", buf.String())
+	}
+}

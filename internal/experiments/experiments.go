@@ -320,9 +320,11 @@ func (e *Env) RANDConvergence() *ConvergeInfo { return e.randConv }
 // DET returns the (cached) campaign on the deterministic platform.
 func (e *Env) DET() (*platform.CampaignResult, error) {
 	if e.det == nil {
-		c, err := platform.RunCampaign(platform.DET(), e.app, platform.CampaignOptions{
-			Runs: e.P.Runs, BaseSeed: e.P.Seed + 1, Parallel: e.P.Parallel,
-		})
+		c, err := platform.StreamCampaign(context.Background(), platform.DET(), e.app,
+			platform.StreamOptions{
+				MaxRuns: e.P.Runs, BatchSize: e.P.Runs,
+				BaseSeed: e.P.Seed + 1, Parallel: e.P.Parallel,
+			}, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -51,9 +52,11 @@ func E9Generality(e *Env, runsPer int) (*E9Result, error) {
 	}
 	out := &E9Result{Runs: runsPer}
 	for _, w := range workloads {
-		c, err := platform.RunCampaign(platform.RAND(), w, platform.CampaignOptions{
-			Runs: runsPer, BaseSeed: e.P.Seed + 77, Parallel: e.P.Parallel,
-		})
+		c, err := platform.StreamCampaign(context.Background(), platform.RAND(), w,
+			platform.StreamOptions{
+				MaxRuns: runsPer, BatchSize: runsPer,
+				BaseSeed: e.P.Seed + 77, Parallel: e.P.Parallel,
+			}, nil)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", w.Name(), err)
 		}

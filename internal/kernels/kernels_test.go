@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"context"
 	"math"
 	"sort"
 	"testing"
@@ -121,9 +122,8 @@ func TestKernelsRunUnderMBPTAPipeline(t *testing.T) {
 		InsertionSort{N: 96, Seed: 1},
 		VecNorm{N: 64, Seed: 1},
 	} {
-		c, err := platform.RunCampaign(platform.RAND(), w, platform.CampaignOptions{
-			Runs: 12, BaseSeed: 8,
-		})
+		c, err := platform.StreamCampaign(context.Background(), platform.RAND(), w,
+			platform.StreamOptions{MaxRuns: 12, BatchSize: 12, BaseSeed: 8}, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", w.Name(), err)
 		}

@@ -1,7 +1,5 @@
 package platform
 
-import "context"
-
 // CampaignResult holds the outcome of a measurement campaign: per-run
 // results in run order. Order matters — the Ljung-Box independence test
 // is applied to the series as collected.
@@ -61,33 +59,6 @@ func (c *CampaignResult) OutcomeCounts() map[string]int {
 		}
 	}
 	return out
-}
-
-// CampaignOptions tunes RunCampaign.
-type CampaignOptions struct {
-	// Runs is the number of measurement runs (the paper uses 3,000).
-	Runs int
-	// BaseSeed derives the per-run seeds; the same BaseSeed reproduces
-	// the campaign bit-for-bit.
-	BaseSeed uint64
-	// Parallel is the number of worker platforms (0 = GOMAXPROCS).
-	// Parallelism does not affect results: run i always uses seed
-	// derive(BaseSeed, i) and results are stored by run index.
-	Parallel int
-}
-
-// RunCampaign executes a full measurement campaign of w on a platform
-// built from cfg. It is a thin wrapper over StreamCampaign with a
-// single batch and no sink: on the first worker error the remaining
-// workers stop instead of draining the queue, and all distinct worker
-// errors are reported via errors.Join.
-func RunCampaign(cfg Config, w Workload, opts CampaignOptions) (*CampaignResult, error) {
-	return StreamCampaign(context.Background(), cfg, w, StreamOptions{
-		MaxRuns:   opts.Runs,
-		BatchSize: opts.Runs,
-		Parallel:  opts.Parallel,
-		BaseSeed:  opts.BaseSeed,
-	}, nil)
 }
 
 // DeriveRunSeed maps (baseSeed, run) to the per-run PRNG seed installed

@@ -102,21 +102,22 @@ func (p *Platform) RunPerTask(w TaskAware, run int, runSeed uint64) (RunResult, 
 	}, jobs, nil
 }
 
-// PerTaskCampaign runs a protocol-compliant campaign with per-task
-// attribution: the result maps each task to the concatenated per-job
-// execution times across all runs (in run, then activation order) —
-// directly analyzable with the MBPTA pipeline per task.
-func PerTaskCampaign(cfg Config, w TaskAware, opts CampaignOptions) (map[string][]float64, error) {
-	if opts.Runs < 1 {
-		return nil, fmt.Errorf("platform: campaign needs >= 1 run, got %d", opts.Runs)
+// PerTaskCampaign runs a protocol-compliant campaign of runs
+// measurements with per-task attribution: the result maps each task to
+// the concatenated per-job execution times across all runs (in run,
+// then activation order) — directly analyzable with the MBPTA pipeline
+// per task. Run i always uses seed DeriveRunSeed(baseSeed, i).
+func PerTaskCampaign(cfg Config, w TaskAware, runs int, baseSeed uint64) (map[string][]float64, error) {
+	if runs < 1 {
+		return nil, fmt.Errorf("platform: campaign needs >= 1 run, got %d", runs)
 	}
 	p, err := New(cfg)
 	if err != nil {
 		return nil, err
 	}
 	out := make(map[string][]float64)
-	for run := 0; run < opts.Runs; run++ {
-		_, jobs, err := p.RunPerTask(w, run, DeriveRunSeed(opts.BaseSeed, run))
+	for run := 0; run < runs; run++ {
+		_, jobs, err := p.RunPerTask(w, run, DeriveRunSeed(baseSeed, run))
 		if err != nil {
 			return nil, err
 		}
@@ -139,17 +140,17 @@ func PerTaskCampaign(cfg Config, w TaskAware, opts CampaignOptions) (map[string]
 // rightly rejects concatenated job series); per-run maxima are i.i.d.
 // across protocol-compliant runs and upper-bound every activation, so
 // the fitted pWCET conservatively covers all jobs.
-func PerTaskWorstCampaign(cfg Config, w TaskAware, opts CampaignOptions) (map[string][]float64, error) {
-	if opts.Runs < 1 {
-		return nil, fmt.Errorf("platform: campaign needs >= 1 run, got %d", opts.Runs)
+func PerTaskWorstCampaign(cfg Config, w TaskAware, runs int, baseSeed uint64) (map[string][]float64, error) {
+	if runs < 1 {
+		return nil, fmt.Errorf("platform: campaign needs >= 1 run, got %d", runs)
 	}
 	p, err := New(cfg)
 	if err != nil {
 		return nil, err
 	}
 	out := make(map[string][]float64)
-	for run := 0; run < opts.Runs; run++ {
-		_, jobs, err := p.RunPerTask(w, run, DeriveRunSeed(opts.BaseSeed, run))
+	for run := 0; run < runs; run++ {
+		_, jobs, err := p.RunPerTask(w, run, DeriveRunSeed(baseSeed, run))
 		if err != nil {
 			return nil, err
 		}

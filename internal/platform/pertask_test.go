@@ -111,7 +111,7 @@ func TestRunPerTaskMatchesPlainRun(t *testing.T) {
 
 func TestPerTaskCampaign(t *testing.T) {
 	app := tinyTVCA(t)
-	byTask, err := PerTaskCampaign(RAND(), app, CampaignOptions{Runs: 20, BaseSeed: 5})
+	byTask, err := PerTaskCampaign(RAND(), app, 20, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +125,7 @@ func TestPerTaskCampaign(t *testing.T) {
 	if _, ok := byTask["(dispatcher)"]; ok {
 		t.Error("dispatcher leaked into the campaign result")
 	}
-	if _, err := PerTaskCampaign(RAND(), app, CampaignOptions{Runs: 0}); err == nil {
+	if _, err := PerTaskCampaign(RAND(), app, 0, 0); err == nil {
 		t.Error("zero runs accepted")
 	}
 }

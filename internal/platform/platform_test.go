@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -179,13 +180,13 @@ func TestArchitecturalResultsPlatformIndependent(t *testing.T) {
 
 func TestCampaignDeterministicAndOrdered(t *testing.T) {
 	app := smallTVCA(t)
-	opts := CampaignOptions{Runs: 24, BaseSeed: 7, Parallel: 4}
-	c1, err := RunCampaign(RAND(), app, opts)
+	opts := StreamOptions{MaxRuns: 24, BatchSize: 24, BaseSeed: 7, Parallel: 4}
+	c1, err := StreamCampaign(context.Background(), RAND(), app, opts, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts.Parallel = 1
-	c2, err := RunCampaign(RAND(), app, opts)
+	c2, err := StreamCampaign(context.Background(), RAND(), app, opts, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,8 @@ func TestCampaignDeterministicAndOrdered(t *testing.T) {
 
 func TestCampaignTimesAndPaths(t *testing.T) {
 	app := smallTVCA(t)
-	c, err := RunCampaign(RAND(), app, CampaignOptions{Runs: 30, BaseSeed: 3})
+	c, err := StreamCampaign(context.Background(), RAND(), app,
+		StreamOptions{MaxRuns: 30, BatchSize: 30, BaseSeed: 3}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +232,7 @@ func TestCampaignTimesAndPaths(t *testing.T) {
 
 func TestCampaignRejectsZeroRuns(t *testing.T) {
 	app := smallTVCA(t)
-	if _, err := RunCampaign(RAND(), app, CampaignOptions{Runs: 0}); err == nil {
+	if _, err := StreamCampaign(context.Background(), RAND(), app, StreamOptions{MaxRuns: 0}, nil); err == nil {
 		t.Error("zero runs accepted")
 	}
 }

@@ -149,10 +149,17 @@ type StreamOptions struct {
 	// BaseSeed derives the per-run seeds; the same BaseSeed reproduces
 	// the campaign bit-for-bit.
 	BaseSeed uint64
-	// Runner substitutes the per-run executor (nil = (*Platform).RunCtx,
+	// Runner substitutes the per-run executor (nil = Board.ExecuteRun,
 	// which it must behave like for a context that never fires). The
-	// fault-injection layer plugs in here.
+	// fault-injection layer plugs in here; a non-nil Runner requires
+	// single-core *Platform boards.
 	Runner RunFunc
+	// NewBoard substitutes the worker-board factory (nil = a fresh
+	// single-core Platform built from the campaign's Config). The
+	// multicore campaign path plugs in here, building co-simulated
+	// Multicore boards; every board must honor the Board contract so
+	// results stay placement-independent.
+	NewBoard func() (Board, error)
 	// RunTimeout bounds each run attempt's wall-clock time; an attempt
 	// exceeding it fails with an error matching ErrRunTimeout and is
 	// retried under Retry. Zero means no per-run deadline.
@@ -343,25 +350,30 @@ func StreamCampaign(ctx context.Context, cfg Config, w Workload, opts StreamOpti
 		o.Telemetry.Counter("campaign_resumes_total").Inc()
 	}
 
-	// One platform per worker, reused across batches: PrepareRun resets
+	// One board per worker, reused across batches: PrepareRun resets
 	// every stateful resource, so reuse is protocol-compliant. A
 	// supervised restart swaps in a fresh board.
-	boards := make([]*Platform, o.Parallel)
+	newBoard := o.NewBoard
+	if newBoard == nil {
+		newBoard = func() (Board, error) { return New(cfg) }
+	}
+	boards := make([]Board, o.Parallel)
 	for i := range boards {
-		p, err := New(cfg)
+		b, err := newBoard()
 		if err != nil {
 			return nil, err
 		}
-		boards[i] = p
+		boards[i] = b
 	}
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	sup := newSupervisor(o.Supervise, o.Telemetry)
+	pol := o.execPolicy()
 
 	var tele *streamTele
 	if o.Telemetry != nil {
-		tele = newStreamTele(o.Telemetry, boards, o, w.Name())
+		tele = newStreamTele(o.Telemetry, boards, o, cfg.Name, w.Name())
 	}
 	if o.Replay != nil {
 		o.Replay()
@@ -447,7 +459,7 @@ func StreamCampaign(ctx context.Context, cfg Config, w Workload, opts StreamOpti
 					if runCtx.Err() != nil {
 						return
 					}
-					r, err := safeRun(runCtx, o, boards[wk], w, run)
+					r, err := SafeExecuteRun(runCtx, boards[wk], w, o.BaseSeed, run, pol)
 					if err == nil {
 						out[run-start] = r
 						done[run-start] = true
@@ -469,7 +481,7 @@ func StreamCampaign(ctx context.Context, cfg Config, w Workload, opts StreamOpti
 					if !sup.backoff(runCtx) {
 						return
 					}
-					fresh, err := New(cfg)
+					fresh, err := newBoard()
 					if err != nil {
 						errs[wk] = fmt.Errorf("platform: worker %d restart: %w", wk, err)
 						cancel()
@@ -540,80 +552,22 @@ func StreamCampaign(ctx context.Context, cfg Config, w Workload, opts StreamOpti
 	return res, nil
 }
 
-// safeRun executes one run, converting a worker panic into an error
-// matching ErrWorkerPanic so the supervision policy can handle it at
-// the run boundary instead of crashing the process.
-func safeRun(ctx context.Context, o StreamOptions, board *Platform, w Workload, run int) (r RunResult, err error) {
-	defer func() {
-		if p := recover(); p != nil {
-			r, err = RunResult{}, fmt.Errorf("%w: run %d: %v", ErrWorkerPanic, run, p)
-		}
-	}()
-	return runResilient(ctx, o, board, w, run)
+// execPolicy translates the campaign options into the shared per-run
+// execution policy (see ExecuteRun in executor.go).
+func (o StreamOptions) execPolicy() ExecPolicy {
+	pol := ExecPolicy{Runner: o.Runner, RunTimeout: o.RunTimeout, Retry: o.Retry}
+	if o.Telemetry != nil {
+		pol.counters = teleRetryCounters{reg: o.Telemetry}
+	}
+	return pol
 }
 
-// runResilient executes one run through the configured Runner with the
-// campaign's per-run timeout and retry policy. Quarantined runs are
-// successes here — only genuine errors (including timeouts) retry, each
-// attempt reusing the same derived seed.
-func runResilient(ctx context.Context, o StreamOptions, board *Platform, w Workload, run int) (RunResult, error) {
-	seed := DeriveRunSeed(o.BaseSeed, run)
-	runner := o.Runner
-	if runner == nil {
-		runner = func(ctx context.Context, p *Platform, w Workload, run int, seed uint64) (RunResult, error) {
-			return p.RunCtx(ctx, w, run, seed)
-		}
-	}
-	attempts := o.Retry.MaxAttempts
-	if attempts < 1 {
-		attempts = 1
-	}
-	var lastErr error
-	for a := 0; a < attempts; a++ {
-		if a > 0 && o.Retry.Backoff > 0 {
-			// Exponential backoff: Backoff, 2*Backoff, 4*Backoff, ...
-			d := o.Retry.Backoff << (a - 1)
-			if d <= 0 || d > time.Minute {
-				d = time.Minute
-			}
-			t := time.NewTimer(d)
-			select {
-			case <-ctx.Done():
-				t.Stop()
-				return RunResult{}, ctx.Err()
-			case <-t.C:
-			}
-		}
-		attemptCtx, cancelAttempt := ctx, context.CancelFunc(nil)
-		if o.RunTimeout > 0 {
-			attemptCtx, cancelAttempt = context.WithTimeout(ctx, o.RunTimeout)
-		}
-		r, err := runner(attemptCtx, board, w, run, seed)
-		timedOut := cancelAttempt != nil && attemptCtx.Err() == context.DeadlineExceeded
-		if cancelAttempt != nil {
-			cancelAttempt()
-		}
-		if err == nil {
-			return r, nil
-		}
-		if ctx.Err() != nil {
-			// The campaign itself was canceled; don't spin on retries.
-			return RunResult{}, err
-		}
-		if timedOut {
-			err = fmt.Errorf("%w: run %d exceeded %s: %v", ErrRunTimeout, run, o.RunTimeout, err)
-			o.Telemetry.Counter("campaign_run_timeouts_total").Inc()
-		}
-		if a+1 < attempts {
-			o.Telemetry.Counter("campaign_run_retries_total").Inc()
-		}
-		lastErr = err
-	}
-	if attempts > 1 {
-		return RunResult{}, fmt.Errorf("platform: run %d failed after %d attempts: %w", run, attempts, lastErr)
-	}
-	return RunResult{}, lastErr
-}
+// teleRetryCounters routes the retry loop's tallies into the campaign
+// registry.
+type teleRetryCounters struct{ reg *telemetry.Registry }
+
+func (c teleRetryCounters) incTimeout() { c.reg.Counter("campaign_run_timeouts_total").Inc() }
+func (c teleRetryCounters) incRetry()   { c.reg.Counter("campaign_run_retries_total").Inc() }
 
 // joinDistinct combines worker errors, dropping nils and duplicates
 // (several workers often fail identically), so the caller sees every

@@ -339,14 +339,13 @@ func TestRunResilientRetriesTransientFailure(t *testing.T) {
 	}
 }
 
-func TestRunResilientExhaustsRetries(t *testing.T) {
+func TestExecuteRunExhaustsRetries(t *testing.T) {
 	sentinel := errors.New("persistent fault")
 	runner := func(ctx context.Context, p *Platform, w Workload, run int, seed uint64) (RunResult, error) {
 		return RunResult{}, sentinel
 	}
-	_, err := runResilient(context.Background(),
-		StreamOptions{MaxRuns: 1, BaseSeed: 1, Runner: runner, Retry: RetryPolicy{MaxAttempts: 3}}.withDefaults(),
-		nil, nil, 4)
+	_, err := ExecuteRun(context.Background(), (*Platform)(nil), nil, 1, 4,
+		ExecPolicy{Runner: runner, Retry: RetryPolicy{MaxAttempts: 3}})
 	if err == nil || !errors.Is(err, sentinel) {
 		t.Fatalf("err = %v, want wrapped sentinel", err)
 	}
@@ -355,7 +354,7 @@ func TestRunResilientExhaustsRetries(t *testing.T) {
 	}
 }
 
-func TestRunResilientTimeout(t *testing.T) {
+func TestExecuteRunTimeout(t *testing.T) {
 	// A runner that honors ctx must be cut off by RunTimeout and the
 	// failure classified as ErrRunTimeout after the retries run out.
 	var attempts atomic.Int64
@@ -365,10 +364,8 @@ func TestRunResilientTimeout(t *testing.T) {
 		return RunResult{}, ctx.Err()
 	}
 	start := time.Now()
-	_, err := runResilient(context.Background(),
-		StreamOptions{MaxRuns: 1, BaseSeed: 1, Runner: runner,
-			RunTimeout: 20 * time.Millisecond, Retry: RetryPolicy{MaxAttempts: 2}}.withDefaults(),
-		nil, nil, 0)
+	_, err := ExecuteRun(context.Background(), (*Platform)(nil), nil, 1, 0,
+		ExecPolicy{Runner: runner, RunTimeout: 20 * time.Millisecond, Retry: RetryPolicy{MaxAttempts: 2}})
 	if err == nil {
 		t.Fatal("hung runner returned nil error")
 	}
@@ -384,7 +381,7 @@ func TestRunResilientTimeout(t *testing.T) {
 	}
 }
 
-func TestRunResilientCampaignCancelStopsRetries(t *testing.T) {
+func TestExecuteRunCampaignCancelStopsRetries(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	var attempts atomic.Int64
 	runner := func(ctx context.Context, p *Platform, w Workload, run int, seed uint64) (RunResult, error) {
@@ -392,10 +389,8 @@ func TestRunResilientCampaignCancelStopsRetries(t *testing.T) {
 		cancel() // the campaign dies while this run is in flight
 		return RunResult{}, errors.New("boom")
 	}
-	_, err := runResilient(ctx,
-		StreamOptions{MaxRuns: 1, BaseSeed: 1, Runner: runner,
-			Retry: RetryPolicy{MaxAttempts: 5, Backoff: time.Hour}}.withDefaults(),
-		nil, nil, 0)
+	_, err := ExecuteRun(ctx, (*Platform)(nil), nil, 1, 0,
+		ExecPolicy{Runner: runner, Retry: RetryPolicy{MaxAttempts: 5, Backoff: time.Hour}})
 	if err == nil {
 		t.Fatal("canceled run returned nil error")
 	}

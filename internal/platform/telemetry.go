@@ -85,7 +85,7 @@ func subTLB(a, b tlb.Stats) tlb.Stats {
 type streamTele struct {
 	reg     *telemetry.Registry
 	prev    []BoardStats
-	seen    []*Platform // which board produced prev[i]
+	seen    []Board // which board produced prev[i]
 	started time.Time
 
 	runs, clean, quarantined, faults, batches *telemetry.Counter
@@ -98,11 +98,18 @@ type streamTele struct {
 // minute fault campaigns.
 var batchSecondsBounds = []float64{0.001, 0.005, 0.02, 0.1, 0.5, 2, 10, 60, 300}
 
-func newStreamTele(reg *telemetry.Registry, boards []*Platform, o StreamOptions, workload string) *streamTele {
+// boardStatser is the optional Board extension the substrate harvest
+// uses; co-simulated Multicore boards rebuild their cores per run and
+// expose no cumulative counters, so they simply opt out.
+type boardStatser interface {
+	BoardStats() BoardStats
+}
+
+func newStreamTele(reg *telemetry.Registry, boards []Board, o StreamOptions, platformName, workload string) *streamTele {
 	t := &streamTele{
 		reg:          reg,
 		prev:         make([]BoardStats, len(boards)),
-		seen:         make([]*Platform, len(boards)),
+		seen:         make([]Board, len(boards)),
 		started:      time.Now(),
 		runs:         reg.Counter("campaign_runs_total"),
 		clean:        reg.Counter("campaign_clean_runs_total"),
@@ -116,11 +123,13 @@ func newStreamTele(reg *telemetry.Registry, boards []*Platform, o StreamOptions,
 		ipc:          reg.Gauge("sim_ipc"),
 	}
 	for i, b := range boards {
-		t.prev[i] = b.BoardStats()
+		if s, ok := b.(boardStatser); ok {
+			t.prev[i] = s.BoardStats()
+		}
 		t.seen[i] = b
 	}
 	reg.Emit("campaign_start", -1,
-		telemetry.Str("platform", boards[0].Config().Name),
+		telemetry.Str("platform", platformName),
 		telemetry.Str("workload", workload),
 		telemetry.Num("max_runs", float64(o.MaxRuns)),
 		telemetry.Num("batch_size", float64(o.BatchSize)),
@@ -195,11 +204,15 @@ func ReplayBatch(reg *telemetry.Registry, b Batch) {
 // observeBatch folds one completed batch into the registry: result-
 // derived counters and per-run events (in run order), then the summed
 // substrate deltas of every worker board, then the derived gauges.
-func (t *streamTele) observeBatch(b Batch, boards []*Platform, elapsed time.Duration) {
+func (t *streamTele) observeBatch(b Batch, boards []Board, elapsed time.Duration) {
 	emitBatchResults(t.reg, b)
 
 	for i, board := range boards {
-		cur := board.BoardStats()
+		s, ok := board.(boardStatser)
+		if !ok {
+			continue
+		}
+		cur := s.BoardStats()
 		if t.seen[i] != board {
 			// The board was replaced by a supervised restart: its
 			// predecessor's unharvested work is gone, so restart the

@@ -40,6 +40,7 @@ package wal
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 )
@@ -73,10 +74,45 @@ type Meta struct {
 	BatchSize int    `json:"batch_size"`
 }
 
-// Validate reports whether m describes the same campaign as other.
+// ErrJournalMismatch reports that a journal's identity record
+// disagrees with the caller's campaign configuration — resuming would
+// silently break the bit-identity guarantee. Errors returned by
+// Meta.Validate match it via errors.Is; the concrete *MismatchError
+// names the first differing field and both values.
+var ErrJournalMismatch = errors.New("wal: journal belongs to a different campaign")
+
+// MismatchError is the concrete journal/configuration disagreement:
+// which Meta field differs, what the journal recorded and what the
+// caller configured. It matches ErrJournalMismatch under errors.Is.
+type MismatchError struct {
+	Field   string // Meta field name, e.g. "BaseSeed"
+	Journal any    // the journaled value
+	Caller  any    // the caller's configured value
+}
+
+func (e *MismatchError) Error() string {
+	return fmt.Sprintf("%v: %s: journal has %v, caller configured %v",
+		ErrJournalMismatch, e.Field, e.Journal, e.Caller)
+}
+
+// Is makes errors.Is(err, ErrJournalMismatch) true for MismatchError.
+func (e *MismatchError) Is(target error) bool { return target == ErrJournalMismatch }
+
+// Validate reports whether m (the journaled identity) describes the
+// same campaign as other (the caller's configuration). A disagreement
+// returns a *MismatchError naming the first differing field.
 func (m Meta) Validate(other Meta) error {
-	if m != other {
-		return fmt.Errorf("wal: journal belongs to a different campaign: journal %+v, caller %+v", m, other)
+	switch {
+	case m.Platform != other.Platform:
+		return &MismatchError{Field: "Platform", Journal: m.Platform, Caller: other.Platform}
+	case m.Workload != other.Workload:
+		return &MismatchError{Field: "Workload", Journal: m.Workload, Caller: other.Workload}
+	case m.BaseSeed != other.BaseSeed:
+		return &MismatchError{Field: "BaseSeed", Journal: m.BaseSeed, Caller: other.BaseSeed}
+	case m.MaxRuns != other.MaxRuns:
+		return &MismatchError{Field: "MaxRuns", Journal: m.MaxRuns, Caller: other.MaxRuns}
+	case m.BatchSize != other.BatchSize:
+		return &MismatchError{Field: "BatchSize", Journal: m.BatchSize, Caller: other.BatchSize}
 	}
 	return nil
 }

@@ -1,0 +1,104 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Wire reuse: the journal's record framing doubles as the wire format
+// of the distributed campaign fabric. A remote executor streams each
+// completed run back to the coordinator as exactly the frame the
+// journal would store — kind, length, payload, IEEE CRC-32 — so the
+// two layers share one codec, one fuzz corpus and one corruption
+// detector, and a run record is bit-identical whether it crossed a
+// socket or an fsync. The fabric adds its own control kinds (lease
+// grant, lease done, spec, ...) in the 0x10+ range; the journal kinds
+// stay below it, so a stray journal can never be mistaken for a
+// control message.
+
+// KindRun is the exported record kind of one completed measurement
+// run; shared by the journal file format and the fabric wire protocol.
+const KindRun = kindRun
+
+// AppendFrame appends a complete record frame (kind, length, payload,
+// CRC) to dst and returns the extended slice — the journal's exact
+// on-disk framing, exported for wire use.
+func AppendFrame(dst []byte, kind byte, payload []byte) []byte {
+	return encodeFrame(dst, kind, payload)
+}
+
+// WriteFrame frames payload under kind and writes it to w.
+func WriteFrame(w io.Writer, kind byte, payload []byte) error {
+	if len(payload) > maxPayload {
+		return fmt.Errorf("wal: frame payload %d bytes exceeds the %d limit", len(payload), maxPayload)
+	}
+	_, err := w.Write(encodeFrame(nil, kind, payload))
+	return err
+}
+
+// FrameReader decodes a stream of record frames, validating each CRC.
+// It is the wire-side counterpart of the journal recovery scan: a
+// corrupt frame is an error, not a truncation point, because a socket
+// (unlike a crashed file) has no legitimate torn tail.
+type FrameReader struct {
+	r       *bufio.Reader
+	scratch []byte
+}
+
+// NewFrameReader wraps r for frame-at-a-time decoding.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: bufio.NewReader(r)}
+}
+
+// Next reads one frame and returns its kind and payload. The payload
+// slice is reused across calls; copy it to retain. io.EOF is returned
+// only at a clean frame boundary; a connection dropped mid-frame is
+// io.ErrUnexpectedEOF.
+func (fr *FrameReader) Next() (byte, []byte, error) {
+	var hdr [5]byte // kind + len
+	if _, err := io.ReadFull(fr.r, hdr[:1]); err != nil {
+		return 0, nil, err // io.EOF here is a clean boundary
+	}
+	if _, err := io.ReadFull(fr.r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[1:]))
+	if n > maxPayload {
+		return 0, nil, fmt.Errorf("wal: frame payload %d bytes exceeds the %d limit", n, maxPayload)
+	}
+	need := n + 4 // payload + crc
+	if cap(fr.scratch) < need {
+		fr.scratch = make([]byte, need)
+	}
+	buf := fr.scratch[:need]
+	if _, err := io.ReadFull(fr.r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:])
+	crc.Write(buf[:n])
+	if got := binary.LittleEndian.Uint32(buf[n:]); got != crc.Sum32() {
+		return 0, nil, fmt.Errorf("wal: frame kind %d CRC mismatch", hdr[0])
+	}
+	return hdr[0], buf[:n], nil
+}
+
+// EncodeRunRecord serializes r with the journal's run-record codec,
+// appending to dst. The bytes are exactly a journal run payload.
+func EncodeRunRecord(dst []byte, r RunRecord) ([]byte, error) {
+	return encodeRun(dst, r)
+}
+
+// DecodeRunRecord parses a journal/wire run payload.
+func DecodeRunRecord(payload []byte) (RunRecord, error) {
+	return decodeRun(payload)
+}

@@ -1,0 +1,101 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	recs := []RunRecord{
+		{Run: 0, Seed: 7, Cycles: 100, Instructions: 40, Path: "p0", Outcome: ""},
+		{Run: 1, Seed: 9, Cycles: 200, Instructions: 80, Path: "", Outcome: "hung"},
+	}
+	for _, r := range recs {
+		payload, err := EncodeRunRecord(nil, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteFrame(&buf, KindRun, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := WriteFrame(&buf, 0x11, []byte("lease")); err != nil {
+		t.Fatal(err)
+	}
+
+	fr := NewFrameReader(bytes.NewReader(buf.Bytes()))
+	for i := range recs {
+		kind, payload, err := fr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if kind != KindRun {
+			t.Fatalf("frame %d kind %d", i, kind)
+		}
+		got, err := DecodeRunRecord(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != recs[i] {
+			t.Fatalf("frame %d: got %+v want %+v", i, got, recs[i])
+		}
+	}
+	kind, payload, err := fr.Next()
+	if err != nil || kind != 0x11 || string(payload) != "lease" {
+		t.Fatalf("control frame: kind %d payload %q err %v", kind, payload, err)
+	}
+	if _, _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF at clean boundary, got %v", err)
+	}
+}
+
+func TestFrameReaderRejectsCorruption(t *testing.T) {
+	frame := AppendFrame(nil, KindRun, []byte("payload"))
+	flipped := append([]byte(nil), frame...)
+	flipped[6] ^= 0x40 // inside the payload
+	if _, _, err := NewFrameReader(bytes.NewReader(flipped)).Next(); err == nil ||
+		!strings.Contains(err.Error(), "CRC") {
+		t.Fatalf("want CRC error, got %v", err)
+	}
+	// A frame cut mid-payload is an unexpected EOF, never a clean one.
+	if _, _, err := NewFrameReader(bytes.NewReader(frame[:len(frame)-3])).Next(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("want ErrUnexpectedEOF on torn frame, got %v", err)
+	}
+}
+
+func TestMetaValidateMismatch(t *testing.T) {
+	base := Meta{Platform: "RAND", Workload: "tvca", BaseSeed: 42, MaxRuns: 100, BatchSize: 25}
+	if err := base.Validate(base); err != nil {
+		t.Fatalf("identical meta: %v", err)
+	}
+	cases := []struct {
+		field  string
+		mutate func(Meta) Meta
+	}{
+		{"Platform", func(m Meta) Meta { m.Platform = "DET"; return m }},
+		{"Workload", func(m Meta) Meta { m.Workload = "other"; return m }},
+		{"BaseSeed", func(m Meta) Meta { m.BaseSeed++; return m }},
+		{"MaxRuns", func(m Meta) Meta { m.MaxRuns++; return m }},
+		{"BatchSize", func(m Meta) Meta { m.BatchSize++; return m }},
+	}
+	for _, tc := range cases {
+		err := base.Validate(tc.mutate(base))
+		if err == nil {
+			t.Fatalf("%s mismatch not detected", tc.field)
+		}
+		if !errors.Is(err, ErrJournalMismatch) {
+			t.Fatalf("%s: error %v does not match ErrJournalMismatch", tc.field, err)
+		}
+		var me *MismatchError
+		if !errors.As(err, &me) || me.Field != tc.field {
+			t.Fatalf("%s: error %v does not name the field", tc.field, err)
+		}
+		if !strings.Contains(err.Error(), tc.field) {
+			t.Fatalf("%s: message %q does not name the field", tc.field, err)
+		}
+	}
+}

@@ -67,7 +67,24 @@ type (
 	FaultSummary = faults.Summary
 	// RetryPolicy bounds per-run retries (see WithRetry).
 	RetryPolicy = platform.RetryPolicy
+	// BatchSink consumes ordered batches from the low-level streaming
+	// executor (advanced use; see StreamCampaign).
+	BatchSink = platform.BatchSink
+	// Board is one simulated machine runs execute on (advanced use:
+	// StreamOptions.NewBoard and the campaign fabric).
+	Board = platform.Board
 )
+
+// ExecutorPool is the distributed campaign fabric contract: an
+// implementation executes a campaign's runs on a shared pool of
+// executors (in-process or remote) and delivers results as ordered
+// batches, bit-identical to platform.StreamCampaign — run i always
+// uses seed DeriveRunSeed(base, i), so where a run executes never
+// changes the result. fabric.Pool implements it; pass one to
+// WithExecutorPool.
+type ExecutorPool interface {
+	StreamCampaign(ctx context.Context, cfg PlatformConfig, w Workload, opts StreamOptions, sink BatchSink) (*CampaignResult, error)
+}
 
 // Fault-injection run-outcome classes and targets re-exported for
 // option construction and summary inspection.
@@ -123,6 +140,8 @@ type campaignConfig struct {
 	supervise   platform.SupervisionPolicy
 	journal     string
 	telemetry   *Telemetry
+	coRunners   []Workload
+	pool        ExecutorPool
 }
 
 // CampaignOption configures Campaign.
@@ -248,6 +267,31 @@ func WithTelemetry(reg *Telemetry) CampaignOption {
 	return func(c *campaignConfig) { c.telemetry = reg }
 }
 
+// WithExecutorPool executes the campaign's runs on a shared campaign
+// fabric (see internal/fabric and cmd/pwcetd) instead of a private
+// worker pool: many concurrent campaigns multiplex over the pool's
+// executors with fair scheduling and bounded backpressure. The merge
+// path preserves bit-identity — the report's fingerprint equals that
+// of a single-process campaign with the same seed and budget.
+// WithParallelism, WithRetry, WithRunTimeout and WithSupervision are
+// pool-side concerns and are ignored under a pool; Resume on a pool is
+// not supported (resume locally, the journal format is identical).
+func WithExecutorPool(pool ExecutorPool) CampaignOption {
+	return func(c *campaignConfig) { c.pool = pool }
+}
+
+// WithCoRunners co-simulates the campaign on a multicore board: the
+// measured workload runs on core 0 while each co-runner loops on its
+// own core, all contending for the shared bus and DRAM, timestamp-
+// ordered by the arbiter. Results stay deterministic — run i uses seed
+// DeriveRunSeed(base, i) regardless of parallelism — so multicore
+// campaigns compose with journaling, stop rules and progress exactly
+// like single-core ones. Incompatible with WithFaultInjection (the SEU
+// injector targets single-core boards).
+func WithCoRunners(coRunners ...Workload) CampaignOption {
+	return func(c *campaignConfig) { c.coRunners = coRunners }
+}
+
 // MeasureOnly skips the final per-path analysis: the report carries
 // the measured campaign and snapshots but a nil Analysis. Use it to
 // collect traces for external tooling (or platforms expected to fail
@@ -321,9 +365,12 @@ func (r *CampaignReport) TraceSet() *TraceSet {
 //     the report (with nil Analysis) is returned for diagnosis.
 func Campaign(ctx context.Context, cfg PlatformConfig, w Workload, opts ...CampaignOption) (*CampaignReport, error) {
 	c := resolveCampaignConfig(opts)
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
 	online := core.NewOnlineAnalyzer(c.analysis, c.rule)
 	online.SetTelemetry(c.telemetry)
-	so := c.streamOptions()
+	so := c.streamOptions(cfg)
 	if c.journal != "" {
 		jw, err := wal.Create(c.journal, c.meta(cfg, w), c.telemetry)
 		if err != nil {
@@ -361,6 +408,12 @@ func Campaign(ctx context.Context, cfg PlatformConfig, w Workload, opts ...Campa
 // The error contract is Campaign's.
 func Resume(ctx context.Context, cfg PlatformConfig, w Workload, journalPath string, opts ...CampaignOption) (*CampaignReport, error) {
 	c := resolveCampaignConfig(opts)
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	if c.pool != nil {
+		return nil, errors.New("mbpta: Resume on an executor pool is not supported; resume locally (the journal format is identical)")
+	}
 	plan, err := wal.PrepareResume(journalPath, c.telemetry)
 	if err != nil {
 		return nil, err
@@ -381,7 +434,7 @@ func Resume(ctx context.Context, cfg PlatformConfig, w Workload, journalPath str
 	}
 	online.SetTelemetry(c.telemetry)
 
-	so := c.streamOptions()
+	so := c.streamOptions(cfg)
 	journal := wal.NewCampaignJournal(plan.Writer, online.MarshalState)
 	defer journal.Close()
 	so.Journal = journal
@@ -436,8 +489,22 @@ func (c *campaignConfig) meta(cfg PlatformConfig, w Workload) wal.Meta {
 	}
 }
 
-func (c *campaignConfig) streamOptions() platform.StreamOptions {
-	return platform.StreamOptions{
+// validate rejects option combinations the engine cannot honor.
+func (c *campaignConfig) validate() error {
+	if c.faults != nil && len(c.coRunners) > 0 {
+		return errors.New("mbpta: WithFaultInjection targets single-core boards and is incompatible with WithCoRunners")
+	}
+	if c.pool != nil && len(c.coRunners) > 0 {
+		return errors.New("mbpta: WithCoRunners is not supported on an executor pool")
+	}
+	if c.pool != nil && c.faults != nil {
+		return errors.New("mbpta: WithFaultInjection is not supported on an executor pool")
+	}
+	return nil
+}
+
+func (c *campaignConfig) streamOptions(cfg PlatformConfig) platform.StreamOptions {
+	so := platform.StreamOptions{
 		MaxRuns:    c.runs,
 		BatchSize:  c.batch,
 		Parallel:   c.parallel,
@@ -447,6 +514,11 @@ func (c *campaignConfig) streamOptions() platform.StreamOptions {
 		Supervise:  c.supervise,
 		Telemetry:  c.telemetry,
 	}
+	if len(c.coRunners) > 0 {
+		cr := c.coRunners
+		so.NewBoard = func() (platform.Board, error) { return platform.NewMulticore(cfg, cr) }
+	}
+	return so
 }
 
 // execute runs the streaming engine with the incremental analyzer as
@@ -477,7 +549,13 @@ func (c *campaignConfig) execute(ctx context.Context, cfg PlatformConfig, w Work
 		}
 		so.Runner = inj.Runner()
 	}
-	camp, err := platform.StreamCampaign(ctx, cfg, w, so, sink)
+	var camp *CampaignResult
+	var err error
+	if c.pool != nil {
+		camp, err = c.pool.StreamCampaign(ctx, cfg, w, so, sink)
+	} else {
+		camp, err = platform.StreamCampaign(ctx, cfg, w, so, sink)
+	}
 	if err != nil {
 		if camp == nil || !(errors.Is(err, ErrCanceled) || errors.Is(err, ErrDegraded)) {
 			return nil, err

@@ -10,15 +10,18 @@ import (
 	"repro/pkg/mbpta"
 )
 
-func TestCampaignFixedRunsReproducesLegacyCollect(t *testing.T) {
+func TestCampaignBatchAndParallelismInvariance(t *testing.T) {
 	// The seed pipeline and the streaming engine must measure the exact
 	// same series: run i always uses the same derived seed, whatever
 	// the batch size or parallelism.
 	app := smallApp(t)
-	legacy, err := mbpta.Collect(mbpta.RANDPlatform(), app, 40, 42)
+	ref, err := mbpta.Campaign(context.Background(), mbpta.RANDPlatform(), app,
+		mbpta.WithRuns(40), mbpta.WithBaseSeed(42),
+		mbpta.WithParallelism(1), mbpta.MeasureOnly())
 	if err != nil {
 		t.Fatal(err)
 	}
+	legacy := ref.TraceSet()
 	rep, err := mbpta.Campaign(context.Background(), mbpta.RANDPlatform(), app,
 		mbpta.WithRuns(40),
 		mbpta.WithBaseSeed(42),
@@ -57,11 +60,12 @@ func TestCampaignAnalysisMatchesSeedPipeline(t *testing.T) {
 	if rep.Analysis == nil {
 		t.Fatal("nil analysis")
 	}
-	set, err := mbpta.Collect(mbpta.RANDPlatform(), app, runs, 42)
+	mrep, err := mbpta.Campaign(context.Background(), mbpta.RANDPlatform(), app,
+		mbpta.WithRuns(runs), mbpta.WithBaseSeed(42), mbpta.MeasureOnly())
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := mbpta.NewAnalyzer(mbpta.Options{}).AnalyzeByPath(set.TimesByPath())
+	want, err := mbpta.NewAnalyzer(mbpta.Options{}).AnalyzeByPath(mrep.TraceSet().TimesByPath())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,8 +192,9 @@ func TestCampaignIIDGateFailed(t *testing.T) {
 	// MeasureOnly sidesteps the gate for trace collection (e.g. the DET
 	// baseline, which MBPTA cannot analyze).
 	app := smallApp(t)
-	if _, err := mbpta.Collect(mbpta.DETPlatform(), app, 30, 8); err != nil {
-		t.Fatalf("Collect on DET: %v", err)
+	if _, err := mbpta.Campaign(context.Background(), mbpta.DETPlatform(), app,
+		mbpta.WithRuns(30), mbpta.WithBaseSeed(8), mbpta.MeasureOnly()); err != nil {
+		t.Fatalf("MeasureOnly on DET: %v", err)
 	}
 }
 

@@ -30,18 +30,38 @@
 //   - WithProgress: per-batch Snapshot callback
 //   - WithAnalyzerOptions: analyzer configuration for refits and the
 //     final analysis
+//   - WithCoRunners: co-simulate on a multicore board with real
+//     co-runner programs contending for the bus and DRAM
+//   - WithJournal: crash-safe write-ahead log, resumable via Resume
+//   - WithTelemetry: metrics registry + structured event stream
+//   - WithFaultInjection, WithRunTimeout, WithRetry, WithSupervision:
+//     resilience layers
+//   - WithExecutorPool: execute on a shared distributed campaign
+//     fabric instead of a private worker pool
 //   - MeasureOnly: collect without the final per-path analysis
 //
 // Campaign's sentinel errors — ErrIIDGateFailed, ErrNotConverged,
-// ErrCanceled — all work with errors.Is. The v1 helpers Collect and
-// RunCampaign remain as thin wrappers over the same engine.
+// ErrCanceled, ErrDegraded — all work with errors.Is.
+//
+// # The campaign fabric and the pWCET service
+//
+// NewFabricPool starts a shared executor pool many concurrent
+// campaigns multiplex over (fair lease scheduling, bounded admission,
+// optional remote executors); pass it to WithExecutorPool. The merge
+// path is bit-identical to local execution: CampaignReport.Fingerprint
+// is byte-equal whether a campaign ran single-process, on an
+// N-executor fabric, or was journal-resumed.
+//
+// The pwcetd daemon (cmd/pwcetd) serves campaigns over HTTP;
+// ServiceClient is its client, CampaignSpec / CampaignStatus /
+// ServiceReport its wire types, and WorkloadSpec + BuiltinWorkloads
+// name the workloads a service or remote executor can rebuild.
 //
 // Everything reachable from here is stable API; the internal packages
 // may change layout freely.
 package mbpta
 
 import (
-	"context"
 	"io"
 
 	"repro/internal/core"
@@ -174,8 +194,6 @@ type (
 	RunResult = platform.RunResult
 	// CampaignResult is an ordered measurement campaign.
 	CampaignResult = platform.CampaignResult
-	// CampaignOptions tunes RunCampaign.
-	CampaignOptions = platform.CampaignOptions
 	// InterferenceConfig attaches synthetic co-runner bus traffic.
 	InterferenceConfig = platform.InterferenceConfig
 	// Multicore co-simulates real co-runner programs on the other
@@ -208,16 +226,21 @@ type (
 // attribution: each task maps to its per-job execution times across
 // all runs. Note that consecutive jobs within one run are correlated
 // (shared warm cache state); for per-task MBPTA use
-// PerTaskWorstCampaign instead.
-func PerTaskCampaign(cfg PlatformConfig, w TaskAware, opts CampaignOptions) (map[string][]float64, error) {
-	return platform.PerTaskCampaign(cfg, w, opts)
+// PerTaskWorstCampaign instead. Of the campaign options only WithRuns
+// and WithBaseSeed apply — per-task measurement is a serial,
+// instrumentation-heavy mode outside the streaming engine.
+func PerTaskCampaign(cfg PlatformConfig, w TaskAware, opts ...CampaignOption) (map[string][]float64, error) {
+	c := resolveCampaignConfig(opts)
+	return platform.PerTaskCampaign(cfg, w, c.runs, c.seed)
 }
 
 // PerTaskWorstCampaign maps each task to its per-run worst job time —
 // i.i.d. samples that conservatively cover every activation, the
-// per-task MBPTA input.
-func PerTaskWorstCampaign(cfg PlatformConfig, w TaskAware, opts CampaignOptions) (map[string][]float64, error) {
-	return platform.PerTaskWorstCampaign(cfg, w, opts)
+// per-task MBPTA input. Of the campaign options only WithRuns and
+// WithBaseSeed apply; see PerTaskCampaign.
+func PerTaskWorstCampaign(cfg PlatformConfig, w TaskAware, opts ...CampaignOption) (map[string][]float64, error) {
+	c := resolveCampaignConfig(opts)
+	return platform.PerTaskWorstCampaign(cfg, w, c.runs, c.seed)
 }
 
 // Adaptive collection (the paper's protocol: measure until the tail
@@ -259,31 +282,6 @@ func RANDPlatform() PlatformConfig { return platform.RAND() }
 
 // NewPlatform instantiates a board from cfg.
 func NewPlatform(cfg PlatformConfig) (*Platform, error) { return platform.New(cfg) }
-
-// RunCampaign executes a measurement campaign of w on a platform built
-// from cfg, following the paper's per-run protocol (flush, reset,
-// reload, reseed). It is a fixed-size, single-batch wrapper over the
-// streaming engine.
-//
-// Deprecated: use Campaign, which adds context cancellation,
-// convergence-driven early stopping and per-batch progress.
-func RunCampaign(cfg PlatformConfig, w Workload, opts CampaignOptions) (*CampaignResult, error) {
-	return platform.RunCampaign(cfg, w, opts)
-}
-
-// Collect runs a fixed-size campaign and packages it as a trace.Set
-// ready for persistence or analysis.
-//
-// Deprecated: use Campaign with WithRuns, WithBaseSeed and MeasureOnly,
-// then CampaignReport.TraceSet.
-func Collect(cfg PlatformConfig, w Workload, runs int, seed uint64) (*TraceSet, error) {
-	rep, err := Campaign(context.Background(), cfg, w,
-		WithRuns(runs), WithBaseSeed(seed), MeasureOnly())
-	if err != nil {
-		return nil, err
-	}
-	return rep.TraceSet(), nil
-}
 
 // Workload types.
 type (

@@ -2,6 +2,7 @@ package mbpta_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -24,10 +25,12 @@ func smallApp(t *testing.T) *mbpta.TVCA {
 func TestEndToEndFlow(t *testing.T) {
 	// The README quickstart flow, through the public API only.
 	app := smallApp(t)
-	set, err := mbpta.Collect(mbpta.RANDPlatform(), app, 600, 42)
+	rep, err := mbpta.Campaign(context.Background(), mbpta.RANDPlatform(), app,
+		mbpta.WithRuns(600), mbpta.WithBaseSeed(42), mbpta.MeasureOnly())
 	if err != nil {
 		t.Fatal(err)
 	}
+	set := rep.TraceSet()
 	if len(set.Samples) != 600 {
 		t.Fatalf("%d samples", len(set.Samples))
 	}
@@ -178,24 +181,25 @@ func TestGumbelExported(t *testing.T) {
 	}
 }
 
-func TestCampaignOptionsParallelismInvariance(t *testing.T) {
+func TestCampaignParallelismInvariance(t *testing.T) {
 	app := smallApp(t)
-	a, err := mbpta.RunCampaign(mbpta.RANDPlatform(), app, mbpta.CampaignOptions{
-		Runs: 20, BaseSeed: 3, Parallel: 1,
-	})
+	a, err := mbpta.Campaign(context.Background(), mbpta.RANDPlatform(), app,
+		mbpta.WithRuns(20), mbpta.WithBaseSeed(3), mbpta.WithParallelism(1), mbpta.MeasureOnly())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := mbpta.RunCampaign(mbpta.RANDPlatform(), app, mbpta.CampaignOptions{
-		Runs: 20, BaseSeed: 3, Parallel: 8,
-	})
+	b, err := mbpta.Campaign(context.Background(), mbpta.RANDPlatform(), app,
+		mbpta.WithRuns(20), mbpta.WithBaseSeed(3), mbpta.WithParallelism(8), mbpta.MeasureOnly())
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range a.Results {
-		if a.Results[i] != b.Results[i] {
+	for i := range a.Campaign.Results {
+		if a.Campaign.Results[i] != b.Campaign.Results[i] {
 			t.Fatalf("run %d differs with parallelism", i)
 		}
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("fingerprints differ with parallelism")
 	}
 }
 
@@ -244,12 +248,12 @@ func TestPerTaskWrappers(t *testing.T) {
 		t.Fatal(err)
 	}
 	all, err := mbpta.PerTaskCampaign(mbpta.RANDPlatform(), app,
-		mbpta.CampaignOptions{Runs: 10, BaseSeed: 2})
+		mbpta.WithRuns(10), mbpta.WithBaseSeed(2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	worst, err := mbpta.PerTaskWorstCampaign(mbpta.RANDPlatform(), app,
-		mbpta.CampaignOptions{Runs: 10, BaseSeed: 2})
+		mbpta.WithRuns(10), mbpta.WithBaseSeed(2))
 	if err != nil {
 		t.Fatal(err)
 	}
