@@ -42,10 +42,14 @@ endif
 
 # The platform package includes telemetry-enabled parallel campaigns
 # (TestStreamTelemetryHarvest), so the harvest path is race-checked too.
+# The repo-root Multicore goldens run under race as well: board reuse
+# keeps arbiter state alive across runs, so cross-run sharing bugs only
+# show up when the reused board's goroutine mode is race-checked.
 race:
 	$(GO) test -race ./internal/platform/ ./internal/rng/ ./internal/faults/ ./internal/telemetry/
 	$(GO) test -race ./internal/fabric/ ./internal/pwcetd/
 	$(GO) test -race -run 'Telemetry|Fingerprint' ./pkg/mbpta/
+	$(GO) test -race -run 'TestMulticoreGolden' .
 
 # Perf-regression snapshot: runs the simulator throughput benchmarks
 # and writes the results (ns/op, instr/s, allocs/op, git SHA, date) to

@@ -1,8 +1,12 @@
 // Package bus models the shared AMBA-style bus that propagates IL1/DL1
 // misses and TLB walks from the cores to the DRAM controller. It keeps
 // a single global timeline: requests are granted in timestamp order
-// (first-come-first-served), with a round-robin priority among cores to
-// break ties, which matches the arbiter of the reference architecture.
+// (first-come-first-served). The bus itself imposes no priority among
+// cores — callers must present requests in non-decreasing timestamp
+// order, and cross-core ties are broken by the platform's arbiter
+// (fixed core-index priority, matching the deterministic arbiter of
+// the reference architecture; see internal/platform's multicore
+// co-simulation).
 package bus
 
 import (
@@ -65,10 +69,9 @@ type Stats struct {
 // non-decreasing completion order per core; the bus serializes
 // cross-core requests on its single timeline.
 type Bus struct {
-	cfg      Config
-	freeAt   uint64 // first cycle the bus is idle
-	lastCore int    // round-robin bookkeeping for tie-breaking
-	stats    Stats
+	cfg    Config
+	freeAt uint64 // first cycle the bus is idle
+	stats  Stats
 }
 
 // New builds a bus.
@@ -76,7 +79,7 @@ func New(cfg Config) (*Bus, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Bus{cfg: cfg, lastCore: cfg.Cores - 1}, nil
+	return &Bus{cfg: cfg}, nil
 }
 
 // Config returns the bus configuration.
@@ -89,7 +92,6 @@ func (b *Bus) Stats() Stats { return b.stats }
 // is reset between measurement runs).
 func (b *Bus) Reset() {
 	b.freeAt = 0
-	b.lastCore = b.cfg.Cores - 1
 	b.stats = Stats{}
 }
 
@@ -109,8 +111,23 @@ func (b *Bus) Request(core int, t uint64, kind Kind) uint64 {
 	b.stats.WaitCycles += start - t
 	b.stats.BusyCycles += b.cfg.TransferCycles
 	b.freeAt = start + b.cfg.TransferCycles
-	b.lastCore = core
 	return start
+}
+
+// Absorb folds a batch of transactions that were granted off-bus into
+// the timeline and counters: tx transactions whose total queueing delay
+// was wait, with the bus occupied through freeAt after the last one.
+// The multicore arbiter uses it to commit a core's locally self-granted
+// transactions (see internal/platform: arbitration windows) in one
+// call; the outcome is identical to issuing the same sequence through
+// Request.
+func (b *Bus) Absorb(tx, wait, freeAt uint64) {
+	b.stats.Transactions += tx
+	b.stats.WaitCycles += wait
+	b.stats.BusyCycles += tx * b.cfg.TransferCycles
+	if freeAt > b.freeAt {
+		b.freeAt = freeAt
+	}
 }
 
 // FreeAt reports the first idle cycle (test/debug aid).

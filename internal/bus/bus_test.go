@@ -113,3 +113,72 @@ func TestGrantMonotonicityProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestNoCorePriorityState is the regression test for the arbitration
+// cleanup: the bus must hold no per-core arbitration state (the old
+// implementation carried a dead round-robin lastCore field), so grants
+// are a function of request timestamps alone — which core issues a
+// request must never change any grant or counter.
+func TestNoCorePriorityState(t *testing.T) {
+	times := []uint64{0, 1, 1, 2, 9, 30, 30, 31}
+	coreOrders := [][]int{
+		{0, 1, 2, 3, 0, 1, 2, 3},
+		{3, 2, 1, 0, 3, 2, 1, 0},
+		{0, 0, 0, 0, 0, 0, 0, 0},
+		{2, 2, 1, 3, 0, 0, 3, 1},
+	}
+	var wantStarts []uint64
+	var wantStats Stats
+	for i, cores := range coreOrders {
+		b := newBus(t)
+		starts := make([]uint64, len(times))
+		for j, tm := range times {
+			starts[j] = b.Request(cores[j], tm, KindLineFill)
+		}
+		if i == 0 {
+			wantStarts, wantStats = starts, b.Stats()
+			continue
+		}
+		for j := range starts {
+			if starts[j] != wantStarts[j] {
+				t.Errorf("core order %v: grant %d at %d, want %d (core identity changed a grant)",
+					cores, j, starts[j], wantStarts[j])
+			}
+		}
+		if b.Stats() != wantStats {
+			t.Errorf("core order %v: stats %+v, want %+v", cores, b.Stats(), wantStats)
+		}
+	}
+}
+
+// TestAbsorbMatchesRequestSequence pins the self-grant window contract:
+// absorbing a batch of off-bus grants must leave the bus in exactly the
+// state the equivalent Request sequence would.
+func TestAbsorbMatchesRequestSequence(t *testing.T) {
+	times := []uint64{5, 6, 6, 40, 41}
+	direct := newBus(t)
+	for _, tm := range times {
+		direct.Request(0, tm, KindWrite)
+	}
+
+	absorbed := newBus(t)
+	// Replicate the port-side self-grant arithmetic: grant against a
+	// private freeAt, accumulate wait, then commit in one Absorb.
+	var freeAt, wait uint64
+	for _, tm := range times {
+		start := tm
+		if freeAt > start {
+			start = freeAt
+		}
+		wait += start - tm
+		freeAt = start + absorbed.TransferCycles()
+	}
+	absorbed.Absorb(uint64(len(times)), wait, freeAt)
+
+	if absorbed.Stats() != direct.Stats() {
+		t.Errorf("absorbed stats %+v, direct stats %+v", absorbed.Stats(), direct.Stats())
+	}
+	if absorbed.FreeAt() != direct.FreeAt() {
+		t.Errorf("absorbed freeAt %d, direct freeAt %d", absorbed.FreeAt(), direct.FreeAt())
+	}
+}

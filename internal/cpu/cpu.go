@@ -96,22 +96,26 @@ func (s Stats) IPC() float64 {
 type Interconnect interface {
 	// Request asks for the bus at time t for a transaction on addr. It
 	// returns the grant cycle and the memory access latency behind the
-	// transfer.
-	Request(core int, t uint64, kind bus.Kind, addr uint64) (start, memLat uint64)
+	// transfer. The requesting core's identity is fixed at port
+	// construction — an Interconnect value serves exactly one core, so
+	// the request carries no core argument a caller could mismatch.
+	Request(t uint64, kind bus.Kind, addr uint64) (start, memLat uint64)
 	// TransferCycles is the bus occupancy of one transaction.
 	TransferCycles() uint64
 }
 
 // BusMem is the single-requestor Interconnect: a bus directly in front
-// of the DRAM controller.
+// of the DRAM controller, requesting on behalf of Core (zero value:
+// core 0, the measured core).
 type BusMem struct {
-	Bus *bus.Bus
-	Mem *mem.Controller
+	Bus  *bus.Bus
+	Mem  *mem.Controller
+	Core int
 }
 
 // Request grants the bus FCFS and charges the DRAM access.
-func (bm BusMem) Request(core int, t uint64, kind bus.Kind, addr uint64) (uint64, uint64) {
-	start := bm.Bus.Request(core, t, kind)
+func (bm BusMem) Request(t uint64, kind bus.Kind, addr uint64) (uint64, uint64) {
+	start := bm.Bus.Request(bm.Core, t, kind)
 	return start, bm.Mem.Latency(addr)
 }
 
@@ -199,7 +203,7 @@ func (c *Core) FlushAll() {
 // memFill charges one cache-line fill (or page-walk access) via the
 // shared bus and DRAM: queueing delay + transfer + access latency.
 func (c *Core) memFill(addr uint64, kind bus.Kind) uint64 {
-	start, memLat := c.Bus.Request(c.ID, c.cycle, kind, addr)
+	start, memLat := c.Bus.Request(c.cycle, kind, addr)
 	wait := start - c.cycle
 	return wait + c.Bus.TransferCycles() + memLat
 }
@@ -296,7 +300,7 @@ func (c *Core) storeDrain(addr uint64) {
 		c.stats.StoreStall += wait
 	}
 	// Issue the drain from the current (post-stall) time.
-	start, memLat := c.Bus.Request(c.ID, c.cycle, bus.KindWrite, addr)
+	start, memLat := c.Bus.Request(c.cycle, bus.KindWrite, addr)
 	c.storeSlots[slot] = start + c.Bus.TransferCycles() + memLat
 }
 
@@ -310,4 +314,188 @@ func (c *Core) RunProgram(m *isa.Machine) (uint64, error) {
 		return 0, err
 	}
 	return c.cycle - startCycle, nil
+}
+
+// EventCursor is the suspension record of one in-flight retired
+// instruction whose timing charge is applied incrementally — the
+// resumable form of Consume used by arbiter-driven trace replay
+// (internal/platform's multicore co-simulation). Instead of calling
+// Interconnect.Request synchronously, StartEvent/ResumeEvent park the
+// cursor whenever the charge needs the bus, exposing the request in
+// the Req* fields; the arbiter grants it at its leisure and resumes.
+// While parked, the core's clock and counters are exactly as Consume
+// would have left them at the moment it called Request, so a
+// cursor-driven core is bit-identical to a Consume-driven one.
+//
+// A cursor is bound to the single event it was last started with; a
+// core must not interleave StartEvent calls with an event still
+// parked.
+type EventCursor struct {
+	ev      isa.Event
+	phase   uint8
+	walkIdx int
+	walkAcc uint64
+	slot    int
+
+	// Parked bus request, valid from a StartEvent/ResumeEvent that
+	// returned true until the next ResumeEvent.
+	ReqTime uint64
+	ReqKind bus.Kind
+	ReqAddr uint64
+}
+
+// Cursor suspension points, one per bus-request site in Consume.
+const (
+	curITLBWalk  uint8 = iota // in the ITLB page-walk loop
+	curILFill                 // waiting on the IL1 line fill
+	curDTLBLoad               // in the DTLB walk loop of a load
+	curDTLBStore              // in the DTLB walk loop of a store
+	curDLFill                 // waiting on the DL1 line fill
+	curDrain                  // waiting on the store-buffer drain
+)
+
+func (cur *EventCursor) park(phase uint8, t uint64, kind bus.Kind, addr uint64) {
+	cur.phase = phase
+	cur.ReqTime, cur.ReqKind, cur.ReqAddr = t, kind, addr
+}
+
+// StartEvent begins charging ev to the core. It returns true when the
+// charge suspended on a bus request (described by cur.Req*), false
+// when the event completed without one. The stage structure and every
+// counter update mirror Consume exactly.
+func (c *Core) StartEvent(cur *EventCursor, ev isa.Event) bool {
+	c.stats.Instructions++
+	cur.ev = ev
+	// --- Fetch: ITLB, then IL1. ---
+	if !c.ITLB.Lookup(ev.PC) {
+		cur.walkIdx, cur.walkAcc = 0, 0
+		// Walk requests issue at the pre-walk cycle, accumulating into
+		// walkAcc first — the same order Consume charges them.
+		cur.park(curITLBWalk, c.cycle, bus.KindTLBWalk, ev.PC)
+		return true
+	}
+	return c.curFetchLine(cur)
+}
+
+// ResumeEvent applies the grant (start, memLat) of the cursor's parked
+// request and continues the charge. It returns true when the event
+// suspended on a further request.
+func (c *Core) ResumeEvent(cur *EventCursor, start, memLat uint64) bool {
+	fill := (start - cur.ReqTime) + c.Bus.TransferCycles() + memLat
+	switch cur.phase {
+	case curITLBWalk:
+		cur.walkAcc += fill
+		cur.walkIdx++
+		if cur.walkIdx < c.itlbWalks {
+			cur.park(curITLBWalk, c.cycle, bus.KindTLBWalk, cur.ev.PC)
+			return true
+		}
+		c.cycle += cur.walkAcc
+		c.stats.IFetchStall += cur.walkAcc
+		return c.curFetchLine(cur)
+	case curILFill:
+		c.cycle += fill
+		c.stats.IFetchStall += fill
+		return c.curExecute(cur)
+	case curDTLBLoad, curDTLBStore:
+		cur.walkAcc += fill
+		cur.walkIdx++
+		if cur.walkIdx < c.dtlbWalks {
+			cur.park(cur.phase, c.cycle, bus.KindTLBWalk, cur.ev.Addr)
+			return true
+		}
+		c.cycle += cur.walkAcc
+		c.stats.DMemStall += cur.walkAcc
+		if cur.phase == curDTLBLoad {
+			return c.curLoadAccess(cur)
+		}
+		return c.curStoreAccess(cur)
+	case curDLFill:
+		c.cycle += fill
+		c.stats.DMemStall += fill
+		c.stats.Cycles = c.cycle
+		return false
+	case curDrain:
+		c.storeSlots[cur.slot] = start + c.Bus.TransferCycles() + memLat
+		c.stats.Cycles = c.cycle
+		return false
+	default:
+		panic(fmt.Sprintf("cpu: resume with invalid cursor phase %d", cur.phase))
+	}
+}
+
+func (c *Core) curFetchLine(cur *EventCursor) bool {
+	if !c.IL1.Access(cur.ev.PC) {
+		cur.park(curILFill, c.cycle, bus.KindLineFill, cur.ev.PC)
+		return true
+	}
+	return c.curExecute(cur)
+}
+
+func (c *Core) curExecute(cur *EventCursor) bool {
+	c.cycle++
+	ev := cur.ev
+	switch ev.Class {
+	case isa.ClassNop, isa.ClassIntALU, isa.ClassHalt:
+	case isa.ClassIntMul:
+		c.stall(c.intMulExtra, &c.stats.ExecStall)
+	case isa.ClassIntDiv:
+		c.stall(c.intDivExtra, &c.stats.ExecStall)
+	case isa.ClassBranch:
+		if ev.Taken {
+			c.stall(c.branchTaken, &c.stats.BranchStall)
+		}
+	case isa.ClassFPAdd:
+		c.stall(c.fpAddExtra, &c.stats.ExecStall)
+	case isa.ClassFPMul:
+		c.stall(c.fpMulExtra, &c.stats.ExecStall)
+	case isa.ClassFPDiv:
+		c.stall(uint64(c.FPU.DivLatency(ev.FOp1, ev.FOp2)-1), &c.stats.ExecStall)
+	case isa.ClassFPSqrt:
+		c.stall(uint64(c.FPU.SqrtLatency(ev.FOp1)-1), &c.stats.ExecStall)
+	case isa.ClassLoad:
+		if !c.DTLB.Lookup(ev.Addr) {
+			cur.walkIdx, cur.walkAcc = 0, 0
+			cur.park(curDTLBLoad, c.cycle, bus.KindTLBWalk, ev.Addr)
+			return true
+		}
+		return c.curLoadAccess(cur)
+	case isa.ClassStore:
+		if !c.DTLB.Lookup(ev.Addr) {
+			cur.walkIdx, cur.walkAcc = 0, 0
+			cur.park(curDTLBStore, c.cycle, bus.KindTLBWalk, ev.Addr)
+			return true
+		}
+		return c.curStoreAccess(cur)
+	}
+	c.stats.Cycles = c.cycle
+	return false
+}
+
+func (c *Core) curLoadAccess(cur *EventCursor) bool {
+	if c.DL1.Access(cur.ev.Addr) {
+		c.stall(c.loadUse, &c.stats.DMemStall)
+		c.stats.Cycles = c.cycle
+		return false
+	}
+	cur.park(curDLFill, c.cycle, bus.KindLineFill, cur.ev.Addr)
+	return true
+}
+
+func (c *Core) curStoreAccess(cur *EventCursor) bool {
+	c.DL1.Write(cur.ev.Addr) // write-through, no allocate
+	slot := 0
+	for i := 1; i < len(c.storeSlots); i++ {
+		if c.storeSlots[i] < c.storeSlots[slot] {
+			slot = i
+		}
+	}
+	if c.storeSlots[slot] > c.cycle {
+		wait := c.storeSlots[slot] - c.cycle
+		c.cycle += wait
+		c.stats.StoreStall += wait
+	}
+	cur.slot = slot
+	cur.park(curDrain, c.cycle, bus.KindWrite, cur.ev.Addr)
+	return true
 }

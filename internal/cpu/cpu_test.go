@@ -368,7 +368,7 @@ func TestBusMemDirectly(t *testing.T) {
 		t.Fatal(err)
 	}
 	bm := BusMem{Bus: b, Mem: dram}
-	start, lat := bm.Request(0, 10, bus.KindLineFill, 0x1000)
+	start, lat := bm.Request(10, bus.KindLineFill, 0x1000)
 	if start != 10 {
 		t.Errorf("start = %d", start)
 	}
@@ -378,8 +378,10 @@ func TestBusMemDirectly(t *testing.T) {
 	if bm.TransferCycles() != 4 {
 		t.Errorf("transfer = %d", bm.TransferCycles())
 	}
-	// A second overlapping request queues behind the first.
-	start2, _ := bm.Request(1, 11, bus.KindWrite, 0x2000)
+	// A second overlapping request from the other core's port queues
+	// behind the first on the shared timeline.
+	bm2 := BusMem{Bus: b, Mem: dram, Core: 1}
+	start2, _ := bm2.Request(11, bus.KindWrite, 0x2000)
 	if start2 != 14 {
 		t.Errorf("queued start = %d, want 14", start2)
 	}

@@ -55,6 +55,20 @@ func (s StreamerWorkload) Prepare(run int) (*isa.Machine, error) {
 // PathOf reports the single path.
 func (s StreamerWorkload) PathOf(*isa.Machine) string { return "" }
 
+// Reload re-initializes a prepared machine in place
+// (platform.Reloader): the kernel never writes its program or data
+// memory, so resetting the registers restores the exact Prepare state.
+func (s StreamerWorkload) Reload(m *isa.Machine, run int) error {
+	m.Reset()
+	return nil
+}
+
+// TraceStable declares the sweep's event stream run-invariant
+// (platform.TraceStable): straight-line loop, no data-dependent control
+// flow or FP operands, so co-simulation boards may record one iteration
+// and replay it.
+func (s StreamerWorkload) TraceStable() bool { return true }
+
 // E8Result quantifies multicore contention on the RAND platform.
 type E8Result struct {
 	// MeanByCoRunners[k] is the mean measured execution time with k

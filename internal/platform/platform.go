@@ -481,19 +481,24 @@ func (p *Platform) SetReplayParanoia(on bool) { p.paranoid = on }
 
 // interferingBus wraps the shared bus, injecting co-runner transactions
 // with timestamps interleaved against the measured core's requests.
+// It holds the bus and DRAM controller directly (not through a BusMem)
+// because it requests on behalf of several synthetic cores, while the
+// cpu.Interconnect contract serves exactly one.
 type interferingBus struct {
-	inner cpu.BusMem
-	cfg   InterferenceConfig
-	next  []uint64 // next injection time per interfering core
-	rnd   *rng.Xoroshiro128
+	bus  *bus.Bus
+	mem  *mem.Controller
+	cfg  InterferenceConfig
+	next []uint64 // next injection time per interfering core
+	rnd  *rng.Xoroshiro128
 }
 
 func newInterferingBus(b *bus.Bus, d *mem.Controller, cfg InterferenceConfig) *interferingBus {
 	return &interferingBus{
-		inner: cpu.BusMem{Bus: b, Mem: d},
-		cfg:   cfg,
-		next:  make([]uint64, cfg.Cores),
-		rnd:   rng.NewXoroshiro128(0),
+		bus:  b,
+		mem:  d,
+		cfg:  cfg,
+		next: make([]uint64, cfg.Cores),
+		rnd:  rng.NewXoroshiro128(0),
 	}
 }
 
@@ -511,12 +516,13 @@ func (ib *interferingBus) reset(seed uint64) {
 
 // Request injects all due interference traffic before granting the
 // measured core's request, preserving global FCFS order.
-func (ib *interferingBus) Request(core int, t uint64, kind bus.Kind, addr uint64) (uint64, uint64) {
+func (ib *interferingBus) Request(t uint64, kind bus.Kind, addr uint64) (uint64, uint64) {
 	for i := range ib.next {
 		for ib.next[i] <= t {
 			// Synthetic co-runner fill: the address only matters for the
 			// open-page DRAM ablation; spread it across rows.
-			ib.inner.Request(i+1, ib.next[i], bus.KindLineFill, ib.next[i]<<6)
+			ib.bus.Request(i+1, ib.next[i], bus.KindLineFill)
+			ib.mem.Latency(ib.next[i] << 6)
 			if ib.cfg.Randomize {
 				ib.next[i] += uint64(rng.Intn(ib.rnd, int(2*ib.cfg.PeriodCycles))) + 1
 			} else {
@@ -524,8 +530,9 @@ func (ib *interferingBus) Request(core int, t uint64, kind bus.Kind, addr uint64
 			}
 		}
 	}
-	return ib.inner.Request(core, t, kind, addr)
+	start := ib.bus.Request(0, t, kind)
+	return start, ib.mem.Latency(addr)
 }
 
 // TransferCycles forwards the bus occupancy.
-func (ib *interferingBus) TransferCycles() uint64 { return ib.inner.TransferCycles() }
+func (ib *interferingBus) TransferCycles() uint64 { return ib.bus.TransferCycles() }

@@ -99,10 +99,32 @@ type streamTele struct {
 var batchSecondsBounds = []float64{0.001, 0.005, 0.02, 0.1, 0.5, 2, 10, 60, 300}
 
 // boardStatser is the optional Board extension the substrate harvest
-// uses; co-simulated Multicore boards rebuild their cores per run and
-// expose no cumulative counters, so they simply opt out.
+// uses. Both Platform and the co-simulated Multicore implement it —
+// Multicore boards reuse their cores across runs (see ensureBoard), so
+// their counters accumulate exactly like a single-core platform's.
 type boardStatser interface {
 	BoardStats() BoardStats
+}
+
+// BoardStats returns the cumulative substrate counters of the measured
+// core (core 0) — the core whose timing the campaign analyzes; the
+// co-runner cores exist to generate contention and are not reported.
+// Harvested at batch barriers like Platform's, when no run is in
+// flight on the board.
+func (mc *Multicore) BoardStats() BoardStats {
+	if !mc.built {
+		return BoardStats{}
+	}
+	c0 := mc.cores[0]
+	return BoardStats{
+		IL1:           c0.IL1.Stats(),
+		DL1:           c0.DL1.Stats(),
+		ITLB:          c0.ITLB.Stats(),
+		DTLB:          c0.DTLB.Stats(),
+		FPU:           c0.FPU.Stats(),
+		ReplayRuns:    mc.replayRuns,
+		InterpretRuns: mc.interpretRuns,
+	}
 }
 
 func newStreamTele(reg *telemetry.Registry, boards []Board, o StreamOptions, platformName, workload string) *streamTele {

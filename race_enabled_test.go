@@ -1,0 +1,8 @@
+//go:build race
+
+package repro
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation slows the simulator by an order of
+// magnitude — wall-clock throughput gates are skipped there.
+const raceEnabled = true
