@@ -3,7 +3,7 @@
 GO ?= go
 STATICCHECK := $(shell command -v staticcheck 2>/dev/null)
 
-.PHONY: test check staticcheck bench bench-all experiments race cover fuzz resume-check service-check clean
+.PHONY: test check staticcheck bench bench-all experiments race cover fuzz resume-check service-check matrix-check clean
 
 test:
 	$(GO) test ./...
@@ -15,6 +15,7 @@ check: staticcheck
 	$(GO) test -race ./...
 	$(MAKE) service-check
 	$(MAKE) resume-check
+	$(MAKE) matrix-check
 
 # Service-layer gate: the campaign fabric's bit-identity proofs
 # (single-process == N-executor fabric, including a killed-and-
@@ -30,6 +31,13 @@ service-check:
 # (exits non-zero on any fingerprint mismatch).
 resume-check:
 	$(GO) run ./examples/resumable_campaign
+
+# Scenario-matrix cache gate: run a small matrix cold, re-run it after
+# an analysis-only tweak, and require zero re-simulated runs, >=90%
+# cache hits, bit-identical per-cell fingerprints, and a >=5x warm
+# speedup (exits non-zero on any violation).
+matrix-check:
+	$(GO) run ./examples/matrix_check
 
 # staticcheck is optional tooling: run it when present, skip with a
 # notice otherwise (the sandbox image carries only the go toolchain).

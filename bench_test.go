@@ -9,12 +9,17 @@ package repro
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/evt"
 	"repro/internal/experiments"
+	"repro/internal/fabric"
+	"repro/internal/matrix"
 	"repro/internal/mem"
 	"repro/internal/platform"
 	"repro/internal/rng"
@@ -411,6 +416,66 @@ func BenchmarkMulticoreThroughput(b *testing.B) {
 		instr += r.Measured.Instructions
 	}
 	b.ReportMetric(float64(instr)/b.Elapsed().Seconds(), "instr/s")
+}
+
+// BenchmarkMatrixWarmVsCold measures the scenario-matrix run cache
+// (internal/matrix): the same 2x2 matrix executed against an empty
+// cache directory (every run simulated) versus a pre-populated one
+// (every run replayed from the journal). The cold/warm ns/op ratio is
+// the cache's speedup; `make matrix-check` enforces the >=5x floor.
+func BenchmarkMatrixWarmVsCold(b *testing.B) {
+	spec := matrix.Spec{
+		Name:      "bench",
+		Platforms: []string{"DET", "RAND"},
+		Workloads: []fabric.WorkloadSpec{
+			{Kind: "crc32", Params: json.RawMessage(`{"Bytes":1024,"Seed":1}`)},
+			{Kind: "isort", Params: json.RawMessage(`{"N":96,"Seed":1}`)},
+		},
+		Runs:     200,
+		Batch:    50,
+		BaseSeed: 42,
+		Analysis: matrix.AnalysisSpec{BlockSize: 20},
+	}
+	pool := fabric.NewPool(fabric.Config{})
+	defer pool.Close()
+	pass := func(b *testing.B, dir string) *matrix.Report {
+		cache, err := matrix.NewCache(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		runner := &matrix.Runner{Pool: pool, Cache: cache, CellParallel: 2}
+		rep, err := runner.Run(context.Background(), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rep
+	}
+	b.Run("cold", func(b *testing.B) {
+		root := b.TempDir()
+		b.ReportAllocs()
+		b.ResetTimer()
+		var runs int
+		for i := 0; i < b.N; i++ {
+			rep := pass(b, filepath.Join(root, fmt.Sprintf("cold%d", i)))
+			runs += rep.SimulatedRuns + rep.CachedRuns
+		}
+		b.ReportMetric(float64(runs)/b.Elapsed().Seconds(), "runs/s")
+	})
+	b.Run("warm", func(b *testing.B) {
+		dir := filepath.Join(b.TempDir(), "cache")
+		pass(b, dir) // populate
+		b.ReportAllocs()
+		b.ResetTimer()
+		var runs int
+		for i := 0; i < b.N; i++ {
+			rep := pass(b, dir)
+			if rep.SimulatedRuns != 0 {
+				b.Fatalf("warm pass re-simulated %d runs", rep.SimulatedRuns)
+			}
+			runs += rep.CachedRuns
+		}
+		b.ReportMetric(float64(runs)/b.Elapsed().Seconds(), "runs/s")
+	})
 }
 
 // BenchmarkE9Generality regenerates the workload-generality table.

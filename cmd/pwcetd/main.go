@@ -55,6 +55,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		maxSess    = fs.Int("max-sessions", 0, "concurrent campaigns admitted before submissions queue (0 = default 256)")
 		sessLeases = fs.Int("session-leases", 0, "outstanding leases per campaign (0 = default 4)")
 		leaseTO    = fs.Duration("lease-timeout", 30*time.Second, "re-queue a lease stuck on one executor after this long (0 disables)")
+		matrixCache = fs.String("matrix-cache", "", "directory for the content-addressed matrix run cache (empty disables caching)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return cliflags.ExitError // usage already printed to stderr
@@ -98,7 +99,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "pwcetd: accepting remote executors on %s\n", eln.Addr())
 	}
 
-	svc := pwcetd.New(pwcetd.Config{Pool: pool})
+	svc, err := pwcetd.New(pwcetd.Config{Pool: pool, MatrixCacheDir: *matrixCache})
+	if err != nil {
+		return fail(err)
+	}
 	defer svc.Close()
 
 	ln, err := net.Listen("tcp", *addr)

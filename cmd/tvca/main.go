@@ -6,6 +6,7 @@
 // external tooling.
 //
 //	tvca -runs 3000 -save-dir ./traces
+//	tvca -matrix spec.json -matrix-cache ./cache   # scenario matrix mode
 //
 // Exit codes, matching cmd/experiments and cmd/mbpta so scripted
 // pipelines can branch on the gate outcome: 0 = case study completed,
@@ -14,17 +15,23 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
+	"time"
 
 	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fabric"
 	"repro/internal/faults"
+	"repro/internal/matrix"
 	"repro/internal/platform"
 	"repro/internal/report"
 	"repro/internal/trace"
@@ -46,6 +53,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tvca", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	c := cliflags.AddCampaign(fs)
+	m := cliflags.AddMatrix(fs)
 	var (
 		saveDir = fs.String("save-dir", "", "directory to save campaign CSVs (optional)")
 		perTask = fs.Bool("per-task", false, "additionally derive per-task pWCETs (worst job per run)")
@@ -56,6 +64,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := c.Validate(); err != nil {
 		fmt.Fprintln(stderr, "tvca:", err)
 		return exitError
+	}
+	if m.Spec != "" {
+		return runMatrix(c, m, stdout, stderr)
 	}
 
 	stopProf, err := c.StartProfiling()
@@ -171,6 +182,73 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if c.TelemetryAddr != "" {
 		fmt.Fprintln(stdout)
 		report.TelemetryTable(stdout, "telemetry summary", reg.Snapshot())
+	}
+	return cliflags.ExitOK
+}
+
+// runMatrix executes the scenario matrix described by the -matrix spec
+// file: cells fan out over an in-process fabric pool, per-cell progress
+// streams to stdout as cells start and finish, and the comparative
+// pWCET table closes the run. With -matrix-cache, cells sharing
+// simulation-relevant configuration replay cached runs instead of
+// re-simulating — a re-run after an analysis-only tweak touches no
+// simulator board.
+func runMatrix(c *cliflags.Campaign, m *cliflags.Matrix, stdout, stderr io.Writer) int {
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "tvca:", err)
+		return cliflags.ExitCodeFor(err)
+	}
+	raw, err := os.ReadFile(m.Spec)
+	if err != nil {
+		return fail(err)
+	}
+	var spec matrix.Spec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return fail(fmt.Errorf("parse matrix spec %s: %w", m.Spec, err))
+	}
+	cells, err := matrix.Expand(spec)
+	if err != nil {
+		return fail(err)
+	}
+	var cache *matrix.Cache
+	if m.CacheDir != "" {
+		if cache, err = matrix.NewCache(m.CacheDir); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "matrix: run cache at %s\n", cache.Dir())
+	}
+	pool := fabric.NewPool(fabric.Config{Executors: c.Parallel})
+	defer pool.Close()
+
+	fmt.Fprintf(stdout, "matrix: %d cells (%d platforms x %d workloads x faults x cores x rules)\n",
+		len(cells), len(spec.Platforms), len(spec.Workloads))
+	var progressMu sync.Mutex
+	runner := &matrix.Runner{
+		Pool:         pool,
+		Cache:        cache,
+		CellParallel: m.CellParallel,
+		Progress: func(p matrix.CellProgress) {
+			progressMu.Lock()
+			defer progressMu.Unlock()
+			switch p.State {
+			case matrix.CellStart:
+				fmt.Fprintf(stdout, "  [%d/%d] %s ...\n", p.Index+1, p.Total, p.Cell.Label())
+			case matrix.CellDone:
+				fmt.Fprintf(stdout, "  [%d/%d] %s done: %d cached + %d simulated runs in %s\n",
+					p.Index+1, p.Total, p.Cell.Label(), p.CachedRuns, p.SimulatedRuns,
+					p.Elapsed.Round(time.Millisecond))
+			case matrix.CellError:
+				fmt.Fprintf(stdout, "  [%d/%d] %s FAILED: %v\n", p.Index+1, p.Total, p.Cell.Label(), p.Err)
+			}
+		},
+	}
+	rep, err := runner.Run(context.Background(), spec)
+	if rep != nil {
+		fmt.Fprintln(stdout)
+		rep.Table(stdout)
+	}
+	if err != nil {
+		return fail(err)
 	}
 	return cliflags.ExitOK
 }

@@ -1,0 +1,104 @@
+// Matrix cache gate: run a small scenario matrix cold, re-run it after
+// an analysis-only tweak (different report quantiles), and require the
+// warm pass to (a) re-simulate zero runs, (b) serve at least 90% of its
+// runs from the content-addressed cache, (c) produce bit-identical
+// per-cell fingerprints, and (d) finish at least 5x faster than the
+// cold pass. Any violation exits non-zero.
+//
+//	go run ./examples/matrix_check
+//
+// `make matrix-check` runs this program as the run-cache correctness
+// and performance gate.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/matrix"
+)
+
+// The matrix is sized so the cold pass does enough simulation for the
+// 5x wall-clock ratio to be meaningful (roughly a second of work), yet
+// stays small enough for CI.
+func spec() matrix.Spec {
+	return matrix.Spec{
+		Name:      "matrix-check",
+		Platforms: []string{"DET", "RAND"},
+		Workloads: []fabric.WorkloadSpec{
+			{Kind: "crc32", Params: json.RawMessage(`{"Bytes":4096,"Seed":1}`)},
+			{Kind: "isort", Params: json.RawMessage(`{"N":96,"Seed":1}`)},
+		},
+		Runs:     500,
+		Batch:    100,
+		BaseSeed: 42,
+		Analysis: matrix.AnalysisSpec{BlockSize: 50},
+	}
+}
+
+func runPass(runner *matrix.Runner, s matrix.Spec, label string) (*matrix.Report, time.Duration) {
+	started := time.Now()
+	rep, err := runner.Run(context.Background(), s)
+	if err != nil {
+		log.Fatalf("matrix_check: %s pass: %v", label, err)
+	}
+	elapsed := time.Since(started)
+	fmt.Printf("%s pass: %d cells, %d cached + %d simulated runs in %s\n",
+		label, len(rep.Cells), rep.CachedRuns, rep.SimulatedRuns, elapsed.Round(time.Millisecond))
+	return rep, elapsed
+}
+
+func main() {
+	log.SetFlags(0)
+	dir, err := os.MkdirTemp("", "matrix-check-*")
+	if err != nil {
+		log.Fatalf("matrix_check: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	cache, err := matrix.NewCache(filepath.Join(dir, "cache"))
+	if err != nil {
+		log.Fatalf("matrix_check: %v", err)
+	}
+	pool := fabric.NewPool(fabric.Config{})
+	defer pool.Close()
+	runner := &matrix.Runner{Pool: pool, Cache: cache, CellParallel: 2}
+
+	cold, coldElapsed := runPass(runner, spec(), "cold")
+	if cold.CachedRuns != 0 {
+		log.Fatalf("matrix_check: cold pass reported %d cached runs; the cache directory was not fresh", cold.CachedRuns)
+	}
+
+	// The warm pass changes only the report quantiles — an analysis
+	// parameter that is queried after the fact and is not part of the
+	// campaign fingerprint, so replayed cells must fingerprint
+	// identically to the cold ones.
+	warmSpec := spec()
+	warmSpec.Analysis.Quantiles = []float64{1e-6, 1e-9}
+	warm, warmElapsed := runPass(runner, warmSpec, "warm")
+
+	if warm.SimulatedRuns != 0 {
+		log.Fatalf("matrix_check: warm pass re-simulated %d runs; analysis-only changes must replay from the cache", warm.SimulatedRuns)
+	}
+	total := warm.CachedRuns + warm.SimulatedRuns
+	if total == 0 || float64(warm.CachedRuns)/float64(total) < 0.90 {
+		log.Fatalf("matrix_check: warm pass served %d/%d runs from the cache (< 90%%)", warm.CachedRuns, total)
+	}
+	for i := range warm.Cells {
+		w, c := &warm.Cells[i], &cold.Cells[i]
+		if w.Fingerprint != c.Fingerprint {
+			log.Fatalf("matrix_check: cell %s: cached fingerprint %s != fresh %s — cached replay is not bit-identical",
+				w.Label, w.Fingerprint, c.Fingerprint)
+		}
+	}
+	if warmElapsed*5 > coldElapsed {
+		log.Fatalf("matrix_check: warm pass %s is not >=5x faster than cold %s", warmElapsed, coldElapsed)
+	}
+	fmt.Printf("OK: warm pass replayed %d runs bit-identically, %.1fx faster than cold\n",
+		warm.CachedRuns, float64(coldElapsed)/float64(warmElapsed))
+}

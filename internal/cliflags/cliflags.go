@@ -70,6 +70,28 @@ func AddCampaign(fs *flag.FlagSet) *Campaign {
 	return c
 }
 
+// Matrix holds the scenario-matrix flags (see internal/matrix).
+type Matrix struct {
+	// Spec is the path to the matrix spec JSON; empty means matrix mode
+	// is off.
+	Spec string
+	// CacheDir is the content-addressed run-cache directory; empty
+	// disables caching (every cell simulates from scratch).
+	CacheDir string
+	// CellParallel bounds concurrently executing cells.
+	CellParallel int
+}
+
+// AddMatrix declares the scenario-matrix flags on fs and returns the
+// struct their values land in.
+func AddMatrix(fs *flag.FlagSet) *Matrix {
+	m := &Matrix{}
+	fs.StringVar(&m.Spec, "matrix", "", "run the scenario matrix described by this spec JSON instead of a single campaign")
+	fs.StringVar(&m.CacheDir, "matrix-cache", "", "content-addressed run cache directory for -matrix (empty = no caching)")
+	fs.IntVar(&m.CellParallel, "matrix-cells", 2, "concurrently executing matrix cells under -matrix")
+	return m
+}
+
 // AddTelemetryAddr declares the -telemetry-addr flag into dst — split
 // out because every CLI serves metrics, including ones (cmd/mbpta,
 // cmd/pwcetd) that take none of the other campaign flags.

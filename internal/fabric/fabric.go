@@ -238,7 +238,10 @@ func (p *Pool) register(ctx context.Context, cfg platform.Config, w platform.Wor
 		ranges:   make(map[int]*leaseRange),
 	}
 	s.cond = sync.NewCond(&s.mu)
-	if sw, ok := w.(SpecWorkload); ok {
+	// A session with a run cache must stay on the in-process executors:
+	// remote executors cannot consult the cache and would re-simulate
+	// cached runs (bit-identically, but defeating the dedup guarantee).
+	if sw, ok := w.(SpecWorkload); ok && opts.Cached == nil {
 		s.spec = &SessionSpec{
 			Platform:   cfg,
 			Workload:   sw.WorkloadSpec(),
@@ -341,7 +344,7 @@ func (p *Pool) runLocalLease(l *lease) {
 		s.failLease(l, err)
 		return
 	}
-	pol := platform.ExecPolicy{RunTimeout: s.opts.RunTimeout, Retry: s.opts.Retry}
+	pol := platform.ExecPolicy{Cached: s.opts.Cached, RunTimeout: s.opts.RunTimeout, Retry: s.opts.Retry}
 	for run := l.r.start; run < l.r.end; run++ {
 		if s.aborted() {
 			s.releaseLease(l)

@@ -1,0 +1,59 @@
+package matrix
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/platform"
+)
+
+// simKeyVersion is bumped whenever the key derivation or the meaning of
+// any keyed field changes, invalidating all previously cached runs.
+const simKeyVersion = 1
+
+// simKey is the canonical serialization the cache key is hashed over:
+// exactly the configuration that can change a raw measurement run.
+// The platform name is resolved to its full build (platform.Config)
+// before hashing, so a future change to what "RAND" means invalidates
+// the cache instead of silently replaying runs from a different
+// machine. Analysis-only parameters — stop rule, run budget, batch
+// size, quantiles, alpha, block size — are deliberately absent: cells
+// differing only in those share one cache entry, which is the whole
+// point of the content-addressed cache.
+type simKey struct {
+	V            int                 `json:"v"`
+	Platform     platform.Config     `json:"platform"`
+	Workload     fabric.WorkloadSpec `json:"workload"`
+	BaseSeed     uint64              `json:"base_seed"`
+	FaultRate    float64             `json:"fault_rate"`
+	Cores        int                 `json:"cores"`
+	RunTimeoutMS int64               `json:"run_timeout_ms"`
+}
+
+// SimKey returns the cell's content-addressed simulation key: the hex
+// SHA-256 of the canonical simKey serialization. Two cells with equal
+// keys produce bit-identical run series and may share cached runs; two
+// cells differing in any simulation-relevant field hash differently.
+func (c Cell) SimKey() (string, error) {
+	cfg, err := fabric.NamedPlatform(c.Platform)
+	if err != nil {
+		return "", err
+	}
+	b, err := json.Marshal(simKey{
+		V:            simKeyVersion,
+		Platform:     cfg,
+		Workload:     c.Workload,
+		BaseSeed:     c.BaseSeed,
+		FaultRate:    c.FaultRate,
+		Cores:        c.Cores,
+		RunTimeoutMS: c.RunTimeoutMS,
+	})
+	if err != nil {
+		return "", fmt.Errorf("matrix: marshal sim key: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

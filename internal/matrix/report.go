@@ -1,0 +1,196 @@
+package matrix
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/report"
+	"repro/pkg/mbpta"
+)
+
+// CellResult is one executed cell's summary: identity, provenance
+// (cached vs freshly simulated run counts), the fingerprint that pins
+// bit-identity across cache replay, and the pWCET estimates at the
+// spec's report quantiles.
+type CellResult struct {
+	Cell  Cell   `json:"cell"`
+	Label string `json:"label"`
+
+	// Fingerprint is the canonical SHA-256 of the cell's campaign
+	// report. A cached replay of a cell yields exactly the fingerprint a
+	// fresh simulation would — the cache's correctness invariant.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Converged   bool   `json:"converged"`
+	StopRuns    int    `json:"stop_runs"`
+	Quarantined int    `json:"quarantined,omitempty"`
+
+	// CachedRuns counts runs replayed from the content-addressed cache;
+	// SimulatedRuns counts runs that actually touched a simulator board.
+	CachedRuns    int `json:"cached_runs"`
+	SimulatedRuns int `json:"simulated_runs"`
+
+	// PWCET holds the estimates aligned with Quantiles; NaN marks a
+	// quantile the analysis could not answer (serialized as null).
+	Quantiles []float64  `json:"quantiles,omitempty"`
+	PWCET     []*float64 `json:"pwcet,omitempty"`
+	// HWM is the high-water mark over clean runs — the fallback
+	// comparison basis when a cell has no tail fit (DET builds routinely
+	// fail the i.i.d. gate by design).
+	HWM float64 `json:"hwm,omitempty"`
+	// Delta is pWCET(first report quantile) relative to the same
+	// scenario on the baseline platform (the spec's first), as a ratio;
+	// 0 for baseline cells and cells with no comparable baseline. When
+	// either side lacks a tail fit the ratio falls back to HWMs.
+	Delta float64 `json:"delta,omitempty"`
+
+	// Advisory notes a non-fatal analysis condition (i.i.d. gate
+	// rejection, non-convergence); Err marks a failed cell.
+	Advisory string        `json:"advisory,omitempty"`
+	Err      string        `json:"err,omitempty"`
+	Elapsed  time.Duration `json:"elapsed"`
+}
+
+// summarize fills the result from a finished campaign report.
+func (res *CellResult) summarize(rep *mbpta.CampaignReport) {
+	if rep == nil {
+		return
+	}
+	res.Fingerprint = rep.Fingerprint()
+	res.Converged = rep.Converged
+	res.StopRuns = rep.StopRuns
+	res.Quarantined = rep.Campaign.Quarantined()
+	for _, r := range rep.Campaign.Results {
+		if !r.Quarantined() && float64(r.Cycles) > res.HWM {
+			res.HWM = float64(r.Cycles)
+		}
+	}
+	res.Quantiles = res.Cell.Analysis.quantiles()
+	res.PWCET = make([]*float64, len(res.Quantiles))
+	if rep.Analysis != nil {
+		for i, q := range res.Quantiles {
+			if x, err := rep.Analysis.PWCET(q); err == nil && !math.IsNaN(x) && !math.IsInf(x, 0) {
+				v := x
+				res.PWCET[i] = &v
+			}
+		}
+	}
+}
+
+// pwcetAt returns the cell's estimate at quantile index i, or NaN.
+func (res *CellResult) pwcetAt(i int) float64 {
+	if i < len(res.PWCET) && res.PWCET[i] != nil {
+		return *res.PWCET[i]
+	}
+	return math.NaN()
+}
+
+// Report is a finished matrix: every cell's summary plus matrix-wide
+// provenance totals.
+type Report struct {
+	Spec  Spec         `json:"spec"`
+	Cells []CellResult `json:"cells"`
+	// CachedRuns/SimulatedRuns total the per-cell provenance counts —
+	// the dedup headline: a warm re-run reports SimulatedRuns == 0.
+	CachedRuns    int           `json:"cached_runs"`
+	SimulatedRuns int           `json:"simulated_runs"`
+	Elapsed       time.Duration `json:"elapsed"`
+}
+
+// buildDeltas computes each cell's pWCET ratio against the same
+// scenario on the baseline platform (the spec's first platform).
+func (rep *Report) buildDeltas() {
+	if len(rep.Spec.Platforms) == 0 {
+		return
+	}
+	base := rep.Spec.Platforms[0]
+	baseline := make(map[string]*CellResult)
+	for i := range rep.Cells {
+		c := &rep.Cells[i]
+		if c.Cell.Platform == base && c.Err == "" {
+			baseline[c.Cell.groupKey()] = c
+		}
+	}
+	for i := range rep.Cells {
+		c := &rep.Cells[i]
+		if c.Cell.Platform == base || c.Err != "" {
+			continue
+		}
+		b, ok := baseline[c.Cell.groupKey()]
+		if !ok {
+			continue
+		}
+		num, den := c.pwcetAt(0), b.pwcetAt(0)
+		if math.IsNaN(num) || math.IsNaN(den) {
+			// Fall back to observed high-water marks when either side
+			// has no tail fit (e.g. DET failing the i.i.d. gate).
+			num, den = c.HWM, b.HWM
+		}
+		if den > 0 && !math.IsNaN(num) {
+			c.Delta = num / den
+		}
+	}
+}
+
+// Table renders the comparative report: one row per cell, pWCET columns
+// per report quantile, and the delta against the baseline platform.
+func (rep *Report) Table(w io.Writer) {
+	quantiles := rep.Spec.Analysis.quantiles()
+	header := []string{"cell", "runs", "cached", "sim", "conv"}
+	for _, q := range quantiles {
+		header = append(header, fmt.Sprintf("pWCET(%.0e)", q))
+	}
+	header = append(header, "vs "+baseName(rep.Spec), "note")
+	rows := make([][]string, 0, len(rep.Cells))
+	for i := range rep.Cells {
+		c := &rep.Cells[i]
+		if c.Err != "" {
+			rows = append(rows, []string{c.Label, "-", "-", "-", "-", "ERROR: " + c.Err})
+			continue
+		}
+		row := []string{
+			c.Label,
+			fmt.Sprintf("%d", c.StopRuns),
+			fmt.Sprintf("%d", c.CachedRuns),
+			fmt.Sprintf("%d", c.SimulatedRuns),
+			fmt.Sprintf("%v", c.Converged),
+		}
+		for qi := range quantiles {
+			if x := c.pwcetAt(qi); !math.IsNaN(x) {
+				row = append(row, fmt.Sprintf("%.0f", x))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		switch {
+		case c.Delta > 0:
+			row = append(row, fmt.Sprintf("%.3fx", c.Delta))
+		default:
+			row = append(row, "-")
+		}
+		note := c.Advisory
+		if note == "" && c.HWM > 0 {
+			note = fmt.Sprintf("HWM %.0f", c.HWM)
+		}
+		row = append(row, note)
+		rows = append(rows, row)
+	}
+	title := rep.Spec.Name
+	if title == "" {
+		title = "scenario matrix"
+	}
+	title = fmt.Sprintf("%s — %d cells, %d cached + %d simulated runs, %s",
+		title, len(rep.Cells), rep.CachedRuns, rep.SimulatedRuns, rep.Elapsed.Round(time.Millisecond))
+	report.Grid(w, title, header, rows)
+}
+
+func baseName(s Spec) string {
+	if len(s.Platforms) == 0 {
+		return "baseline"
+	}
+	if s.Platforms[0] == "" {
+		return "RAND"
+	}
+	return s.Platforms[0]
+}

@@ -1,0 +1,221 @@
+package matrix
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/fabric"
+	"repro/pkg/mbpta"
+)
+
+// CellState is one phase of a cell's lifecycle, streamed to
+// Runner.Progress.
+type CellState string
+
+const (
+	CellStart CellState = "start"
+	CellDone  CellState = "done"
+	CellError CellState = "error"
+)
+
+// CellProgress is one streamed progress notification.
+type CellProgress struct {
+	// Index and Total locate the cell in the expansion order.
+	Index, Total int
+	Cell         Cell
+	State        CellState
+	// CachedRuns/SimulatedRuns are set with CellDone.
+	CachedRuns    int
+	SimulatedRuns int
+	Elapsed       time.Duration
+	// Err is set with CellError.
+	Err error
+}
+
+// Runner executes a scenario matrix: cells expand deterministically,
+// execute concurrently (each cell is one campaign; plain single-core
+// cells additionally fan their runs out through the fabric pool), and
+// deduplicate simulation through the content-addressed run cache.
+type Runner struct {
+	// Pool, when non-nil, executes plain cells' runs on the fabric's
+	// executor pool. Cells with fault injection or co-runners always
+	// execute locally (the fault layer and co-simulated boards are not
+	// pool-schedulable).
+	Pool *fabric.Pool
+	// Cache, when non-nil, deduplicates simulation across cells and
+	// across matrix invocations.
+	Cache *Cache
+	// Registry resolves workload specs (default: fabric.BuiltinRegistry).
+	Registry *fabric.Registry
+	// CellParallel bounds how many cells run concurrently (default 2).
+	// Cells sharing a simulation key serialize on the cache's key lock
+	// regardless, so the second one replays what the first simulated.
+	CellParallel int
+	// Parallel is the per-cell worker parallelism for locally executed
+	// cells (default: the engine's default).
+	Parallel int
+	// Progress, when non-nil, receives streamed per-cell notifications.
+	// It is called from multiple goroutines; the callback must be
+	// thread-safe.
+	Progress func(CellProgress)
+}
+
+// Run executes the matrix and returns its comparative report. Cell
+// failures do not abort the matrix: failed cells carry their error in
+// the report and the first one is returned as a joined error alongside
+// the (complete) report. Advisory analysis outcomes — the i.i.d. gate
+// rejecting, the stop rule not converging within budget — are not
+// failures; the cell keeps its report and notes the condition.
+func (r *Runner) Run(ctx context.Context, spec Spec) (*Report, error) {
+	cells, err := Expand(spec)
+	if err != nil {
+		return nil, err
+	}
+	reg := r.Registry
+	if reg == nil {
+		reg = fabric.BuiltinRegistry()
+	}
+	par := r.CellParallel
+	if par <= 0 {
+		par = 2
+	}
+	if par > len(cells) {
+		par = len(cells)
+	}
+
+	started := time.Now()
+	results := make([]CellResult, len(cells))
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i := range cells {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r.notify(CellProgress{Index: i, Total: len(cells), Cell: cells[i], State: CellStart})
+			res := r.runCell(ctx, reg, cells[i])
+			results[i] = res
+			p := CellProgress{
+				Index: i, Total: len(cells), Cell: cells[i], State: CellDone,
+				CachedRuns: res.CachedRuns, SimulatedRuns: res.SimulatedRuns,
+				Elapsed: res.Elapsed,
+			}
+			if res.Err != "" {
+				p.State, p.Err = CellError, errors.New(res.Err)
+			}
+			r.notify(p)
+		}(i)
+	}
+	wg.Wait()
+
+	rep := &Report{Spec: spec, Cells: results, Elapsed: time.Since(started)}
+	for _, res := range results {
+		rep.CachedRuns += res.CachedRuns
+		rep.SimulatedRuns += res.SimulatedRuns
+	}
+	rep.buildDeltas()
+	var firstErr error
+	for _, res := range results {
+		if res.Err != "" {
+			firstErr = fmt.Errorf("matrix: cell %s: %s", res.Label, res.Err)
+			break
+		}
+	}
+	return rep, firstErr
+}
+
+func (r *Runner) notify(p CellProgress) {
+	if r.Progress != nil {
+		r.Progress(p)
+	}
+}
+
+// runCell executes one cell end to end: acquire the cache entry,
+// assemble the campaign options, run, and summarize.
+func (r *Runner) runCell(ctx context.Context, reg *fabric.Registry, cell Cell) CellResult {
+	started := time.Now()
+	res := CellResult{Cell: cell, Label: cell.Label()}
+	fail := func(err error) CellResult {
+		res.Err = err.Error()
+		res.Elapsed = time.Since(started)
+		return res
+	}
+
+	cfg, err := fabric.NamedPlatform(cell.Platform)
+	if err != nil {
+		return fail(err)
+	}
+	w, err := reg.Build(cell.Workload)
+	if err != nil {
+		return fail(err)
+	}
+	rule, err := cell.StopRule.Build(cell.Runs)
+	if err != nil {
+		return fail(err)
+	}
+
+	opts := []mbpta.CampaignOption{
+		mbpta.WithRuns(cell.Runs),
+		mbpta.WithBatchSize(cell.Batch),
+		mbpta.WithBaseSeed(cell.BaseSeed),
+		mbpta.WithStopRule(rule),
+		mbpta.WithAnalyzerOptions(mbpta.Options{Alpha: cell.Analysis.Alpha, BlockSize: cell.Analysis.BlockSize}),
+	}
+	if cell.RunTimeoutMS > 0 {
+		opts = append(opts, mbpta.WithRunTimeout(time.Duration(cell.RunTimeoutMS)*time.Millisecond))
+	}
+	var entry *Entry
+	if r.Cache != nil {
+		entry, err = r.Cache.Acquire(cell)
+		if err != nil {
+			return fail(err)
+		}
+		defer entry.Close()
+		opts = append(opts, mbpta.WithRunCache(entry.Lookup), mbpta.WithJournalSink(entry.Journal()))
+	}
+	plain := cell.FaultRate == 0 && cell.Cores == 1
+	switch {
+	case cell.FaultRate > 0:
+		opts = append(opts, mbpta.WithFaultInjection(mbpta.FaultConfig{Rate: cell.FaultRate}))
+	case cell.Cores > 1:
+		co := make([]mbpta.Workload, cell.Cores-1)
+		for i := range co {
+			co[i] = experiments.StreamerWorkload{Lines: 1024}
+		}
+		opts = append(opts, mbpta.WithCoRunners(co...))
+	}
+	if plain && r.Pool != nil {
+		opts = append(opts, mbpta.WithExecutorPool(r.Pool))
+	} else if r.Parallel > 0 {
+		opts = append(opts, mbpta.WithParallelism(r.Parallel))
+	}
+
+	rep, err := mbpta.Campaign(ctx, cfg, w, opts...)
+	if err != nil {
+		// A returned report means the measurement campaign completed;
+		// the error is then an analysis verdict (i.i.d. gate rejection,
+		// an unfittable tail — routine on DET builds — or
+		// non-convergence) and the cell keeps its measured result with
+		// the verdict as an advisory note. Cancellation and degradation
+		// interrupt measurement itself and stay fatal.
+		if rep == nil || errors.Is(err, mbpta.ErrCanceled) || errors.Is(err, mbpta.ErrDegraded) {
+			return fail(err)
+		}
+		res.Advisory = err.Error()
+	}
+	res.Elapsed = time.Since(started)
+	if entry != nil {
+		res.CachedRuns = entry.Hits()
+	}
+	res.summarize(rep)
+	res.SimulatedRuns = res.StopRuns - res.CachedRuns
+	if res.SimulatedRuns < 0 {
+		res.SimulatedRuns = 0
+	}
+	return res
+}

@@ -1,0 +1,284 @@
+// Package matrix runs declarative scenario matrices: the cross product
+// of platform builds, workloads, fault rates, contention levels and
+// stop rules, executed as one batch of campaigns and reported as a
+// comparative pWCET table. Cells that share simulation-relevant
+// configuration (platform, workload, seed, fault and timeout settings)
+// share one set of raw measurement runs through a content-addressed run
+// cache (see Cache), so re-running a matrix after an analysis-only
+// tweak — a different stop rule, quantile set or block size — replays
+// recorded runs instead of re-simulating them. The platform protocol
+// makes every run a pure function of (workload, run index, seed), so a
+// replayed cell is bit-identical to a freshly simulated one; the matrix
+// runner asserts this via CampaignReport.Fingerprint.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/pkg/mbpta"
+)
+
+// Spec is a declarative scenario matrix: explicit values for each axis,
+// expanded to the full cross product minus exclusions. Zero-value axes
+// get the single default listed on each field, so a minimal spec only
+// names platforms and workloads.
+type Spec struct {
+	// Name labels the matrix in reports and service listings.
+	Name string `json:"name,omitempty"`
+	// Platforms lists platform builds by name ("DET", "RAND").
+	Platforms []string `json:"platforms"`
+	// Workloads lists the programs under analysis as registry specs.
+	Workloads []fabric.WorkloadSpec `json:"workloads"`
+	// FaultRates lists fault-injection rates in upsets per million
+	// cycles; 0 disables injection. Default: [0].
+	FaultRates []float64 `json:"fault_rates,omitempty"`
+	// Cores lists board sizes: 1 is a single-core platform, n > 1 a
+	// co-simulated multicore with n-1 memory-streamer co-runners.
+	// Default: [1].
+	Cores []int `json:"cores,omitempty"`
+	// StopRules lists the stopping protocols. Default: the paper's
+	// fixed-size protocol ({Kind: "fixed"}).
+	StopRules []StopRuleSpec `json:"stop_rules,omitempty"`
+	// Exclude removes cells from the cross product (see Exclusion).
+	// Cells combining fault injection with multicore contention are
+	// excluded automatically: the fault layer requires single-core
+	// boards.
+	Exclude []Exclusion `json:"exclude,omitempty"`
+
+	// Runs is the per-cell run budget (exact under the fixed rule, cap
+	// otherwise). Default: 3000, the paper's campaign size.
+	Runs int `json:"runs,omitempty"`
+	// Batch is the analysis batch size. Default: 250.
+	Batch int `json:"batch,omitempty"`
+	// BaseSeed seeds every cell's deterministic seed schedule.
+	BaseSeed uint64 `json:"base_seed,omitempty"`
+	// RunTimeoutMS bounds each simulated run in wall-clock milliseconds
+	// (0: no per-run deadline). Changing it is simulation-relevant: a
+	// timeout can abort a run that would otherwise complete.
+	RunTimeoutMS int64 `json:"run_timeout_ms,omitempty"`
+	// Analysis holds the analysis-only parameters shared by all cells.
+	Analysis AnalysisSpec `json:"analysis,omitempty"`
+}
+
+// StopRuleSpec names a stopping protocol in serializable form.
+type StopRuleSpec struct {
+	// Kind selects the rule: "fixed" (run budget, the default),
+	// "pwcet-delta" (pWCET(Q) stable within RelTol for Streak batches),
+	// or "crps" (CRPS between consecutive fits below Threshold for
+	// Streak batches).
+	Kind string `json:"kind"`
+	// Q is the exceedance probability pwcet-delta tracks (default 1e-12).
+	Q float64 `json:"q,omitempty"`
+	// RelTol is pwcet-delta's relative tolerance (default 0.01).
+	RelTol float64 `json:"rel_tol,omitempty"`
+	// Threshold is crps's convergence threshold (default 1e-3).
+	Threshold float64 `json:"threshold,omitempty"`
+	// Streak is the consecutive-batch requirement (default 2).
+	Streak int `json:"streak,omitempty"`
+}
+
+// Build instantiates the rule. Rules keep state across batches, so
+// every cell builds a fresh one.
+func (s StopRuleSpec) Build(runs int) (mbpta.StopRule, error) {
+	switch s.Kind {
+	case "", "fixed":
+		return mbpta.FixedRuns(runs), nil
+	case "pwcet-delta":
+		return mbpta.PWCETDelta(s.Q, s.RelTol, s.Streak), nil
+	case "crps":
+		return mbpta.CRPSConverged(s.Threshold, s.Streak), nil
+	}
+	return nil, fmt.Errorf("matrix: unknown stop rule kind %q (have fixed, pwcet-delta, crps)", s.Kind)
+}
+
+func (s StopRuleSpec) label() string {
+	if s.Kind == "" {
+		return "fixed"
+	}
+	return s.Kind
+}
+
+// AnalysisSpec holds the parameters that shape the analysis but not the
+// measurements — by construction none of them enters the simulation
+// cache key.
+type AnalysisSpec struct {
+	// Alpha is the i.i.d. test significance level (default 0.05).
+	Alpha float64 `json:"alpha,omitempty"`
+	// BlockSize is the block-maxima block length (default 50).
+	BlockSize int `json:"block_size,omitempty"`
+	// Quantiles lists the per-run exceedance probabilities the
+	// comparative report tabulates. Default: [1e-9, 1e-12, 1e-15].
+	Quantiles []float64 `json:"quantiles,omitempty"`
+}
+
+// quantiles returns the report quantiles with the default applied.
+func (a AnalysisSpec) quantiles() []float64 {
+	if len(a.Quantiles) == 0 {
+		return []float64{1e-9, 1e-12, 1e-15}
+	}
+	return a.Quantiles
+}
+
+// Exclusion removes matching cells from the expansion. Every set field
+// must match for a cell to be excluded; zero-valued (unset) fields
+// match anything, so {Platform: "DET", StopRule: "crps"} removes all
+// DET×crps cells across the other axes.
+type Exclusion struct {
+	Platform  string       `json:"platform,omitempty"`
+	Workload  string       `json:"workload,omitempty"` // workload kind
+	FaultRate *float64     `json:"fault_rate,omitempty"`
+	Cores     *int         `json:"cores,omitempty"`
+	StopRule  string       `json:"stop_rule,omitempty"` // rule kind
+}
+
+func (e Exclusion) matches(c Cell) bool {
+	if e.Platform != "" && e.Platform != c.Platform {
+		return false
+	}
+	if e.Workload != "" && e.Workload != c.Workload.Kind {
+		return false
+	}
+	if e.FaultRate != nil && *e.FaultRate != c.FaultRate {
+		return false
+	}
+	if e.Cores != nil && *e.Cores != c.Cores {
+		return false
+	}
+	if e.StopRule != "" && e.StopRule != c.StopRule.label() {
+		return false
+	}
+	return true
+}
+
+// Cell is one fully resolved scenario: a point in the matrix's cross
+// product plus the spec-wide execution and analysis parameters. The
+// fields split into two classes — simulation-relevant (Platform,
+// Workload, FaultRate, Cores, BaseSeed, RunTimeoutMS), which enter the
+// run-cache key, and analysis-only (StopRule, Runs, Batch, Analysis),
+// which do not, so cells differing only in analysis parameters share
+// one set of raw runs. TestCacheKeySensitivity enforces that every
+// field is classified.
+type Cell struct {
+	Platform     string              `json:"platform"`
+	Workload     fabric.WorkloadSpec `json:"workload"`
+	FaultRate    float64             `json:"fault_rate"`
+	Cores        int                 `json:"cores"`
+	BaseSeed     uint64              `json:"base_seed"`
+	RunTimeoutMS int64               `json:"run_timeout_ms,omitempty"`
+
+	StopRule StopRuleSpec `json:"stop_rule"`
+	Runs     int          `json:"runs"`
+	Batch    int          `json:"batch"`
+	Analysis AnalysisSpec `json:"analysis"`
+}
+
+// Label is the cell's compact axis identifier, e.g.
+// "RAND/crc32/f0.25/c1/fixed".
+func (c Cell) Label() string {
+	return fmt.Sprintf("%s/%s/f%g/c%d/%s", c.Platform, c.Workload.Kind, c.FaultRate, c.Cores, c.StopRule.label())
+}
+
+// groupKey identifies the cell's scenario ignoring the platform axis —
+// the comparative report pairs platforms within a group.
+func (c Cell) groupKey() string {
+	return fmt.Sprintf("%s/f%g/c%d/%s", c.Workload.Kind, c.FaultRate, c.Cores, c.StopRule.label())
+}
+
+// Expand resolves the spec to its cell list: the cross product over
+// axes in (platform, workload, fault rate, cores, stop rule) order,
+// minus exclusions. Fault×multicore combinations are dropped
+// automatically (the fault-injection layer requires single-core
+// boards). Expansion is deterministic: the same spec always yields the
+// same cells in the same order.
+func Expand(s Spec) ([]Cell, error) {
+	if len(s.Platforms) == 0 {
+		return nil, errors.New("matrix: spec lists no platforms")
+	}
+	if len(s.Workloads) == 0 {
+		return nil, errors.New("matrix: spec lists no workloads")
+	}
+	for _, p := range s.Platforms {
+		if _, err := fabric.NamedPlatform(p); err != nil {
+			return nil, err
+		}
+	}
+	for _, w := range s.Workloads {
+		if w.Kind == "" {
+			return nil, errors.New("matrix: workload spec with empty kind")
+		}
+	}
+	faultRates := s.FaultRates
+	if len(faultRates) == 0 {
+		faultRates = []float64{0}
+	}
+	cores := s.Cores
+	if len(cores) == 0 {
+		cores = []int{1}
+	}
+	for _, n := range cores {
+		if n < 1 {
+			return nil, fmt.Errorf("matrix: cores axis value %d < 1", n)
+		}
+	}
+	rules := s.StopRules
+	if len(rules) == 0 {
+		rules = []StopRuleSpec{{Kind: "fixed"}}
+	}
+	runs := s.Runs
+	if runs <= 0 {
+		runs = 3000
+	}
+	batch := s.Batch
+	if batch <= 0 {
+		batch = 250
+	}
+
+	var cells []Cell
+	for _, p := range s.Platforms {
+		for _, w := range s.Workloads {
+			for _, fr := range faultRates {
+				if fr < 0 {
+					return nil, fmt.Errorf("matrix: negative fault rate %g", fr)
+				}
+				for _, n := range cores {
+					if fr > 0 && n > 1 {
+						continue // fault injection requires single-core boards
+					}
+					for _, r := range rules {
+						if _, err := r.Build(runs); err != nil {
+							return nil, err
+						}
+						c := Cell{
+							Platform:     p,
+							Workload:     w,
+							FaultRate:    fr,
+							Cores:        n,
+							BaseSeed:     s.BaseSeed,
+							RunTimeoutMS: s.RunTimeoutMS,
+							StopRule:     r,
+							Runs:         runs,
+							Batch:        batch,
+							Analysis:     s.Analysis,
+						}
+						excluded := false
+						for _, e := range s.Exclude {
+							if e.matches(c) {
+								excluded = true
+								break
+							}
+						}
+						if !excluded {
+							cells = append(cells, c)
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(cells) == 0 {
+		return nil, errors.New("matrix: spec expands to zero cells")
+	}
+	return cells, nil
+}

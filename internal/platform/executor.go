@@ -46,6 +46,14 @@ type ExecPolicy struct {
 	// Runner substitutes the per-run executor (nil = Board.ExecuteRun).
 	// A non-nil Runner requires single-core *Platform boards.
 	Runner RunFunc
+	// Cached, when non-nil, is consulted before any execution: a hit
+	// returns the memoized result of run and skips the board, the
+	// runner, timeouts and retries entirely. The platform protocol makes
+	// results a pure function of (workload, run, seed), so replaying a
+	// recorded result is indistinguishable from re-simulating it — this
+	// is the content-addressed run cache's entry point into both the
+	// streaming engine and the campaign fabric.
+	Cached func(run int) (RunResult, bool)
 	// RunTimeout bounds each attempt; an attempt exceeding it fails with
 	// an error matching ErrRunTimeout. Zero means no per-run deadline.
 	RunTimeout time.Duration
@@ -69,6 +77,11 @@ type retryCounters interface {
 // success would have. This is the per-run primitive the streaming
 // engine's workers and the fabric's executors share.
 func ExecuteRun(ctx context.Context, board Board, w Workload, baseSeed uint64, run int, pol ExecPolicy) (RunResult, error) {
+	if pol.Cached != nil {
+		if r, ok := pol.Cached(run); ok {
+			return r, nil
+		}
+	}
 	seed := DeriveRunSeed(baseSeed, run)
 	exec := func(ctx context.Context) (RunResult, error) {
 		if pol.Runner != nil {

@@ -160,6 +160,12 @@ type StreamOptions struct {
 	// Multicore boards; every board must honor the Board contract so
 	// results stay placement-independent.
 	NewBoard func() (Board, error)
+	// Cached, when non-nil, short-circuits run execution with memoized
+	// results: a hit skips the board, the runner, timeouts and retries
+	// for that run. The scenario-matrix run cache plugs in here; see
+	// ExecPolicy.Cached. Misses execute normally, so a partial cache
+	// extends a campaign instead of restarting it.
+	Cached func(run int) (RunResult, bool)
 	// RunTimeout bounds each run attempt's wall-clock time; an attempt
 	// exceeding it fails with an error matching ErrRunTimeout and is
 	// retried under Retry. Zero means no per-run deadline.
@@ -555,7 +561,7 @@ func StreamCampaign(ctx context.Context, cfg Config, w Workload, opts StreamOpti
 // execPolicy translates the campaign options into the shared per-run
 // execution policy (see ExecuteRun in executor.go).
 func (o StreamOptions) execPolicy() ExecPolicy {
-	pol := ExecPolicy{Runner: o.Runner, RunTimeout: o.RunTimeout, Retry: o.Retry}
+	pol := ExecPolicy{Runner: o.Runner, Cached: o.Cached, RunTimeout: o.RunTimeout, Retry: o.Retry}
 	if o.Telemetry != nil {
 		pol.counters = teleRetryCounters{reg: o.Telemetry}
 	}

@@ -82,6 +82,12 @@ func subTLB(a, b tlb.Stats) tlb.Stats {
 // streamTele aggregates one campaign's telemetry: pre-resolved
 // instruments plus the per-board snapshots the barrier harvest diffs
 // against. All methods run on the campaign goroutine.
+//
+// Every instrument the barrier harvest touches is resolved once at
+// campaign start — the per-batch path does no registry lookups and no
+// name construction, so a telemetry-enabled campaign allocates a
+// near-constant amount per batch (one run-event field slab, one batch
+// event) instead of per counter update.
 type streamTele struct {
 	reg     *telemetry.Registry
 	prev    []BoardStats
@@ -92,6 +98,72 @@ type streamTele struct {
 	cycles, instructions                      *telemetry.Counter
 	batchSec                                  *telemetry.Histogram
 	runsPerSec, ipc                           *telemetry.Gauge
+
+	il1, dl1         cacheInstruments
+	itlb, dtlb       tlbInstruments
+	fpuDiv, fpuSqrt  *telemetry.Counter
+	replay, interpret *telemetry.Counter
+}
+
+// cacheInstruments is one cache level's pre-resolved harvest set.
+type cacheInstruments struct {
+	hits, misses, evictions       *telemetry.Counter
+	writeHits, writeMisses, mru   *telemetry.Counter
+	hitRatio, mruRatio            *telemetry.Gauge
+}
+
+// tlbInstruments is one TLB's pre-resolved harvest set.
+type tlbInstruments struct {
+	hits, misses, mru  *telemetry.Counter
+	hitRatio, mruRatio *telemetry.Gauge
+}
+
+// Instrument names are spelled out as literals (not built with string
+// concatenation) so resolving them allocates nothing.
+func il1Instruments(reg *telemetry.Registry) cacheInstruments {
+	return cacheInstruments{
+		hits:        reg.Counter("sim_il1_hits_total"),
+		misses:      reg.Counter("sim_il1_misses_total"),
+		evictions:   reg.Counter("sim_il1_evictions_total"),
+		writeHits:   reg.Counter("sim_il1_write_hits_total"),
+		writeMisses: reg.Counter("sim_il1_write_misses_total"),
+		mru:         reg.Counter("sim_il1_mru_hits_total"),
+		hitRatio:    reg.Gauge("sim_il1_hit_ratio"),
+		mruRatio:    reg.Gauge("sim_il1_mru_hit_ratio"),
+	}
+}
+
+func dl1Instruments(reg *telemetry.Registry) cacheInstruments {
+	return cacheInstruments{
+		hits:        reg.Counter("sim_dl1_hits_total"),
+		misses:      reg.Counter("sim_dl1_misses_total"),
+		evictions:   reg.Counter("sim_dl1_evictions_total"),
+		writeHits:   reg.Counter("sim_dl1_write_hits_total"),
+		writeMisses: reg.Counter("sim_dl1_write_misses_total"),
+		mru:         reg.Counter("sim_dl1_mru_hits_total"),
+		hitRatio:    reg.Gauge("sim_dl1_hit_ratio"),
+		mruRatio:    reg.Gauge("sim_dl1_mru_hit_ratio"),
+	}
+}
+
+func itlbInstruments(reg *telemetry.Registry) tlbInstruments {
+	return tlbInstruments{
+		hits:     reg.Counter("sim_itlb_hits_total"),
+		misses:   reg.Counter("sim_itlb_misses_total"),
+		mru:      reg.Counter("sim_itlb_mru_hits_total"),
+		hitRatio: reg.Gauge("sim_itlb_hit_ratio"),
+		mruRatio: reg.Gauge("sim_itlb_mru_hit_ratio"),
+	}
+}
+
+func dtlbInstruments(reg *telemetry.Registry) tlbInstruments {
+	return tlbInstruments{
+		hits:     reg.Counter("sim_dtlb_hits_total"),
+		misses:   reg.Counter("sim_dtlb_misses_total"),
+		mru:      reg.Counter("sim_dtlb_mru_hits_total"),
+		hitRatio: reg.Gauge("sim_dtlb_hit_ratio"),
+		mruRatio: reg.Gauge("sim_dtlb_mru_hit_ratio"),
+	}
 }
 
 // batchSecondsBounds spans sub-millisecond micro-batches to multi-
@@ -143,6 +215,14 @@ func newStreamTele(reg *telemetry.Registry, boards []Board, o StreamOptions, pla
 		batchSec:     reg.Histogram("campaign_batch_seconds", batchSecondsBounds),
 		runsPerSec:   reg.Gauge("campaign_runs_per_sec"),
 		ipc:          reg.Gauge("sim_ipc"),
+		il1:          il1Instruments(reg),
+		dl1:          dl1Instruments(reg),
+		itlb:         itlbInstruments(reg),
+		dtlb:         dtlbInstruments(reg),
+		fpuDiv:       reg.Counter("sim_fpu_div_worstcase_total"),
+		fpuSqrt:      reg.Counter("sim_fpu_sqrt_worstcase_total"),
+		replay:       reg.Counter("sim_replay_runs_total"),
+		interpret:    reg.Counter("sim_interpret_runs_total"),
 	}
 	for i, b := range boards {
 		if s, ok := b.(boardStatser); ok {
@@ -178,19 +258,26 @@ func emitBatchResults(reg *telemetry.Registry, b Batch) {
 			reg.Counter("campaign_outcome_" + telemetry.SanitizeName(r.Outcome) + "_total").Inc()
 		}
 	}
+	// One field slab per batch, sub-sliced per run: sized for the worst
+	// case (3 fields per run, 2 more per quarantined run) so appends
+	// never reallocate and earlier sub-slices stay valid. The slab is
+	// fresh each batch because sinks (RingSink) may retain Event.Fields
+	// after Emit returns — reuse across batches would corrupt retained
+	// events.
+	slab := make([]telemetry.Field, 0, 3*len(b.Results)+2*quarantined)
 	for i, r := range b.Results {
-		fields := []telemetry.Field{
+		start := len(slab)
+		slab = append(slab,
 			telemetry.Num("cycles", float64(r.Cycles)),
-			telemetry.Num("instructions", float64(r.Instructions)),
-		}
+			telemetry.Num("instructions", float64(r.Instructions)))
 		if r.Path != "" {
-			fields = append(fields, telemetry.Str("path", r.Path))
+			slab = append(slab, telemetry.Str("path", r.Path))
 		}
 		if r.Quarantined() {
-			fields = append(fields, telemetry.Str("outcome", r.Outcome),
+			slab = append(slab, telemetry.Str("outcome", r.Outcome),
 				telemetry.Num("faults", float64(r.Faults)))
 		}
-		reg.Emit("run", b.Start+i, fields...)
+		reg.Emit("run", b.Start+i, slab[start:len(slab):len(slab)]...)
 	}
 
 	reg.Counter("campaign_runs_total").Add(uint64(len(b.Results)))
@@ -245,16 +332,19 @@ func (t *streamTele) observeBatch(b Batch, boards []Board, elapsed time.Duration
 		}
 		delta := cur.Sub(t.prev[i])
 		t.prev[i] = cur
-		t.addCache("il1", delta.IL1)
-		t.addCache("dl1", delta.DL1)
-		t.addTLB("itlb", delta.ITLB)
-		t.addTLB("dtlb", delta.DTLB)
-		t.reg.Counter("sim_fpu_div_worstcase_total").Add(delta.FPU.DivWorstCase)
-		t.reg.Counter("sim_fpu_sqrt_worstcase_total").Add(delta.FPU.SqrtWorstCase)
-		t.reg.Counter("sim_replay_runs_total").Add(delta.ReplayRuns)
-		t.reg.Counter("sim_interpret_runs_total").Add(delta.InterpretRuns)
+		t.il1.add(delta.IL1)
+		t.dl1.add(delta.DL1)
+		t.itlb.add(delta.ITLB)
+		t.dtlb.add(delta.DTLB)
+		t.fpuDiv.Add(delta.FPU.DivWorstCase)
+		t.fpuSqrt.Add(delta.FPU.SqrtWorstCase)
+		t.replay.Add(delta.ReplayRuns)
+		t.interpret.Add(delta.InterpretRuns)
 	}
-	t.setRatios()
+	t.il1.setRatios()
+	t.dl1.setRatios()
+	t.itlb.setRatios()
+	t.dtlb.setRatios()
 
 	if cyc := t.cycles.Value(); cyc > 0 {
 		t.ipc.Set(float64(t.instructions.Value()) / float64(cyc))
@@ -265,43 +355,38 @@ func (t *streamTele) observeBatch(b Batch, boards []Board, elapsed time.Duration
 	}
 }
 
-func (t *streamTele) addCache(level string, s cache.Stats) {
-	t.reg.Counter("sim_" + level + "_hits_total").Add(s.Hits)
-	t.reg.Counter("sim_" + level + "_misses_total").Add(s.Misses)
-	t.reg.Counter("sim_" + level + "_evictions_total").Add(s.Evictions)
-	t.reg.Counter("sim_" + level + "_write_hits_total").Add(s.WriteHits)
-	t.reg.Counter("sim_" + level + "_write_misses_total").Add(s.WriteMisses)
-	t.reg.Counter("sim_" + level + "_mru_hits_total").Add(s.MRUHits)
+func (c cacheInstruments) add(s cache.Stats) {
+	c.hits.Add(s.Hits)
+	c.misses.Add(s.Misses)
+	c.evictions.Add(s.Evictions)
+	c.writeHits.Add(s.WriteHits)
+	c.writeMisses.Add(s.WriteMisses)
+	c.mru.Add(s.MRUHits)
 }
 
-func (t *streamTele) addTLB(level string, s tlb.Stats) {
-	t.reg.Counter("sim_" + level + "_hits_total").Add(s.Hits)
-	t.reg.Counter("sim_" + level + "_misses_total").Add(s.Misses)
-	t.reg.Counter("sim_" + level + "_mru_hits_total").Add(s.MRUHits)
-}
-
-// setRatios refreshes the derived hit-rate gauges from the campaign's
+// setRatios refreshes the level's derived hit-rate gauges from its
 // cumulative counters.
-func (t *streamTele) setRatios() {
-	for _, level := range [...]string{"il1", "dl1"} {
-		hits := t.reg.Counter("sim_"+level+"_hits_total").Value() +
-			t.reg.Counter("sim_"+level+"_write_hits_total").Value()
-		total := hits + t.reg.Counter("sim_"+level+"_misses_total").Value() +
-			t.reg.Counter("sim_"+level+"_write_misses_total").Value()
-		if total > 0 {
-			t.reg.Gauge("sim_" + level + "_hit_ratio").Set(float64(hits) / float64(total))
-			t.reg.Gauge("sim_" + level + "_mru_hit_ratio").Set(
-				float64(t.reg.Counter("sim_"+level+"_mru_hits_total").Value()) / float64(total))
-		}
+func (c cacheInstruments) setRatios() {
+	hits := c.hits.Value() + c.writeHits.Value()
+	total := hits + c.misses.Value() + c.writeMisses.Value()
+	if total > 0 {
+		c.hitRatio.Set(float64(hits) / float64(total))
+		c.mruRatio.Set(float64(c.mru.Value()) / float64(total))
 	}
-	for _, level := range [...]string{"itlb", "dtlb"} {
-		hits := t.reg.Counter("sim_" + level + "_hits_total").Value()
-		total := hits + t.reg.Counter("sim_"+level+"_misses_total").Value()
-		if total > 0 {
-			t.reg.Gauge("sim_" + level + "_hit_ratio").Set(float64(hits) / float64(total))
-			t.reg.Gauge("sim_" + level + "_mru_hit_ratio").Set(
-				float64(t.reg.Counter("sim_"+level+"_mru_hits_total").Value()) / float64(total))
-		}
+}
+
+func (tl tlbInstruments) add(s tlb.Stats) {
+	tl.hits.Add(s.Hits)
+	tl.misses.Add(s.Misses)
+	tl.mru.Add(s.MRUHits)
+}
+
+func (tl tlbInstruments) setRatios() {
+	hits := tl.hits.Value()
+	total := hits + tl.misses.Value()
+	if total > 0 {
+		tl.hitRatio.Set(float64(hits) / float64(total))
+		tl.mruRatio.Set(float64(tl.mru.Value()) / float64(total))
 	}
 }
 

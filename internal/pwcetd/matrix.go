@@ -1,0 +1,194 @@
+package pwcetd
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/internal/matrix"
+)
+
+// matrixJob is one submitted scenario matrix's lifecycle record.
+type matrixJob struct {
+	id   string
+	spec matrix.Spec
+	done chan struct{}
+
+	mu            sync.Mutex
+	state         string // "running" -> "done" | "failed"
+	cellsDone     int
+	cellsTotal    int
+	cachedRuns    int
+	simulatedRuns int
+	errText       string
+	rep           *matrix.Report
+}
+
+// MatrixStatus is the wire status of a submitted matrix.
+type MatrixStatus struct {
+	ID    string `json:"id"`
+	Name  string `json:"name,omitempty"`
+	State string `json:"state"`
+	// CellsDone/CellsTotal track streamed per-cell completion.
+	CellsDone  int `json:"cells_done"`
+	CellsTotal int `json:"cells_total"`
+	// CachedRuns/SimulatedRuns are the dedup provenance totals so far.
+	CachedRuns    int    `json:"cached_runs"`
+	SimulatedRuns int    `json:"simulated_runs"`
+	Error         string `json:"error,omitempty"`
+}
+
+// SubmitMatrix validates spec, registers a matrix job and starts
+// executing it: cells fan out over the shared fabric pool, and when the
+// service was configured with a cache directory, simulation dedupes
+// through the content-addressed run cache across cells and across
+// submissions.
+func (s *Server) SubmitMatrix(spec matrix.Spec) (string, error) {
+	cells, err := matrix.Expand(spec)
+	if err != nil {
+		return "", err
+	}
+
+	s.mu.Lock()
+	s.mseq++
+	j := &matrixJob{
+		id:         fmt.Sprintf("m%06d", s.mseq),
+		spec:       spec,
+		done:       make(chan struct{}),
+		state:      "running",
+		cellsTotal: len(cells),
+	}
+	s.matrices[j.id] = j
+	s.morder = append(s.morder, j.id)
+	s.mu.Unlock()
+
+	s.metrics.Counter("matrices_submitted_total").Inc()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.executeMatrix(j)
+	}()
+	return j.id, nil
+}
+
+// executeMatrix runs one matrix on the pool and records its outcome.
+func (s *Server) executeMatrix(j *matrixJob) {
+	runner := &matrix.Runner{
+		Pool:     s.pool,
+		Cache:    s.matrixCache,
+		Registry: s.reg,
+		Progress: func(p matrix.CellProgress) {
+			if p.State == matrix.CellStart {
+				return
+			}
+			j.mu.Lock()
+			j.cellsDone++
+			j.cachedRuns += p.CachedRuns
+			j.simulatedRuns += p.SimulatedRuns
+			j.mu.Unlock()
+		},
+	}
+	rep, err := runner.Run(s.ctx, j.spec)
+
+	j.mu.Lock()
+	j.rep = rep
+	if rep != nil {
+		// The matrix completed; a per-cell error rides along in the
+		// report and the status, like campaign advisories.
+		j.state = "done"
+		j.cachedRuns = rep.CachedRuns
+		j.simulatedRuns = rep.SimulatedRuns
+		if err != nil {
+			j.errText = err.Error()
+		}
+	} else {
+		j.state = "failed"
+		j.errText = err.Error()
+	}
+	state := j.state
+	j.mu.Unlock()
+
+	if state == "done" {
+		s.metrics.Counter("matrices_done_total").Inc()
+	} else {
+		s.metrics.Counter("matrices_failed_total").Inc()
+	}
+	close(j.done)
+}
+
+func (j *matrixJob) status() MatrixStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return MatrixStatus{
+		ID:            j.id,
+		Name:          j.spec.Name,
+		State:         j.state,
+		CellsDone:     j.cellsDone,
+		CellsTotal:    j.cellsTotal,
+		CachedRuns:    j.cachedRuns,
+		SimulatedRuns: j.simulatedRuns,
+		Error:         j.errText,
+	}
+}
+
+func (s *Server) handleMatrixSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec matrix.Spec
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode matrix spec: %w", err))
+		return
+	}
+	id, err := s.SubmitMatrix(spec)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+}
+
+func (s *Server) handleMatrixList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*matrixJob, 0, len(s.morder))
+	for _, id := range s.morder {
+		jobs = append(jobs, s.matrices[id])
+	}
+	s.mu.Unlock()
+	out := make([]MatrixStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.status())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) lookupMatrix(id string) (*matrixJob, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.matrices[id]
+	return j, ok
+}
+
+func (s *Server) handleMatrixStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupMatrix(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown matrix %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleMatrixReport(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupMatrix(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown matrix %q", r.PathValue("id")))
+		return
+	}
+	j.mu.Lock()
+	state, rep := j.state, j.rep
+	j.mu.Unlock()
+	if state != "done" || rep == nil {
+		writeErr(w, http.StatusConflict, fmt.Errorf("matrix %s is %s", j.id, state))
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}

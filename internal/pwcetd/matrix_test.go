@@ -1,0 +1,163 @@
+package pwcetd_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/matrix"
+	"repro/internal/pwcetd"
+)
+
+// startMatrixService spins up a service with a matrix cache directory.
+func startMatrixService(t *testing.T) *httptest.Server {
+	t.Helper()
+	pool := fabric.NewPool(fabric.Config{Executors: 2})
+	t.Cleanup(pool.Close)
+	svc, err := pwcetd.New(pwcetd.Config{
+		Pool:           pool,
+		MatrixCacheDir: filepath.Join(t.TempDir(), "cache"),
+	})
+	if err != nil {
+		t.Fatalf("pwcetd.New: %v", err)
+	}
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func submitMatrix(t *testing.T, ts *httptest.Server, spec matrix.Spec) string {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := ts.Client().Post(ts.URL+"/api/v1/matrix", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	var out map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode submit response: %v", err)
+	}
+	return out["id"]
+}
+
+func waitMatrix(t *testing.T, ts *httptest.Server, id string) pwcetd.MatrixStatus {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		resp, err := ts.Client().Get(ts.URL + "/api/v1/matrix/" + id)
+		if err != nil {
+			t.Fatalf("status: %v", err)
+		}
+		var st pwcetd.MatrixStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decode status: %v", err)
+		}
+		if st.State != "running" {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("matrix %s still running after deadline", id)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestMatrixAPI submits the same small matrix twice: the first pass
+// simulates everything, the second (analysis-only tweak) replays from
+// the shared cache with zero re-simulated runs and identical
+// fingerprints.
+func TestMatrixAPI(t *testing.T) {
+	ts := startMatrixService(t)
+	spec := matrix.Spec{
+		Name:      "api-test",
+		Platforms: []string{"RAND"},
+		Workloads: []fabric.WorkloadSpec{{Kind: "crc32", Params: json.RawMessage(`{"Bytes":256,"Seed":1}`)}},
+		Runs:      100,
+		Batch:     25,
+		BaseSeed:  7,
+		Analysis:  matrix.AnalysisSpec{BlockSize: 10},
+	}
+
+	id1 := submitMatrix(t, ts, spec)
+	st1 := waitMatrix(t, ts, id1)
+	if st1.State != "done" {
+		t.Fatalf("first matrix %s: %+v", id1, st1)
+	}
+	if st1.SimulatedRuns != 100 || st1.CachedRuns != 0 {
+		t.Fatalf("first pass: %d simulated, %d cached; want 100, 0", st1.SimulatedRuns, st1.CachedRuns)
+	}
+
+	spec.Analysis.Quantiles = []float64{1e-6}
+	id2 := submitMatrix(t, ts, spec)
+	st2 := waitMatrix(t, ts, id2)
+	if st2.State != "done" {
+		t.Fatalf("second matrix %s: %+v", id2, st2)
+	}
+	if st2.SimulatedRuns != 0 || st2.CachedRuns != 100 {
+		t.Fatalf("second pass: %d simulated, %d cached; want 0, 100", st2.SimulatedRuns, st2.CachedRuns)
+	}
+
+	var reps [2]matrix.Report
+	for i, id := range []string{id1, id2} {
+		resp, err := ts.Client().Get(fmt.Sprintf("%s/api/v1/matrix/%s/report", ts.URL, id))
+		if err != nil {
+			t.Fatalf("report %s: %v", id, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("report %s status %d", id, resp.StatusCode)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&reps[i])
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decode report %s: %v", id, err)
+		}
+	}
+	for i := range reps[0].Cells {
+		if reps[0].Cells[i].Fingerprint != reps[1].Cells[i].Fingerprint {
+			t.Errorf("cell %s: cached replay fingerprint differs from fresh run",
+				reps[0].Cells[i].Label)
+		}
+	}
+
+	// The listing shows both, in submission order.
+	resp, err := ts.Client().Get(ts.URL + "/api/v1/matrix")
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	defer resp.Body.Close()
+	var list []pwcetd.MatrixStatus
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatalf("decode list: %v", err)
+	}
+	if len(list) != 2 || list[0].ID != id1 || list[1].ID != id2 {
+		t.Fatalf("listing = %+v", list)
+	}
+}
+
+// TestMatrixAPIRejectsBadSpec: an unexpandable spec fails at submit
+// time with 400, not asynchronously.
+func TestMatrixAPIRejectsBadSpec(t *testing.T) {
+	ts := startMatrixService(t)
+	resp, err := ts.Client().Post(ts.URL+"/api/v1/matrix", "application/json",
+		bytes.NewReader([]byte(`{"platforms":["XYZ"],"workloads":[{"kind":"crc32"}]}`)))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad spec accepted with status %d", resp.StatusCode)
+	}
+}

@@ -14,6 +14,10 @@
 //	GET  /api/v1/campaigns/{id}            status (state, runs done, fingerprint)
 //	GET  /api/v1/campaigns/{id}/report     finished report (409 while running)
 //	GET  /api/v1/campaigns/{id}/pwcet?q=   pWCET at exceedance probability q
+//	POST /api/v1/matrix                    matrix.Spec -> {"id": "m000001"}
+//	GET  /api/v1/matrix                    all matrix statuses
+//	GET  /api/v1/matrix/{id}               status (cells done, cached vs simulated runs)
+//	GET  /api/v1/matrix/{id}/report        finished comparative report (409 while running)
 //	GET  /api/v1/pool                      fabric pool stats
 //	GET  /metrics, /metrics.json           service + per-campaign telemetry
 //	GET  /healthz                          liveness
@@ -30,6 +34,7 @@ import (
 	"sync"
 
 	"repro/internal/fabric"
+	"repro/internal/matrix"
 	"repro/internal/telemetry"
 	"repro/pkg/mbpta"
 )
@@ -45,6 +50,11 @@ type Config struct {
 	Pool *fabric.Pool
 	// Registry resolves workload specs (default BuiltinRegistry).
 	Registry *fabric.Registry
+	// MatrixCacheDir, when non-empty, enables the content-addressed run
+	// cache for matrix submissions: cells sharing simulation-relevant
+	// configuration (within one matrix or across submissions) share one
+	// set of raw runs.
+	MatrixCacheDir string
 }
 
 // Server is the pWCET analysis service. Create with New, mount
@@ -63,6 +73,11 @@ type Server struct {
 	running   int
 	campaigns map[string]*campaign
 	order     []string // submission order, for listings and /metrics
+
+	matrixCache *matrix.Cache // nil when no cache dir was configured
+	mseq        int
+	matrices    map[string]*matrixJob
+	morder      []string
 }
 
 // campaign is one submitted campaign's lifecycle record.
@@ -87,21 +102,32 @@ type campaign struct {
 }
 
 // New starts a service over cfg.Pool. The pool may be shared with
-// other frontends; the service only adds sessions to it.
-func New(cfg Config) *Server {
+// other frontends; the service only adds sessions to it. A bad matrix
+// cache directory fails the service at construction rather than every
+// matrix submission.
+func New(cfg Config) (*Server, error) {
 	reg := cfg.Registry
 	if reg == nil {
 		reg = fabric.BuiltinRegistry()
 	}
+	var cache *matrix.Cache
+	if cfg.MatrixCacheDir != "" {
+		var err error
+		if cache, err = matrix.NewCache(cfg.MatrixCacheDir); err != nil {
+			return nil, err
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
-		pool:      cfg.Pool,
-		reg:       reg,
-		metrics:   telemetry.New(),
-		ctx:       ctx,
-		cancel:    cancel,
-		campaigns: make(map[string]*campaign),
-	}
+		pool:        cfg.Pool,
+		reg:         reg,
+		metrics:     telemetry.New(),
+		ctx:         ctx,
+		cancel:      cancel,
+		campaigns:   make(map[string]*campaign),
+		matrixCache: cache,
+		matrices:    make(map[string]*matrixJob),
+	}, nil
 }
 
 // Close cancels every running campaign and waits for their goroutines.
@@ -296,6 +322,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/campaigns/{id}", s.handleStatus)
 	mux.HandleFunc("GET /api/v1/campaigns/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /api/v1/campaigns/{id}/pwcet", s.handlePWCET)
+	mux.HandleFunc("POST /api/v1/matrix", s.handleMatrixSubmit)
+	mux.HandleFunc("GET /api/v1/matrix", s.handleMatrixList)
+	mux.HandleFunc("GET /api/v1/matrix/{id}", s.handleMatrixStatus)
+	mux.HandleFunc("GET /api/v1/matrix/{id}/report", s.handleMatrixReport)
 	mux.HandleFunc("GET /api/v1/pool", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, s.pool.Stats())
 	})

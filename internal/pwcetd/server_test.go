@@ -22,7 +22,10 @@ func startService(t *testing.T, poolCfg fabric.Config) *mbpta.ServiceClient {
 	t.Helper()
 	pool := fabric.NewPool(poolCfg)
 	t.Cleanup(pool.Close)
-	svc := pwcetd.New(pwcetd.Config{Pool: pool})
+	svc, err := pwcetd.New(pwcetd.Config{Pool: pool})
+	if err != nil {
+		t.Fatalf("pwcetd.New: %v", err)
+	}
 	t.Cleanup(svc.Close)
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(ts.Close)
@@ -165,7 +168,10 @@ func TestServiceStress(t *testing.T) {
 	}
 	pool := fabric.NewPool(fabric.Config{Executors: 4, MaxSessions: 8, SessionLeases: 2})
 	t.Cleanup(pool.Close)
-	svc := pwcetd.New(pwcetd.Config{Pool: pool})
+	svc, err := pwcetd.New(pwcetd.Config{Pool: pool})
+	if err != nil {
+		t.Fatalf("pwcetd.New: %v", err)
+	}
 	t.Cleanup(svc.Close)
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(ts.Close)

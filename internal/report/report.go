@@ -150,6 +150,51 @@ func Table(w io.Writer, title string, rows [][2]string) {
 	}
 }
 
+// Grid renders an aligned multi-column table: a header row, a rule
+// under it, and one line per row. Rows shorter than the header are
+// padded; the last column is left unpadded so ragged annotation
+// columns don't trail whitespace.
+func Grid(w io.Writer, title string, header []string, rows [][]string) {
+	if title != "" {
+		fmt.Fprintf(w, "%s\n", title)
+	}
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, cell := range r {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		fmt.Fprint(w, " ")
+		for i := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i == len(widths)-1 {
+				fmt.Fprintf(w, " %s", cell)
+			} else {
+				fmt.Fprintf(w, " %-*s", widths[i], cell)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	line(header)
+	rule := make([]string, len(header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
 // TelemetryTable renders a telemetry snapshot (the flat name→value map
 // of telemetry.Registry.Snapshot) as an aligned table, instruments
 // sorted by name. Integral values print without a fraction; everything

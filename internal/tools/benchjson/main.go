@@ -51,7 +51,7 @@ type Benchmark struct {
 
 func main() {
 	var (
-		bench     = flag.String("bench", "Throughput", "benchmark regexp passed to go test -bench")
+		bench     = flag.String("bench", "Throughput|MatrixWarmVsCold", "benchmark regexp passed to go test -bench")
 		benchtime = flag.String("benchtime", "2s", "go test -benchtime value")
 		out       = flag.String("out", "", "output path (default: next free BENCH_<n>.json)")
 		dir       = flag.String("dir", ".", "repository root (module with the benchmarks)")

@@ -73,6 +73,9 @@ type (
 	// Board is one simulated machine runs execute on (advanced use:
 	// StreamOptions.NewBoard and the campaign fabric).
 	Board = platform.Board
+	// Journal persists campaign progress at batch barriers (advanced
+	// use: WithJournalSink; WithJournal covers the common case).
+	Journal = platform.Journal
 )
 
 // ExecutorPool is the distributed campaign fabric contract: an
@@ -139,6 +142,8 @@ type campaignConfig struct {
 	retry       RetryPolicy
 	supervise   platform.SupervisionPolicy
 	journal     string
+	journalSink Journal
+	cached      func(run int) (RunResult, bool)
 	telemetry   *Telemetry
 	coRunners   []Workload
 	pool        ExecutorPool
@@ -252,6 +257,33 @@ func WithSupervision(maxRestarts int, backoff time.Duration) CampaignOption {
 // allocation-identical to pre-journal behavior.
 func WithJournal(path string) CampaignOption {
 	return func(c *campaignConfig) { c.journal = path }
+}
+
+// WithRunCache installs a memoized run source consulted before any
+// simulation: runs for which lookup returns (result, true) are served
+// from the cache — skipping the board, fault injection, timeouts and
+// retries — while misses execute normally. Because the platform
+// protocol makes every result a pure function of (workload, run index,
+// seed), a campaign served partly from cache is bit-identical to one
+// simulated end to end; this is what lets the scenario-matrix runner
+// (internal/matrix) share one set of raw run samples between cells
+// that differ only in analysis parameters, and extend — rather than
+// restart — a cached prefix when a cell needs more runs. lookup must
+// be safe for concurrent calls and must answer consistently for the
+// campaign's lifetime.
+func WithRunCache(lookup func(run int) (RunResult, bool)) CampaignOption {
+	return func(c *campaignConfig) { c.cached = lookup }
+}
+
+// WithJournalSink attaches a caller-managed Journal to the campaign:
+// the engine calls LogRun for every completed run in order, Barrier
+// after each batch and Flush on an interrupted campaign, exactly as
+// with WithJournal, but the implementation — and the file lifecycle —
+// is the caller's. The matrix run cache uses this to append only the
+// runs beyond its cached prefix to a per-key journal. Mutually
+// exclusive with WithJournal.
+func WithJournalSink(j Journal) CampaignOption {
+	return func(c *campaignConfig) { c.journalSink = j }
 }
 
 // WithTelemetry attaches a telemetry registry to the campaign: the
@@ -414,6 +446,9 @@ func Resume(ctx context.Context, cfg PlatformConfig, w Workload, journalPath str
 	if c.pool != nil {
 		return nil, errors.New("mbpta: Resume on an executor pool is not supported; resume locally (the journal format is identical)")
 	}
+	if c.journalSink != nil {
+		return nil, errors.New("mbpta: WithJournalSink is not supported with Resume; Resume manages the journal itself")
+	}
 	plan, err := wal.PrepareResume(journalPath, c.telemetry)
 	if err != nil {
 		return nil, err
@@ -500,6 +535,9 @@ func (c *campaignConfig) validate() error {
 	if c.pool != nil && c.faults != nil {
 		return errors.New("mbpta: WithFaultInjection is not supported on an executor pool")
 	}
+	if c.journal != "" && c.journalSink != nil {
+		return errors.New("mbpta: WithJournal and WithJournalSink are mutually exclusive")
+	}
 	return nil
 }
 
@@ -509,9 +547,11 @@ func (c *campaignConfig) streamOptions(cfg PlatformConfig) platform.StreamOption
 		BatchSize:  c.batch,
 		Parallel:   c.parallel,
 		BaseSeed:   c.seed,
+		Cached:     c.cached,
 		RunTimeout: c.runTimeout,
 		Retry:      c.retry,
 		Supervise:  c.supervise,
+		Journal:    c.journalSink,
 		Telemetry:  c.telemetry,
 	}
 	if len(c.coRunners) > 0 {
