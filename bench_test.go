@@ -23,6 +23,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/platform"
 	"repro/internal/rng"
+	"repro/internal/stats"
 	"repro/internal/telemetry"
 	"repro/internal/tvca"
 )
@@ -536,4 +537,35 @@ func BenchmarkAblationCodeLayout(b *testing.B) {
 			b.ReportMetric(float64(app.Program().Len()*4), "text-bytes")
 		})
 	}
+}
+
+// BenchmarkQuantileGateThroughput measures the nine-decile quantile
+// gate's analysis cost on a paper-sized campaign: a 3000-sample split
+// compared with Harrell-Davis estimates, Maritz-Jarrett intervals and
+// the Bayesian leak posterior at every decile. The gate runs once per
+// analysis batch, so its per-call cost bounds the overhead of enabling
+// -quantile-gate on a campaign.
+func BenchmarkQuantileGateThroughput(b *testing.B) {
+	const half = 1500
+	src := rng.NewXoroshiro128(9)
+	xs := make([]float64, 2*half)
+	for i := range xs {
+		// Lognormal-ish positive execution times with a heavy-ish tail.
+		u := rng.Float64(src)
+		v := rng.Float64(src)
+		xs[i] = 14000 + 500*u + 2000*v*v
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := stats.CompareQuantiles(xs[:half], xs[half:], stats.QuantileGateOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !g.Pass {
+			b.Fatal("identically drawn halves must pass the gate")
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "gates/s")
+	b.ReportMetric(float64(b.N)*2*half/b.Elapsed().Seconds(), "samples/s")
 }

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -43,11 +44,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	c := cliflags.AddCampaign(fs)
 	var (
-		exp     = fs.String("exp", "all", "experiment to run: all, e1..e9 (e8: multicore contention; e9: workload generality)")
+		exp     = fs.String("exp", "all", "experiment to run: all, e1..e10 (e8: multicore contention; e9: workload generality; e10: timing-leak oracle)")
 		frames  = fs.Int("frames", 0, "TVCA minor frames per run (0 = default)")
 		layouts = fs.Int("layouts", 12, "link-time layouts for e7")
 		e8runs  = fs.Int("e8-runs", 500, "runs per co-runner configuration for e8 (co-simulation)")
 		e9runs  = fs.Int("e9-runs", 600, "runs per kernel for e9 (workload generality)")
+		e10runs = fs.Int("e10-runs", 400, "runs per secret variant for e10 (timing-leak oracle)")
 		csvDir  = fs.String("csv-dir", "", "directory to export figure data as CSV (optional)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -184,6 +186,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 			experiments.RenderE9(stdout, r)
 			return nil
 		}},
+		{"e10", func() error {
+			r, err := experiments.RunLeakOracle(context.Background(), experiments.LeakParams{
+				Runs:     *e10runs,
+				Seed:     p.Seed,
+				Parallel: p.Parallel,
+				Alpha:    c.QuantileAlpha,
+			})
+			if err != nil {
+				return err
+			}
+			experiments.RenderLeak(stdout, r)
+			return nil
+		}},
 	}
 	for _, s := range steps {
 		if err := run(s.id, s.f); err != nil {
@@ -193,7 +208,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if !ran {
-		fmt.Fprintf(stderr, "experiments: unknown experiment %q (want all or e1..e9)\n", *exp)
+		fmt.Fprintf(stderr, "experiments: unknown experiment %q (want all or e1..e10)\n", *exp)
 		return exitError
 	}
 	if fsum := env.FaultSummary(); fsum != nil {

@@ -48,14 +48,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("pwcetd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr       = fs.String("addr", ":8227", "HTTP API listen address")
-		execListen = fs.String("executor-listen", "", "also accept remote fabric executors on this TCP address (optional)")
-		join       = fs.String("join", "", "run as a remote executor of the coordinator at this address instead of serving")
-		executors  = fs.Int("executors", 0, "in-process executor workers (0 = GOMAXPROCS; negative = none, rely on remote executors)")
-		maxSess    = fs.Int("max-sessions", 0, "concurrent campaigns admitted before submissions queue (0 = default 256)")
-		sessLeases = fs.Int("session-leases", 0, "outstanding leases per campaign (0 = default 4)")
-		leaseTO    = fs.Duration("lease-timeout", 30*time.Second, "re-queue a lease stuck on one executor after this long (0 disables)")
+		addr        = fs.String("addr", ":8227", "HTTP API listen address")
+		execListen  = fs.String("executor-listen", "", "also accept remote fabric executors on this TCP address (optional)")
+		join        = fs.String("join", "", "run as a remote executor of the coordinator at this address instead of serving")
+		executors   = fs.Int("executors", 0, "in-process executor workers (0 = GOMAXPROCS; negative = none, rely on remote executors)")
+		maxSess     = fs.Int("max-sessions", 0, "concurrent campaigns admitted before submissions queue (0 = default 256)")
+		sessLeases  = fs.Int("session-leases", 0, "outstanding leases per campaign (0 = default 4)")
+		leaseTO     = fs.Duration("lease-timeout", 30*time.Second, "re-queue a lease stuck on one executor after this long (0 disables)")
 		matrixCache = fs.String("matrix-cache", "", "directory for the content-addressed matrix run cache (empty disables caching)")
+		qgate       = fs.Bool("quantile-gate", false, "screen every submitted campaign with the nine-decile identical-distribution gate")
+		qgateAlpha  = fs.Float64("quantile-alpha", 0.01, "family-wise false-positive budget of -quantile-gate")
 	)
 	if err := fs.Parse(args); err != nil {
 		return cliflags.ExitError // usage already printed to stderr
@@ -99,7 +101,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "pwcetd: accepting remote executors on %s\n", eln.Addr())
 	}
 
-	svc, err := pwcetd.New(pwcetd.Config{Pool: pool, MatrixCacheDir: *matrixCache})
+	svc, err := pwcetd.New(pwcetd.Config{
+		Pool:           pool,
+		MatrixCacheDir: *matrixCache,
+		QuantileGate:   *qgate,
+		QuantileAlpha:  *qgateAlpha,
+	})
 	if err != nil {
 		return fail(err)
 	}

@@ -7,6 +7,7 @@
 //
 //	tvca -runs 3000 -save-dir ./traces
 //	tvca -matrix spec.json -matrix-cache ./cache   # scenario matrix mode
+//	tvca -leak                                     # timing-leak oracle mode
 //
 // Exit codes, matching cmd/experiments and cmd/mbpta so scripted
 // pipelines can branch on the gate outcome: 0 = case study completed,
@@ -54,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	c := cliflags.AddCampaign(fs)
 	m := cliflags.AddMatrix(fs)
+	l := cliflags.AddLeak(fs)
 	var (
 		saveDir = fs.String("save-dir", "", "directory to save campaign CSVs (optional)")
 		perTask = fs.Bool("per-task", false, "additionally derive per-task pWCETs (worst job per run)")
@@ -67,6 +69,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if m.Spec != "" {
 		return runMatrix(c, m, stdout, stderr)
+	}
+	if l.Enabled {
+		return runLeak(c, l, stdout, stderr)
 	}
 
 	stopProf, err := c.StartProfiling()
@@ -249,6 +254,30 @@ func runMatrix(c *cliflags.Campaign, m *cliflags.Matrix, stdout, stderr io.Write
 	}
 	if err != nil {
 		return fail(err)
+	}
+	return cliflags.ExitOK
+}
+
+// runLeak executes the timing-leak oracle: the secret-dependent probe
+// is measured for both secrets on DET and RAND and the per-platform
+// quantile-gate comparisons are printed. The expected outcome — DET
+// leaks, RAND does not — exits 0; a platform pair that fails to
+// separate exits 2, mirroring the gate-rejection contract.
+func runLeak(c *cliflags.Campaign, l *cliflags.Leak, stdout, stderr io.Writer) int {
+	cmp, err := experiments.RunLeakOracle(context.Background(), experiments.LeakParams{
+		Runs:     l.Runs,
+		Seed:     c.Seed,
+		Parallel: c.Parallel,
+		Alpha:    c.QuantileAlpha,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "tvca:", err)
+		return exitError
+	}
+	experiments.RenderLeak(stdout, cmp)
+	if !cmp.Separated() {
+		fmt.Fprintln(stderr, "tvca: leak oracle did not separate the platforms")
+		return exitIIDGate
 	}
 	return cliflags.ExitOK
 }

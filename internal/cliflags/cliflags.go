@@ -47,6 +47,8 @@ type Campaign struct {
 	FaultRate     float64
 	Journal       string
 	Resume        bool
+	QuantileGate  bool
+	QuantileAlpha float64
 	TelemetryAddr string
 	CPUProfile    string
 	MemProfile    string
@@ -64,6 +66,8 @@ func AddCampaign(fs *flag.FlagSet) *Campaign {
 	fs.Float64Var(&c.FaultRate, "fault-rate", 0.25, "expected upsets per run under -faults (Poisson)")
 	fs.StringVar(&c.Journal, "journal", "", "journal the RAND campaign to this write-ahead log for crash-safe resume")
 	fs.BoolVar(&c.Resume, "resume", false, "resume the RAND campaign from the -journal file instead of starting fresh")
+	fs.BoolVar(&c.QuantileGate, "quantile-gate", false, "additionally screen the i.i.d. gate's samples with the nine-decile identical-distribution gate")
+	fs.Float64Var(&c.QuantileAlpha, "quantile-alpha", 0.01, "family-wise false-positive budget of -quantile-gate")
 	AddTelemetryAddr(fs, &c.TelemetryAddr)
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
 	fs.StringVar(&c.MemProfile, "memprofile", "", "write a pprof heap profile to this file at exit")
@@ -90,6 +94,26 @@ func AddMatrix(fs *flag.FlagSet) *Matrix {
 	fs.StringVar(&m.CacheDir, "matrix-cache", "", "content-addressed run cache directory for -matrix (empty = no caching)")
 	fs.IntVar(&m.CellParallel, "matrix-cells", 2, "concurrently executing matrix cells under -matrix")
 	return m
+}
+
+// Leak holds the timing-leak oracle flags (see internal/experiments'
+// leak probe).
+type Leak struct {
+	// Enabled switches the CLI into leak-oracle mode: the
+	// secret-dependent workload is measured for both secrets on DET and
+	// RAND and the posterior leak probabilities are compared.
+	Enabled bool
+	// Runs is the measurement-run count per secret variant.
+	Runs int
+}
+
+// AddLeak declares the timing-leak oracle flags on fs and returns the
+// struct their values land in.
+func AddLeak(fs *flag.FlagSet) *Leak {
+	l := &Leak{}
+	fs.BoolVar(&l.Enabled, "leak", false, "run the secret-dependent timing-leak oracle (DET vs RAND) instead of a campaign")
+	fs.IntVar(&l.Runs, "leak-runs", 400, "measurement runs per secret variant under -leak")
+	return l
 }
 
 // AddTelemetryAddr declares the -telemetry-addr flag into dst — split
@@ -125,6 +149,8 @@ func (c *Campaign) Params() (experiments.Params, *telemetry.Registry) {
 	}
 	p.Journal = c.Journal
 	p.Resume = c.Resume
+	p.Analysis.QuantileGate = c.QuantileGate
+	p.Analysis.QuantileGateAlpha = c.QuantileAlpha
 	var reg *telemetry.Registry
 	if c.TelemetryAddr != "" || c.Journal != "" {
 		reg = telemetry.New()

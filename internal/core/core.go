@@ -64,6 +64,16 @@ type Options struct {
 	// PoTQuantile is the threshold quantile of the PoT method
 	// (default 0.9).
 	PoTQuantile float64
+	// QuantileGate additionally runs the nine-decile identical-
+	// distribution gate (stats.CheckQuantileGate) on each path: the
+	// series halves are compared decile by decile, catching
+	// upper-quantile drift the whole-distribution KS test misses.
+	// Opt-in; a failure is reported like an i.i.d. gate failure
+	// (ErrIIDRejected unless AllowIIDFailure).
+	QuantileGate bool
+	// QuantileGateAlpha is the quantile gate's family-wise
+	// false-positive budget (default 0.01).
+	QuantileGateAlpha float64
 }
 
 // TailMethod names a tail-estimation approach.
@@ -97,6 +107,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PoTQuantile == 0 {
 		o.PoTQuantile = 0.9
+	}
+	if o.QuantileGateAlpha == 0 {
+		o.QuantileGateAlpha = 0.01
 	}
 	return o
 }
@@ -154,7 +167,10 @@ type PathResult struct {
 	N       int
 	Summary stats.Summary
 	IID     stats.IIDReport
-	Method  TailMethod
+	// QGate is the nine-decile gate report (Options.QuantileGate only;
+	// nil when the gate is disabled or the path is too small for it).
+	QGate  *stats.QuantileGateReport
+	Method TailMethod
 	// Fit is the per-block-maximum Gumbel (MethodBlockMaxima only).
 	Fit evt.Gumbel
 	// PoT is the threshold-exceedance model (MethodPoT only).
@@ -239,10 +255,14 @@ func (r *Result) ExceedanceAt(x float64) float64 {
 	return worst
 }
 
-// IIDPass reports whether every analyzed path passed the i.i.d. gate.
+// IIDPass reports whether every analyzed path passed the i.i.d. gate
+// (and, when enabled, the quantile gate).
 func (r *Result) IIDPass() bool {
 	for _, p := range r.Paths {
 		if !p.IID.Pass {
+			return false
+		}
+		if p.QGate != nil && !p.QGate.Pass {
 			return false
 		}
 	}
@@ -372,6 +392,20 @@ func (a *Analyzer) analyzeOne(path string, times []float64) (PathResult, error) 
 	}
 	if !pr.IID.Pass && !a.opts.AllowIIDFailure {
 		return pr, fmt.Errorf("%w:\n%s", ErrIIDRejected, pr.IID)
+	}
+	if a.opts.QuantileGate {
+		switch qg, err := stats.CheckQuantileGate(times, stats.QuantileGateOptions{Alpha: a.opts.QuantileGateAlpha}); {
+		case errors.Is(err, stats.ErrTooFew):
+			// Path cleared MinPathRuns but is below the gate's floor
+			// (tiny block sizes): record nothing rather than fail.
+		case err != nil:
+			return pr, fmt.Errorf("quantile gate: %w", err)
+		default:
+			pr.QGate = &qg
+			if !qg.Pass && !a.opts.AllowIIDFailure {
+				return pr, fmt.Errorf("%w:\n%s", ErrIIDRejected, qg)
+			}
+		}
 	}
 	pr.Method = a.opts.Method
 	maxima, discarded, err := evt.BlockMaxima(times, a.opts.BlockSize)

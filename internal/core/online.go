@@ -51,6 +51,11 @@ type Snapshot struct {
 	// to test).
 	Gate        stats.IIDReport
 	GateChecked bool
+	// QGate is the opt-in nine-decile identical-distribution gate on
+	// the pooled series halves (Options.QuantileGate; meaningful only
+	// when QGateChecked).
+	QGate        stats.QuantileGateReport
+	QGateChecked bool
 	// Fit is the pooled block-maxima Gumbel over everything collected so
 	// far (valid only when Fitted: at least five blocks and a
 	// non-degenerate sample).
@@ -70,6 +75,20 @@ type Snapshot struct {
 	Elapsed time.Duration
 	// Done records the stop-rule verdict for this snapshot.
 	Done bool
+}
+
+// GatePass is the combined identical-distribution verdict: false iff
+// any checked gate (the i.i.d. gate, and the quantile gate when
+// enabled) has failed on this snapshot. Unchecked gates count as
+// passing, so early small batches are not penalized.
+func (s *Snapshot) GatePass() bool {
+	if s.GateChecked && !s.Gate.Pass {
+		return false
+	}
+	if s.QGateChecked && !s.QGate.Pass {
+		return false
+	}
+	return true
 }
 
 // PWCETAt queries the snapshot's pooled tail at per-run exceedance
@@ -152,7 +171,7 @@ func (r *pwcetDeltaRule) Name() string {
 }
 
 func (r *pwcetDeltaRule) Done(s *Snapshot) bool {
-	if s.GateChecked && !s.Gate.Pass {
+	if !s.GatePass() {
 		r.prev, r.passes = 0, 0
 		return false
 	}
@@ -197,7 +216,7 @@ func (r *crpsRule) Name() string {
 }
 
 func (r *crpsRule) Done(s *Snapshot) bool {
-	if s.GateChecked && !s.Gate.Pass {
+	if !s.GatePass() {
 		r.passes = 0
 		return false
 	}
@@ -333,6 +352,20 @@ func (o *OnlineAnalyzer) publish(snap *Snapshot) {
 			telemetry.Num("ks_p", snap.Gate.IdentDist.PValue),
 			telemetry.Num("gate_pass", pass))
 	}
+	if snap.QGateChecked {
+		pass := 0.0
+		if snap.QGate.Pass {
+			pass = 1
+		}
+		reg.Gauge("analysis_qgate_pass").Set(pass)
+		reg.Gauge("analysis_qgate_leaks").Set(float64(snap.QGate.Leaks))
+		reg.Gauge("analysis_qgate_leak_p").Set(snap.QGate.LeakProbability)
+		reg.Gauge("analysis_qgate_effect").Set(snap.QGate.EffectCycles)
+		fields = append(fields,
+			telemetry.Num("qgate_pass", pass),
+			telemetry.Num("qgate_leaks", float64(snap.QGate.Leaks)),
+			telemetry.Num("qgate_leak_p", snap.QGate.LeakProbability))
+	}
 	if snap.Fitted {
 		reg.Gauge("analysis_fit_mu").Set(snap.Fit.Mu)
 		reg.Gauge("analysis_fit_beta").Set(snap.Fit.Beta)
@@ -405,6 +438,11 @@ func (o *OnlineAnalyzer) ObserveBatch(obs []Observation) (Snapshot, error) {
 	if len(o.times) >= 8 {
 		if gate, err := stats.CheckIID(o.times, o.opts.Alpha); err == nil {
 			snap.Gate, snap.GateChecked = gate, true
+		}
+	}
+	if o.opts.QuantileGate {
+		if qg, err := stats.CheckQuantileGate(o.times, stats.QuantileGateOptions{Alpha: o.opts.QuantileGateAlpha}); err == nil {
+			snap.QGate, snap.QGateChecked = qg, true
 		}
 	}
 	if len(o.times) >= 5*o.opts.BlockSize {

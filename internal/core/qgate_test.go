@@ -1,0 +1,185 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/evt"
+	"repro/internal/rng"
+)
+
+// upperDecileShiftSeries is the acceptance construction at campaign
+// scale: a series whose second half carries a small shift confined to
+// the top ~15% of the distribution, scaled to cycle-like magnitudes.
+// The whole-distribution i.i.d. gate (Ljung-Box + KS on halves) passes
+// it; the nine-decile quantile gate rejects it. Both gates are affine
+// invariant, so the scaling changes neither verdict (seed pinned in
+// the stats-level twin, TestQuantileGateCatchesWhatKSMisses).
+func upperDecileShiftSeries() []float64 {
+	src := rng.NewXoroshiro128(11)
+	xs := make([]float64, 2000)
+	for i := range xs {
+		v := rng.Float64(src) - 0.5
+		if i >= 1000 && v > 0.35 {
+			v += 0.05
+		}
+		xs[i] = 10000 + 1000*v
+	}
+	return xs
+}
+
+// TestAnalyzeQuantileGateCatchesUpperDecileShift is the wiring half of
+// the acceptance scenario: the same series clears the default analyzer
+// (old gate passes, no QGate report without opt-in) and is rejected
+// once Options.QuantileGate is set.
+func TestAnalyzeQuantileGateCatchesUpperDecileShift(t *testing.T) {
+	times := upperDecileShiftSeries()
+
+	res, err := NewAnalyzer(Options{}).Analyze(times)
+	if err != nil {
+		t.Fatalf("default analyzer rejected the series the old gate should pass: %v", err)
+	}
+	if !res.Paths[0].IID.Pass {
+		t.Fatalf("whole-distribution gate unexpectedly rejected:\n%s", res.Paths[0].IID)
+	}
+	if res.Paths[0].QGate != nil {
+		t.Error("QGate report populated without Options.QuantileGate")
+	}
+
+	if _, err := NewAnalyzer(Options{QuantileGate: true}).Analyze(times); !errors.Is(err, ErrIIDRejected) {
+		t.Fatalf("quantile-gated analyzer error = %v, want ErrIIDRejected", err)
+	}
+
+	// AllowIIDFailure keeps the analysis and records the verdict.
+	res, err = NewAnalyzer(Options{QuantileGate: true, AllowIIDFailure: true}).Analyze(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qg := res.Paths[0].QGate
+	if qg == nil || qg.Pass {
+		t.Fatalf("QGate = %+v, want a recorded failure", qg)
+	}
+	if qg.EffectDecile < 0.8 {
+		t.Errorf("effect localized at q%.0f, expected an upper decile", qg.EffectDecile*100)
+	}
+	if res.IIDPass() {
+		t.Error("IIDPass() = true with a failing quantile gate")
+	}
+}
+
+// TestAnalyzeQuantileGatePassesOnIID: on genuinely identically
+// distributed data the gate passes and changes nothing about the
+// estimate itself.
+func TestAnalyzeQuantileGatePassesOnIID(t *testing.T) {
+	times := gumbelSeries(5, 3000, evt.Gumbel{Mu: 10000, Beta: 120})
+	plain, err := NewAnalyzer(Options{}).Analyze(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated, err := NewAnalyzer(Options{QuantileGate: true}).Analyze(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qg := gated.Paths[0].QGate
+	if qg == nil || !qg.Pass {
+		t.Fatalf("QGate = %+v, want a recorded pass", qg)
+	}
+	if !gated.IIDPass() {
+		t.Error("IIDPass() = false with both gates passing")
+	}
+	a, err := plain.PWCET(1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := gated.PWCET(1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("enabling the gate changed the estimate: %v != %v", b, a)
+	}
+}
+
+// TestOnlineQuantileGateSnapshots: the streaming analyzer mirrors the
+// batch wiring — snapshots carry the gate verdict only under the
+// option, and GatePass folds it into the combined verdict.
+func TestOnlineQuantileGateSnapshots(t *testing.T) {
+	// Seed 5 is a replication where the whole-distribution gate also
+	// passes at this length, so GatePass isolates the quantile verdict.
+	clean := synthSeries(2000, 5)
+
+	// Disabled (the default): the gate is never computed.
+	off := NewOnlineAnalyzer(Options{}, FixedRuns(2000))
+	for _, s := range feed(t, off, clean, 250) {
+		if s.QGateChecked {
+			t.Fatal("snapshot carries a quantile-gate verdict without the option")
+		}
+	}
+
+	on := NewOnlineAnalyzer(Options{QuantileGate: true}, FixedRuns(2000))
+	snaps := feed(t, on, clean, 250)
+	last := snaps[len(snaps)-1]
+	if !last.QGateChecked || !last.QGate.Pass {
+		t.Fatalf("clean series: QGateChecked=%v Pass=%v", last.QGateChecked, last.QGate.Pass)
+	}
+	if !last.GatePass() {
+		t.Error("GatePass() = false with both gates passing")
+	}
+
+	shifted := NewOnlineAnalyzer(Options{QuantileGate: true, AllowIIDFailure: true}, FixedRuns(2000))
+	snaps = feed(t, shifted, upperDecileShiftSeries(), 250)
+	last = snaps[len(snaps)-1]
+	if !last.QGateChecked || last.QGate.Pass {
+		t.Fatalf("shifted series: QGateChecked=%v Pass=%v, want a recorded failure", last.QGateChecked, last.QGate.Pass)
+	}
+	if !last.Gate.Pass {
+		t.Fatalf("whole-distribution gate unexpectedly rejected the shifted series:\n%s", last.Gate)
+	}
+	if last.GatePass() {
+		t.Error("GatePass() = true with a failing quantile gate")
+	}
+}
+
+// TestStateRoundTripWithQuantileGate: checkpoint/restore preserves the
+// gate report bit for bit — the resumed snapshot trace (QGate verdicts
+// included) must be identical to the uninterrupted campaign's.
+func TestStateRoundTripWithQuantileGate(t *testing.T) {
+	const nBatches, batchSize = 12, 25
+	batches := stateTestBatches(nBatches, batchSize)
+	opts := Options{BlockSize: 10, QuantileGate: true, AllowIIDFailure: true}
+	newRule := func() StopRule { return FixedRuns(nBatches * batchSize) }
+
+	ref := NewOnlineAnalyzer(opts, newRule())
+	for _, b := range batches {
+		if _, err := ref.ObserveBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refSnaps := ref.Snapshots()
+	if last := refSnaps[len(refSnaps)-1]; !last.QGateChecked {
+		t.Fatal("reference campaign never checked the quantile gate")
+	}
+
+	for split := 1; split < nBatches; split++ {
+		head := NewOnlineAnalyzer(opts, newRule())
+		for _, b := range batches[:split] {
+			if _, err := head.ObserveBatch(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		state, err := head.MarshalState()
+		if err != nil {
+			t.Fatalf("split %d: MarshalState: %v", split, err)
+		}
+		resumed, err := RestoreOnlineAnalyzer(opts, newRule(), state)
+		if err != nil {
+			t.Fatalf("split %d: restore: %v", split, err)
+		}
+		for _, b := range batches[split:] {
+			if _, err := resumed.ObserveBatch(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		snapsEqualModuloElapsed(t, resumed.Snapshots(), refSnaps, "resumed quantile-gated trace")
+	}
+}

@@ -91,6 +91,97 @@ func (t stateTest) test() stats.TestResult {
 		Alpha: float64(t.Alpha), Rejected: t.Rejected, DF: t.DF}
 }
 
+// stateQEstimate mirrors stats.QuantileEstimate.
+type stateQEstimate struct {
+	Q     jf `json:"q"`
+	Point jf `json:"point"`
+	SE    jf `json:"se"`
+	Lo    jf `json:"lo"`
+	Hi    jf `json:"hi"`
+}
+
+func toStateQEstimate(e stats.QuantileEstimate) stateQEstimate {
+	return stateQEstimate{Q: jf(e.Q), Point: jf(e.Point), SE: jf(e.SE), Lo: jf(e.Lo), Hi: jf(e.Hi)}
+}
+
+func (e stateQEstimate) estimate() stats.QuantileEstimate {
+	return stats.QuantileEstimate{Q: float64(e.Q), Point: float64(e.Point), SE: float64(e.SE),
+		Lo: float64(e.Lo), Hi: float64(e.Hi)}
+}
+
+// stateQDecile mirrors stats.DecileResult.
+type stateQDecile struct {
+	Q         jf             `json:"q"`
+	A         stateQEstimate `json:"a"`
+	B         stateQEstimate `json:"b"`
+	Diff      jf             `json:"diff"`
+	SE        jf             `json:"se"`
+	Lo        jf             `json:"lo"`
+	Hi        jf             `json:"hi"`
+	Z         jf             `json:"z"`
+	P         jf             `json:"p"`
+	Leak      bool           `json:"leak"`
+	BF10      jf             `json:"bf10"`
+	Posterior jf             `json:"posterior"`
+}
+
+// stateQGate mirrors stats.QuantileGateReport. The full report is
+// serialized — not just the verdict — because resumed campaigns must
+// republish and fingerprint snapshots bit-identically to an
+// uninterrupted run.
+type stateQGate struct {
+	NA          int            `json:"na"`
+	NB          int            `json:"nb"`
+	Alpha       jf             `json:"alpha"`
+	PriorEffect jf             `json:"prior_effect"`
+	RhoA        jf             `json:"rho_a"`
+	RhoB        jf             `json:"rho_b"`
+	Deciles     []stateQDecile `json:"deciles"`
+	Leaks       int            `json:"leaks"`
+	Pass        bool           `json:"pass"`
+	MaxAbsZ     jf             `json:"max_abs_z"`
+	LeakProb    jf             `json:"leak_p"`
+	Effect      jf             `json:"effect"`
+	EffectQ     jf             `json:"effect_q"`
+}
+
+func toStateQGate(r stats.QuantileGateReport) *stateQGate {
+	out := &stateQGate{
+		NA: r.NA, NB: r.NB, Alpha: jf(r.Alpha), PriorEffect: jf(r.PriorEffect),
+		RhoA: jf(r.RhoA), RhoB: jf(r.RhoB),
+		Leaks: r.Leaks, Pass: r.Pass, MaxAbsZ: jf(r.MaxAbsZ),
+		LeakProb: jf(r.LeakProbability), Effect: jf(r.EffectCycles), EffectQ: jf(r.EffectDecile),
+	}
+	out.Deciles = make([]stateQDecile, len(r.Deciles))
+	for i, d := range r.Deciles {
+		out.Deciles[i] = stateQDecile{
+			Q: jf(d.Q), A: toStateQEstimate(d.A), B: toStateQEstimate(d.B),
+			Diff: jf(d.Diff), SE: jf(d.SE), Lo: jf(d.Lo), Hi: jf(d.Hi),
+			Z: jf(d.Z), P: jf(d.P), Leak: d.Leak, BF10: jf(d.BF10), Posterior: jf(d.Posterior),
+		}
+	}
+	return out
+}
+
+func (g *stateQGate) report() stats.QuantileGateReport {
+	out := stats.QuantileGateReport{
+		NA: g.NA, NB: g.NB, Alpha: float64(g.Alpha), PriorEffect: float64(g.PriorEffect),
+		RhoA: float64(g.RhoA), RhoB: float64(g.RhoB),
+		Leaks: g.Leaks, Pass: g.Pass, MaxAbsZ: float64(g.MaxAbsZ),
+		LeakProbability: float64(g.LeakProb), EffectCycles: float64(g.Effect), EffectDecile: float64(g.EffectQ),
+	}
+	out.Deciles = make([]stats.DecileResult, len(g.Deciles))
+	for i, d := range g.Deciles {
+		out.Deciles[i] = stats.DecileResult{
+			Q: float64(d.Q), A: d.A.estimate(), B: d.B.estimate(),
+			Diff: float64(d.Diff), SE: float64(d.SE), Lo: float64(d.Lo), Hi: float64(d.Hi),
+			Z: float64(d.Z), P: float64(d.P), Leak: d.Leak,
+			BF10: float64(d.BF10), Posterior: float64(d.Posterior),
+		}
+	}
+	return out
+}
+
 type stateSnap struct {
 	Batch        int            `json:"batch"`
 	Runs         int            `json:"runs"`
@@ -103,6 +194,7 @@ type stateSnap struct {
 	IdentDist    *stateTest     `json:"ks,omitempty"`
 	GatePass     bool           `json:"gate_pass"`
 	GateChecked  bool           `json:"gate_checked"`
+	QGate        *stateQGate    `json:"qgate,omitempty"`
 	FitMu        jf             `json:"mu"`
 	FitBeta      jf             `json:"beta"`
 	Fitted       bool           `json:"fitted"`
@@ -133,6 +225,9 @@ func toStateSnap(s Snapshot) stateSnap {
 		lb, ks := toStateTest(s.Gate.Independence), toStateTest(s.Gate.IdentDist)
 		out.Independence, out.IdentDist = &lb, &ks
 	}
+	if s.QGateChecked {
+		out.QGate = toStateQGate(s.QGate)
+	}
 	return out
 }
 
@@ -158,6 +253,10 @@ func (s stateSnap) snapshot() Snapshot {
 	}
 	if s.IdentDist != nil {
 		out.Gate.IdentDist = s.IdentDist.test()
+	}
+	if s.QGate != nil {
+		out.QGate = s.QGate.report()
+		out.QGateChecked = true
 	}
 	return out
 }

@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -348,10 +349,16 @@ func (e *Env) analyze() (*core.Result, error) {
 type E1Result struct {
 	Independence stats.TestResult
 	IdentDist    stats.TestResult
-	Pass         bool
+	// QGate is the nine-decile split-half gate on the full series,
+	// present only when the campaign opted in (Analysis.QuantileGate);
+	// its verdict is folded into Pass.
+	QGate *stats.QuantileGateReport
+	Pass  bool
 }
 
-// E1IID runs the i.i.d. gate on the RAND campaign's full series.
+// E1IID runs the i.i.d. gate on the RAND campaign's full series. With
+// Analysis.QuantileGate the nine-decile gate runs alongside and both
+// must pass.
 func E1IID(e *Env) (*E1Result, error) {
 	c, err := e.RAND()
 	if err != nil {
@@ -361,14 +368,26 @@ func E1IID(e *Env) (*E1Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	r := &E1Result{Independence: rep.Independence, IdentDist: rep.IdentDist, Pass: rep.Pass}
+	if e.P.Analysis.QuantileGate {
+		switch qg, err := stats.CheckQuantileGate(c.Times(), stats.QuantileGateOptions{Alpha: e.P.Analysis.QuantileGateAlpha}); {
+		case errors.Is(err, stats.ErrTooFew):
+			// Below the gate's sample floor: record nothing.
+		case err != nil:
+			return nil, fmt.Errorf("quantile gate: %w", err)
+		default:
+			r.QGate = &qg
+			r.Pass = r.Pass && qg.Pass
+		}
+	}
 	pass := 0.0
-	if rep.Pass {
+	if r.Pass {
 		pass = 1
 	}
 	e.P.Telemetry.Gauge("analysis_gate_ljungbox_p").Set(rep.Independence.PValue)
 	e.P.Telemetry.Gauge("analysis_gate_ks_p").Set(rep.IdentDist.PValue)
 	e.P.Telemetry.Gauge("analysis_gate_pass").Set(pass)
-	return &E1Result{Independence: rep.Independence, IdentDist: rep.IdentDist, Pass: rep.Pass}, nil
+	return r, nil
 }
 
 // E2Result is the pWCET curve of Figure 2: observed exceedance tail

@@ -276,3 +276,34 @@ func TestE9GeneralityShape(t *testing.T) {
 		t.Error("10 runs accepted")
 	}
 }
+
+func TestE1IIDQuantileGate(t *testing.T) {
+	e := testEnv(t)
+	if _, err := e.RAND(); err != nil { // populate the campaign cache first
+		t.Fatal(err)
+	}
+	plain, err := E1IID(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.QGate != nil {
+		t.Error("E1 carries a quantile-gate report without the opt-in")
+	}
+
+	// Same cached campaign, gated analysis options.
+	ge := *e
+	ge.P.Analysis.QuantileGate = true
+	r, err := E1IID(&ge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.QGate == nil {
+		t.Fatal("opt-in E1 misses the quantile-gate report")
+	}
+	if !r.QGate.Pass || !r.Pass {
+		t.Errorf("quantile gate failed on the RAND campaign:\n%s", r.QGate)
+	}
+	if r.QGate.LeakProbability > 0.5 {
+		t.Errorf("posterior P(shift) %.3f on a clean split", r.QGate.LeakProbability)
+	}
+}

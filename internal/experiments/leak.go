@@ -1,0 +1,119 @@
+// The timing-leak oracle: measure the secret-dependent probe workload
+// for both secret values on the deterministic and the time-randomized
+// platform, and compare the two timing distributions per platform with
+// the nine-decile quantile gate. On DET the secret selects between a
+// conflict-free and a set-thrashing walk, so the distributions separate
+// and the gate reports a leak with high posterior probability; on RAND
+// random-modulo placement maps both walks to i.i.d. uniform sets and
+// the gate finds nothing — the paper's time-randomization argument
+// restated as a side-channel property.
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/kernels"
+	"repro/internal/platform"
+	"repro/internal/stats"
+)
+
+// LeakParams configures the leak oracle.
+type LeakParams struct {
+	// Runs per secret variant (per platform); 0 selects 400.
+	Runs int
+	// Seed is the probe's input seed and the campaigns' base seed.
+	Seed uint64
+	// Parallel campaign workers (0 = GOMAXPROCS).
+	Parallel int
+	// Alpha is the quantile gate's family-wise false-positive budget
+	// (0 = the default 0.01).
+	Alpha float64
+	// Lines and Passes shape the probe walk (0 = the defaults 48 and 8).
+	Lines, Passes int
+}
+
+func (p LeakParams) withDefaults() LeakParams {
+	if p.Runs == 0 {
+		p.Runs = 400
+	}
+	if p.Seed == 0 {
+		p.Seed = 20170327
+	}
+	if p.Lines == 0 {
+		p.Lines = 48
+	}
+	if p.Passes == 0 {
+		p.Passes = 8
+	}
+	return p
+}
+
+// LeakProbe is the oracle's verdict for one platform: the full decile
+// comparison of the two secrets' timing distributions.
+type LeakProbe struct {
+	Platform string
+	Gate     stats.QuantileGateReport
+}
+
+// Leaks reports whether the gate distinguished the secrets.
+func (p LeakProbe) Leaks() bool { return !p.Gate.Pass }
+
+// LeakComparison pairs the DET and RAND verdicts.
+type LeakComparison struct {
+	Params LeakParams
+	DET    LeakProbe
+	RAND   LeakProbe
+}
+
+// Separated reports the expected outcome — the deterministic platform
+// leaks the secret and the time-randomized one does not.
+func (c *LeakComparison) Separated() bool {
+	return c.DET.Leaks() && !c.RAND.Leaks()
+}
+
+// RunLeakOracle measures both secret variants on both platforms and
+// compares the per-platform timing distributions with the quantile
+// gate. The same base seed drives both variants, so run i of secret 0
+// and run i of secret 1 differ only in the stride word.
+func RunLeakOracle(ctx context.Context, p LeakParams) (*LeakComparison, error) {
+	p = p.withDefaults()
+	out := &LeakComparison{Params: p}
+	for _, pl := range []struct {
+		cfg   platform.Config
+		probe *LeakProbe
+	}{
+		{platform.DET(), &out.DET},
+		{platform.RAND(), &out.RAND},
+	} {
+		probe, err := runLeakProbe(ctx, pl.cfg, p)
+		if err != nil {
+			return nil, err
+		}
+		*pl.probe = probe
+	}
+	return out, nil
+}
+
+// runLeakProbe measures the two secrets on one platform and gates the
+// resulting distributions against each other.
+func runLeakProbe(ctx context.Context, cfg platform.Config, p LeakParams) (LeakProbe, error) {
+	var times [2][]float64
+	for secret := 0; secret <= 1; secret++ {
+		w := kernels.SecretDep{Lines: p.Lines, Passes: p.Passes, Secret: secret, Seed: p.Seed}
+		c, err := platform.StreamCampaign(ctx, cfg, w, platform.StreamOptions{
+			MaxRuns:  p.Runs,
+			Parallel: p.Parallel,
+			BaseSeed: p.Seed,
+		}, nil)
+		if err != nil {
+			return LeakProbe{}, fmt.Errorf("experiments: leak probe %s secret %d: %w", cfg.Name, secret, err)
+		}
+		times[secret] = c.Times()
+	}
+	gate, err := stats.CompareQuantiles(times[0], times[1], stats.QuantileGateOptions{Alpha: p.Alpha})
+	if err != nil {
+		return LeakProbe{}, fmt.Errorf("experiments: leak gate %s: %w", cfg.Name, err)
+	}
+	return LeakProbe{Platform: cfg.Name, Gate: gate}, nil
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// goldenLeakParams is the pinned oracle configuration of the golden
+// test and `make leak-check`: defaults except the run count.
+var goldenLeakParams = LeakParams{Runs: 200}
+
+// The golden verdict: under the pinned seed the deterministic platform
+// must leak the secret with near-certain posterior and the
+// time-randomized platform must not, and both gate reports must stay
+// bit-identical (fingerprints pinned like the campaign goldens).
+func TestLeakOracleGolden(t *testing.T) {
+	c, err := RunLeakOracle(context.Background(), goldenLeakParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.DET.Gate.LeakProbability; got < 0.999 {
+		t.Errorf("DET leak probability %.6f < 0.999", got)
+	}
+	if c.DET.Gate.Pass {
+		t.Error("DET gate passed — the deterministic platform must leak")
+	}
+	if got := c.RAND.Gate.LeakProbability; got > 0.5 {
+		t.Errorf("RAND leak probability %.6f > 0.5", got)
+	}
+	if !c.RAND.Gate.Pass {
+		t.Errorf("RAND gate failed: %s", c.RAND.Gate.String())
+	}
+	if !c.Separated() {
+		t.Error("Separated() = false")
+	}
+	if got, want := c.DET.Gate.Fingerprint(), "682982f035003913110e4ac8667f3bdb"; got != want {
+		t.Errorf("DET gate fingerprint %s, want %s", got, want)
+	}
+	if got, want := c.RAND.Gate.Fingerprint(), "69f7f408ed135d3c290316e982fb38de"; got != want {
+		t.Errorf("RAND gate fingerprint %s, want %s", got, want)
+	}
+}
+
+func TestRenderLeak(t *testing.T) {
+	c, err := RunLeakOracle(context.Background(), goldenLeakParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	RenderLeak(&buf, c)
+	out := buf.String()
+	for _, want := range []string{
+		"Timing-leak oracle",
+		"DET - secret 0 vs secret 1",
+		"RAND - secret 0 vs secret 1",
+		"LEAK",
+		"quantile gate PASS",
+		"quantile gate FAIL",
+		"time-randomization closes the channel",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -25,12 +25,27 @@ func RenderE1(w io.Writer, r *E1Result) {
 	if !r.Pass {
 		verdict = "FAILED - MBPTA not applicable"
 	}
-	report.Table(w, "E1 - i.i.d. properties (paper: Ljung-Box 0.83, KS 0.45, both pass)", [][2]string{
+	rows := [][2]string{
 		{"Ljung-Box (independence) p-value", fmt.Sprintf("%.4f", r.Independence.PValue)},
 		{"Kolmogorov-Smirnov (ident. dist.) p-value", fmt.Sprintf("%.4f", r.IdentDist.PValue)},
 		{"significance level", fmt.Sprintf("%.2f", r.Independence.Alpha)},
-		{"verdict", verdict},
-	})
+	}
+	if g := r.QGate; g != nil {
+		q := fmt.Sprintf("pass - 0/%d deciles differ", len(g.Deciles))
+		if !g.Pass {
+			q = fmt.Sprintf("FAIL - %d/%d deciles differ", g.Leaks, len(g.Deciles))
+		}
+		rows = append(rows,
+			[2]string{fmt.Sprintf("quantile gate (split-half, FWER %.2g)", g.Alpha), q},
+			[2]string{"quantile gate posterior P(shift)", fmt.Sprintf("%.3f", g.LeakProbability)},
+		)
+	}
+	rows = append(rows, [2]string{"verdict", verdict})
+	report.Table(w, "E1 - i.i.d. properties (paper: Ljung-Box 0.83, KS 0.45, both pass)", rows)
+	if g := r.QGate; g != nil && !g.Pass {
+		fmt.Fprintln(w)
+		report.QuantileGateTable(w, "quantile gate - first half vs second half", *g)
+	}
 }
 
 // RenderE2 prints Figure 2: the pWCET curve against the observed tail.
@@ -198,4 +213,24 @@ func RenderDistributions(w io.Writer, e *Env, bins int) error {
 	}
 	return report.HistogramChart(w, "RAND execution-time distribution (cycles)",
 		40, joint.Lo, joint.Width, count(randc.Times()))
+}
+
+// RenderLeak prints the leak oracle's verdict: one decile table per
+// platform and the comparative summary line.
+func RenderLeak(w io.Writer, c *LeakComparison) {
+	fmt.Fprintf(w, "Timing-leak oracle - secretdep-%dx%d, %d runs per secret, alpha %.2g\n\n",
+		c.Params.Lines, c.Params.Passes, c.Params.Runs, c.DET.Gate.Alpha)
+	for _, p := range []LeakProbe{c.DET, c.RAND} {
+		report.QuantileGateTable(w, fmt.Sprintf("%s - secret 0 vs secret 1", p.Platform), p.Gate)
+		fmt.Fprintln(w)
+	}
+	verdict := "platforms NOT separated - unexpected"
+	if c.Separated() {
+		verdict = "DET leaks the secret, RAND does not - time-randomization closes the channel"
+	}
+	report.Table(w, "", [][2]string{
+		{"DET posterior leak probability", fmt.Sprintf("%.4f", c.DET.Gate.LeakProbability)},
+		{"RAND posterior leak probability", fmt.Sprintf("%.4f", c.RAND.Gate.LeakProbability)},
+		{"verdict", verdict},
+	})
 }

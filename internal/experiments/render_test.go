@@ -29,6 +29,29 @@ func TestRenderE1(t *testing.T) {
 	if !strings.Contains(buf.String(), "FAILED") {
 		t.Error("failed gate not rendered")
 	}
+
+	// With a quantile-gate report the E1 table gains the verdict rows,
+	// and a failing gate additionally prints its decile table.
+	buf.Reset()
+	passing := &stats.QuantileGateReport{Alpha: 0.01, Pass: true, LeakProbability: 0.08,
+		Deciles: make([]stats.DecileResult, 9)}
+	RenderE1(&buf, &E1Result{Pass: true, QGate: passing})
+	out = buf.String()
+	for _, want := range []string{"quantile gate", "pass - 0/9 deciles differ", "0.080"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gated E1 output lacks %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	failing := &stats.QuantileGateReport{Alpha: 0.01, Pass: false, Leaks: 3, LeakProbability: 0.99,
+		Deciles: make([]stats.DecileResult, 9)}
+	RenderE1(&buf, &E1Result{Pass: false, QGate: failing})
+	out = buf.String()
+	for _, want := range []string{"FAIL - 3/9 deciles differ", "first half vs second half", "FAILED"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("failing gated E1 output lacks %q:\n%s", want, out)
+		}
+	}
 }
 
 func fabricatedAnalysis(t *testing.T) *core.Result {

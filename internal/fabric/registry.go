@@ -111,7 +111,8 @@ var (
 )
 
 // BuiltinRegistry returns the process-wide registry of the repository's
-// workloads: the TVCA case study and the four generality kernels.
+// workloads: the TVCA case study, the four generality kernels and the
+// secret-dependent timing-leak probe.
 func BuiltinRegistry() *Registry {
 	builtinOnce.Do(func() {
 		builtin = NewRegistry()
@@ -133,6 +134,9 @@ func BuiltinRegistry() *Registry {
 		})
 		builtin.Register("vecnorm", func(params json.RawMessage) (platform.Workload, error) {
 			return decodeParams(params, kernels.VecNorm{N: 64, Seed: 1})
+		})
+		builtin.Register("secretdep", func(params json.RawMessage) (platform.Workload, error) {
+			return decodeParams(params, kernels.SecretDep{Lines: 48, Passes: 8, Seed: 1})
 		})
 	})
 	return builtin

@@ -51,6 +51,9 @@ func TestCacheKeySensitivity(t *testing.T) {
 		"Runs":     {false, func(c *Cell) { c.Runs = 200 }},
 		"Batch":    {false, func(c *Cell) { c.Batch = 50 }},
 		"Analysis": {false, func(c *Cell) { c.Analysis = AnalysisSpec{Alpha: 0.01, BlockSize: 25, Quantiles: []float64{1e-6}} }},
+		// Leak is analysis-only for the cell itself: the two secret
+		// variants derive their own keys via withSecret's params rewrite.
+		"Leak": {false, func(c *Cell) { c.Leak = true }},
 	}
 
 	base := baseCell()
@@ -375,5 +378,78 @@ func TestReportTable(t *testing.T) {
 		if !bytes.Contains(buf.Bytes(), []byte(want)) {
 			t.Errorf("table output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestLeakGrid is the comparative leak-probability grid end to end:
+// under Spec.Leak each cell measures both secret variants, and the
+// deterministic platform's cell must leak while the time-randomized
+// one's must not. A warm re-run replays both variants from the cache
+// with identical verdicts.
+func TestLeakGrid(t *testing.T) {
+	spec := Spec{
+		Name:      "leak grid",
+		Platforms: []string{"DET", "RAND"},
+		Workloads: []fabric.WorkloadSpec{
+			{Kind: "secretdep", Params: json.RawMessage(`{"Lines":48,"Passes":8,"Seed":5}`)},
+		},
+		Runs:     200,
+		Batch:    50,
+		BaseSeed: 5,
+		Leak:     true,
+		Analysis: AnalysisSpec{BlockSize: 10},
+	}
+	cache, err := NewCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatalf("NewCache: %v", err)
+	}
+	r := &Runner{Cache: cache, CellParallel: 2}
+	run := func(label string) *Report {
+		rep, err := r.Run(context.Background(), spec)
+		if rep == nil {
+			t.Fatalf("%s run: %v", label, err)
+		}
+		return rep
+	}
+	cold := run("cold")
+	if len(cold.Cells) != 2 {
+		t.Fatalf("expected 2 cells, got %d", len(cold.Cells))
+	}
+	for _, c := range cold.Cells {
+		if c.Err != "" {
+			t.Fatalf("cell %s failed: %s", c.Label, c.Err)
+		}
+		if c.LeakProb == nil || c.Leaks == nil {
+			t.Fatalf("cell %s has no leak verdict", c.Label)
+		}
+		switch c.Cell.Platform {
+		case "DET":
+			if !*c.Leaks || *c.LeakProb < 0.999 {
+				t.Errorf("DET cell: leaks=%v P(leak)=%.4f, want a certain leak", *c.Leaks, *c.LeakProb)
+			}
+		case "RAND":
+			if *c.Leaks || *c.LeakProb > 0.5 {
+				t.Errorf("RAND cell: leaks=%v P(leak)=%.4f, want no leak", *c.Leaks, *c.LeakProb)
+			}
+		}
+	}
+
+	warm := run("warm")
+	if warm.SimulatedRuns != 0 {
+		t.Errorf("warm leak grid simulated %d runs", warm.SimulatedRuns)
+	}
+	for i := range warm.Cells {
+		if warm.Cells[i].Fingerprint != cold.Cells[i].Fingerprint {
+			t.Errorf("cell %s: warm replay changed the fingerprint", warm.Cells[i].Label)
+		}
+		if *warm.Cells[i].LeakProb != *cold.Cells[i].LeakProb {
+			t.Errorf("cell %s: warm replay changed P(leak)", warm.Cells[i].Label)
+		}
+	}
+
+	var buf bytes.Buffer
+	cold.Table(&buf)
+	if !bytes.Contains(buf.Bytes(), []byte("P(leak)")) || !bytes.Contains(buf.Bytes(), []byte("LEAK")) {
+		t.Errorf("leak table missing leak column:\n%s", buf.String())
 	}
 }

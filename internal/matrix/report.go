@@ -45,6 +45,12 @@ type CellResult struct {
 	// either side lacks a tail fit the ratio falls back to HWMs.
 	Delta float64 `json:"delta,omitempty"`
 
+	// LeakProb and Leaks report the quantile gate's comparison of the
+	// cell's two secret variants (posterior leak probability and the
+	// family-wise verdict); present only under Spec.Leak.
+	LeakProb *float64 `json:"leak_prob,omitempty"`
+	Leaks    *bool    `json:"leaks,omitempty"`
+
 	// Advisory notes a non-fatal analysis condition (i.i.d. gate
 	// rejection, non-convergence); Err marks a failed cell.
 	Advisory string        `json:"advisory,omitempty"`
@@ -141,6 +147,9 @@ func (rep *Report) Table(w io.Writer) {
 	for _, q := range quantiles {
 		header = append(header, fmt.Sprintf("pWCET(%.0e)", q))
 	}
+	if rep.Spec.Leak {
+		header = append(header, "P(leak)")
+	}
 	header = append(header, "vs "+baseName(rep.Spec), "note")
 	rows := make([][]string, 0, len(rep.Cells))
 	for i := range rep.Cells {
@@ -160,6 +169,16 @@ func (rep *Report) Table(w io.Writer) {
 			if x := c.pwcetAt(qi); !math.IsNaN(x) {
 				row = append(row, fmt.Sprintf("%.0f", x))
 			} else {
+				row = append(row, "-")
+			}
+		}
+		if rep.Spec.Leak {
+			switch {
+			case c.LeakProb != nil && c.Leaks != nil && *c.Leaks:
+				row = append(row, fmt.Sprintf("%.3f LEAK", *c.LeakProb))
+			case c.LeakProb != nil:
+				row = append(row, fmt.Sprintf("%.3f", *c.LeakProb))
+			default:
 				row = append(row, "-")
 			}
 		}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/fabric"
+	"repro/internal/stats"
 	"repro/pkg/mbpta"
 )
 
@@ -146,11 +147,22 @@ func (r *Runner) runCell(ctx context.Context, reg *fabric.Registry, cell Cell) C
 		return res
 	}
 
+	// A leak cell's primary campaign measures the secret-0 variant; the
+	// secret-1 variant runs afterwards (leakGate) and each derives its
+	// own cache key from the rewritten workload params.
+	simCell := cell
+	if cell.Leak {
+		sc, serr := cell.withSecret(0)
+		if serr != nil {
+			return fail(serr)
+		}
+		simCell = sc
+	}
 	cfg, err := fabric.NamedPlatform(cell.Platform)
 	if err != nil {
 		return fail(err)
 	}
-	w, err := reg.Build(cell.Workload)
+	w, err := reg.Build(simCell.Workload)
 	if err != nil {
 		return fail(err)
 	}
@@ -171,7 +183,7 @@ func (r *Runner) runCell(ctx context.Context, reg *fabric.Registry, cell Cell) C
 	}
 	var entry *Entry
 	if r.Cache != nil {
-		entry, err = r.Cache.Acquire(cell)
+		entry, err = r.Cache.Acquire(simCell)
 		if err != nil {
 			return fail(err)
 		}
@@ -217,5 +229,79 @@ func (r *Runner) runCell(ctx context.Context, reg *fabric.Registry, cell Cell) C
 	if res.SimulatedRuns < 0 {
 		res.SimulatedRuns = 0
 	}
+	if cell.Leak && rep != nil {
+		if lerr := r.leakGate(ctx, reg, cfg, cell, rep, &res); lerr != nil {
+			return fail(lerr)
+		}
+	}
 	return res
+}
+
+// leakGate runs a leak cell's second campaign — the secret-1 variant,
+// measure-only, same seed schedule — and gates the two timing
+// distributions against each other with the nine-decile quantile gate.
+func (r *Runner) leakGate(ctx context.Context, reg *fabric.Registry, cfg mbpta.PlatformConfig, cell Cell, primary *mbpta.CampaignReport, res *CellResult) error {
+	variant, err := cell.withSecret(1)
+	if err != nil {
+		return err
+	}
+	w, err := reg.Build(variant.Workload)
+	if err != nil {
+		return err
+	}
+	opts := []mbpta.CampaignOption{
+		mbpta.WithRuns(cell.Runs),
+		mbpta.WithBatchSize(cell.Batch),
+		mbpta.WithBaseSeed(cell.BaseSeed),
+		mbpta.MeasureOnly(),
+	}
+	if cell.RunTimeoutMS > 0 {
+		opts = append(opts, mbpta.WithRunTimeout(time.Duration(cell.RunTimeoutMS)*time.Millisecond))
+	}
+	var entry *Entry
+	if r.Cache != nil {
+		if entry, err = r.Cache.Acquire(variant); err != nil {
+			return err
+		}
+		defer entry.Close()
+		opts = append(opts, mbpta.WithRunCache(entry.Lookup), mbpta.WithJournalSink(entry.Journal()))
+	}
+	// Mirror the primary campaign's execution shape so the two variants
+	// differ in nothing but the secret.
+	plain := cell.FaultRate == 0 && cell.Cores == 1
+	switch {
+	case cell.FaultRate > 0:
+		opts = append(opts, mbpta.WithFaultInjection(mbpta.FaultConfig{Rate: cell.FaultRate}))
+	case cell.Cores > 1:
+		co := make([]mbpta.Workload, cell.Cores-1)
+		for i := range co {
+			co[i] = experiments.StreamerWorkload{Lines: 1024}
+		}
+		opts = append(opts, mbpta.WithCoRunners(co...))
+	}
+	if plain && r.Pool != nil {
+		opts = append(opts, mbpta.WithExecutorPool(r.Pool))
+	} else if r.Parallel > 0 {
+		opts = append(opts, mbpta.WithParallelism(r.Parallel))
+	}
+	rep, err := mbpta.Campaign(ctx, cfg, w, opts...)
+	if err != nil {
+		return err
+	}
+	gate, err := stats.CompareQuantiles(primary.Campaign.Times(), rep.Campaign.Times(), stats.QuantileGateOptions{})
+	if err != nil {
+		return err
+	}
+	prob, leaks := gate.LeakProbability, !gate.Pass
+	res.LeakProb, res.Leaks = &prob, &leaks
+	if entry != nil {
+		hits := entry.Hits()
+		res.CachedRuns += hits
+		if sim := len(rep.Campaign.Results) - hits; sim > 0 {
+			res.SimulatedRuns += sim
+		}
+	} else {
+		res.SimulatedRuns += len(rep.Campaign.Results)
+	}
+	return nil
 }

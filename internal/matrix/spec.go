@@ -13,6 +13,7 @@
 package matrix
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 
@@ -41,6 +42,13 @@ type Spec struct {
 	// StopRules lists the stopping protocols. Default: the paper's
 	// fixed-size protocol ({Kind: "fixed"}).
 	StopRules []StopRuleSpec `json:"stop_rules,omitempty"`
+	// Leak switches every cell into timing-leak mode: the workload is
+	// measured twice, with its "Secret" parameter forced to 0 and to 1,
+	// and the two timing distributions are compared with the nine-decile
+	// quantile gate — the comparative report then carries each cell's
+	// posterior leak probability. Intended for secret-dependent
+	// workloads such as "secretdep"; both variants cache independently.
+	Leak bool `json:"leak,omitempty"`
 	// Exclude removes cells from the cross product (see Exclusion).
 	// Cells combining fault injection with multicore contention are
 	// excluded automatically: the fault layer requires single-core
@@ -126,11 +134,11 @@ func (a AnalysisSpec) quantiles() []float64 {
 // match anything, so {Platform: "DET", StopRule: "crps"} removes all
 // DET×crps cells across the other axes.
 type Exclusion struct {
-	Platform  string       `json:"platform,omitempty"`
-	Workload  string       `json:"workload,omitempty"` // workload kind
-	FaultRate *float64     `json:"fault_rate,omitempty"`
-	Cores     *int         `json:"cores,omitempty"`
-	StopRule  string       `json:"stop_rule,omitempty"` // rule kind
+	Platform  string   `json:"platform,omitempty"`
+	Workload  string   `json:"workload,omitempty"` // workload kind
+	FaultRate *float64 `json:"fault_rate,omitempty"`
+	Cores     *int     `json:"cores,omitempty"`
+	StopRule  string   `json:"stop_rule,omitempty"` // rule kind
 }
 
 func (e Exclusion) matches(c Cell) bool {
@@ -172,6 +180,30 @@ type Cell struct {
 	Runs     int          `json:"runs"`
 	Batch    int          `json:"batch"`
 	Analysis AnalysisSpec `json:"analysis"`
+	// Leak marks a timing-leak cell (see Spec.Leak). Analysis-only for
+	// caching purposes: the two secret variants derive their own
+	// simulation keys through their rewritten workload params.
+	Leak bool `json:"leak,omitempty"`
+}
+
+// withSecret returns the cell with the workload's "Secret" parameter
+// forced to the given value — the two campaigns of a leak cell. Params
+// are merged over whatever the spec set, canonically re-marshaled (Go
+// sorts map keys), so equal variants share cache entries.
+func (c Cell) withSecret(secret int) (Cell, error) {
+	params := map[string]any{}
+	if len(c.Workload.Params) > 0 {
+		if err := json.Unmarshal(c.Workload.Params, &params); err != nil {
+			return c, fmt.Errorf("matrix: leak cell %s params: %w", c.Label(), err)
+		}
+	}
+	params["Secret"] = secret
+	b, err := json.Marshal(params)
+	if err != nil {
+		return c, fmt.Errorf("matrix: leak cell %s params: %w", c.Label(), err)
+	}
+	c.Workload.Params = b
+	return c, nil
 }
 
 // Label is the cell's compact axis identifier, e.g.
@@ -261,6 +293,7 @@ func Expand(s Spec) ([]Cell, error) {
 							Runs:         runs,
 							Batch:        batch,
 							Analysis:     s.Analysis,
+							Leak:         s.Leak,
 						}
 						excluded := false
 						for _, e := range s.Exclude {

@@ -99,17 +99,17 @@ type streamTele struct {
 	batchSec                                  *telemetry.Histogram
 	runsPerSec, ipc                           *telemetry.Gauge
 
-	il1, dl1         cacheInstruments
-	itlb, dtlb       tlbInstruments
-	fpuDiv, fpuSqrt  *telemetry.Counter
+	il1, dl1          cacheInstruments
+	itlb, dtlb        tlbInstruments
+	fpuDiv, fpuSqrt   *telemetry.Counter
 	replay, interpret *telemetry.Counter
 }
 
 // cacheInstruments is one cache level's pre-resolved harvest set.
 type cacheInstruments struct {
-	hits, misses, evictions       *telemetry.Counter
-	writeHits, writeMisses, mru   *telemetry.Counter
-	hitRatio, mruRatio            *telemetry.Gauge
+	hits, misses, evictions     *telemetry.Counter
+	writeHits, writeMisses, mru *telemetry.Counter
+	hitRatio, mruRatio          *telemetry.Gauge
 }
 
 // tlbInstruments is one TLB's pre-resolved harvest set.

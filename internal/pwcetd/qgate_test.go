@@ -1,0 +1,101 @@
+package pwcetd_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/pwcetd"
+	"repro/pkg/mbpta"
+)
+
+// runGatedCampaign submits one clean campaign against a service with
+// the given config and returns its report.
+func runGatedCampaign(t *testing.T, cfg pwcetd.Config, spec mbpta.CampaignSpec) mbpta.ServiceReport {
+	t.Helper()
+	pool := fabric.NewPool(fabric.Config{Executors: 4})
+	t.Cleanup(pool.Close)
+	cfg.Pool = pool
+	svc, err := pwcetd.New(cfg)
+	if err != nil {
+		t.Fatalf("pwcetd.New: %v", err)
+	}
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	c := mbpta.NewServiceClient(ts.URL, ts.Client())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	id, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Wait(ctx, id, 25*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" {
+		t.Fatalf("state %q (error %q), want done", st.State, st.Error)
+	}
+	rep, err := c.Report(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestServiceQuantileGateReport: a spec-level opt-in surfaces the
+// nine-decile verdict in the service report; without the opt-in (and
+// without a service-wide policy) the fields stay absent.
+func TestServiceQuantileGateReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs measurement campaigns")
+	}
+	spec := mbpta.CampaignSpec{
+		Workload: mbpta.WorkloadSpec{Kind: "tvca", Params: params(t, map[string]any{"Frames": 8})},
+		Runs:     400,
+		Batch:    100,
+		BaseSeed: 42,
+	}
+
+	plain := runGatedCampaign(t, pwcetd.Config{}, spec)
+	if plain.QGatePass != nil || plain.QGateLeakP != nil {
+		t.Errorf("ungated report carries gate fields: pass=%v leakP=%v", plain.QGatePass, plain.QGateLeakP)
+	}
+
+	spec.QuantileGate = true
+	gated := runGatedCampaign(t, pwcetd.Config{}, spec)
+	if gated.QGatePass == nil || gated.QGateLeakP == nil {
+		t.Fatalf("gated report misses gate fields: pass=%v leakP=%v", gated.QGatePass, gated.QGateLeakP)
+	}
+	if !*gated.QGatePass {
+		t.Error("gate failed on a clean time-randomized campaign")
+	}
+	if *gated.QGateLeakP > 0.5 {
+		t.Errorf("posterior leak probability %.3f on a clean campaign", *gated.QGateLeakP)
+	}
+}
+
+// TestServiceQuantileGatePolicy: the service-wide -quantile-gate
+// policy screens campaigns whose specs did not opt in.
+func TestServiceQuantileGatePolicy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs measurement campaigns")
+	}
+	spec := mbpta.CampaignSpec{
+		Workload: mbpta.WorkloadSpec{Kind: "tvca", Params: params(t, map[string]any{"Frames": 8})},
+		Runs:     400,
+		Batch:    100,
+		BaseSeed: 42,
+	}
+	rep := runGatedCampaign(t, pwcetd.Config{QuantileGate: true, QuantileAlpha: 0.01}, spec)
+	if rep.QGatePass == nil {
+		t.Fatal("service-wide policy did not gate the campaign")
+	}
+	if !*rep.QGatePass {
+		t.Error("gate failed on a clean time-randomized campaign")
+	}
+}

@@ -55,6 +55,12 @@ type Config struct {
 	// configuration (within one matrix or across submissions) share one
 	// set of raw runs.
 	MatrixCacheDir string
+	// QuantileGate, when true, screens every submitted campaign with the
+	// nine-decile identical-distribution gate at QuantileAlpha
+	// (0 = the default 0.01) — a service-wide policy; specs can still
+	// request the gate individually.
+	QuantileGate  bool
+	QuantileAlpha float64
 }
 
 // Server is the pWCET analysis service. Create with New, mount
@@ -78,6 +84,9 @@ type Server struct {
 	mseq        int
 	matrices    map[string]*matrixJob
 	morder      []string
+
+	qgate      bool    // service-wide quantile-gate policy
+	qgateAlpha float64 // its family-wise alpha (0 = gate default)
 }
 
 // campaign is one submitted campaign's lifecycle record.
@@ -127,6 +136,8 @@ func New(cfg Config) (*Server, error) {
 		campaigns:   make(map[string]*campaign),
 		matrixCache: cache,
 		matrices:    make(map[string]*matrixJob),
+		qgate:       cfg.QuantileGate,
+		qgateAlpha:  cfg.QuantileAlpha,
 	}, nil
 }
 
@@ -152,6 +163,9 @@ func (s *Server) Submit(spec mbpta.CampaignSpec) (string, error) {
 	w, err := s.reg.Build(spec.Workload)
 	if err != nil {
 		return "", err
+	}
+	if s.qgate && !spec.QuantileGate {
+		spec.QuantileGate, spec.QuantileAlpha = true, s.qgateAlpha
 	}
 	runsTotal := spec.Runs
 	if runsTotal == 0 {
@@ -208,6 +222,9 @@ func (s *Server) execute(c *campaign, cfg mbpta.PlatformConfig, w mbpta.Workload
 	}
 	if c.spec.MeasureOnly {
 		opts = append(opts, mbpta.MeasureOnly())
+	}
+	if c.spec.QuantileGate {
+		opts = append(opts, mbpta.WithQuantileGate(c.spec.QuantileAlpha))
 	}
 	rep, err := mbpta.Campaign(s.ctx, cfg, w, opts...)
 
@@ -304,6 +321,20 @@ func (c *campaign) report() (mbpta.ServiceReport, error) {
 			}
 		}
 		out.GatePass = &pass
+		qChecked, qpass, leakP := false, true, 0.0
+		for _, p := range rep.Analysis.Paths {
+			if p.QGate == nil {
+				continue
+			}
+			qChecked = true
+			qpass = qpass && p.QGate.Pass
+			if p.QGate.LeakProbability > leakP {
+				leakP = p.QGate.LeakProbability
+			}
+		}
+		if qChecked {
+			out.QGatePass, out.QGateLeakP = &qpass, &leakP
+		}
 		out.PWCET = make(map[string]float64, len(defaultCutoffs))
 		for _, q := range defaultCutoffs {
 			if v, err := c.pwcet(q); err == nil {

@@ -1,0 +1,37 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+)
+
+// QuantileGateTable renders a nine-decile gate report as an aligned
+// grid: per decile the two Harrell-Davis estimates, their difference
+// with its Maritz-Jarrett confidence interval, the z statistic, the
+// Bonferroni-corrected verdict, and the posterior leak probability. A
+// one-line summary (the report's String form) follows the grid.
+func QuantileGateTable(w io.Writer, title string, g stats.QuantileGateReport) {
+	header := []string{"q", "A", "B", "diff", "ci", "z", "p", "post", "verdict"}
+	rows := make([][]string, 0, len(g.Deciles))
+	for _, d := range g.Deciles {
+		verdict := "ok"
+		if d.Leak {
+			verdict = "LEAK"
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f%%", 100*d.Q),
+			fmt.Sprintf("%.6g", d.A.Point),
+			fmt.Sprintf("%.6g", d.B.Point),
+			fmt.Sprintf("%+.6g", d.Diff),
+			fmt.Sprintf("[%.6g, %.6g]", d.Lo, d.Hi),
+			fmt.Sprintf("%+.3f", d.Z),
+			fmt.Sprintf("%.2g", d.P),
+			fmt.Sprintf("%.3f", d.Posterior),
+			verdict,
+		})
+	}
+	Grid(w, title, header, rows)
+	fmt.Fprintf(w, "  %s\n", g.String())
+}

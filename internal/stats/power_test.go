@@ -116,3 +116,149 @@ func TestGateFalsePositiveRate(t *testing.T) {
 		t.Errorf("KS false-positive rate on i.i.d. data = %.3f, want <= 0.10 (alpha %.2f)", ksRate, powerAlpha)
 	}
 }
+
+// --- Quantile-gate power suite -------------------------------------
+//
+// The quantile gate's contract is sharper than the KS gate's: bounded
+// family-wise false positives across nine deciles, and power against
+// effects confined to the upper deciles — the region pWCET claims live
+// in and the region a timing side channel perturbs. The same trial
+// structure as above: many seeded replications, empirical rates.
+
+// TestQuantileGatePowerUpperDecileShift: a +0.5 sigma shift applied
+// only to values above q75 — invisible to the mean and mostly to KS —
+// must be detected with power > 0.9.
+func TestQuantileGatePowerUpperDecileShift(t *testing.T) {
+	const sigma = 0.2886751345948129 // sd of uniform(-0.5, 0.5)
+	src := rng.NewXoroshiro128(0xD54)
+	detected := 0
+	for trial := 0; trial < powerTrials; trial++ {
+		a := make([]float64, 500)
+		b := make([]float64, 500)
+		for i := range a {
+			a[i] = uniform(src)
+		}
+		for i := range b {
+			v := uniform(src)
+			if v > 0.25 { // above the true q75
+				v += 0.5 * sigma
+			}
+			b[i] = v
+		}
+		rep, err := CompareQuantiles(a, b, QuantileGateOptions{Alpha: powerAlpha})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Pass {
+			detected++
+		}
+	}
+	power := float64(detected) / powerTrials
+	if power < 0.9 {
+		t.Errorf("quantile-gate power against a +0.5-sigma upper-decile shift = %.3f, want > 0.9", power)
+	}
+}
+
+// TestQuantileGateNullFWER: under identical distributions the gate
+// must fail at no more than 2x its configured family-wise rate, across
+// 1,000 seeded replications.
+func TestQuantileGateNullFWER(t *testing.T) {
+	const trials = 1000
+	fails := 0
+	for trial := 0; trial < trials; trial++ {
+		src := rng.NewXoroshiro128(uint64(0xE55000 + trial))
+		xs := make([]float64, powerN)
+		for i := range xs {
+			xs[i] = uniform(src)
+		}
+		rep, err := CheckQuantileGate(xs, QuantileGateOptions{Alpha: powerAlpha})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Pass {
+			fails++
+		}
+	}
+	rate := float64(fails) / trials
+	if rate > 2*powerAlpha {
+		t.Errorf("null FWER = %.4f, want <= 2x alpha = %.2f", rate, 2*powerAlpha)
+	}
+}
+
+// TestQuantileGateNullFWERAR1: AR(1)-correlated inputs (phi = 0.5, the
+// Ljung-Box power scenario) inflate quantile-estimate variance; the
+// effective-sample-size correction must keep the null FWER within 2x
+// the configured rate, and the AssumeIID ablation must demonstrate the
+// correction is load-bearing (uncorrected rate well above the budget).
+func TestQuantileGateNullFWERAR1(t *testing.T) {
+	const (
+		trials = 1000
+		phi    = 0.5
+	)
+	fails, uncorrected := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		src := rng.NewXoroshiro128(uint64(0xF56000 + trial))
+		xs := make([]float64, powerN)
+		x := 0.0
+		for i := range xs {
+			x = phi*x + uniform(src)
+			xs[i] = x
+		}
+		rep, err := CheckQuantileGate(xs, QuantileGateOptions{Alpha: powerAlpha})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Pass {
+			fails++
+		}
+		raw, err := CheckQuantileGate(xs, QuantileGateOptions{Alpha: powerAlpha, AssumeIID: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !raw.Pass {
+			uncorrected++
+		}
+	}
+	rate := float64(fails) / trials
+	if rate > 2*powerAlpha {
+		t.Errorf("AR(1) null FWER with ESS correction = %.4f, want <= 2x alpha = %.2f", rate, 2*powerAlpha)
+	}
+	if raw := float64(uncorrected) / trials; raw <= 2*powerAlpha {
+		t.Errorf("AssumeIID FWER on AR(1) inputs = %.4f; expected it above the budget — is the correction still doing anything?", raw)
+	}
+}
+
+// TestQuantileGateCatchesWhatKSMisses: the acceptance scenario — a
+// synthetic series whose second half carries a +0.05 shift confined
+// above q85. The existing whole-distribution gate (Ljung-Box + KS on
+// halves) passes it; the quantile gate rejects it. Seed pinned to a
+// replication where both margins are comfortable (KS p ~ 0.11 vs the
+// 0.05 cut, quantile |z| ~ 3.8 vs the ~3.0 Bonferroni cut).
+func TestQuantileGateCatchesWhatKSMisses(t *testing.T) {
+	src := rng.NewXoroshiro128(11)
+	xs := make([]float64, 2000)
+	for i := range xs {
+		v := uniform(src)
+		if i >= 1000 && v > 0.35 { // above q85, second half only
+			v += 0.05
+		}
+		xs[i] = v
+	}
+	iid, err := CheckIID(xs, powerAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iid.Pass {
+		t.Fatalf("whole-distribution gate unexpectedly rejected the upper-decile effect: %s", iid)
+	}
+	qg, err := CheckQuantileGate(xs, QuantileGateOptions{Alpha: powerAlpha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qg.Pass {
+		t.Fatalf("quantile gate missed the upper-decile effect the KS gate also missed: %s", qg)
+	}
+	if qg.EffectDecile < 0.8 {
+		t.Errorf("effect localized at q%.0f, expected an upper decile", qg.EffectDecile*100)
+	}
+}

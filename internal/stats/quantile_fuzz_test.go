@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// Fuzz targets for the quantile estimator and the two-sample gate:
+// arbitrary byte soup decoded as float64 samples (NaN, Inf, ties,
+// denormals, tiny n all reachable) must never panic, and every
+// successful result must keep its interval invariants — lo <= point
+// <= hi for estimates, coherent aggregate counters for reports. Seed
+// corpora live under testdata/fuzz/; `make fuzz` runs both targets.
+
+// fuzzFloats decodes data as consecutive big-endian float64 words.
+func fuzzFloats(data []byte) []float64 {
+	out := make([]float64, 0, len(data)/8)
+	for len(data) >= 8 {
+		out = append(out, math.Float64frombits(binary.BigEndian.Uint64(data[:8])))
+		data = data[8:]
+	}
+	return out
+}
+
+func FuzzEstimateQuantile(f *testing.F) {
+	seed := func(xs []float64, q, conf float64) {
+		buf := make([]byte, 8*len(xs))
+		for i, v := range xs {
+			binary.BigEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+		}
+		f.Add(buf, q, conf)
+	}
+	seed(nil, 0.5, 0.95)
+	seed([]float64{1}, 0.5, 0.95)
+	seed([]float64{3, 1, 2, 2, 2, 1e300, -1e300}, 0.9, 0.99)
+	seed([]float64{math.NaN(), 1, 2}, 0.5, 0.95)
+	seed([]float64{math.Inf(1), 0}, 0.1, 0.5)
+	f.Fuzz(func(t *testing.T, data []byte, q, conf float64) {
+		xs := fuzzFloats(data)
+		e, err := EstimateQuantile(xs, q, conf)
+		if err != nil {
+			return
+		}
+		if e.Q != q {
+			t.Fatalf("echoed level %v != %v", e.Q, q)
+		}
+		if math.IsNaN(e.Point) || math.IsNaN(e.SE) || e.SE < 0 {
+			t.Fatalf("degenerate estimate %+v for %v", e, xs)
+		}
+		if !(e.Lo <= e.Point && e.Point <= e.Hi) {
+			t.Fatalf("CI unordered: %+v for %v", e, xs)
+		}
+	})
+}
+
+func FuzzCompareQuantiles(f *testing.F) {
+	seed := func(a, b []float64, alpha float64) {
+		buf := make([]byte, 8+8*len(a)+8*len(b))
+		binary.BigEndian.PutUint64(buf, uint64(len(a)))
+		for i, v := range a {
+			binary.BigEndian.PutUint64(buf[8+8*i:], math.Float64bits(v))
+		}
+		for i, v := range b {
+			binary.BigEndian.PutUint64(buf[8+8*len(a)+8*i:], math.Float64bits(v))
+		}
+		f.Add(buf, alpha)
+	}
+	flat := make([]float64, 40)
+	ramp := make([]float64, 40)
+	for i := range flat {
+		flat[i] = 5
+		ramp[i] = float64(i % 17)
+	}
+	seed(flat, flat, 0.01)
+	seed(flat, ramp, 0.05)
+	seed(ramp[:16], ramp[:16], 0.5)
+	seed(nil, nil, 0.01)
+	f.Fuzz(func(t *testing.T, data []byte, alpha float64) {
+		if len(data) < 8 {
+			return
+		}
+		xs := fuzzFloats(data[8:])
+		split := int(binary.BigEndian.Uint64(data[:8]) % uint64(len(xs)+1))
+		rep, err := CompareQuantiles(xs[:split], xs[split:], QuantileGateOptions{Alpha: alpha})
+		if err != nil {
+			return
+		}
+		leaks := 0
+		maxPost := 0.0
+		for _, d := range rep.Deciles {
+			if d.Leak {
+				leaks++
+			}
+			if math.IsNaN(d.P) || d.P < 0 || d.P > 1 {
+				t.Fatalf("q%.0f: p-value %v out of [0,1]", d.Q*100, d.P)
+			}
+			if math.IsNaN(d.Posterior) || d.Posterior < 0 || d.Posterior > 1 {
+				t.Fatalf("q%.0f: posterior %v out of [0,1]", d.Q*100, d.Posterior)
+			}
+			if d.Posterior > maxPost {
+				maxPost = d.Posterior
+			}
+			if !(d.Lo <= d.Diff && d.Diff <= d.Hi) {
+				t.Fatalf("q%.0f: diff CI unordered: %+v", d.Q*100, d)
+			}
+			if !(d.A.Lo <= d.A.Point && d.A.Point <= d.A.Hi) || !(d.B.Lo <= d.B.Point && d.B.Point <= d.B.Hi) {
+				t.Fatalf("q%.0f: estimate CI unordered: %+v", d.Q*100, d)
+			}
+		}
+		if leaks != rep.Leaks || rep.Pass != (leaks == 0) {
+			t.Fatalf("aggregate mismatch: %d leak flags, Leaks=%d, Pass=%v", leaks, rep.Leaks, rep.Pass)
+		}
+		if rep.LeakProbability != maxPost {
+			t.Fatalf("LeakProbability %v != max posterior %v", rep.LeakProbability, maxPost)
+		}
+	})
+}

@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// Property tests for the quantile gate: the verdict must be invariant
+// under common affine maps of both samples (cycles vs nanoseconds vs
+// normalized units must not change what leaks), monotone in the
+// injected effect size, and deterministic regardless of GOMAXPROCS or
+// concurrent use — the PR-2 AnalyzeByPath bug class.
+
+func propSamples(seed uint64, n int) ([]float64, []float64) {
+	src := rng.NewXoroshiro128(seed)
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = 20000 + 300*(rng.Float64(src)-0.5)
+	}
+	for i := range b {
+		v := 20000 + 300*(rng.Float64(src)-0.5)
+		if v > 20075 { // upper-quartile effect, so some deciles leak
+			v += 60
+		}
+		b[i] = v
+	}
+	return a, b
+}
+
+func affine(xs []float64, scale, shift float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = scale*v + shift
+	}
+	return out
+}
+
+// TestQuantileGateAffineInvariance: applying the same positive affine
+// map to both samples must preserve every verdict bit (Pass, per-decile
+// Leak) and the z statistics to rounding level — z is dimensionless.
+func TestQuantileGateAffineInvariance(t *testing.T) {
+	a, b := propSamples(0x41FF, 600)
+	base, err := CompareQuantiles(a, b, QuantileGateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Pass || base.Leaks == 0 {
+		t.Fatalf("baseline must leak for the invariance check to bite: %s", base)
+	}
+	for _, m := range []struct{ scale, shift float64 }{
+		{3, 0}, {1, 1e6}, {0.25, -5000}, {1e3, 1e7},
+	} {
+		got, err := CompareQuantiles(affine(a, m.scale, m.shift), affine(b, m.scale, m.shift), QuantileGateOptions{})
+		if err != nil {
+			t.Fatalf("scale %g shift %g: %v", m.scale, m.shift, err)
+		}
+		if got.Pass != base.Pass || got.Leaks != base.Leaks {
+			t.Errorf("scale %g shift %g: verdict changed: %s vs %s", m.scale, m.shift, got, base)
+		}
+		for i, d := range got.Deciles {
+			bd := base.Deciles[i]
+			if d.Leak != bd.Leak {
+				t.Errorf("scale %g shift %g: q%.0f leak flag flipped", m.scale, m.shift, d.Q*100)
+			}
+			if relDiff(d.Z, bd.Z) > 1e-6 {
+				t.Errorf("scale %g shift %g: q%.0f z drifted: %.9f vs %.9f", m.scale, m.shift, d.Q*100, d.Z, bd.Z)
+			}
+			wantDiff := m.scale * bd.Diff
+			if relDiff(d.Diff, wantDiff) > 1e-6 {
+				t.Errorf("scale %g shift %g: q%.0f diff not equivariant: %.9f vs %.9f", m.scale, m.shift, d.Q*100, d.Diff, wantDiff)
+			}
+		}
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / scale
+}
+
+// TestQuantileGateMonotoneEffect: growing the injected upper-tail
+// effect must grow every decile's estimated difference (the
+// Harrell-Davis estimate is a positive-weight average of order
+// statistics, each nondecreasing in the shift), and the gate must go
+// from passing at zero effect to failing at a gross one.
+func TestQuantileGateMonotoneEffect(t *testing.T) {
+	src := rng.NewXoroshiro128(0x4200)
+	n := 800
+	a := make([]float64, n)
+	raw := make([]float64, n)
+	for i := range a {
+		a[i] = 1000 * rng.Float64(src)
+	}
+	for i := range raw {
+		raw[i] = 1000 * rng.Float64(src)
+	}
+	ladder := []float64{0, 10, 25, 60, 150, 400}
+	prev := make([]float64, 9)
+	for step, delta := range ladder {
+		b := make([]float64, n)
+		for i, v := range raw {
+			if v > 750 {
+				v += delta
+			}
+			b[i] = v
+		}
+		rep, err := CompareQuantiles(a, b, QuantileGateOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if step == 0 && !rep.Pass {
+			t.Errorf("zero effect rejected: %s", rep)
+		}
+		if step == len(ladder)-1 && rep.Pass {
+			t.Errorf("gross effect (+%g above q75) not rejected: %s", delta, rep)
+		}
+		for i, d := range rep.Deciles {
+			if step > 0 && d.Diff < prev[i]-1e-9 {
+				t.Errorf("delta %g: q%.0f diff %.6f decreased from %.6f", delta, d.Q*100, d.Diff, prev[i])
+			}
+			prev[i] = d.Diff
+		}
+	}
+}
+
+// TestQuantileGateDeterminism: the same two samples must produce a
+// bit-identical report under different GOMAXPROCS settings and from
+// concurrent goroutines — the gate sits on the campaign hot path where
+// parallelism must never leak into results.
+func TestQuantileGateDeterminism(t *testing.T) {
+	a, b := propSamples(0x4311, 500)
+	want, err := CompareQuantiles(a, b, QuantileGateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := want.Fingerprint()
+
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		got, err := CompareQuantiles(a, b, QuantileGateOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Fingerprint() != fp {
+			t.Errorf("GOMAXPROCS=%d: report fingerprint drifted", procs)
+		}
+	}
+	runtime.GOMAXPROCS(old)
+
+	var wg sync.WaitGroup
+	results := make([]string, 16)
+	for g := range results {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rep, err := CompareQuantiles(a, b, QuantileGateOptions{})
+			if err == nil {
+				results[g] = rep.Fingerprint()
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, got := range results {
+		if got != fp {
+			t.Errorf("goroutine %d: fingerprint %q != %q", g, got, fp)
+		}
+	}
+}

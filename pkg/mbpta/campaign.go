@@ -200,6 +200,22 @@ func WithAnalyzerOptions(o Options) CampaignOption {
 	return func(c *campaignConfig) { c.analysis = o }
 }
 
+// WithQuantileGate enables the nine-decile identical-distribution gate
+// alongside the i.i.d. gate: each snapshot (and the final analysis)
+// compares the series halves decile by decile with bounded family-wise
+// false positives, catching upper-quantile drift the whole-
+// distribution KS test misses and reporting a posterior leak
+// probability. alpha is the family-wise false-positive budget
+// (0 selects the default 0.01). Apply after WithAnalyzerOptions when
+// combining the two: WithAnalyzerOptions replaces the whole option
+// set.
+func WithQuantileGate(alpha float64) CampaignOption {
+	return func(c *campaignConfig) {
+		c.analysis.QuantileGate = true
+		c.analysis.QuantileGateAlpha = alpha
+	}
+}
+
 // WithFaultInjection attaches the deterministic SEU injector to the
 // campaign: each run draws Poisson(cfg.Rate) upsets from its own run
 // seed, is classified (masked / timing-perturbed / wrong-output /

@@ -41,6 +41,9 @@ func (r *CampaignReport) Fingerprint() string {
 			hashTest(h, s.Gate.IdentDist)
 			fmt.Fprintf(h, "gate|%v\n", s.Gate.Pass)
 		}
+		if s.QGateChecked {
+			hashQGate(h, &s.QGate)
+		}
 		hashOutcomes(h, s.Outcomes)
 	}
 	fmt.Fprintf(h, "faults|%d|%d|%d\n", r.Faults.Total, r.Faults.Clean, r.Faults.Injected)
@@ -51,6 +54,9 @@ func (r *CampaignReport) Fingerprint() string {
 			fmt.Fprintf(h, "path|%q|%d|%s|%016x|%016x|%016x|%d|%d|%v\n",
 				p.Path, p.N, p.Method, fbits(p.Fit.Mu), fbits(p.Fit.Beta),
 				fbits(p.GEVXi), p.Maxima, p.Discarded, p.Pooled)
+			if p.QGate != nil {
+				hashQGate(h, p.QGate)
+			}
 		}
 		for _, sp := range r.Analysis.SmallPaths {
 			fmt.Fprintf(h, "small|%q|%d|%016x\n", sp.Path, sp.N, fbits(sp.HWM))
@@ -66,6 +72,18 @@ func fbits(x float64) uint64 { return math.Float64bits(x) }
 func hashTest(w io.Writer, t stats.TestResult) {
 	fmt.Fprintf(w, "test|%q|%016x|%016x|%016x|%v|%d\n",
 		t.Name, fbits(t.Statistic), fbits(t.PValue), fbits(t.Alpha), t.Rejected, t.DF)
+}
+
+func hashQGate(w io.Writer, g *stats.QuantileGateReport) {
+	fmt.Fprintf(w, "qgate|%d|%d|%016x|%016x|%016x|%016x|%d|%v|%016x|%016x|%016x|%016x\n",
+		g.NA, g.NB, fbits(g.Alpha), fbits(g.PriorEffect), fbits(g.RhoA), fbits(g.RhoB),
+		g.Leaks, g.Pass, fbits(g.MaxAbsZ), fbits(g.LeakProbability),
+		fbits(g.EffectCycles), fbits(g.EffectDecile))
+	for _, d := range g.Deciles {
+		fmt.Fprintf(w, "qdecile|%016x|%016x|%016x|%016x|%016x|%016x|%016x|%v|%016x|%016x\n",
+			fbits(d.Q), fbits(d.Diff), fbits(d.SE), fbits(d.Lo), fbits(d.Hi),
+			fbits(d.Z), fbits(d.P), d.Leak, fbits(d.BF10), fbits(d.Posterior))
+	}
 }
 
 func hashOutcomes(w io.Writer, m map[string]int) {

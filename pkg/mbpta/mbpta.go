@@ -168,6 +168,37 @@ func NewAnalyzer(opts Options) *Analyzer { return core.NewAnalyzer(opts) }
 
 // CheckIID runs the standalone i.i.d. gate (Ljung-Box + two-sample KS)
 // on an execution-time series at significance alpha.
+// Quantile-gate surface: the nine-decile two-sample comparison and
+// timing-leak oracle (see internal/stats).
+type (
+	// QuantileGateOptions configures the nine-decile gate.
+	QuantileGateOptions = stats.QuantileGateOptions
+	// QuantileGateReport is the two-layer per-decile verdict.
+	QuantileGateReport = stats.QuantileGateReport
+	// DecileResult is one decile's comparison result.
+	DecileResult = stats.DecileResult
+	// QuantileEstimate is a Harrell-Davis quantile estimate with CI.
+	QuantileEstimate = stats.QuantileEstimate
+)
+
+// CompareQuantiles runs the two-layer decile comparison of two
+// run-time samples — the timing-leak oracle primitive.
+func CompareQuantiles(a, b []float64, opts QuantileGateOptions) (QuantileGateReport, error) {
+	return stats.CompareQuantiles(a, b, opts)
+}
+
+// CheckQuantileGate compares the ordered halves of one series — the
+// sharper identical-distribution gate.
+func CheckQuantileGate(times []float64, opts QuantileGateOptions) (QuantileGateReport, error) {
+	return stats.CheckQuantileGate(times, opts)
+}
+
+// EstimateQuantile computes a Harrell-Davis quantile estimate with a
+// Maritz-Jarrett standard error and confidence interval.
+func EstimateQuantile(times []float64, q, confidence float64) (QuantileEstimate, error) {
+	return stats.EstimateQuantile(times, q, confidence)
+}
+
 func CheckIID(times []float64, alpha float64) (IIDReport, error) {
 	return stats.CheckIID(times, alpha)
 }

@@ -1,0 +1,74 @@
+package mbpta_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/pkg/mbpta"
+)
+
+// TestCampaignQuantileGateWiring: WithQuantileGate is analysis-only —
+// it must not change what is measured (the series is bit-identical to
+// an ungated campaign), the gate report must appear on the analyzed
+// paths only under the option, and fingerprints must stay
+// deterministic in both configurations. Ungated fingerprints never
+// hash a gate report, so pre-existing pinned goldens remain valid.
+func TestCampaignQuantileGateWiring(t *testing.T) {
+	app := smallApp(t)
+	run := func(gated bool) *mbpta.CampaignReport {
+		opts := []mbpta.CampaignOption{
+			mbpta.WithRuns(400),
+			mbpta.WithBaseSeed(42),
+		}
+		if gated {
+			opts = append(opts, mbpta.WithQuantileGate(0.01))
+		}
+		rep, err := mbpta.Campaign(context.Background(), mbpta.RANDPlatform(), app, opts...)
+		if err != nil {
+			t.Fatalf("campaign (gated=%v): %v", gated, err)
+		}
+		return rep
+	}
+	plain, plain2 := run(false), run(false)
+	gated, gated2 := run(true), run(true)
+
+	// Measurement identity: the option changes analysis, not the runs.
+	pt, gt := plain.Campaign.Times(), gated.Campaign.Times()
+	if len(pt) != len(gt) {
+		t.Fatalf("%d vs %d measured runs", len(pt), len(gt))
+	}
+	for i := range pt {
+		if pt[i] != gt[i] {
+			t.Fatalf("run %d: gated campaign measured %v, ungated %v", i, gt[i], pt[i])
+		}
+	}
+
+	for _, p := range plain.Analysis.Paths {
+		if p.QGate != nil {
+			t.Errorf("path %q carries a QGate report without the option", p.Path)
+		}
+	}
+	found := false
+	for _, p := range gated.Analysis.Paths {
+		if p.QGate == nil {
+			continue // paths below the gate's sample floor record nothing
+		}
+		found = true
+		if !p.QGate.Pass {
+			t.Errorf("path %q: gate failed on a time-randomized i.i.d. campaign:\n%s", p.Path, p.QGate)
+		}
+	}
+	if !found {
+		t.Fatal("no analyzed path carries a quantile-gate report under WithQuantileGate")
+	}
+
+	if f1, f2 := plain.Fingerprint(), plain2.Fingerprint(); f1 != f2 {
+		t.Errorf("ungated fingerprint not deterministic: %s != %s", f1, f2)
+	}
+	if f1, f2 := gated.Fingerprint(), gated2.Fingerprint(); f1 != f2 {
+		t.Errorf("gated fingerprint not deterministic: %s != %s", f1, f2)
+	}
+	if plain.Fingerprint() == gated.Fingerprint() {
+		t.Error("gated fingerprint equals ungated one — the gate report is not part of the hashed surface")
+	}
+}

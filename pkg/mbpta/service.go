@@ -79,6 +79,11 @@ type CampaignSpec struct {
 	// MeasureOnly skips the final per-path analysis (DET campaigns are
 	// expected to fail the i.i.d. gate; collect them measure-only).
 	MeasureOnly bool `json:"measure_only,omitempty"`
+	// QuantileGate additionally runs the nine-decile identical-
+	// distribution gate; QuantileAlpha is its family-wise
+	// false-positive budget (0 = the default 0.01).
+	QuantileGate  bool    `json:"quantile_gate,omitempty"`
+	QuantileAlpha float64 `json:"quantile_alpha,omitempty"`
 }
 
 // CampaignStatus is the wire form of a campaign's state
@@ -108,6 +113,11 @@ type ServiceReport struct {
 	// GatePass is the final i.i.d. gate verdict (absent under
 	// MeasureOnly or when the analysis never completed).
 	GatePass *bool `json:"gate_pass,omitempty"`
+	// QGatePass and QGateLeakP report the nine-decile gate's verdict
+	// and posterior leak probability (absent unless the campaign ran
+	// with QuantileGate).
+	QGatePass  *bool    `json:"qgate_pass,omitempty"`
+	QGateLeakP *float64 `json:"qgate_leak_p,omitempty"`
 	// PWCET maps exceedance probabilities (formatted "1e-12") to pWCET
 	// bounds in cycles at the standard cutoffs, when analyzed.
 	PWCET map[string]float64 `json:"pwcet,omitempty"`
