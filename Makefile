@@ -3,7 +3,7 @@
 GO ?= go
 STATICCHECK := $(shell command -v staticcheck 2>/dev/null)
 
-.PHONY: test check staticcheck bench bench-all experiments race cover fuzz resume-check service-check matrix-check leak-check clean
+.PHONY: test check staticcheck bench bench-all experiments race cover fuzz resume-check service-check matrix-check leak-check performability-check clean
 
 test:
 	$(GO) test ./...
@@ -17,6 +17,7 @@ check: staticcheck
 	$(MAKE) resume-check
 	$(MAKE) matrix-check
 	$(MAKE) leak-check
+	$(MAKE) performability-check
 
 # Service-layer gate: the campaign fabric's bit-identity proofs
 # (single-process == N-executor fabric, including a killed-and-
@@ -48,6 +49,14 @@ matrix-check:
 leak-check:
 	$(GO) run ./examples/leak_check
 
+# Performability gate: mitigation-off fault campaigns must fingerprint
+# bit-identically to plain rate-only campaigns (the mitigation layer is
+# invisible until switched on), and a pinned-seed sweep must price the
+# schemes in order — lockstep pWCET > ECC pWCET > unmitigated clean
+# bound (exits non-zero on any violation).
+performability-check:
+	$(GO) run ./examples/performability_check
+
 # staticcheck is optional tooling: run it when present, skip with a
 # notice otherwise (the sandbox image carries only the go toolchain).
 staticcheck:
@@ -59,13 +68,16 @@ endif
 
 # The platform package includes telemetry-enabled parallel campaigns
 # (TestStreamTelemetryHarvest), so the harvest path is race-checked too.
+# internal/faults covers the fault and mitigation campaign paths, and
+# the pkg/mbpta line adds the parallel mitigated campaigns on top of
+# the telemetry and fingerprint suites.
 # The repo-root Multicore goldens run under race as well: board reuse
 # keeps arbiter state alive across runs, so cross-run sharing bugs only
 # show up when the reused board's goroutine mode is race-checked.
 race:
 	$(GO) test -race ./internal/platform/ ./internal/rng/ ./internal/faults/ ./internal/telemetry/
 	$(GO) test -race ./internal/fabric/ ./internal/pwcetd/
-	$(GO) test -race -run 'Telemetry|Fingerprint' ./pkg/mbpta/
+	$(GO) test -race -run 'Telemetry|Fingerprint|Mitigat' ./pkg/mbpta/
 	$(GO) test -race -run 'TestMulticoreGolden' .
 
 # Perf-regression snapshot: runs the simulator throughput benchmarks
@@ -100,9 +112,10 @@ cover:
 
 # Native fuzzing, 30s per target: the ISA interpreter against arbitrary
 # instruction streams, the telemetry event codec in both directions, the
-# campaign-journal (WAL) codec and recovery scan, and the quantile
+# campaign-journal (WAL) codec and recovery scan, the quantile
 # estimator and nine-decile gate against adversarial samples (NaN/Inf,
-# ties, denormals, tiny n). Seed corpora live under the packages'
+# ties, denormals, tiny n), and the hazard sampler against arbitrary
+# profile parameters. Seed corpora live under the packages'
 # testdata/fuzz/ directories.
 fuzz:
 	$(GO) test ./internal/isa/ -run '^$$' -fuzz '^FuzzInterpreter$$' -fuzztime 30s
@@ -113,6 +126,7 @@ fuzz:
 	$(GO) test ./internal/wal/ -run '^$$' -fuzz '^FuzzDecodePayloads$$' -fuzztime 30s
 	$(GO) test ./internal/stats/ -run '^$$' -fuzz '^FuzzEstimateQuantile$$' -fuzztime 30s
 	$(GO) test ./internal/stats/ -run '^$$' -fuzz '^FuzzCompareQuantiles$$' -fuzztime 30s
+	$(GO) test ./internal/faults/ -run '^$$' -fuzz '^FuzzHazard$$' -fuzztime 30s
 
 clean:
 	$(GO) clean -testcache

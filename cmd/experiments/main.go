@@ -44,12 +44,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	c := cliflags.AddCampaign(fs)
 	var (
-		exp     = fs.String("exp", "all", "experiment to run: all, e1..e10 (e8: multicore contention; e9: workload generality; e10: timing-leak oracle)")
+		exp     = fs.String("exp", "all", "experiment to run: all, e1..e11 (e8: multicore contention; e9: workload generality; e10: timing-leak oracle; e11: performability sweep)")
 		frames  = fs.Int("frames", 0, "TVCA minor frames per run (0 = default)")
 		layouts = fs.Int("layouts", 12, "link-time layouts for e7")
 		e8runs  = fs.Int("e8-runs", 500, "runs per co-runner configuration for e8 (co-simulation)")
 		e9runs  = fs.Int("e9-runs", 600, "runs per kernel for e9 (workload generality)")
 		e10runs = fs.Int("e10-runs", 400, "runs per secret variant for e10 (timing-leak oracle)")
+		e11runs = fs.Int("e11-runs", 600, "runs per mitigation x hazard cell for e11 (performability sweep)")
 		csvDir  = fs.String("csv-dir", "", "directory to export figure data as CSV (optional)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -199,6 +200,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 			experiments.RenderLeak(stdout, r)
 			return nil
 		}},
+		{"e11", func() error {
+			pp := experiments.PerformabilityParams{
+				Runs:     *e11runs,
+				Seed:     p.Seed,
+				Parallel: p.Parallel,
+			}
+			if p.FaultRate > 0 {
+				pp.Rate = p.FaultRate
+			}
+			r, err := experiments.RunPerformability(context.Background(), pp)
+			if err != nil {
+				return err
+			}
+			experiments.RenderE11(stdout, r)
+			return nil
+		}},
 	}
 	for _, s := range steps {
 		if err := run(s.id, s.f); err != nil {
@@ -208,14 +225,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if !ran {
-		fmt.Fprintf(stderr, "experiments: unknown experiment %q (want all or e1..e10)\n", *exp)
+		fmt.Fprintf(stderr, "experiments: unknown experiment %q (want all or e1..e11)\n", *exp)
 		return exitError
 	}
 	if fsum := env.FaultSummary(); fsum != nil {
 		fmt.Fprintln(stdout)
 		report.OutcomeTable(stdout,
 			fmt.Sprintf("fault injection (rate %g upsets/run): run outcomes", p.FaultRate),
-			fsum.Clean, fsum.ByOutcome, faults.Outcomes())
+			fsum.Clean, fsum.ByOutcome, faults.Outcomes(), report.OutcomeExtras{
+				Mitigated:      fsum.Mitigated,
+				MitigatedOrder: faults.MitigatedOutcomes(),
+				ClampedRuns:    fsum.ClampedRuns,
+			})
 		fmt.Fprintf(stdout, "  %d upsets injected; quarantined runs never enter the analysis\n", fsum.Injected)
 	}
 	if ci := env.RANDConvergence(); ci != nil {

@@ -31,6 +31,7 @@ import (
 	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/evt"
+	"repro/internal/platform"
 	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
@@ -203,8 +204,11 @@ func journalTrace(path string) (*trace.Set, error) {
 	}
 	set := &trace.Set{Platform: rec.Meta.Platform, Workload: rec.Meta.Workload}
 	for _, r := range rec.Runs {
-		if r.Outcome != "" {
-			continue // quarantined by fault injection; never analyzed
+		if r.Outcome != "" && !platform.MitigatedOutcome(r.Outcome) {
+			// Quarantined by fault injection; never analyzed. Mitigated
+			// outcomes (corrected/scrubbed/voted) stay: a recovered run is
+			// analysis-clean, its overhead already in the cycle count.
+			continue
 		}
 		set.Samples = append(set.Samples, trace.Sample{Run: r.Run, Cycles: r.Cycles, Path: r.Path})
 	}

@@ -10,6 +10,8 @@
 //
 //	curl -X POST localhost:8227/api/v1/campaigns \
 //	  -d '{"workload":{"kind":"tvca"},"runs":3000,"base_seed":42}'
+//	curl -X POST localhost:8227/api/v1/campaigns \
+//	  -d '{"workload":{"kind":"tvca"},"fault_rate":0.5,"mitigation":"ecc","hazard":"weibull"}'
 //	curl localhost:8227/api/v1/campaigns/c000001
 //	curl 'localhost:8227/api/v1/campaigns/c000001/pwcet?q=1e-12'
 //

@@ -116,7 +116,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout)
 		report.OutcomeTable(stdout,
 			fmt.Sprintf("fault injection (rate %g upsets/run): run outcomes", p.FaultRate),
-			fsum.Clean, fsum.ByOutcome, faults.Outcomes())
+			fsum.Clean, fsum.ByOutcome, faults.Outcomes(), report.OutcomeExtras{
+				Mitigated:      fsum.Mitigated,
+				MitigatedOrder: faults.MitigatedOutcomes(),
+				ClampedRuns:    fsum.ClampedRuns,
+			})
 		fmt.Fprintf(stdout, "  %d upsets injected; quarantined runs never enter the analysis\n", fsum.Injected)
 	}
 	if ci := env.RANDConvergence(); ci != nil {

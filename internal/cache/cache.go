@@ -429,6 +429,17 @@ func (c *Cache) InjectStateFault(set, way int) {
 	c.mruOff = true
 }
 
+// Scrub invalidates the line at (set, way) — the scrubbing engine's
+// repair action for a cell flagged by a parity/ECC sweep. Invalidation
+// is always architecturally safe for a transparent cache (the worst
+// case is a future miss), so scrubbing converts a potentially aliased
+// upset into a bounded timing effect. Idempotent; coordinates are
+// reduced modulo the geometry like the fault injectors'.
+func (c *Cache) Scrub(set, way int) {
+	c.faultLine(set, way).valid = false
+	c.mruOff = true
+}
+
 func (c *Cache) faultLine(set, way int) *line {
 	if set < 0 {
 		set = -set

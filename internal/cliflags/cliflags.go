@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/profiling"
 	"repro/internal/telemetry"
 )
@@ -45,6 +46,8 @@ type Campaign struct {
 	Converge      bool
 	Faults        bool
 	FaultRate     float64
+	Mitigation    string
+	Hazard        string
 	Journal       string
 	Resume        bool
 	QuantileGate  bool
@@ -52,6 +55,11 @@ type Campaign struct {
 	TelemetryAddr string
 	CPUProfile    string
 	MemProfile    string
+
+	// mitigation/hazard are the parsed forms of the string flags,
+	// populated by Validate.
+	mitigation faults.Mitigation
+	hazard     faults.Hazard
 }
 
 // AddCampaign declares the shared campaign flags on fs and returns the
@@ -64,6 +72,8 @@ func AddCampaign(fs *flag.FlagSet) *Campaign {
 	fs.BoolVar(&c.Converge, "converge", false, "stream the RAND campaign and stop at pWCET-delta convergence (-runs becomes the budget)")
 	fs.BoolVar(&c.Faults, "faults", false, "inject SEU faults into the RAND campaign (quarantined from the analysis)")
 	fs.Float64Var(&c.FaultRate, "fault-rate", 0.25, "expected upsets per run under -faults (Poisson)")
+	fs.StringVar(&c.Mitigation, "mitigation", "", "fault-mitigation scheme under -faults: none, scrub, ecc or lockstep (recovered runs stay in the analysis, overhead charged as cycles)")
+	fs.StringVar(&c.Hazard, "hazard", "", "upset-rate profile under -faults: constant, weibull or orbit")
 	fs.StringVar(&c.Journal, "journal", "", "journal the RAND campaign to this write-ahead log for crash-safe resume")
 	fs.BoolVar(&c.Resume, "resume", false, "resume the RAND campaign from the -journal file instead of starting fresh")
 	fs.BoolVar(&c.QuantileGate, "quantile-gate", false, "additionally screen the i.i.d. gate's samples with the nine-decile identical-distribution gate")
@@ -123,10 +133,26 @@ func AddTelemetryAddr(fs *flag.FlagSet, dst *string) {
 	fs.StringVar(dst, "telemetry-addr", "", "serve live metrics on this address (/metrics Prometheus text, /metrics.json)")
 }
 
-// Validate rejects inconsistent flag combinations.
+// Validate rejects inconsistent flag combinations and parses the
+// mitigation/hazard selectors.
 func (c *Campaign) Validate() error {
 	if c.Resume && c.Journal == "" {
 		return errors.New("-resume requires -journal")
+	}
+	if !c.Faults {
+		if c.Mitigation != "" {
+			return errors.New("-mitigation requires -faults")
+		}
+		if c.Hazard != "" {
+			return errors.New("-hazard requires -faults")
+		}
+	}
+	var err error
+	if c.mitigation, err = faults.ParseMitigation(c.Mitigation); err != nil {
+		return fmt.Errorf("-mitigation: %w", err)
+	}
+	if c.hazard, err = faults.ParseHazard(c.Hazard); err != nil {
+		return fmt.Errorf("-hazard: %w", err)
 	}
 	return nil
 }
@@ -143,6 +169,8 @@ func (c *Campaign) Params() (experiments.Params, *telemetry.Registry) {
 	p.Converge = c.Converge
 	if c.Faults {
 		p.FaultRate = c.FaultRate
+		p.Mitigation = c.mitigation
+		p.Hazard = c.hazard
 	}
 	if c.Seed != 0 {
 		p.Seed = c.Seed

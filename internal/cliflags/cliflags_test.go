@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 )
 
 func TestExitCodeFor(t *testing.T) {
@@ -85,5 +86,43 @@ func TestServeTelemetryDisabled(t *testing.T) {
 	closeFn()
 	if buf.Len() != 0 {
 		t.Errorf("announced an endpoint that was never requested: %s", buf.String())
+	}
+}
+
+func TestMitigationHazardFlags(t *testing.T) {
+	parse := func(args ...string) (*Campaign, error) {
+		fs := flag.NewFlagSet("x", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		c := AddCampaign(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		return c, c.Validate()
+	}
+	// Both flags require -faults.
+	if _, err := parse("-mitigation", "ecc"); err == nil {
+		t.Error("-mitigation without -faults accepted")
+	}
+	if _, err := parse("-hazard", "orbit"); err == nil {
+		t.Error("-hazard without -faults accepted")
+	}
+	// Unknown names are rejected with the flag spelled out.
+	if _, err := parse("-faults", "-mitigation", "tmr"); err == nil {
+		t.Error("unknown mitigation accepted")
+	}
+	if _, err := parse("-faults", "-hazard", "sunspot"); err == nil {
+		t.Error("unknown hazard accepted")
+	}
+	// Valid spellings parse and reach Params.
+	c, err := parse("-faults", "-fault-rate", "0.5", "-mitigation", "lockstep", "-hazard", "weibull")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := c.Params()
+	if p.Mitigation.Kind != faults.MitigationLockstep {
+		t.Errorf("mitigation %+v did not reach Params", p.Mitigation)
+	}
+	if p.Hazard.Kind != faults.HazardWeibull {
+		t.Errorf("hazard %+v did not reach Params", p.Hazard)
 	}
 }

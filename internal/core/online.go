@@ -23,8 +23,15 @@ type Observation struct {
 	// Outcome is empty for a clean measurement. A non-empty outcome
 	// (set by the fault-injection layer) quarantines the observation:
 	// it is tallied in snapshots but never enters the i.i.d. gate or
-	// the tail fit.
+	// the tail fit — unless Mitigated is set.
 	Outcome string
+	// Mitigated marks an outcome-carrying observation that a fault-
+	// mitigation layer recovered (ECC correction, scrub, lockstep vote):
+	// it is tallied under its outcome like a quarantined run but stays
+	// in the analyzed series, because its cycle count — recovery
+	// overhead included — is a legitimate measurement of the protected
+	// platform.
+	Mitigated bool
 }
 
 // Snapshot is the incremental analysis state after one batch of a
@@ -39,7 +46,9 @@ type Snapshot struct {
 	Runs      int
 	TotalRuns int
 	// Quarantined counts the fault-injected runs excluded from the
-	// analysis so far; Outcomes tallies them by class (nil when none).
+	// analysis so far; Outcomes tallies every outcome-carrying run by
+	// class (nil when none), including mitigated runs that stayed in
+	// the analyzed series — so Outcomes totals may exceed Quarantined.
 	Quarantined int
 	Outcomes    map[string]int
 	// BlockSize is the block-maxima block length of the fit; Discarded
@@ -399,12 +408,16 @@ func (o *OnlineAnalyzer) ObserveBatch(obs []Observation) (Snapshot, error) {
 	for _, ob := range obs {
 		o.total++
 		if ob.Outcome != "" {
-			// Quarantined: tally it, keep it out of the analysis.
+			// Tally the outcome; quarantine unless a mitigation layer
+			// recovered the run (then its overhead-laden timing is a
+			// legitimate measurement and stays in the series).
 			if o.outcomes == nil {
 				o.outcomes = make(map[string]int)
 			}
 			o.outcomes[ob.Outcome]++
-			continue
+			if !ob.Mitigated {
+				continue
+			}
 		}
 		o.times = append(o.times, ob.Cycles)
 		o.byPath[ob.Path] = append(o.byPath[ob.Path], ob.Cycles)

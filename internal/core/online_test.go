@@ -288,3 +288,35 @@ func TestSnapshotCurveAndPWCETAt(t *testing.T) {
 		t.Error("unfitted snapshot produced a curve")
 	}
 }
+
+func TestObserveBatchKeepsMitigatedRuns(t *testing.T) {
+	o := NewOnlineAnalyzer(Options{}, FixedRuns(1000))
+	times := synthSeries(100, 9)
+	obs := make([]Observation, len(times))
+	for i, v := range times {
+		obs[i] = Observation{Cycles: v}
+	}
+	// 10 runs recovered by a mitigation layer, 5 quarantined.
+	for i := 0; i < 10; i++ {
+		obs[i].Outcome, obs[i].Mitigated = "corrected", true
+	}
+	for i := 10; i < 15; i++ {
+		obs[i].Outcome = "wrong-output"
+	}
+	s, err := o.ObserveBatch(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalRuns != 100 {
+		t.Fatalf("TotalRuns = %d", s.TotalRuns)
+	}
+	// Mitigated runs stay in the analyzed series; only the quarantined
+	// five leave it.
+	if s.Runs != 95 || s.Quarantined != 5 {
+		t.Errorf("Runs = %d, Quarantined = %d; want 95 and 5", s.Runs, s.Quarantined)
+	}
+	// Both flavors are tallied by outcome class.
+	if s.Outcomes["corrected"] != 10 || s.Outcomes["wrong-output"] != 5 {
+		t.Errorf("Outcomes = %v", s.Outcomes)
+	}
+}

@@ -52,6 +52,14 @@ type Params struct {
 	// industrial baseline, not an MBPTA input. FaultSummary reports the
 	// outcome tally after the campaign has run.
 	FaultRate float64
+	// Mitigation layers a fault-mitigation scheme (scrub, ECC,
+	// lockstep) over the injector when FaultRate is positive: recovered
+	// runs stay in the analyzed series with their recovery overhead
+	// charged as cycles. The zero value keeps plain quarantine.
+	Mitigation faults.Mitigation
+	// Hazard selects the time-varying upset-rate profile when FaultRate
+	// is positive (zero value: constant).
+	Hazard faults.Hazard
 	// Telemetry, when non-nil, attaches the observability layer to the
 	// RAND campaign: simulator and campaign instruments are harvested
 	// at batch barriers, the i.i.d. gate publishes its p-values, and
@@ -88,6 +96,9 @@ type Env struct {
 	det       *platform.CampaignResult
 	randConv  *ConvergeInfo
 	randFault *faults.Summary
+	// randInj is the RAND campaign's injector while one is attached —
+	// the only holder of the clamped-draw tally.
+	randInj *faults.Injector
 }
 
 // ConvergeInfo summarizes an early-stopped RAND campaign.
@@ -234,10 +245,16 @@ func (e *Env) randStreamOptions() (platform.StreamOptions, error) {
 		Telemetry: e.P.Telemetry,
 	}
 	if e.P.FaultRate > 0 {
-		inj, err := faults.New(faults.Config{Rate: e.P.FaultRate, Telemetry: e.P.Telemetry})
+		inj, err := faults.New(faults.Config{
+			Rate:       e.P.FaultRate,
+			Mitigation: e.P.Mitigation,
+			Hazard:     e.P.Hazard,
+			Telemetry:  e.P.Telemetry,
+		})
 		if err != nil {
 			return so, err
 		}
+		e.randInj = inj
 		so.Runner = inj.Runner()
 	}
 	return so, nil
@@ -248,6 +265,9 @@ func (e *Env) setRAND(c *platform.CampaignResult) {
 	e.rand = c
 	if e.P.FaultRate > 0 {
 		s := faults.Summarize(c.Results)
+		if e.randInj != nil {
+			s.ClampedRuns = e.randInj.ClampedRuns()
+		}
 		e.randFault = &s
 	}
 }
@@ -290,7 +310,12 @@ func (e *Env) randConverged() (*platform.CampaignResult, error) {
 	sink := func(b platform.Batch) (bool, error) {
 		obs := make([]core.Observation, len(b.Results))
 		for i, r := range b.Results {
-			obs[i] = core.Observation{Cycles: float64(r.Cycles), Path: r.Path, Outcome: r.Outcome}
+			obs[i] = core.Observation{
+				Cycles:    float64(r.Cycles),
+				Path:      r.Path,
+				Outcome:   r.Outcome,
+				Mitigated: platform.MitigatedOutcome(r.Outcome),
+			}
 		}
 		snap, err := online.ObserveBatch(obs)
 		if err != nil {

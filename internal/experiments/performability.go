@@ -1,0 +1,208 @@
+// E11, the performability sweep: run the TVCA workload on the
+// time-randomized platform under a fixed SEU rate while sweeping the
+// mitigation scheme (none, scrub, ECC, lockstep) against the hazard
+// profile (constant, Weibull wear-out, orbit-phase), and report the
+// pWCET bound next to the dependability outcome mix for every cell.
+// Mitigation buys dependability — recovered runs stay in the analyzed
+// series instead of being quarantined — and pays for it in cycles, so
+// the bound and the wrong-output/hung rates move in opposite
+// directions: that tradeoff, read across one table, is performability.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/faults"
+	"repro/pkg/mbpta"
+)
+
+// PerformabilityParams configures the E11 sweep.
+type PerformabilityParams struct {
+	// Runs per cell; 0 selects 600.
+	Runs int
+	// Seed is every cell's campaign base seed (0 = 20170327): all cells
+	// share one fault schedule per hazard, so the mitigation axis is the
+	// only thing that varies within a hazard row.
+	Seed uint64
+	// Parallel campaign workers (0 = the engine default).
+	Parallel int
+	// Rate is the expected upsets per run (Poisson mean; 0 = 0.8).
+	Rate float64
+	// Quantile is the exceedance probability the bound is read at
+	// (0 = 1e-12).
+	Quantile float64
+	// Frames sizes the TVCA workload (0 = 8; must be a multiple of 4).
+	Frames int
+	// Mitigations and Hazards override the swept axes; nil selects the
+	// full grid (the four mitigation kinds, the three hazard profiles).
+	Mitigations []faults.Mitigation
+	Hazards     []faults.Hazard
+}
+
+func (p PerformabilityParams) withDefaults() PerformabilityParams {
+	if p.Runs == 0 {
+		p.Runs = 600
+	}
+	if p.Seed == 0 {
+		p.Seed = 20170327
+	}
+	if p.Rate == 0 {
+		p.Rate = 0.8
+	}
+	if p.Quantile == 0 {
+		p.Quantile = 1e-12
+	}
+	if p.Frames == 0 {
+		p.Frames = 8
+	}
+	if p.Mitigations == nil {
+		p.Mitigations = []faults.Mitigation{
+			{},
+			{Kind: faults.MitigationScrub},
+			{Kind: faults.MitigationECC},
+			{Kind: faults.MitigationLockstep},
+		}
+	}
+	if p.Hazards == nil {
+		p.Hazards = []faults.Hazard{
+			{Kind: faults.HazardConstant},
+			{Kind: faults.HazardWeibull},
+			{Kind: faults.HazardOrbit},
+		}
+	}
+	return p
+}
+
+// PerformabilityCell is one (mitigation, hazard) campaign's verdict.
+type PerformabilityCell struct {
+	Mitigation faults.Mitigation
+	Hazard     faults.Hazard
+	// Bound is pWCET(Quantile) when Fitted, else the clean-run
+	// high-water mark — the same fallback the scenario matrix uses when
+	// a cell has no tail fit.
+	Bound  float64
+	Fitted bool
+	// Faults is the campaign's outcome tally: clean, mitigated (by
+	// class), quarantined (by class), and the fault-cap clamp count.
+	Faults faults.Summary
+	// Fingerprint is the campaign report's canonical digest; the
+	// unmitigated constant-hazard cell must match a plain
+	// rate-only fault campaign bit for bit.
+	Fingerprint string
+	// Advisory records a non-fatal analysis verdict (i.i.d. gate
+	// rejection, non-convergence); the cell keeps its measurement.
+	Advisory string
+}
+
+// Label names the cell the way the scenario matrix would:
+// mitigation@hazard.
+func (c PerformabilityCell) Label() string {
+	return c.Mitigation.String() + "@" + c.Hazard.String()
+}
+
+// WrongOutputRate and HungRate are the cell's residual failure rates —
+// the dependability side of the performability tradeoff.
+func (c PerformabilityCell) WrongOutputRate() float64 {
+	return c.outcomeRate(faults.OutcomeWrongOutput)
+}
+func (c PerformabilityCell) HungRate() float64 { return c.outcomeRate(faults.OutcomeHung) }
+
+func (c PerformabilityCell) outcomeRate(o string) float64 {
+	if c.Faults.Total == 0 {
+		return 0
+	}
+	return float64(c.Faults.ByOutcome[o]) / float64(c.Faults.Total)
+}
+
+// E11Result is the finished sweep, cells in hazard-major order.
+type E11Result struct {
+	Params PerformabilityParams
+	Cells  []PerformabilityCell
+}
+
+// CellAt returns the cell for (mitigation kind, hazard kind), or nil.
+// Zero-value kinds are canonicalized: "" matches "none" and "constant"
+// respectively, so the default axes resolve under either spelling.
+func (r *E11Result) CellAt(m faults.MitigationKind, h faults.HazardKind) *PerformabilityCell {
+	canonM := func(k faults.MitigationKind) faults.MitigationKind {
+		if k == "" {
+			return faults.MitigationNone
+		}
+		return k
+	}
+	canonH := func(k faults.HazardKind) faults.HazardKind {
+		if k == "" {
+			return faults.HazardConstant
+		}
+		return k
+	}
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if canonM(c.Mitigation.Kind) == canonM(m) && canonH(c.Hazard.Kind) == canonH(h) {
+			return c
+		}
+	}
+	return nil
+}
+
+// RunPerformability executes the E11 sweep: one faulted RAND campaign
+// per (mitigation, hazard) cell, every cell sharing the run budget,
+// base seed, and upset rate. Analysis verdicts (gate rejection,
+// non-convergence) are advisory — the cell falls back to its clean-run
+// high-water mark — while measurement failures abort the sweep.
+func RunPerformability(ctx context.Context, p PerformabilityParams) (*E11Result, error) {
+	p = p.withDefaults()
+	cfg := mbpta.DefaultTVCAConfig()
+	cfg.Frames = p.Frames
+	app, err := mbpta.NewTVCA(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &E11Result{Params: p}
+	for _, hz := range p.Hazards {
+		for _, mi := range p.Mitigations {
+			cell, err := runPerformabilityCell(ctx, app, p, mi, hz)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: performability %s@%s: %w", mi, hz, err)
+			}
+			out.Cells = append(out.Cells, cell)
+		}
+	}
+	return out, nil
+}
+
+func runPerformabilityCell(ctx context.Context, app mbpta.Workload, p PerformabilityParams, mi faults.Mitigation, hz faults.Hazard) (PerformabilityCell, error) {
+	cell := PerformabilityCell{Mitigation: mi, Hazard: hz}
+	opts := []mbpta.CampaignOption{
+		mbpta.WithRuns(p.Runs),
+		mbpta.WithBaseSeed(p.Seed),
+		mbpta.WithFaultInjection(mbpta.FaultConfig{Rate: p.Rate, Mitigation: mi, Hazard: hz}),
+	}
+	if p.Parallel > 0 {
+		opts = append(opts, mbpta.WithParallelism(p.Parallel))
+	}
+	rep, err := mbpta.Campaign(ctx, mbpta.RANDPlatform(), app, opts...)
+	if err != nil {
+		if rep == nil {
+			return cell, err
+		}
+		cell.Advisory = err.Error()
+	}
+	cell.Fingerprint = rep.Fingerprint()
+	cell.Faults = rep.Faults
+	if rep.Analysis != nil {
+		if b, perr := rep.Analysis.PWCET(p.Quantile); perr == nil && !math.IsNaN(b) && !math.IsInf(b, 0) {
+			cell.Bound, cell.Fitted = b, true
+		}
+	}
+	if !cell.Fitted {
+		for _, r := range rep.Campaign.Results {
+			if !r.Quarantined() && float64(r.Cycles) > cell.Bound {
+				cell.Bound = float64(r.Cycles)
+			}
+		}
+	}
+	return cell, nil
+}

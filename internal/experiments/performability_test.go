@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// e11Params keeps the sweep small: two mitigation schemes against two
+// hazard profiles at 60 runs per cell.
+func e11Params() PerformabilityParams {
+	return PerformabilityParams{
+		Runs: 60,
+		Rate: 1.5,
+		Mitigations: []faults.Mitigation{
+			{},
+			{Kind: faults.MitigationECC},
+		},
+		Hazards: []faults.Hazard{
+			{Kind: faults.HazardConstant},
+			{Kind: faults.HazardOrbit},
+		},
+	}
+}
+
+func TestE11SweepShape(t *testing.T) {
+	r, err := RunPerformability(context.Background(), e11Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cells) != 4 {
+		t.Fatalf("%d cells, want 2x2 = 4", len(r.Cells))
+	}
+	seen := map[string]bool{}
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.Bound <= 0 {
+			t.Errorf("%s: bound %g", c.Label(), c.Bound)
+		}
+		if c.Fingerprint == "" {
+			t.Errorf("%s: empty fingerprint", c.Label())
+		}
+		if c.Faults.Total != 60 {
+			t.Errorf("%s: %d runs tallied, want 60", c.Label(), c.Faults.Total)
+		}
+		if seen[c.Label()] {
+			t.Errorf("duplicate cell label %s", c.Label())
+		}
+		seen[c.Label()] = true
+	}
+	for _, want := range []string{"none@constant", "ecc@constant", "none@orbit", "ecc@orbit"} {
+		if !seen[want] {
+			t.Errorf("missing cell %s (have %v)", want, seen)
+		}
+	}
+	// CellAt resolves under both the zero-value and the canonical kind.
+	if r.CellAt(faults.MitigationNone, faults.HazardConstant) == nil {
+		t.Error("CellAt(none, constant) = nil for a zero-value cell")
+	}
+	if r.CellAt("", "") != r.CellAt(faults.MitigationNone, faults.HazardConstant) {
+		t.Error("CellAt zero-value spelling disagrees with canonical spelling")
+	}
+	// ECC recovers array upsets the unmitigated cell quarantines, so
+	// within each hazard row its analyzed population is strictly larger.
+	for _, hz := range []faults.HazardKind{faults.HazardConstant, faults.HazardOrbit} {
+		none, ecc := r.CellAt(faults.MitigationNone, hz), r.CellAt(faults.MitigationECC, hz)
+		if ecc.Faults.MitigatedTotal() == 0 {
+			t.Errorf("%s: ECC mitigated nothing at rate 1.5", ecc.Label())
+		}
+		if ecc.Faults.Clean <= none.Faults.Clean {
+			t.Errorf("%s: ECC clean %d not above unmitigated clean %d",
+				ecc.Label(), ecc.Faults.Clean, none.Faults.Clean)
+		}
+	}
+}
+
+func TestRenderE11(t *testing.T) {
+	r, err := RunPerformability(context.Background(), e11Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	RenderE11(&sb, r)
+	out := sb.String()
+	for _, want := range []string{
+		"E11", "pWCET@1e-12", "none@constant", "ecc@orbit", "wrong-output", "hung",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

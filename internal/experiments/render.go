@@ -215,6 +215,44 @@ func RenderDistributions(w io.Writer, e *Env, bins int) error {
 		40, joint.Lo, joint.Width, count(randc.Times()))
 }
 
+// RenderE11 prints the performability sweep: one row per
+// mitigation×hazard cell, the pWCET bound next to the residual failure
+// rates, followed by the campaign provenance line.
+func RenderE11(w io.Writer, r *E11Result) {
+	fmt.Fprintf(w, "E11 - performability sweep: %d runs/cell, Poisson(%.2g) upsets, seed %d\n\n",
+		r.Params.Runs, r.Params.Rate, r.Params.Seed)
+	rows := make([]report.PerformabilityRow, len(r.Cells))
+	clamped := 0
+	for i, c := range r.Cells {
+		rows[i] = report.PerformabilityRow{
+			Label:       c.Label(),
+			Bound:       c.Bound,
+			Fitted:      c.Fitted,
+			Clean:       c.Faults.Clean,
+			Mitigated:   c.Faults.MitigatedTotal(),
+			Quarantined: c.Faults.Quarantined(),
+			WrongOutput: c.WrongOutputRate(),
+			Hung:        c.HungRate(),
+		}
+		clamped += c.Faults.ClampedRuns
+	}
+	report.PerformabilityTable(w,
+		"mitigation cost vs dependability (recovery priced in cycles; failures shrink)",
+		r.Params.Quantile, rows)
+	if clamped > 0 {
+		fmt.Fprintf(w, "\n%d fault schedules clamped at the per-run cap across the sweep\n", clamped)
+	}
+	advisories := 0
+	for _, c := range r.Cells {
+		if c.Advisory != "" {
+			advisories++
+		}
+	}
+	if advisories > 0 {
+		fmt.Fprintf(w, "\n%d cells carry an advisory analysis verdict and report their clean-run HWM\n", advisories)
+	}
+}
+
 // RenderLeak prints the leak oracle's verdict: one decile table per
 // platform and the comparative summary line.
 func RenderLeak(w io.Writer, c *LeakComparison) {

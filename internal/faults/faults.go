@@ -36,6 +36,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/cpu"
 	"repro/internal/isa"
@@ -92,7 +93,19 @@ type Config struct {
 	// 0 disables injection (every run is clean and bit-identical to a
 	// campaign without the injector).
 	Rate float64
-	// Targets restricts the arrays subject to upsets (nil = all).
+	// Hazard modulates Rate over the campaign's run index (wear-out,
+	// orbit phase). The zero value is the constant profile, bit-identical
+	// to a hazard-free config.
+	Hazard Hazard
+	// Mitigation layers a fault-mitigation scheme (scrubbing, ECC,
+	// lockstep) over the injector; mitigated runs stay in the analyzed
+	// series with their recovery overhead charged as cycles. The zero
+	// value disables mitigation, bit-identical to today's quarantine
+	// behavior.
+	Mitigation Mitigation
+	// Targets restricts the arrays subject to upsets (nil = all);
+	// duplicates are rejected (a repeated target would double-weight
+	// that array in the upset-location draw).
 	Targets []Target
 	// WatchdogFactor declares a faulted run hung once it retires Factor
 	// times the fault-free instruction count without halting (default 8,
@@ -130,12 +143,23 @@ type Injector struct {
 	// upsets holds the pre-resolved per-target telemetry counters (nil
 	// Counter values are no-ops when telemetry is disabled).
 	upsets map[Target]*telemetry.Counter
+	// clamped counts runs whose Poisson draw hit maxFaultsPerRun and had
+	// its fault schedule truncated (faults_clamped_runs_total).
+	clamped     *telemetry.Counter
+	clampedRuns atomic.Int64
 }
 
 // New validates cfg and returns an injector.
 func New(cfg Config) (*Injector, error) {
 	if cfg.Rate < 0 || math.IsNaN(cfg.Rate) || math.IsInf(cfg.Rate, 0) {
 		return nil, fmt.Errorf("faults: rate %g must be finite and >= 0", cfg.Rate)
+	}
+	var err error
+	if cfg.Hazard, err = cfg.Hazard.normalize(); err != nil {
+		return nil, err
+	}
+	if cfg.Mitigation, err = cfg.Mitigation.normalize(); err != nil {
+		return nil, err
 	}
 	if cfg.WatchdogFactor == 0 {
 		cfg.WatchdogFactor = 8
@@ -154,20 +178,37 @@ func New(cfg Config) (*Injector, error) {
 	for _, t := range AllTargets() {
 		known[t] = true
 	}
+	seen := make(map[Target]bool, len(targets))
 	for _, t := range targets {
 		if !known[t] {
 			return nil, fmt.Errorf("faults: unknown target %q", t)
 		}
+		if seen[t] {
+			return nil, fmt.Errorf("faults: duplicate target %q (a repeated target double-weights that array in the upset-location draw)", t)
+		}
+		seen[t] = true
 	}
 	upsets := make(map[Target]*telemetry.Counter, len(targets))
 	for _, t := range targets {
 		upsets[t] = cfg.Telemetry.Counter("faults_upsets_" + telemetry.SanitizeName(string(t)) + "_total")
 	}
-	return &Injector{cfg: cfg, targets: targets, upsets: upsets}, nil
+	return &Injector{
+		cfg:     cfg,
+		targets: targets,
+		upsets:  upsets,
+		clamped: cfg.Telemetry.Counter("faults_clamped_runs_total"),
+	}, nil
 }
 
 // Rate returns the configured expected upsets per run.
 func (in *Injector) Rate() float64 { return in.cfg.Rate }
+
+// ClampedRuns returns how many runs so far had their Poisson draw hit
+// the maxFaultsPerRun cap (fault schedule truncated). Zero under any
+// sane rate; a nonzero count means the configured rate is beyond what
+// the injector faithfully models and is surfaced in the campaign
+// report rather than silently swallowed.
+func (in *Injector) ClampedRuns() int { return int(in.clampedRuns.Load()) }
 
 // Runner adapts the injector to StreamCampaign's per-run hook.
 func (in *Injector) Runner() platform.RunFunc { return in.Execute }
@@ -180,16 +221,32 @@ func (in *Injector) Runner() platform.RunFunc { return in.Execute }
 // return a nil error so the campaign proceeds without retrying them.
 func (in *Injector) Execute(ctx context.Context, p *platform.Platform, w platform.Workload, run int, seed uint64) (platform.RunResult, error) {
 	src := rng.NewSplitMix64(seed ^ in.cfg.Salt)
-	n := poisson(src, in.cfg.Rate)
+	n, clamped := poisson(src, in.cfg.Hazard.RateAt(in.cfg.Rate, run))
+	if clamped {
+		in.clampedRuns.Add(1)
+		in.clamped.Inc()
+	}
 	if n == 0 {
-		return p.RunCtx(ctx, w, run, seed)
+		res, err := p.RunCtx(ctx, w, run, seed)
+		if err != nil || !in.cfg.Mitigation.Enabled() {
+			return res, err
+		}
+		return in.cleanOverhead(res), nil
 	}
 	base, err := p.RunCtx(ctx, w, run, seed)
 	if err != nil {
 		return base, err
 	}
 	plan := in.plan(src, n, base.Instructions, p.Core())
-	return in.faultedRun(ctx, p, w, run, seed, base, plan)
+	switch in.cfg.Mitigation.Kind {
+	case MitigationScrub:
+		return in.scrubRun(ctx, p, w, run, seed, base, plan)
+	case MitigationECC:
+		return in.eccRun(ctx, p, w, run, seed, base, plan)
+	case MitigationLockstep:
+		return in.lockstepRun(ctx, p, w, run, seed, base, plan)
+	}
+	return in.faultedRun(ctx, p, w, run, seed, base, plan, nil)
 }
 
 // Fault is one scheduled upset: after the Step-th retired instruction,
@@ -246,8 +303,9 @@ func (in *Injector) plan(src rng.Source, n int, instr uint64, c *cpu.Core) []Fau
 }
 
 // faultedRun re-executes run with plan applied and classifies it
-// against the clean baseline.
-func (in *Injector) faultedRun(ctx context.Context, p *platform.Platform, w platform.Workload, run int, seed uint64, base platform.RunResult, plan []Fault) (platform.RunResult, error) {
+// against the clean baseline. A non-nil scrub reverts array upsets at
+// its periodic boundaries (see scrubRun).
+func (in *Injector) faultedRun(ctx context.Context, p *platform.Platform, w platform.Workload, run int, seed uint64, base platform.RunResult, plan []Fault, scrub *scrubber) (platform.RunResult, error) {
 	m, err := w.Prepare(run)
 	if err != nil {
 		return platform.RunResult{}, fmt.Errorf("faults: prepare faulted run %d: %w", run, err)
@@ -268,8 +326,14 @@ func (in *Injector) faultedRun(ctx context.Context, p *platform.Platform, w plat
 		c.Consume(ev)
 		for idx < len(plan) && plan[idx].Step <= m.Steps() {
 			in.apply(plan[idx], m, c)
+			if scrub != nil {
+				scrub.note(plan[idx])
+			}
 			idx++
 			injected++
+		}
+		if scrub != nil {
+			scrub.tick(m.Steps(), c)
 		}
 	}
 	_, runErr := m.Run(sink)
@@ -341,42 +405,59 @@ func (in *Injector) apply(f Fault, m *isa.Machine, c *cpu.Core) {
 
 // poisson draws Poisson(lambda) by Knuth's product method —
 // deterministic in src, exact for the small rates injection uses.
-func poisson(src rng.Source, lambda float64) int {
+// clamped reports that the draw hit maxFaultsPerRun and the schedule
+// was truncated; callers surface it instead of silently dropping it.
+func poisson(src rng.Source, lambda float64) (k int, clamped bool) {
 	if lambda <= 0 || math.IsNaN(lambda) {
-		return 0
+		return 0, false
 	}
 	l := math.Exp(-lambda)
-	k := 0
 	p := rng.Float64(src)
 	for p > l {
 		k++
 		if k >= maxFaultsPerRun {
-			break
+			return k, true
 		}
 		p *= rng.Float64(src)
 	}
-	return k
+	return k, false
 }
 
 // Summary tallies a campaign's run outcomes.
 type Summary struct {
-	// Total counts every executed run; Clean those kept for analysis.
+	// Total counts every executed run; Clean those kept for analysis
+	// (including mitigated runs — their overhead-laden timings are part
+	// of the measurement series by design).
 	Total int
 	Clean int
-	// Injected is the number of upsets actually applied across all runs.
+	// Injected is the number of upsets that occurred across all runs
+	// (applied or absorbed by a mitigation).
 	Injected int
 	// ByOutcome tallies the quarantined runs per class.
 	ByOutcome map[string]int
+	// Mitigated tallies the analysis-clean runs whose upsets a
+	// mitigation layer absorbed, per mitigated outcome class
+	// (corrected / scrubbed / voted). Empty when mitigation is off.
+	Mitigated map[string]int
+	// ClampedRuns counts runs whose Poisson draw hit the per-run fault
+	// cap and had their schedule truncated (see Injector.ClampedRuns;
+	// Summarize cannot recover it from results, so callers holding the
+	// injector fill it in).
+	ClampedRuns int
 }
 
 // Summarize tallies results (clean runs have an empty outcome).
 func Summarize(results []platform.RunResult) Summary {
-	s := Summary{Total: len(results), ByOutcome: make(map[string]int)}
+	s := Summary{Total: len(results), ByOutcome: make(map[string]int), Mitigated: make(map[string]int)}
 	for _, r := range results {
 		s.Injected += r.Faults
-		if r.Quarantined() {
+		switch {
+		case r.Quarantined():
 			s.ByOutcome[r.Outcome]++
-		} else {
+		case r.Outcome != "":
+			s.Mitigated[r.Outcome]++
+			s.Clean++
+		default:
 			s.Clean++
 		}
 	}
@@ -385,6 +466,16 @@ func Summarize(results []platform.RunResult) Summary {
 
 // Quarantined counts the runs excluded from the measurement series.
 func (s Summary) Quarantined() int { return s.Total - s.Clean }
+
+// MitigatedTotal counts the analysis-clean runs recovered by a
+// mitigation.
+func (s Summary) MitigatedTotal() int {
+	n := 0
+	for _, v := range s.Mitigated {
+		n += v
+	}
+	return n
+}
 
 // String renders the summary in canonical outcome order.
 func (s Summary) String() string {
@@ -414,6 +505,18 @@ func (s Summary) String() string {
 		}
 		fmt.Fprintf(&b, " (%s)", strings.Join(parts, ", "))
 	}
+	if s.MitigatedTotal() > 0 {
+		parts := make([]string, 0, len(s.Mitigated))
+		for _, o := range MitigatedOutcomes() {
+			if n := s.Mitigated[o]; n > 0 {
+				parts = append(parts, fmt.Sprintf("%s %d", o, n))
+			}
+		}
+		fmt.Fprintf(&b, ", %d mitigated (%s)", s.MitigatedTotal(), strings.Join(parts, ", "))
+	}
 	fmt.Fprintf(&b, "; %d upsets injected", s.Injected)
+	if s.ClampedRuns > 0 {
+		fmt.Fprintf(&b, "; %d runs clamped at the fault cap", s.ClampedRuns)
+	}
 	return b.String()
 }

@@ -56,14 +56,16 @@ func TestNewValidation(t *testing.T) {
 
 func TestPoisson(t *testing.T) {
 	for _, lambda := range []float64{0, -3, math.NaN()} {
-		if k := poisson(rng.NewSplitMix64(1), lambda); k != 0 {
-			t.Errorf("poisson(%g) = %d, want 0", lambda, k)
+		if k, clamped := poisson(rng.NewSplitMix64(1), lambda); k != 0 || clamped {
+			t.Errorf("poisson(%g) = %d (clamped %v), want 0", lambda, k, clamped)
 		}
 	}
 	// Deterministic in the source.
 	a, b := rng.NewSplitMix64(42), rng.NewSplitMix64(42)
 	for i := 0; i < 100; i++ {
-		if ka, kb := poisson(a, 1.5), poisson(b, 1.5); ka != kb {
+		ka, _ := poisson(a, 1.5)
+		kb, _ := poisson(b, 1.5)
+		if ka != kb {
 			t.Fatalf("draw %d: %d vs %d", i, ka, kb)
 		}
 	}
@@ -72,7 +74,11 @@ func TestPoisson(t *testing.T) {
 	const n, lambda = 5000, 1.5
 	sum := 0
 	for i := 0; i < n; i++ {
-		sum += poisson(src, lambda)
+		k, clamped := poisson(src, lambda)
+		if clamped {
+			t.Fatalf("draw %d clamped at rate %g", i, lambda)
+		}
+		sum += k
 	}
 	mean := float64(sum) / n
 	if math.Abs(mean-lambda) > 0.1 {
@@ -201,7 +207,7 @@ func TestWatchdogClassifiesHungRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	plan := []Fault{{Step: 10, Target: TargetIntReg, Set: 1, Bit: 30}}
-	res, err := in.faultedRun(context.Background(), p, w, 0, 1, base, plan)
+	res, err := in.faultedRun(context.Background(), p, w, 0, 1, base, plan, nil)
 	if err != nil {
 		t.Fatalf("hung run must classify, not error: %v", err)
 	}
@@ -266,7 +272,7 @@ func TestClassificationAgainstReference(t *testing.T) {
 		{"masked", []Fault{{Step: 1, Target: TargetIntReg, Set: 5, Bit: 3}}, OutcomeMasked},
 	}
 	for _, tc := range cases {
-		res, err := in.faultedRun(context.Background(), p, w, 0, 1, base, tc.plan)
+		res, err := in.faultedRun(context.Background(), p, w, 0, 1, base, tc.plan, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
 		}

@@ -1,0 +1,66 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzHazard drives the hazard sampler with arbitrary profile
+// parameters (unknown kinds, negative/NaN/Inf shapes, degenerate
+// windows, huge run indices). Every configuration must either be
+// rejected by normalize or yield weights that are finite, non-negative
+// and deterministic — and the constant profile must return the base
+// rate exactly, the bit-identity contract fault-free campaigns rest
+// on. Seed corpus under testdata/fuzz/FuzzHazard/; `make fuzz` runs
+// this target.
+func FuzzHazard(f *testing.F) {
+	f.Add("", 0.0, 0, 0, 0.0, 0, 0.5)
+	f.Add("constant", 2.0, 3000, 500, 0.9, 2999, 1e-9)
+	f.Add("weibull", 0.5, 10, 0, 0.0, 1<<30, 1.7)
+	f.Add("weibull", 4.0, 1, 0, 0.0, -5, 0.25)
+	f.Add("orbit", 0.0, 0, 2, 0.999, 123456, 3.0)
+	f.Add("orbit", 0.0, 0, 7, -0.1, 3, 0.0)
+	f.Add("solar-flare", 1.0, 100, 100, 0.5, 0, 1.0)
+	f.Fuzz(func(t *testing.T, kind string, shape float64, mission, period int, amplitude float64, run int, base float64) {
+		h := Hazard{
+			Kind:        HazardKind(kind),
+			Shape:       shape,
+			MissionRuns: mission,
+			Period:      period,
+			Amplitude:   amplitude,
+		}
+		hn, err := h.normalize()
+		if err != nil {
+			// Rejected configs must stay rejected under Validate too.
+			if h.Validate() == nil {
+				t.Fatalf("normalize rejected %+v but Validate accepted it", h)
+			}
+			return
+		}
+		w := hn.Weight(run)
+		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			t.Fatalf("%+v: weight(%d) = %g", hn, run, w)
+		}
+		if again := hn.Weight(run); again != w {
+			t.Fatalf("%+v: weight(%d) not deterministic: %g then %g", hn, run, w, again)
+		}
+		if hn.Kind == HazardConstant {
+			// Exact — not within an ulp: the constant profile must be
+			// invisible next to a hazard-free config.
+			if w != 1 {
+				t.Fatalf("constant weight(%d) = %g, want exactly 1", run, w)
+			}
+			if got := hn.RateAt(base, run); got != base {
+				t.Fatalf("constant RateAt(%g, %d) = %g, want base unchanged", base, run, got)
+			}
+		} else if !math.IsNaN(base) && !math.IsInf(base, 0) {
+			if got, want := hn.RateAt(base, run), base*w; got != want {
+				t.Fatalf("%+v: RateAt(%g, %d) = %g, want base*weight = %g", hn, base, run, got, want)
+			}
+		}
+		// The accepted config round-trips through its label.
+		if _, err := ParseHazard(hn.String()); err != nil {
+			t.Fatalf("%+v: String() %q does not parse back: %v", hn, hn.String(), err)
+		}
+	})
+}

@@ -8,11 +8,13 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/platform"
+	"repro/pkg/mbpta"
 )
 
 // simKeyVersion is bumped whenever the key derivation or the meaning of
 // any keyed field changes, invalidating all previously cached runs.
-const simKeyVersion = 1
+// v2: mitigation + hazard joined the key.
+const simKeyVersion = 2
 
 // simKey is the canonical serialization the cache key is hashed over:
 // exactly the configuration that can change a raw measurement run.
@@ -31,6 +33,8 @@ type simKey struct {
 	FaultRate    float64             `json:"fault_rate"`
 	Cores        int                 `json:"cores"`
 	RunTimeoutMS int64               `json:"run_timeout_ms"`
+	Mitigation   mbpta.Mitigation    `json:"mitigation"`
+	Hazard       mbpta.Hazard        `json:"hazard"`
 }
 
 // SimKey returns the cell's content-addressed simulation key: the hex
@@ -50,6 +54,8 @@ func (c Cell) SimKey() (string, error) {
 		FaultRate:    c.FaultRate,
 		Cores:        c.Cores,
 		RunTimeoutMS: c.RunTimeoutMS,
+		Mitigation:   c.Mitigation,
+		Hazard:       c.Hazard,
 	})
 	if err != nil {
 		return "", fmt.Errorf("matrix: marshal sim key: %w", err)

@@ -46,6 +46,10 @@ func TestCacheKeySensitivity(t *testing.T) {
 		"Cores":        {true, func(c *Cell) { c.Cores = 2 }},
 		"BaseSeed":     {true, func(c *Cell) { c.BaseSeed = 43 }},
 		"RunTimeoutMS": {true, func(c *Cell) { c.RunTimeoutMS = 100 }},
+		// Mitigation changes measured cycle counts (overheads, recovered
+		// runs); a hazard reshapes the per-run upset schedule.
+		"Mitigation": {true, func(c *Cell) { c.Mitigation = mbpta.Mitigation{Kind: mbpta.MitigationECC} }},
+		"Hazard":     {true, func(c *Cell) { c.Hazard = mbpta.Hazard{Kind: mbpta.HazardWeibull} }},
 		// Analysis-only: these reshape the analysis over the same runs.
 		"StopRule": {false, func(c *Cell) { c.StopRule = StopRuleSpec{Kind: "pwcet-delta", Q: 1e-9} }},
 		"Runs":     {false, func(c *Cell) { c.Runs = 200 }},

@@ -193,7 +193,11 @@ func (r *Runner) runCell(ctx context.Context, reg *fabric.Registry, cell Cell) C
 	plain := cell.FaultRate == 0 && cell.Cores == 1
 	switch {
 	case cell.FaultRate > 0:
-		opts = append(opts, mbpta.WithFaultInjection(mbpta.FaultConfig{Rate: cell.FaultRate}))
+		opts = append(opts, mbpta.WithFaultInjection(mbpta.FaultConfig{
+			Rate:       cell.FaultRate,
+			Mitigation: cell.Mitigation,
+			Hazard:     cell.Hazard,
+		}))
 	case cell.Cores > 1:
 		co := make([]mbpta.Workload, cell.Cores-1)
 		for i := range co {
@@ -271,7 +275,11 @@ func (r *Runner) leakGate(ctx context.Context, reg *fabric.Registry, cfg mbpta.P
 	plain := cell.FaultRate == 0 && cell.Cores == 1
 	switch {
 	case cell.FaultRate > 0:
-		opts = append(opts, mbpta.WithFaultInjection(mbpta.FaultConfig{Rate: cell.FaultRate}))
+		opts = append(opts, mbpta.WithFaultInjection(mbpta.FaultConfig{
+			Rate:       cell.FaultRate,
+			Mitigation: cell.Mitigation,
+			Hazard:     cell.Hazard,
+		}))
 	case cell.Cores > 1:
 		co := make([]mbpta.Workload, cell.Cores-1)
 		for i := range co {

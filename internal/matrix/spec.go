@@ -39,6 +39,17 @@ type Spec struct {
 	// co-simulated multicore with n-1 memory-streamer co-runners.
 	// Default: [1].
 	Cores []int `json:"cores,omitempty"`
+	// Mitigations lists the fault-mitigation configurations swept per
+	// scenario (see mbpta.Mitigation); the zero value is unmitigated.
+	// Default: [unmitigated]. Mitigation rides the fault-injection
+	// layer, so non-none mitigations are dropped for fault-rate-0 cells
+	// the way fault×multicore combinations are.
+	Mitigations []mbpta.Mitigation `json:"mitigations,omitempty"`
+	// Hazard selects the time-varying upset-rate profile shared by
+	// every fault-injected cell (see mbpta.Hazard; zero value:
+	// constant). Simulation-relevant: it reshapes the per-run upset
+	// schedule.
+	Hazard mbpta.Hazard `json:"hazard,omitempty"`
 	// StopRules lists the stopping protocols. Default: the paper's
 	// fixed-size protocol ({Kind: "fixed"}).
 	StopRules []StopRuleSpec `json:"stop_rules,omitempty"`
@@ -134,11 +145,12 @@ func (a AnalysisSpec) quantiles() []float64 {
 // match anything, so {Platform: "DET", StopRule: "crps"} removes all
 // DET×crps cells across the other axes.
 type Exclusion struct {
-	Platform  string   `json:"platform,omitempty"`
-	Workload  string   `json:"workload,omitempty"` // workload kind
-	FaultRate *float64 `json:"fault_rate,omitempty"`
-	Cores     *int     `json:"cores,omitempty"`
-	StopRule  string   `json:"stop_rule,omitempty"` // rule kind
+	Platform   string   `json:"platform,omitempty"`
+	Workload   string   `json:"workload,omitempty"` // workload kind
+	FaultRate  *float64 `json:"fault_rate,omitempty"`
+	Cores      *int     `json:"cores,omitempty"`
+	Mitigation string   `json:"mitigation,omitempty"` // mitigation kind label
+	StopRule   string   `json:"stop_rule,omitempty"`  // rule kind
 }
 
 func (e Exclusion) matches(c Cell) bool {
@@ -154,6 +166,9 @@ func (e Exclusion) matches(c Cell) bool {
 	if e.Cores != nil && *e.Cores != c.Cores {
 		return false
 	}
+	if e.Mitigation != "" && e.Mitigation != c.Mitigation.String() {
+		return false
+	}
 	if e.StopRule != "" && e.StopRule != c.StopRule.label() {
 		return false
 	}
@@ -163,11 +178,11 @@ func (e Exclusion) matches(c Cell) bool {
 // Cell is one fully resolved scenario: a point in the matrix's cross
 // product plus the spec-wide execution and analysis parameters. The
 // fields split into two classes — simulation-relevant (Platform,
-// Workload, FaultRate, Cores, BaseSeed, RunTimeoutMS), which enter the
-// run-cache key, and analysis-only (StopRule, Runs, Batch, Analysis),
-// which do not, so cells differing only in analysis parameters share
-// one set of raw runs. TestCacheKeySensitivity enforces that every
-// field is classified.
+// Workload, FaultRate, Cores, BaseSeed, RunTimeoutMS, Mitigation,
+// Hazard), which enter the run-cache key, and analysis-only (StopRule,
+// Runs, Batch, Analysis), which do not, so cells differing only in
+// analysis parameters share one set of raw runs.
+// TestCacheKeySensitivity enforces that every field is classified.
 type Cell struct {
 	Platform     string              `json:"platform"`
 	Workload     fabric.WorkloadSpec `json:"workload"`
@@ -175,6 +190,12 @@ type Cell struct {
 	Cores        int                 `json:"cores"`
 	BaseSeed     uint64              `json:"base_seed"`
 	RunTimeoutMS int64               `json:"run_timeout_ms,omitempty"`
+	// Mitigation and Hazard configure the fault layer of this cell.
+	// Simulation-relevant: a mitigation changes measured cycle counts
+	// (overheads, recovered runs) and a hazard reshapes the per-run
+	// upset schedule, so both enter the run-cache key.
+	Mitigation mbpta.Mitigation `json:"mitigation,omitempty"`
+	Hazard     mbpta.Hazard     `json:"hazard,omitempty"`
 
 	StopRule StopRuleSpec `json:"stop_rule"`
 	Runs     int          `json:"runs"`
@@ -207,23 +228,41 @@ func (c Cell) withSecret(secret int) (Cell, error) {
 }
 
 // Label is the cell's compact axis identifier, e.g.
-// "RAND/crc32/f0.25/c1/fixed".
+// "RAND/crc32/f0.25/c1/fixed". Mitigated cells append the mitigation
+// kind (and the hazard kind when non-constant), e.g.
+// "RAND/crc32/f0.25/c1/fixed/ecc@weibull"; unmitigated constant-hazard
+// cells keep the historical label.
 func (c Cell) Label() string {
-	return fmt.Sprintf("%s/%s/f%g/c%d/%s", c.Platform, c.Workload.Kind, c.FaultRate, c.Cores, c.StopRule.label())
+	return fmt.Sprintf("%s/%s/f%g/c%d/%s%s", c.Platform, c.Workload.Kind, c.FaultRate, c.Cores, c.StopRule.label(), c.faultSuffix())
+}
+
+// faultSuffix is the mitigation/hazard tail of Label and groupKey,
+// empty for unmitigated constant-hazard cells so historical labels are
+// preserved.
+func (c Cell) faultSuffix() string {
+	hz := ""
+	if c.Hazard.Kind != "" && c.Hazard.Kind != mbpta.HazardConstant {
+		hz = "@" + string(c.Hazard.Kind)
+	}
+	if !c.Mitigation.Enabled() && hz == "" {
+		return ""
+	}
+	return "/" + c.Mitigation.String() + hz
 }
 
 // groupKey identifies the cell's scenario ignoring the platform axis —
 // the comparative report pairs platforms within a group.
 func (c Cell) groupKey() string {
-	return fmt.Sprintf("%s/f%g/c%d/%s", c.Workload.Kind, c.FaultRate, c.Cores, c.StopRule.label())
+	return fmt.Sprintf("%s/f%g/c%d/%s%s", c.Workload.Kind, c.FaultRate, c.Cores, c.StopRule.label(), c.faultSuffix())
 }
 
 // Expand resolves the spec to its cell list: the cross product over
-// axes in (platform, workload, fault rate, cores, stop rule) order,
-// minus exclusions. Fault×multicore combinations are dropped
-// automatically (the fault-injection layer requires single-core
-// boards). Expansion is deterministic: the same spec always yields the
-// same cells in the same order.
+// axes in (platform, workload, fault rate, cores, mitigation, stop
+// rule) order, minus exclusions. Fault×multicore combinations are
+// dropped automatically (the fault-injection layer requires
+// single-core boards), and so are mitigation×fault-rate-0 combinations
+// (mitigation rides the fault layer). Expansion is deterministic: the
+// same spec always yields the same cells in the same order.
 func Expand(s Spec) ([]Cell, error) {
 	if len(s.Platforms) == 0 {
 		return nil, errors.New("matrix: spec lists no platforms")
@@ -254,6 +293,18 @@ func Expand(s Spec) ([]Cell, error) {
 			return nil, fmt.Errorf("matrix: cores axis value %d < 1", n)
 		}
 	}
+	mitigations := s.Mitigations
+	if len(mitigations) == 0 {
+		mitigations = []mbpta.Mitigation{{}}
+	}
+	for _, m := range mitigations {
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("matrix: mitigation axis: %w", err)
+		}
+	}
+	if err := s.Hazard.Validate(); err != nil {
+		return nil, fmt.Errorf("matrix: hazard: %w", err)
+	}
 	rules := s.StopRules
 	if len(rules) == 0 {
 		rules = []StopRuleSpec{{Kind: "fixed"}}
@@ -278,32 +329,43 @@ func Expand(s Spec) ([]Cell, error) {
 					if fr > 0 && n > 1 {
 						continue // fault injection requires single-core boards
 					}
-					for _, r := range rules {
-						if _, err := r.Build(runs); err != nil {
-							return nil, err
+					for _, mi := range mitigations {
+						if fr == 0 && mi.Enabled() {
+							continue // mitigation rides the fault layer
 						}
-						c := Cell{
-							Platform:     p,
-							Workload:     w,
-							FaultRate:    fr,
-							Cores:        n,
-							BaseSeed:     s.BaseSeed,
-							RunTimeoutMS: s.RunTimeoutMS,
-							StopRule:     r,
-							Runs:         runs,
-							Batch:        batch,
-							Analysis:     s.Analysis,
-							Leak:         s.Leak,
+						hz := mbpta.Hazard{}
+						if fr > 0 {
+							hz = s.Hazard
 						}
-						excluded := false
-						for _, e := range s.Exclude {
-							if e.matches(c) {
-								excluded = true
-								break
+						for _, r := range rules {
+							if _, err := r.Build(runs); err != nil {
+								return nil, err
 							}
-						}
-						if !excluded {
-							cells = append(cells, c)
+							c := Cell{
+								Platform:     p,
+								Workload:     w,
+								FaultRate:    fr,
+								Cores:        n,
+								BaseSeed:     s.BaseSeed,
+								RunTimeoutMS: s.RunTimeoutMS,
+								Mitigation:   mi,
+								Hazard:       hz,
+								StopRule:     r,
+								Runs:         runs,
+								Batch:        batch,
+								Analysis:     s.Analysis,
+								Leak:         s.Leak,
+							}
+							excluded := false
+							for _, e := range s.Exclude {
+								if e.matches(c) {
+									excluded = true
+									break
+								}
+							}
+							if !excluded {
+								cells = append(cells, c)
+							}
 						}
 					}
 				}

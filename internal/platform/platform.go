@@ -268,18 +268,37 @@ type RunResult struct {
 	Path         string // workload path identifier ("" if single-path)
 	// Outcome is empty for a clean measurement. A fault-injection layer
 	// (see internal/faults) sets it to the run's classification
-	// ("masked", "timing-perturbed", "wrong-output", "hung"); any
-	// non-empty Outcome quarantines the run from the timing analysis —
-	// CampaignResult.Times and TimesByPath skip it.
+	// ("masked", "timing-perturbed", "wrong-output", "hung"); those
+	// outcomes quarantine the run from the timing analysis —
+	// CampaignResult.Times and TimesByPath skip it. Mitigated outcomes
+	// ("corrected", "scrubbed", "voted") are the exception: the run was
+	// recovered by a mitigation layer and stays in the analyzed series,
+	// its recovery overhead included in Cycles.
 	Outcome string
-	// Faults counts the upsets actually injected into this run (0 for a
-	// clean run).
+	// Faults counts the upsets that occurred in this run (0 for a clean
+	// run), whether applied or absorbed by a mitigation.
 	Faults int
 }
 
+// MitigatedOutcome reports whether o marks a run recovered by a
+// fault-mitigation layer (ECC correction, array scrubbing, lockstep
+// vote). Mitigated runs carry a non-empty outcome for reporting but
+// stay in the measurement series — their overhead is the signal the
+// timing analysis must see. The set matches the faults package's
+// mitigated outcome constants (enforced by test there; platform sits
+// below faults in the import graph, so the strings are spelled here).
+func MitigatedOutcome(o string) bool {
+	switch o {
+	case "corrected", "scrubbed", "voted":
+		return true
+	}
+	return false
+}
+
 // Quarantined reports whether the run must be excluded from the
-// measurement series (a fault-injection layer classified it).
-func (r RunResult) Quarantined() bool { return r.Outcome != "" }
+// measurement series (a fault-injection layer classified it and no
+// mitigation recovered it).
+func (r RunResult) Quarantined() bool { return r.Outcome != "" && !MitigatedOutcome(r.Outcome) }
 
 // Workload is a program under analysis. Prepare must return a fresh
 // machine for run index run ("reload the executable": new memory image,

@@ -95,8 +95,12 @@ type campaign struct {
 	spec     mbpta.CampaignSpec
 	platform string
 	workload string
-	tele     *telemetry.Registry
-	done     chan struct{}
+	// mitigation/hazard are the spec's parsed fault-layer selectors
+	// (zero values when the spec requested no injection).
+	mitigation mbpta.Mitigation
+	hazard     mbpta.Hazard
+	tele       *telemetry.Registry
+	done       chan struct{}
 
 	mu          sync.Mutex
 	state       string // "running" -> "done" | "failed"
@@ -156,6 +160,20 @@ func (s *Server) Submit(spec mbpta.CampaignSpec) (string, error) {
 	if spec.Runs < 0 || spec.Batch < 0 {
 		return "", fmt.Errorf("pwcetd: negative runs (%d) or batch size (%d)", spec.Runs, spec.Batch)
 	}
+	if spec.FaultRate < 0 {
+		return "", fmt.Errorf("pwcetd: negative fault rate %g", spec.FaultRate)
+	}
+	if spec.FaultRate == 0 && (spec.Mitigation != "" || spec.Hazard != "") {
+		return "", fmt.Errorf("pwcetd: mitigation/hazard require fault_rate > 0")
+	}
+	mitigation, err := mbpta.ParseMitigation(spec.Mitigation)
+	if err != nil {
+		return "", fmt.Errorf("pwcetd: %w", err)
+	}
+	hazard, err := mbpta.ParseHazard(spec.Hazard)
+	if err != nil {
+		return "", fmt.Errorf("pwcetd: %w", err)
+	}
 	cfg, err := fabric.NamedPlatform(spec.Platform)
 	if err != nil {
 		return "", err
@@ -175,15 +193,17 @@ func (s *Server) Submit(spec mbpta.CampaignSpec) (string, error) {
 	s.mu.Lock()
 	s.seq++
 	c := &campaign{
-		id:        fmt.Sprintf("c%06d", s.seq),
-		spec:      spec,
-		platform:  cfg.Name,
-		workload:  w.Name(),
-		tele:      telemetry.New(),
-		done:      make(chan struct{}),
-		state:     "running",
-		runsTotal: runsTotal,
-		quantiles: make(map[float64]float64),
+		id:         fmt.Sprintf("c%06d", s.seq),
+		spec:       spec,
+		platform:   cfg.Name,
+		workload:   w.Name(),
+		mitigation: mitigation,
+		hazard:     hazard,
+		tele:       telemetry.New(),
+		done:       make(chan struct{}),
+		state:      "running",
+		runsTotal:  runsTotal,
+		quantiles:  make(map[float64]float64),
 	}
 	s.campaigns[c.id] = c
 	s.order = append(s.order, c.id)
@@ -203,13 +223,24 @@ func (s *Server) Submit(spec mbpta.CampaignSpec) (string, error) {
 // execute runs one campaign on the pool and records its outcome.
 func (s *Server) execute(c *campaign, cfg mbpta.PlatformConfig, w mbpta.Workload) {
 	opts := []mbpta.CampaignOption{
-		mbpta.WithExecutorPool(s.pool),
 		mbpta.WithTelemetry(c.tele),
 		mbpta.WithProgress(func(p mbpta.Progress) {
 			c.mu.Lock()
 			c.runsDone = p.TotalRuns
 			c.mu.Unlock()
 		}),
+	}
+	if c.spec.FaultRate > 0 {
+		// The injection layer wraps the board's run loop and is not
+		// pool-schedulable; fault campaigns execute on local workers.
+		opts = append(opts, mbpta.WithFaultInjection(mbpta.FaultConfig{
+			Rate:       c.spec.FaultRate,
+			Mitigation: c.mitigation,
+			Hazard:     c.hazard,
+			Telemetry:  c.tele,
+		}))
+	} else {
+		opts = append(opts, mbpta.WithExecutorPool(s.pool))
 	}
 	if c.spec.Runs > 0 {
 		opts = append(opts, mbpta.WithRuns(c.spec.Runs))
@@ -312,6 +343,12 @@ func (c *campaign) report() (mbpta.ServiceReport, error) {
 		Platform:       c.platform,
 		Workload:       c.workload,
 		Rule:           rep.Rule,
+	}
+	if c.spec.FaultRate > 0 {
+		out.FaultClean = rep.Faults.Clean
+		out.FaultQuarantined = rep.Faults.ByOutcome
+		out.FaultMitigated = rep.Faults.Mitigated
+		out.FaultClamped = rep.Faults.ClampedRuns
 	}
 	if rep.Analysis != nil {
 		pass := true

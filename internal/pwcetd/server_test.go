@@ -311,3 +311,96 @@ func TestServiceAPIErrors(t *testing.T) {
 		t.Errorf("pwcet on measure-only campaign: %v", err)
 	}
 }
+
+// TestServiceFaultCampaign submits a mitigated fault campaign: it must
+// execute locally (the injection layer is not pool-schedulable), report
+// the outcome tallies, and match the fingerprint of the same campaign
+// run in-process.
+func TestServiceFaultCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs measurement campaigns")
+	}
+	c := startService(t, fabric.Config{Executors: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	spec := mbpta.CampaignSpec{
+		Workload:    mbpta.WorkloadSpec{Kind: "crc32", Params: params(t, map[string]any{"Bytes": 512, "Seed": 7})},
+		Runs:        120,
+		BaseSeed:    42,
+		MeasureOnly: true,
+		FaultRate:   0.5,
+		Mitigation:  "ecc",
+		Hazard:      "weibull",
+	}
+	id, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Wait(ctx, id, 25*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" {
+		t.Fatalf("state %q (error %q)", st.State, st.Error)
+	}
+	rep, err := c.Report(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FaultClean == 0 {
+		t.Error("fault campaign reports zero clean runs")
+	}
+	if rep.FaultClean+sumOutcomes(rep.FaultQuarantined) != 120 {
+		t.Errorf("outcome tallies do not add up: clean %d + quarantined %v != 120",
+			rep.FaultClean, rep.FaultQuarantined)
+	}
+	if sumOutcomes(rep.FaultMitigated) == 0 {
+		t.Error("ECC at rate 0.5 over 120 runs corrected nothing")
+	}
+
+	// Bit-identity with the same campaign run directly in-process.
+	w, err := fabric.BuiltinRegistry().Build(spec.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := mbpta.Campaign(ctx, mbpta.RANDPlatform(), w,
+		mbpta.WithRuns(120), mbpta.WithBaseSeed(42), mbpta.MeasureOnly(),
+		mbpta.WithFaultInjection(mbpta.FaultConfig{
+			Rate:       0.5,
+			Mitigation: mbpta.Mitigation{Kind: mbpta.MitigationECC},
+			Hazard:     mbpta.Hazard{Kind: mbpta.HazardWeibull},
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp := local.Fingerprint(); fp != st.Fingerprint {
+		t.Errorf("service fingerprint %q != local %q", st.Fingerprint, fp)
+	}
+}
+
+func sumOutcomes(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func TestServiceFaultSpecValidation(t *testing.T) {
+	c := startService(t, fabric.Config{Executors: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	w := mbpta.WorkloadSpec{Kind: "crc32", Params: params(t, map[string]any{"Bytes": 64, "Seed": 1})}
+	for _, spec := range []mbpta.CampaignSpec{
+		{Workload: w, FaultRate: -1},
+		{Workload: w, Mitigation: "ecc"},               // mitigation without a rate
+		{Workload: w, Hazard: "orbit"},                 // hazard without a rate
+		{Workload: w, FaultRate: 1, Mitigation: "x"},   // unknown scheme
+		{Workload: w, FaultRate: 1, Hazard: "sunspot"}, // unknown profile
+	} {
+		if _, err := c.Submit(ctx, spec); err == nil {
+			t.Errorf("spec %+v accepted", spec)
+		}
+	}
+}

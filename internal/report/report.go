@@ -242,6 +242,21 @@ func MetricsTable(w io.Writer, title string, snap map[string]float64, names ...s
 	Table(w, title, rows)
 }
 
+// OutcomeExtras carries the mitigation-era additions to OutcomeTable:
+// mitigated recoveries (analysis-clean runs a mitigation layer
+// absorbed, a subset of the clean count) and the clamped-schedule
+// tally surfaced from the injector instead of being silently dropped.
+type OutcomeExtras struct {
+	// Mitigated tallies recovered runs per mitigated outcome class;
+	// MitigatedOrder fixes their row order (e.g. the canonical
+	// faults.MitigatedOutcomes() order).
+	Mitigated      map[string]int
+	MitigatedOrder []string
+	// ClampedRuns counts runs whose Poisson draw hit the per-run fault
+	// cap and had their schedule truncated.
+	ClampedRuns int
+}
+
 // OutcomeTable renders the run-outcome taxonomy of a fault-injection
 // campaign: clean measurements kept for analysis versus quarantined
 // runs broken down by outcome class, each with its share of the total.
@@ -249,8 +264,14 @@ func MetricsTable(w io.Writer, title string, snap map[string]float64, names ...s
 // faults.Outcomes() order); outcome classes absent from counts are
 // skipped, classes present in counts but not in order are appended
 // last in encounter-stable lexical position by the caller's map — pass
-// a complete order to avoid that.
-func OutcomeTable(w io.Writer, title string, clean int, counts map[string]int, order []string) {
+// a complete order to avoid that. An optional OutcomeExtras breaks the
+// mitigated recoveries out of the clean count and reports clamped
+// fault schedules.
+func OutcomeTable(w io.Writer, title string, clean int, counts map[string]int, order []string, extras ...OutcomeExtras) {
+	var ex OutcomeExtras
+	if len(extras) > 0 {
+		ex = extras[0]
+	}
 	total := clean
 	for _, n := range counts {
 		total += n
@@ -262,6 +283,13 @@ func OutcomeTable(w io.Writer, title string, clean int, counts map[string]int, o
 		return fmt.Sprintf("%d (%.1f%%)", n, 100*float64(n)/float64(total))
 	}
 	rows := [][2]string{{"clean (analyzed)", share(clean)}}
+	for _, o := range ex.MitigatedOrder {
+		if n, ok := ex.Mitigated[o]; ok && n > 0 {
+			// Recovered runs are analysis-clean (counted in clean above);
+			// break them out so the mitigation's work is visible.
+			rows = append(rows, [2]string{o + " (recovered, analyzed)", share(n)})
+		}
+	}
 	seen := map[string]bool{}
 	for _, o := range order {
 		if n, ok := counts[o]; ok {
@@ -279,7 +307,56 @@ func OutcomeTable(w io.Writer, title string, clean int, counts map[string]int, o
 	for _, o := range rest {
 		rows = append(rows, [2]string{o, share(counts[o])})
 	}
+	if ex.ClampedRuns > 0 {
+		rows = append(rows, [2]string{"fault schedules clamped at cap", fmt.Sprintf("%d", ex.ClampedRuns)})
+	}
 	Table(w, title, rows)
+}
+
+// PerformabilityRow is one mitigation×hazard cell of a performability
+// sweep: the pWCET bound (or the observed high-water mark when no tail
+// fit exists — routine on DET builds), the outcome tallies, and the
+// failure rates the mitigation could not absorb.
+type PerformabilityRow struct {
+	// Label identifies the cell, e.g. "ecc @ weibull".
+	Label string
+	// Bound is the pWCET estimate at the sweep's quantile when Fitted,
+	// otherwise the observed high-water mark.
+	Bound  float64
+	Fitted bool
+	// Clean counts analyzed runs (mitigated recoveries included);
+	// Mitigated the recovered subset; Quarantined the excluded runs.
+	Clean, Mitigated, Quarantined int
+	// WrongOutput and Hung are the per-run rates of the failure classes
+	// a mission actually fears — the dependability half of
+	// performability.
+	WrongOutput, Hung float64
+}
+
+// PerformabilityTable renders a performability sweep: one row per
+// mitigation×hazard cell, the pWCET(quantile) cost next to the
+// wrong-output/hung rates, so the protection-vs-timing tradeoff reads
+// off a single table. Bounds carrying "(HWM)" are observed high-water
+// marks of cells without a tail fit.
+func PerformabilityTable(w io.Writer, title string, quantile float64, rows []PerformabilityRow) {
+	header := []string{"cell", fmt.Sprintf("pWCET@%.0e", quantile), "clean", "mitigated", "quarantined", "wrong-output", "hung"}
+	grid := make([][]string, len(rows))
+	for i, r := range rows {
+		bound := fmt.Sprintf("%.0f", r.Bound)
+		if !r.Fitted {
+			bound += " (HWM)"
+		}
+		grid[i] = []string{
+			r.Label,
+			bound,
+			fmt.Sprintf("%d", r.Clean),
+			fmt.Sprintf("%d", r.Mitigated),
+			fmt.Sprintf("%d", r.Quarantined),
+			fmt.Sprintf("%.2f%%", 100*r.WrongOutput),
+			fmt.Sprintf("%.2f%%", 100*r.Hung),
+		}
+	}
+	Grid(w, title, header, grid)
 }
 
 // CSV writes named columns of equal length as a CSV block (for external

@@ -179,3 +179,65 @@ func TestOutcomeTableEmpty(t *testing.T) {
 		t.Errorf("zero-run table: %q", b.String())
 	}
 }
+
+func TestOutcomeTableExtras(t *testing.T) {
+	var b bytes.Buffer
+	OutcomeTable(&b, "mitigated outcomes", 70,
+		map[string]int{"wrong-output": 20},
+		[]string{"masked", "wrong-output"},
+		OutcomeExtras{
+			Mitigated:      map[string]int{"corrected": 25, "voted": 5},
+			MitigatedOrder: []string{"corrected", "scrubbed", "voted"},
+			ClampedRuns:    3,
+		})
+	out := b.String()
+	for _, want := range []string{
+		"corrected (recovered, analyzed)",
+		"25 (27.8%)", // 25 of 90 total
+		"voted (recovered, analyzed)",
+		"fault schedules clamped at cap",
+		"3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Recovered rows are a subset of clean, not an addition: the clean
+	// share is computed against 90 total runs, not 120.
+	if !strings.Contains(out, "70 (77.8%)") {
+		t.Errorf("clean share wrong:\n%s", out)
+	}
+	// Absent mitigated class skipped.
+	if strings.Contains(out, "scrubbed") {
+		t.Errorf("absent mitigated class rendered:\n%s", out)
+	}
+	// No extras, no extra rows.
+	b.Reset()
+	OutcomeTable(&b, "plain", 10, nil, nil)
+	if strings.Contains(b.String(), "recovered") || strings.Contains(b.String(), "clamped") {
+		t.Errorf("plain table grew extras rows:\n%s", b.String())
+	}
+}
+
+func TestPerformabilityTable(t *testing.T) {
+	var b bytes.Buffer
+	PerformabilityTable(&b, "performability", 1e-12, []PerformabilityRow{
+		{Label: "none@constant", Bound: 120000, Fitted: true, Clean: 500, Quarantined: 100, WrongOutput: 0.02, Hung: 0.01},
+		{Label: "lockstep@weibull", Bound: 390000, Fitted: false, Clean: 600, Mitigated: 250},
+	})
+	out := b.String()
+	for _, want := range []string{
+		"performability",
+		"pWCET@1e-12",
+		"none@constant",
+		"120000",
+		"lockstep@weibull",
+		"390000 (HWM)",
+		"wrong-output",
+		"hung",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

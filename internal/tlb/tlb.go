@@ -283,6 +283,17 @@ func (t *TLB) InjectStateFault(idx int) {
 	t.mruOff = true
 }
 
+// Scrub invalidates entry idx — the scrubbing engine's repair action
+// for an entry flagged by a parity/ECC sweep. Dropping a translation is
+// always architecturally safe (the worst case is a re-walk), so
+// scrubbing converts a potentially aliased upset into a bounded timing
+// effect. Idempotent; the index is reduced modulo the geometry like the
+// fault injectors'.
+func (t *TLB) Scrub(idx int) {
+	t.faultEntry(idx).valid = false
+	t.mruOff = true
+}
+
 func (t *TLB) faultEntry(idx int) *entry {
 	if idx < 0 {
 		idx = -idx

@@ -57,14 +57,25 @@ type (
 	// StreamOptions tunes the low-level streaming executor.
 	StreamOptions = platform.StreamOptions
 	// FaultConfig tunes the SEU injector (see WithFaultInjection): the
-	// expected upsets per run, the targeted arrays, and the watchdog
-	// factor for hung-run detection.
+	// expected upsets per run, the hazard profile and mitigation layer,
+	// the targeted arrays, and the watchdog factor for hung-run
+	// detection.
 	FaultConfig = faults.Config
 	// FaultTarget selects a hardware array subject to upsets.
 	FaultTarget = faults.Target
 	// FaultSummary tallies a campaign's run outcomes (clean vs
-	// quarantined by class).
+	// quarantined by class, plus mitigated recoveries).
 	FaultSummary = faults.Summary
+	// Mitigation configures the fault-mitigation layer (scrubbing, ECC,
+	// lockstep) of a FaultConfig.
+	Mitigation = faults.Mitigation
+	// MitigationKind names a mitigation scheme.
+	MitigationKind = faults.MitigationKind
+	// Hazard configures the time-varying upset-rate profile of a
+	// FaultConfig.
+	Hazard = faults.Hazard
+	// HazardKind names a hazard profile.
+	HazardKind = faults.HazardKind
 	// RetryPolicy bounds per-run retries (see WithRetry).
 	RetryPolicy = platform.RetryPolicy
 	// BatchSink consumes ordered batches from the low-level streaming
@@ -97,13 +108,36 @@ const (
 	OutcomeWrongOutput     = faults.OutcomeWrongOutput
 	OutcomeHung            = faults.OutcomeHung
 
+	// Mitigated outcomes: recovered runs that stay in the analyzed
+	// series with their recovery overhead charged as cycles.
+	OutcomeCorrected = faults.OutcomeCorrected
+	OutcomeScrubbed  = faults.OutcomeScrubbed
+	OutcomeVoted     = faults.OutcomeVoted
+
 	FaultTargetIL1    = faults.TargetIL1
 	FaultTargetDL1    = faults.TargetDL1
 	FaultTargetITLB   = faults.TargetITLB
 	FaultTargetDTLB   = faults.TargetDTLB
 	FaultTargetIntReg = faults.TargetIntReg
 	FaultTargetFPReg  = faults.TargetFPReg
+
+	MitigationNone     = faults.MitigationNone
+	MitigationScrub    = faults.MitigationScrub
+	MitigationECC      = faults.MitigationECC
+	MitigationLockstep = faults.MitigationLockstep
+
+	HazardConstant = faults.HazardConstant
+	HazardWeibull  = faults.HazardWeibull
+	HazardOrbit    = faults.HazardOrbit
 )
+
+// ParseMitigation resolves a mitigation kind name ("none", "scrub",
+// "ecc", "lockstep") to a Mitigation with that kind's defaults.
+func ParseMitigation(s string) (Mitigation, error) { return faults.ParseMitigation(s) }
+
+// ParseHazard resolves a hazard kind name ("constant", "weibull",
+// "orbit") to a Hazard with that kind's defaults.
+func ParseHazard(s string) (Hazard, error) { return faults.ParseHazard(s) }
 
 // FixedRuns stops after n runs — the paper's fixed-size protocol.
 func FixedRuns(n int) StopRule { return core.FixedRuns(n) }
@@ -584,7 +618,12 @@ func (c *campaignConfig) execute(ctx context.Context, cfg PlatformConfig, w Work
 	sink := func(b StreamBatch) (bool, error) {
 		obs := make([]core.Observation, len(b.Results))
 		for i, r := range b.Results {
-			obs[i] = core.Observation{Cycles: float64(r.Cycles), Path: r.Path, Outcome: r.Outcome}
+			obs[i] = core.Observation{
+				Cycles:    float64(r.Cycles),
+				Path:      r.Path,
+				Outcome:   r.Outcome,
+				Mitigated: platform.MitigatedOutcome(r.Outcome),
+			}
 		}
 		snap, err := online.ObserveBatch(obs)
 		if err != nil {
@@ -595,11 +634,13 @@ func (c *campaignConfig) execute(ctx context.Context, cfg PlatformConfig, w Work
 		}
 		return snap.Done, nil
 	}
+	var inj *faults.Injector
 	if c.faults != nil {
 		if c.faults.Telemetry == nil {
 			c.faults.Telemetry = c.telemetry
 		}
-		inj, ierr := faults.New(*c.faults)
+		var ierr error
+		inj, ierr = faults.New(*c.faults)
 		if ierr != nil {
 			return nil, ierr
 		}
@@ -621,7 +662,7 @@ func (c *campaignConfig) execute(ctx context.Context, cfg PlatformConfig, w Work
 		// complete batches, so its snapshots and final analysis cover a
 		// statistically clean (barrier-aligned) sample; the interruption
 		// error stays primary, so a failed final fit is not reported.
-		rep := c.report(camp, online)
+		rep := c.report(camp, online, inj)
 		if !c.measureOnly {
 			if res, aerr := online.Finalize(); aerr == nil {
 				rep.Analysis = res
@@ -630,7 +671,7 @@ func (c *campaignConfig) execute(ctx context.Context, cfg PlatformConfig, w Work
 		return rep, err
 	}
 
-	rep := c.report(camp, online)
+	rep := c.report(camp, online, inj)
 	if !c.measureOnly {
 		res, aerr := online.Finalize()
 		if aerr != nil {
@@ -645,8 +686,8 @@ func (c *campaignConfig) execute(ctx context.Context, cfg PlatformConfig, w Work
 	return rep, nil
 }
 
-func (c *campaignConfig) report(camp *CampaignResult, online *core.OnlineAnalyzer) *CampaignReport {
-	return &CampaignReport{
+func (c *campaignConfig) report(camp *CampaignResult, online *core.OnlineAnalyzer, inj *faults.Injector) *CampaignReport {
+	rep := &CampaignReport{
 		Campaign:  camp,
 		Snapshots: online.Snapshots(),
 		Converged: online.Done(),
@@ -654,6 +695,12 @@ func (c *campaignConfig) report(camp *CampaignResult, online *core.OnlineAnalyze
 		Rule:      c.rule.Name(),
 		Faults:    faults.Summarize(camp.Results),
 	}
+	if inj != nil {
+		// Only the injector knows how many Poisson draws hit the fault
+		// cap — the truncation is invisible in the per-run results.
+		rep.Faults.ClampedRuns = inj.ClampedRuns()
+	}
+	return rep
 }
 
 // StreamCampaign exposes the low-level batch executor for callers that

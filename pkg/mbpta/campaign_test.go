@@ -326,3 +326,82 @@ func TestCampaignFaultConfigValidated(t *testing.T) {
 		t.Fatal("negative rate accepted")
 	}
 }
+
+func TestMitigationOffFingerprintIdentical(t *testing.T) {
+	// The tentpole's bit-identity pledge: spelling out "no mitigation,
+	// constant hazard" must produce byte-for-byte the fingerprint of a
+	// plain rate-only fault campaign — the mitigation layer is invisible
+	// until switched on.
+	app := smallApp(t)
+	run := func(cfg mbpta.FaultConfig) string {
+		t.Helper()
+		rep, err := mbpta.Campaign(context.Background(), mbpta.RANDPlatform(), app,
+			mbpta.WithRuns(60), mbpta.WithBaseSeed(42), mbpta.MeasureOnly(),
+			mbpta.WithFaultInjection(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Fingerprint()
+	}
+	plain := run(mbpta.FaultConfig{Rate: 0.5})
+	explicit := run(mbpta.FaultConfig{
+		Rate:       0.5,
+		Mitigation: mbpta.Mitigation{Kind: mbpta.MitigationNone},
+		Hazard:     mbpta.Hazard{Kind: mbpta.HazardConstant},
+	})
+	if plain != explicit {
+		t.Fatalf("explicit none/constant changed the fingerprint:\n%s\n%s", plain, explicit)
+	}
+	mitigated := run(mbpta.FaultConfig{Rate: 0.5, Mitigation: mbpta.Mitigation{Kind: mbpta.MitigationECC}})
+	if mitigated == plain {
+		t.Fatal("ECC campaign fingerprint equals the unmitigated one")
+	}
+}
+
+func TestCampaignMitigatedRunsAnalyzed(t *testing.T) {
+	// Mitigated runs carry an outcome yet stay in the measured series:
+	// clean count includes them, the trace exports them, and the
+	// summary's mitigated tally is a subset of clean.
+	app := smallApp(t)
+	rep, err := mbpta.Campaign(context.Background(), mbpta.RANDPlatform(), app,
+		mbpta.WithRuns(300), mbpta.WithBaseSeed(42), mbpta.MeasureOnly(),
+		mbpta.WithFaultInjection(mbpta.FaultConfig{
+			Rate:       0.5,
+			Mitigation: mbpta.Mitigation{Kind: mbpta.MitigationLockstep},
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := rep.Faults
+	if fs.MitigatedTotal() == 0 {
+		t.Fatal("lockstep at rate 0.5 over 300 runs recovered nothing")
+	}
+	if fs.Quarantined() != 0 {
+		t.Errorf("lockstep quarantined %d runs", fs.Quarantined())
+	}
+	if got := len(rep.Campaign.Times()); got != fs.Clean {
+		t.Errorf("measured series has %d entries, want %d clean", got, fs.Clean)
+	}
+	if got := len(rep.TraceSet().Samples); got != fs.Clean {
+		t.Errorf("trace has %d samples, want %d clean", got, fs.Clean)
+	}
+	// Lockstep overhead is real: the mitigated campaign's high-water
+	// mark exceeds the unmitigated clean baseline's.
+	base, err := mbpta.Campaign(context.Background(), mbpta.RANDPlatform(), app,
+		mbpta.WithRuns(300), mbpta.WithBaseSeed(42), mbpta.MeasureOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hwm := func(ts []float64) float64 {
+		m := 0.0
+		for _, v := range ts {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	if lk, cl := hwm(rep.Campaign.Times()), hwm(base.Campaign.Times()); lk <= cl {
+		t.Errorf("lockstep HWM %.0f not above clean HWM %.0f", lk, cl)
+	}
+}

@@ -48,6 +48,15 @@ func (r *CampaignReport) Fingerprint() string {
 	}
 	fmt.Fprintf(h, "faults|%d|%d|%d\n", r.Faults.Total, r.Faults.Clean, r.Faults.Injected)
 	hashOutcomes(h, r.Faults.ByOutcome)
+	// Mitigation-era fields hash only when present, so mitigation-off
+	// reports keep the digests of builds that predate them.
+	if len(r.Faults.Mitigated) > 0 {
+		fmt.Fprint(h, "mitigated\n")
+		hashOutcomes(h, r.Faults.Mitigated)
+	}
+	if r.Faults.ClampedRuns > 0 {
+		fmt.Fprintf(h, "clamped|%d\n", r.Faults.ClampedRuns)
+	}
 	if r.Analysis != nil {
 		fmt.Fprintf(h, "analysis|%d|%d|%d\n", r.Analysis.BlockSize, len(r.Analysis.Paths), len(r.Analysis.SmallPaths))
 		for _, p := range r.Analysis.Paths {

@@ -84,6 +84,17 @@ type CampaignSpec struct {
 	// false-positive budget (0 = the default 0.01).
 	QuantileGate  bool    `json:"quantile_gate,omitempty"`
 	QuantileAlpha float64 `json:"quantile_alpha,omitempty"`
+	// FaultRate attaches the deterministic SEU injector: expected
+	// upsets per run (Poisson), 0 = no injection. Fault campaigns
+	// execute on the service's local workers — the injection layer is
+	// not pool-schedulable.
+	FaultRate float64 `json:"fault_rate,omitempty"`
+	// Mitigation names the fault-mitigation scheme under FaultRate
+	// ("none", "scrub", "ecc", "lockstep"; empty = none) and Hazard the
+	// upset-rate profile ("constant", "weibull", "orbit"; empty =
+	// constant). Both require FaultRate > 0.
+	Mitigation string `json:"mitigation,omitempty"`
+	Hazard     string `json:"hazard,omitempty"`
 }
 
 // CampaignStatus is the wire form of a campaign's state
@@ -121,6 +132,13 @@ type ServiceReport struct {
 	// PWCET maps exceedance probabilities (formatted "1e-12") to pWCET
 	// bounds in cycles at the standard cutoffs, when analyzed.
 	PWCET map[string]float64 `json:"pwcet,omitempty"`
+	// Fault-campaign outcome tallies (present when the spec requested
+	// injection): clean analyzed runs, mitigated recoveries per class,
+	// quarantined runs per class, and the fault-cap clamp count.
+	FaultClean       int            `json:"fault_clean,omitempty"`
+	FaultMitigated   map[string]int `json:"fault_mitigated,omitempty"`
+	FaultQuarantined map[string]int `json:"fault_quarantined,omitempty"`
+	FaultClamped     int            `json:"fault_clamped,omitempty"`
 }
 
 // PWCETAnswer is the wire form of a quantile query
